@@ -1,0 +1,72 @@
+//! Criterion bench for Figure 2: the cost of a 5-write request to DynamoDB,
+//! directly (sequential / batched) and through AFT (sequential / batched).
+
+use aft_bench::BenchEnv;
+use aft_storage::BackendKind;
+use aft_types::{payload_of_size, Key};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn env() -> BenchEnv {
+    BenchEnv {
+        scale: 0.01,
+        requests_per_client: 1,
+        fast: true,
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let env = env();
+    let payload = payload_of_size(4 * 1024);
+    let mut group = c.benchmark_group("fig2_io_latency_5_writes");
+    group.sample_size(20).measurement_time(Duration::from_secs(3));
+
+    let storage = env.storage(BackendKind::DynamoDb, 1);
+    let mut counter = 0u64;
+    group.bench_function("dynamodb_sequential", |b| {
+        b.iter(|| {
+            counter += 1;
+            for w in 0..5 {
+                storage.put(&format!("k/{counter}/{w}"), payload.clone()).unwrap();
+            }
+        })
+    });
+
+    let storage = env.storage(BackendKind::DynamoDb, 2);
+    group.bench_function("dynamodb_batch", |b| {
+        b.iter(|| {
+            counter += 1;
+            let items = (0..5).map(|w| (format!("k/{counter}/{w}"), payload.clone())).collect();
+            storage.put_batch(items).unwrap();
+        })
+    });
+
+    let node = env.node(env.storage(BackendKind::DynamoDb, 3), true, 3);
+    group.bench_function("aft_sequential", |b| {
+        b.iter(|| {
+            counter += 1;
+            let t = node.start_transaction();
+            for w in 0..5 {
+                node.put(&t, Key::new(format!("k/{counter}/{w}")), payload.clone()).unwrap();
+            }
+            node.commit(&t).unwrap();
+        })
+    });
+
+    let node = env.node(env.storage(BackendKind::DynamoDb, 4), true, 4);
+    group.bench_function("aft_batch", |b| {
+        b.iter(|| {
+            counter += 1;
+            let t = node.start_transaction();
+            let items: Vec<_> = (0..5)
+                .map(|w| (Key::new(format!("k/{counter}/{w}")), payload.clone()))
+                .collect();
+            node.put_all(&t, items).unwrap();
+            node.commit(&t).unwrap();
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

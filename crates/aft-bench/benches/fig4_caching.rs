@@ -1,0 +1,33 @@
+//! Criterion bench for Figure 4: the standard request under a heavily skewed
+//! key distribution (Zipf 2.0), with and without AFT's data cache.
+
+use aft_bench::BenchEnv;
+use aft_storage::BackendKind;
+use aft_workload::{RequestDriver, WorkloadConfig, WorkloadGenerator};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let env = BenchEnv { scale: 0.01, requests_per_client: 1, fast: true };
+    let workload = WorkloadConfig::caching_skew(2.0).with_keys(2_000);
+    let mut group = c.benchmark_group("fig4_caching_zipf2");
+    group.sample_size(20).measurement_time(Duration::from_secs(3));
+
+    for (name, kind, caching) in [
+        ("aft_dynamodb_no_cache", BackendKind::DynamoDb, false),
+        ("aft_dynamodb_cache", BackendKind::DynamoDb, true),
+        ("aft_redis_no_cache", BackendKind::Redis, false),
+        ("aft_redis_cache", BackendKind::Redis, true),
+    ] {
+        let driver = env.aft_driver(kind, caching, 11);
+        let mut generator = WorkloadGenerator::new(workload.clone(), 7);
+        driver.preload(&generator.preload_plan(), workload.value_size).unwrap();
+        group.bench_function(name, |b| {
+            b.iter(|| driver.execute(&generator.next_plan()).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion bench for Figure 9: commit throughput with garbage collection
+//! running, plus the cost of local-GC sweeps and global-GC rounds themselves.
+
+use aft_bench::BenchEnv;
+use aft_cluster::{broadcast_round, FaultManager, GlobalGc};
+use aft_core::LocalGcConfig;
+use aft_storage::BackendKind;
+use aft_types::{payload_of_size, Key};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let env = BenchEnv { scale: 0.0, requests_per_client: 1, fast: true };
+    let mut group = c.benchmark_group("fig9_gc");
+    group.sample_size(20).measurement_time(Duration::from_secs(3));
+
+    // Commit + local GC sweep interleaved (the steady state of Figure 9).
+    let node = env.node(env.storage(BackendKind::Memory, 61), true, 61);
+    let payload = payload_of_size(4 * 1024);
+    let mut counter = 0u64;
+    group.bench_function("commit_with_local_gc", |b| {
+        b.iter(|| {
+            counter += 1;
+            let t = node.start_transaction();
+            node.put(&t, Key::new(format!("hot-{}", counter % 16)), payload.clone()).unwrap();
+            node.commit(&t).unwrap();
+            node.run_local_gc(&LocalGcConfig::default());
+        })
+    });
+
+    // A full global GC round over a node with superseded history.
+    let node = env.node(env.storage(BackendKind::Memory, 62), true, 62);
+    let nodes = vec![node.clone()];
+    let fm = FaultManager::new();
+    let gc = GlobalGc::default();
+    group.bench_function("global_gc_round", |b| {
+        b.iter(|| {
+            for i in 0..20u32 {
+                let t = node.start_transaction();
+                node.put(&t, Key::new(format!("hot-{}", i % 4)), payload.clone()).unwrap();
+                node.commit(&t).unwrap();
+            }
+            broadcast_round(&nodes, Some(&fm));
+            node.run_local_gc(&LocalGcConfig::aggressive());
+            gc.run_round(&fm, &nodes, node.storage()).unwrap();
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,9 @@
+//! Regenerates Figure 10: the throughput timeline of a 4-node cluster across
+//! a node failure and the replacement node joining.
+
+use aft_bench::{experiments, BenchEnv};
+
+fn main() {
+    let env = BenchEnv::from_env();
+    experiments::fig10_fault_tolerance(&env).print();
+}

@@ -1,0 +1,9 @@
+//! Regenerates Figure 2: IO latency of 1/5/10 writes to DynamoDB, directly
+//! and through AFT, sequential and batched.
+
+use aft_bench::{experiments, BenchEnv};
+
+fn main() {
+    let env = BenchEnv::from_env();
+    experiments::fig2_io_latency(&env).print();
+}

@@ -1,0 +1,11 @@
+//! Regenerates Figure 3 (end-to-end latency over S3 / DynamoDB / Redis) and
+//! Table 2 (consistency anomaly counts).
+
+use aft_bench::{experiments, BenchEnv};
+
+fn main() {
+    let env = BenchEnv::from_env();
+    let (latency, anomalies) = experiments::fig3_and_table2(&env);
+    latency.print();
+    anomalies.print();
+}

@@ -1,0 +1,9 @@
+//! Regenerates Figure 4: the effect of read caching under increasing data
+//! skew, for AFT over DynamoDB and Redis plus DynamoDB transaction mode.
+
+use aft_bench::{experiments, BenchEnv};
+
+fn main() {
+    let env = BenchEnv::from_env();
+    experiments::fig4_caching_skew(&env).print();
+}

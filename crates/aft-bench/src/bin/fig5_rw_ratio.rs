@@ -1,0 +1,9 @@
+//! Regenerates Figure 5: latency across read/write ratios (10 IOs per
+//! transaction) for AFT over DynamoDB and Redis.
+
+use aft_bench::{experiments, BenchEnv};
+
+fn main() {
+    let env = BenchEnv::from_env();
+    experiments::fig5_rw_ratio(&env).print();
+}

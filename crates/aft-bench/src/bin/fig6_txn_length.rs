@@ -1,0 +1,9 @@
+//! Regenerates Figure 6: latency as the composition length grows from 1 to
+//! 10 functions, for AFT over DynamoDB and Redis.
+
+use aft_bench::{experiments, BenchEnv};
+
+fn main() {
+    let env = BenchEnv::from_env();
+    experiments::fig6_txn_length(&env).print();
+}

@@ -1,0 +1,9 @@
+//! Regenerates Figure 7: single-node throughput as a function of the number
+//! of parallel closed-loop clients.
+
+use aft_bench::{experiments, BenchEnv};
+
+fn main() {
+    let env = BenchEnv::from_env();
+    experiments::fig7_single_node(&env).print();
+}

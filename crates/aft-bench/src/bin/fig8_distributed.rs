@@ -1,0 +1,9 @@
+//! Regenerates Figure 8: multi-node throughput (40 clients per node) against
+//! ideal linear scaling.
+
+use aft_bench::{experiments, BenchEnv};
+
+fn main() {
+    let env = BenchEnv::from_env();
+    experiments::fig8_distributed(&env).print();
+}

@@ -1,0 +1,9 @@
+//! Regenerates Figure 9: throughput with and without global garbage
+//! collection, and the rate of superseded-transaction deletion.
+
+use aft_bench::{experiments, BenchEnv};
+
+fn main() {
+    let env = BenchEnv::from_env();
+    experiments::fig9_gc(&env).print();
+}

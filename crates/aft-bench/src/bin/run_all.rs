@@ -1,0 +1,23 @@
+//! Runs every experiment in the evaluation back to back (Figures 2-10 and
+//! Table 2) and prints each table. Set `AFT_BENCH_FAST=1` for a quick pass.
+
+use aft_bench::{experiments, BenchEnv};
+
+fn main() {
+    let env = BenchEnv::from_env();
+    println!(
+        "AFT reproduction — full evaluation (scale={}, fast={})\n",
+        env.scale, env.fast
+    );
+    experiments::fig2_io_latency(&env).print();
+    let (fig3, table2) = experiments::fig3_and_table2(&env);
+    fig3.print();
+    table2.print();
+    experiments::fig4_caching_skew(&env).print();
+    experiments::fig5_rw_ratio(&env).print();
+    experiments::fig6_txn_length(&env).print();
+    experiments::fig7_single_node(&env).print();
+    experiments::fig8_distributed(&env).print();
+    experiments::fig9_gc(&env).print();
+    experiments::fig10_fault_tolerance(&env).print();
+}

@@ -1,0 +1,31 @@
+//! The benchmark harness for the AFT reproduction.
+//!
+//! Every table and figure in the paper's evaluation (§6) has:
+//!
+//! * a **binary** under `src/bin/` (`fig2_io_latency`, `fig3_table2_e2e`, ...)
+//!   that runs the full experiment and prints the same rows/series the paper
+//!   reports, and
+//! * a **Criterion bench** under `benches/` that measures the per-request
+//!   building blocks of the same experiment, so `cargo bench` exercises every
+//!   figure's code path in a few minutes.
+//!
+//! The experiments run against the simulated substrates with latencies scaled
+//! down by a single global factor (`AFT_BENCH_SCALE`, default 0.1). Scaling
+//! every service identically preserves the ratios, crossovers, and winners —
+//! the properties EXPERIMENTS.md compares against the paper — while letting
+//! the whole suite finish quickly.
+//!
+//! Environment knobs (all optional):
+//!
+//! * `AFT_BENCH_SCALE` — latency scale factor (default `0.1`).
+//! * `AFT_BENCH_REQUESTS` — requests per client for latency experiments
+//!   (default 200).
+//! * `AFT_BENCH_FAST` — if set, shrinks every experiment (fewer requests,
+//!   fewer clients, shorter timelines) for smoke-testing.
+
+pub mod experiments;
+pub mod report;
+pub mod setup;
+
+pub use report::Table;
+pub use setup::BenchEnv;

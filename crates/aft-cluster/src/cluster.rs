@@ -1,0 +1,450 @@
+//! The cluster orchestrator.
+//!
+//! [`Cluster`] wires together the node registry, the round-robin router, the
+//! commit-set multicast, the fault manager, and the global garbage collector,
+//! and can drive them with background threads at the paper's cadence (the
+//! multicast runs "every 1 second", §4). Benchmarks and tests can instead
+//! drive everything manually through [`Cluster::run_maintenance_round`] for
+//! determinism.
+//!
+//! Node failure and replacement follow §6.7: a killed node stops receiving
+//! new requests immediately, the fault manager notices the failure, and a
+//! replacement node joins after a configurable delay that models downloading
+//! the container image and warming the metadata cache (the paper observes
+//! roughly 50 seconds for this, mitigable with pre-pulled images and warm
+//! standbys).
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use aft_core::{AftNode, LocalGcConfig, NodeConfig};
+use aft_storage::SharedStorage;
+use aft_types::{AftResult, SharedClock, SystemClock};
+use parking_lot::Mutex;
+
+use crate::broadcast::{broadcast_round, BroadcastStats};
+use crate::fault_manager::FaultManager;
+use crate::global_gc::{GlobalGc, GlobalGcConfig, GlobalGcOutcome};
+use crate::membership::{NodeRegistry, NodeState};
+use crate::router::RoundRobinRouter;
+
+/// Configuration of a distributed AFT deployment.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of AFT nodes to start with.
+    pub initial_nodes: usize,
+    /// Template for every node's configuration (node ids are filled in).
+    pub node_template: NodeConfig,
+    /// How often the background loop multicasts commit sets (paper: 1 s).
+    pub broadcast_interval: Duration,
+    /// Whether nodes run local metadata GC in the maintenance loop.
+    pub local_gc_enabled: bool,
+    /// Local GC settings.
+    pub local_gc: LocalGcConfig,
+    /// Whether the global data GC runs in the maintenance loop.
+    pub global_gc_enabled: bool,
+    /// Global GC settings.
+    pub global_gc: GlobalGcConfig,
+    /// How often the fault manager scans storage for lost commits and checks
+    /// for failed nodes.
+    pub fault_scan_interval: Duration,
+    /// Delay before a replacement node becomes active (container download +
+    /// metadata cache warm-up, §6.7).
+    pub replacement_delay: Duration,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            initial_nodes: 1,
+            node_template: NodeConfig::default(),
+            broadcast_interval: Duration::from_secs(1),
+            local_gc_enabled: true,
+            local_gc: LocalGcConfig::default(),
+            global_gc_enabled: true,
+            global_gc: GlobalGcConfig::default(),
+            fault_scan_interval: Duration::from_secs(5),
+            replacement_delay: Duration::from_secs(50),
+        }
+    }
+}
+
+impl ClusterConfig {
+    /// A configuration suitable for unit tests: zero latencies, instant
+    /// replacement, manual maintenance.
+    pub fn test(initial_nodes: usize) -> Self {
+        ClusterConfig {
+            initial_nodes,
+            node_template: NodeConfig::test(),
+            broadcast_interval: Duration::from_millis(5),
+            fault_scan_interval: Duration::from_millis(5),
+            replacement_delay: Duration::ZERO,
+            ..ClusterConfig::default()
+        }
+    }
+
+    /// Sets the number of initial nodes.
+    pub fn with_nodes(mut self, n: usize) -> Self {
+        self.initial_nodes = n;
+        self
+    }
+}
+
+/// Statistics from one maintenance round.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MaintenanceStats {
+    /// Multicast statistics for the round.
+    pub broadcast: BroadcastStats,
+    /// Commits recovered from storage by the fault manager this round.
+    pub recovered_commits: usize,
+    /// Transactions deleted locally across all nodes this round.
+    pub local_gc_deleted: usize,
+    /// Global GC outcome for the round (zero if disabled).
+    pub global_gc: GlobalGcOutcome,
+}
+
+/// A running AFT deployment: nodes, router, fault manager, and GC.
+pub struct Cluster {
+    config: ClusterConfig,
+    storage: SharedStorage,
+    clock: SharedClock,
+    registry: Arc<NodeRegistry>,
+    router: RoundRobinRouter,
+    fault_manager: Arc<FaultManager>,
+    global_gc: GlobalGc,
+    next_node_index: AtomicUsize,
+    shutdown: Arc<AtomicBool>,
+    background: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Cluster {
+    /// Creates a cluster over `storage` with the real system clock.
+    pub fn new(config: ClusterConfig, storage: SharedStorage) -> AftResult<Arc<Self>> {
+        Self::with_clock(config, storage, SystemClock::shared())
+    }
+
+    /// Creates a cluster with an explicit clock.
+    pub fn with_clock(
+        config: ClusterConfig,
+        storage: SharedStorage,
+        clock: SharedClock,
+    ) -> AftResult<Arc<Self>> {
+        let registry = NodeRegistry::new();
+        let cluster = Arc::new(Cluster {
+            router: RoundRobinRouter::new(Arc::clone(&registry)),
+            fault_manager: Arc::new(FaultManager::new()),
+            global_gc: GlobalGc::new(config.global_gc),
+            next_node_index: AtomicUsize::new(0),
+            shutdown: Arc::new(AtomicBool::new(false)),
+            background: Mutex::new(Vec::new()),
+            registry,
+            storage,
+            clock,
+            config,
+        });
+        for _ in 0..cluster.config.initial_nodes {
+            cluster.add_node()?;
+        }
+        Ok(cluster)
+    }
+
+    fn make_node(&self) -> AftResult<Arc<AftNode>> {
+        let index = self.next_node_index.fetch_add(1, Ordering::Relaxed);
+        let node_config = NodeConfig {
+            node_id: format!("aft-node-{index}"),
+            rng_seed: self.config.node_template.rng_seed ^ (index as u64).wrapping_mul(0x9E37),
+            ..self.config.node_template.clone()
+        };
+        AftNode::with_clock(node_config, self.storage.clone(), self.clock.clone())
+    }
+
+    /// Creates a new node, registers it as active, and returns it.
+    pub fn add_node(&self) -> AftResult<Arc<AftNode>> {
+        let node = self.make_node()?;
+        self.registry.register(Arc::clone(&node), NodeState::Active);
+        Ok(node)
+    }
+
+    /// Routes the next logical request to an active node.
+    pub fn route(&self) -> AftResult<Arc<AftNode>> {
+        self.router.route()
+    }
+
+    /// The node registry.
+    pub fn registry(&self) -> &Arc<NodeRegistry> {
+        &self.registry
+    }
+
+    /// The fault manager.
+    pub fn fault_manager(&self) -> &Arc<FaultManager> {
+        &self.fault_manager
+    }
+
+    /// The shared storage backend.
+    pub fn storage(&self) -> &SharedStorage {
+        &self.storage
+    }
+
+    /// All currently active nodes.
+    pub fn active_nodes(&self) -> Vec<Arc<AftNode>> {
+        self.registry.active_nodes()
+    }
+
+    /// Marks a node as failed (the Figure 10 experiment terminates a node
+    /// this way). Returns false if the node id is unknown.
+    pub fn kill_node(&self, node_id: &str) -> bool {
+        self.registry.set_state(node_id, NodeState::Failed)
+    }
+
+    /// Detects failed nodes and brings up replacements, blocking for the
+    /// configured replacement delay (container download + cache warm-up).
+    /// Returns the number of nodes replaced.
+    pub fn replace_failed_nodes(&self) -> AftResult<usize> {
+        let failed = self.registry.failed_node_ids();
+        let mut replaced = 0;
+        for node_id in failed {
+            self.registry.deregister(&node_id);
+            // The replacement starts out warming up; it only serves requests
+            // once activation completes.
+            let replacement = self.make_node()?;
+            self.registry
+                .register(Arc::clone(&replacement), NodeState::Starting);
+            if !self.config.replacement_delay.is_zero() {
+                std::thread::sleep(self.config.replacement_delay);
+            }
+            self.registry
+                .set_state(replacement.node_id(), NodeState::Active);
+            replaced += 1;
+        }
+        Ok(replaced)
+    }
+
+    /// Sum of transactions committed across all currently registered nodes.
+    pub fn total_committed(&self) -> u64 {
+        self.registry
+            .all_nodes()
+            .iter()
+            .map(|(node, _)| node.stats().committed())
+            .sum()
+    }
+
+    /// Sum of transactions garbage collected (metadata) across all nodes.
+    pub fn total_gc_deleted(&self) -> u64 {
+        self.registry
+            .all_nodes()
+            .iter()
+            .map(|(node, _)| node.stats().gc_deleted())
+            .sum()
+    }
+
+    /// Runs one maintenance round synchronously: multicast (with pruning),
+    /// fault-manager storage scan, local GC on every node, and a global GC
+    /// round. Tests and benchmarks drive this manually; the background
+    /// threads call it on their intervals.
+    pub fn run_maintenance_round(&self) -> AftResult<MaintenanceStats> {
+        let nodes = self.registry.active_nodes();
+        let mut stats = MaintenanceStats {
+            broadcast: broadcast_round(&nodes, Some(&self.fault_manager)),
+            ..MaintenanceStats::default()
+        };
+        stats.recovered_commits = self.fault_manager.scan_commit_set(&self.storage, &nodes)?;
+        if self.config.local_gc_enabled {
+            for node in &nodes {
+                let outcome = node.run_local_gc(&self.config.local_gc);
+                stats.local_gc_deleted += outcome.deleted;
+            }
+        }
+        if self.config.global_gc_enabled {
+            stats.global_gc = self
+                .global_gc
+                .run_round(&self.fault_manager, &nodes, &self.storage)?;
+        }
+        Ok(stats)
+    }
+
+    /// Starts the background maintenance threads: one for the multicast /
+    /// local-GC / global-GC loop and one for failure detection and
+    /// replacement.
+    pub fn start_background(self: &Arc<Self>) {
+        let mut handles = self.background.lock();
+        if !handles.is_empty() {
+            return;
+        }
+
+        let maintenance = {
+            let cluster = Arc::clone(self);
+            std::thread::spawn(move || {
+                while !cluster.shutdown.load(Ordering::Relaxed) {
+                    let _ = cluster.run_maintenance_round();
+                    std::thread::sleep(cluster.config.broadcast_interval);
+                }
+            })
+        };
+        let fault_detection = {
+            let cluster = Arc::clone(self);
+            std::thread::spawn(move || {
+                while !cluster.shutdown.load(Ordering::Relaxed) {
+                    let _ = cluster.replace_failed_nodes();
+                    std::thread::sleep(cluster.config.fault_scan_interval);
+                }
+            })
+        };
+        handles.push(maintenance);
+        handles.push(fault_detection);
+    }
+
+    /// Stops the background threads and waits for them to exit.
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        let handles = std::mem::take(&mut *self.background.lock());
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Cluster {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aft_storage::InMemoryStore;
+    use aft_types::Key;
+    use bytes::Bytes;
+
+    fn test_cluster(nodes: usize) -> Arc<Cluster> {
+        Cluster::with_clock(
+            ClusterConfig::test(nodes),
+            InMemoryStore::shared(),
+            aft_types::clock::TickingClock::shared(1, 1),
+        )
+        .unwrap()
+    }
+
+    fn run_txn(node: &Arc<AftNode>, key: &str, value: &str) {
+        let t = node.start_transaction();
+        node.put(&t, Key::new(key), Bytes::copy_from_slice(value.as_bytes()))
+            .unwrap();
+        node.commit(&t).unwrap();
+    }
+
+    #[test]
+    fn cluster_starts_the_requested_nodes() {
+        let cluster = test_cluster(4);
+        assert_eq!(cluster.active_nodes().len(), 4);
+        assert_eq!(cluster.registry().active_count(), 4);
+        let ids: Vec<String> = cluster
+            .active_nodes()
+            .iter()
+            .map(|n| n.node_id().to_owned())
+            .collect();
+        assert_eq!(ids, vec!["aft-node-0", "aft-node-1", "aft-node-2", "aft-node-3"]);
+    }
+
+    #[test]
+    fn commits_propagate_between_nodes_via_maintenance() {
+        let cluster = test_cluster(3);
+        let writer = cluster.route().unwrap();
+        run_txn(&writer, "shared", "hello");
+
+        cluster.run_maintenance_round().unwrap();
+
+        for node in cluster.active_nodes() {
+            let t = node.start_transaction();
+            assert_eq!(
+                node.get(&t, &Key::new("shared")).unwrap().unwrap(),
+                Bytes::from_static(b"hello"),
+                "node {} should see the commit",
+                node.node_id()
+            );
+        }
+        assert_eq!(cluster.total_committed(), 1);
+    }
+
+    #[test]
+    fn killed_nodes_stop_receiving_requests_and_get_replaced() {
+        let cluster = test_cluster(3);
+        assert!(cluster.kill_node("aft-node-1"));
+        assert!(!cluster.kill_node("no-such-node"));
+        assert_eq!(cluster.registry().active_count(), 2);
+        for _ in 0..10 {
+            assert_ne!(cluster.route().unwrap().node_id(), "aft-node-1");
+        }
+
+        let replaced = cluster.replace_failed_nodes().unwrap();
+        assert_eq!(replaced, 1);
+        assert_eq!(cluster.registry().active_count(), 3);
+        // The replacement has a fresh identity.
+        assert!(cluster
+            .active_nodes()
+            .iter()
+            .any(|n| n.node_id() == "aft-node-3"));
+    }
+
+    #[test]
+    fn replacement_node_bootstraps_committed_state() {
+        let cluster = test_cluster(2);
+        let writer = cluster.route().unwrap();
+        run_txn(&writer, "durable", "survives");
+        cluster.run_maintenance_round().unwrap();
+
+        // Kill the *other* node and also the writer, then replace both; the
+        // replacements must learn the commit from storage (bootstrap).
+        cluster.kill_node("aft-node-0");
+        cluster.kill_node("aft-node-1");
+        cluster.replace_failed_nodes().unwrap();
+        assert_eq!(cluster.registry().active_count(), 2);
+
+        for node in cluster.active_nodes() {
+            let t = node.start_transaction();
+            assert_eq!(
+                node.get(&t, &Key::new("durable")).unwrap().unwrap(),
+                Bytes::from_static(b"survives")
+            );
+        }
+    }
+
+    #[test]
+    fn maintenance_round_garbage_collects_superseded_data() {
+        let cluster = test_cluster(2);
+        let node = cluster.route().unwrap();
+        for i in 0..5 {
+            run_txn(&node, "hot", &format!("v{i}"));
+        }
+        // First round: broadcast + local GC (delete metadata); second round:
+        // global GC can delete data now that all nodes have tombstones.
+        cluster.run_maintenance_round().unwrap();
+        let stats = cluster.run_maintenance_round().unwrap();
+        let data_keys = cluster.storage().list_prefix("data/hot/").unwrap();
+        assert_eq!(data_keys.len(), 1, "only the newest version survives");
+        assert!(stats.global_gc.deleted >= 1 || cluster.total_gc_deleted() >= 4);
+    }
+
+    #[test]
+    fn background_threads_start_and_shut_down() {
+        let cluster = test_cluster(2);
+        cluster.start_background();
+        cluster.start_background(); // idempotent
+        let node = cluster.route().unwrap();
+        run_txn(&node, "k", "v");
+        std::thread::sleep(Duration::from_millis(50));
+        cluster.shutdown();
+        // After shutdown the commit has propagated to every node.
+        for node in cluster.active_nodes() {
+            assert!(node.metadata().latest_version_of(&Key::new("k")).is_some());
+        }
+    }
+
+    #[test]
+    fn route_fails_when_every_node_is_dead() {
+        let cluster = test_cluster(1);
+        cluster.kill_node("aft-node-0");
+        assert!(cluster.route().is_err());
+    }
+}

@@ -1,0 +1,252 @@
+//! Global data garbage collection (§5.2).
+//!
+//! Local metadata GC (§5.1) lets each node forget superseded transactions,
+//! but no single node may delete a transaction's *data* from shared storage —
+//! a transaction running on another node might still read it. The global GC,
+//! combined with the fault manager because it already receives every node's
+//! commit stream, closes the loop:
+//!
+//! 1. It runs Algorithm 2 over its own commit view to find superseded
+//!    transactions.
+//! 2. It asks every node whether it has locally deleted those transactions'
+//!    metadata.
+//! 3. Only when *all* nodes agree does it delete the transaction's key
+//!    versions and its commit record from storage, and tell the nodes to
+//!    forget their tombstones.
+//!
+//! §5.2.1's caveat applies: because running transactions' read sets are not
+//! globally known, deleting old versions can force a long-running transaction
+//! into a retry (never into a fractured read). The `min_age` knob and
+//! oldest-first deletion order mitigate this in practice.
+
+use std::sync::Arc;
+
+use aft_core::{is_superseded, AftNode};
+use aft_storage::SharedStorage;
+use aft_types::{AftResult, TransactionRecord};
+
+use crate::fault_manager::FaultManager;
+
+/// Configuration of the global garbage collector.
+#[derive(Debug, Clone, Copy)]
+pub struct GlobalGcConfig {
+    /// Maximum transactions to delete per round (bounds storage delete
+    /// traffic; the paper dedicates separate cores to deletion).
+    pub max_deletions_per_round: usize,
+}
+
+impl Default for GlobalGcConfig {
+    fn default() -> Self {
+        GlobalGcConfig {
+            max_deletions_per_round: 10_000,
+        }
+    }
+}
+
+/// The outcome of one global GC round.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GlobalGcOutcome {
+    /// Transactions the GC considered superseded this round.
+    pub candidates: usize,
+    /// Candidates skipped because some node had not yet deleted them locally.
+    pub awaiting_nodes: usize,
+    /// Transactions whose data and commit record were deleted from storage.
+    pub deleted: usize,
+    /// Individual storage keys deleted (data blobs plus commit records).
+    pub storage_keys_deleted: usize,
+}
+
+/// The global garbage collector.
+pub struct GlobalGc {
+    config: GlobalGcConfig,
+}
+
+impl Default for GlobalGc {
+    fn default() -> Self {
+        Self::new(GlobalGcConfig::default())
+    }
+}
+
+impl GlobalGc {
+    /// Creates a global GC with the given configuration.
+    pub fn new(config: GlobalGcConfig) -> Self {
+        GlobalGc { config }
+    }
+
+    /// Runs one GC round against the fault manager's commit view.
+    pub fn run_round(
+        &self,
+        fault_manager: &FaultManager,
+        nodes: &[Arc<AftNode>],
+        storage: &SharedStorage,
+    ) -> AftResult<GlobalGcOutcome> {
+        let mut outcome = GlobalGcOutcome::default();
+        let metadata = fault_manager.metadata();
+
+        // Oldest first (§5.2.1): the oldest superseded data is the least
+        // likely to still be needed by a running transaction.
+        for record in metadata.records_oldest_first() {
+            if outcome.deleted >= self.config.max_deletions_per_round {
+                break;
+            }
+            if !is_superseded(&record, metadata) {
+                continue;
+            }
+            outcome.candidates += 1;
+
+            // Every node must have dropped the transaction from its metadata
+            // cache: either it garbage collected it locally (and holds a
+            // tombstone) or it never learned of it in the first place —
+            // pruned multicasts mean a superseded commit may never reach some
+            // peers (§4.1), and such peers can never serve reads from it.
+            let all_deleted = nodes.iter().all(|node| {
+                node.has_locally_deleted(&record.id) || !node.metadata().is_committed(&record.id)
+            });
+            if !all_deleted {
+                outcome.awaiting_nodes += 1;
+                continue;
+            }
+
+            self.delete_transaction(&record, storage, &mut outcome)?;
+            metadata.remove(&record.id);
+            for node in nodes {
+                node.forget_deleted(&[record.id]);
+            }
+            outcome.deleted += 1;
+        }
+        Ok(outcome)
+    }
+
+    fn delete_transaction(
+        &self,
+        record: &TransactionRecord,
+        storage: &SharedStorage,
+        outcome: &mut GlobalGcOutcome,
+    ) -> AftResult<()> {
+        let mut keys: Vec<String> = record.key_versions().map(|kv| kv.storage_key()).collect();
+        keys.push(record.storage_key());
+        outcome.storage_keys_deleted += keys.len();
+        storage.delete_batch(&keys)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::broadcast::broadcast_round;
+    use aft_core::{LocalGcConfig, NodeConfig};
+    use aft_storage::{InMemoryStore, StorageEngine};
+    use aft_types::clock::TickingClock;
+    use aft_types::Key;
+    use bytes::Bytes;
+
+    fn cluster_of(n: usize) -> (Vec<Arc<AftNode>>, Arc<InMemoryStore>, SharedStorage) {
+        let raw = InMemoryStore::shared();
+        let storage: SharedStorage = raw.clone();
+        let clock = TickingClock::shared(1, 1);
+        let nodes = (0..n)
+            .map(|i| {
+                AftNode::with_clock(
+                    NodeConfig::test().with_node_id(format!("node-{i}")).with_seed(i as u64),
+                    storage.clone(),
+                    clock.clone(),
+                )
+                .unwrap()
+            })
+            .collect();
+        (nodes, raw, storage)
+    }
+
+    fn commit_on(node: &Arc<AftNode>, key: &str, value: &str) -> aft_types::TransactionId {
+        let t = node.start_transaction();
+        node.put(&t, Key::new(key), Bytes::copy_from_slice(value.as_bytes()))
+            .unwrap();
+        node.commit(&t).unwrap()
+    }
+
+    #[test]
+    fn superseded_data_is_deleted_once_all_nodes_agree() {
+        let (nodes, raw, storage) = cluster_of(2);
+        let fm = FaultManager::new();
+        let gc = GlobalGc::default();
+
+        // Node 0 writes three versions of the same key.
+        let old = commit_on(&nodes[0], "hot", "v1");
+        commit_on(&nodes[0], "hot", "v2");
+        let newest = commit_on(&nodes[0], "hot", "v3");
+
+        // Broadcast so peers and the fault manager know about the commits
+        // (unpruned stream goes to the fault manager).
+        broadcast_round(&nodes, Some(&fm));
+        assert!(fm.metadata().is_committed(&old));
+
+        // Before local GC on all nodes, the global GC must not delete.
+        let outcome = gc.run_round(&fm, &nodes, &storage).unwrap();
+        assert_eq!(outcome.deleted, 0);
+        assert!(outcome.awaiting_nodes >= 1);
+        assert_eq!(raw.list_prefix("data/hot/").unwrap().len(), 3);
+
+        // After every node locally collects, the data can be deleted.
+        for node in &nodes {
+            node.run_local_gc(&LocalGcConfig::aggressive());
+        }
+        let outcome = gc.run_round(&fm, &nodes, &storage).unwrap();
+        assert_eq!(outcome.deleted, 2, "two superseded versions removed");
+        assert!(outcome.storage_keys_deleted >= 4, "2 data blobs + 2 commit records");
+        assert_eq!(raw.list_prefix("data/hot/").unwrap().len(), 1);
+        assert_eq!(raw.list_prefix("commit/").unwrap().len(), 1);
+
+        // The newest version survives and remains readable everywhere.
+        for node in &nodes {
+            let t = node.start_transaction();
+            assert_eq!(
+                node.get(&t, &Key::new("hot")).unwrap().unwrap(),
+                Bytes::from_static(b"v3")
+            );
+        }
+        assert!(fm.metadata().is_committed(&newest));
+
+        // Tombstones were cleared, so a second round does nothing.
+        let outcome = gc.run_round(&fm, &nodes, &storage).unwrap();
+        assert_eq!(outcome.deleted, 0);
+    }
+
+    #[test]
+    fn non_superseded_transactions_are_never_candidates() {
+        let (nodes, raw, storage) = cluster_of(2);
+        let fm = FaultManager::new();
+        let gc = GlobalGc::default();
+
+        commit_on(&nodes[0], "a", "only-version");
+        broadcast_round(&nodes, Some(&fm));
+        for node in &nodes {
+            node.run_local_gc(&LocalGcConfig::aggressive());
+        }
+        let outcome = gc.run_round(&fm, &nodes, &storage).unwrap();
+        assert_eq!(outcome.candidates, 0);
+        assert_eq!(outcome.deleted, 0);
+        assert_eq!(raw.list_prefix("data/").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn deletion_budget_is_respected() {
+        let (nodes, _raw, storage) = cluster_of(1);
+        let fm = FaultManager::new();
+        let gc = GlobalGc::new(GlobalGcConfig {
+            max_deletions_per_round: 2,
+        });
+
+        for i in 0..6 {
+            commit_on(&nodes[0], "hot", &format!("v{i}"));
+        }
+        broadcast_round(&nodes, Some(&fm));
+        nodes[0].run_local_gc(&LocalGcConfig::aggressive());
+
+        let outcome = gc.run_round(&fm, &nodes, &storage).unwrap();
+        assert_eq!(outcome.deleted, 2);
+        let outcome = gc.run_round(&fm, &nodes, &storage).unwrap();
+        assert_eq!(outcome.deleted, 2);
+        let outcome = gc.run_round(&fm, &nodes, &storage).unwrap();
+        assert_eq!(outcome.deleted, 1, "five superseded versions in total");
+    }
+}

@@ -1,0 +1,37 @@
+//! Distributed AFT deployments (§4 and §5.2 of the paper).
+//!
+//! A single AFT node already provides read atomic isolation for the
+//! transactions it serves; scaling to many nodes requires nothing on the
+//! transaction critical path, because every node may commit data for every
+//! key and each transaction's writes land at unique storage keys. What the
+//! cluster layer adds is everything *off* the critical path:
+//!
+//! * [`membership`] — the node registry (the role Kubernetes plays in the
+//!   paper's deployment, §4.3): which nodes exist and which are alive.
+//! * [`router`] — the stateless round-robin load balancer that assigns each
+//!   logical request to one AFT node (§6).
+//! * [`broadcast`] — the periodic commit-set multicast between nodes, with
+//!   supersedence pruning (§4, §4.1).
+//! * [`fault_manager`] — the out-of-band process that receives the unpruned
+//!   commit stream, scans the Transaction Commit Set for commits whose
+//!   broadcast was lost (liveness, §4.2), detects failed nodes and brings up
+//!   replacements (§6.7).
+//! * [`global_gc`] — the global data garbage collector, combined with the
+//!   fault manager as in §5.2: deletes a transaction's data and commit record
+//!   only after *every* node has locally deleted its metadata.
+//! * [`cluster`] — the orchestrator that wires all of the above together and
+//!   optionally drives it with background threads.
+
+pub mod broadcast;
+pub mod cluster;
+pub mod fault_manager;
+pub mod global_gc;
+pub mod membership;
+pub mod router;
+
+pub use broadcast::{broadcast_round, BroadcastStats};
+pub use cluster::{Cluster, ClusterConfig};
+pub use fault_manager::FaultManager;
+pub use global_gc::{GlobalGc, GlobalGcConfig, GlobalGcOutcome};
+pub use membership::{NodeRegistry, NodeState};
+pub use router::RoundRobinRouter;

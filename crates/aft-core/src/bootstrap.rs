@@ -1,0 +1,138 @@
+//! Node bootstrap and recovery.
+//!
+//! When an AFT node starts — including when a replacement node comes up after
+//! a failure (§6.7) — it warms its metadata cache by reading the latest
+//! records in the Transaction Commit Set from storage (§3.1). Nothing else
+//! needs to be recovered: the write-ordering protocol guarantees that any
+//! transaction with a durable commit record also has durable data (§3.3.1),
+//! and any transaction without one is simply not committed (clients retry).
+
+use std::sync::Arc;
+
+use aft_types::codec::decode_commit_record;
+use aft_types::{AftResult, TransactionRecord};
+use aft_storage::SharedStorage;
+
+use crate::metadata::MetadataCache;
+
+/// Reads commit records from storage and inserts them into `metadata`.
+///
+/// `limit` bounds how many of the *most recent* records are loaded (commit
+/// keys sort in commit-time order, so the tail of the listing is the most
+/// recent). `usize::MAX` loads everything.
+///
+/// Returns the number of records loaded. Undecodable records are skipped —
+/// a half-written commit record means the transaction never committed.
+pub fn warm_metadata_cache(
+    storage: &SharedStorage,
+    metadata: &MetadataCache,
+    limit: usize,
+) -> AftResult<usize> {
+    let keys = storage.list_prefix(&TransactionRecord::storage_prefix())?;
+    let start = keys.len().saturating_sub(limit);
+    let mut loaded = 0;
+    for key in &keys[start..] {
+        let Some(blob) = storage.get(key)? else {
+            // Deleted by the global GC between the listing and the read.
+            continue;
+        };
+        match decode_commit_record(&blob) {
+            Ok(record) => {
+                if metadata.insert(Arc::new(record)) {
+                    loaded += 1;
+                }
+            }
+            Err(_) => continue,
+        }
+    }
+    Ok(loaded)
+}
+
+/// Checks whether a transaction committed, by looking for its commit record
+/// in storage.
+///
+/// This is the recovery rule of §3.3.1: after an AFT node failure, a client
+/// that had called `CommitTransaction` but never got an acknowledgement can
+/// ask any node to consult storage; if the commit record exists the
+/// transaction is durable and successful, otherwise the client must retry.
+pub fn commit_record_exists(
+    storage: &SharedStorage,
+    id: &aft_types::TransactionId,
+) -> AftResult<bool> {
+    Ok(storage.get(&TransactionRecord::storage_key_for(id))?.is_some())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aft_storage::InMemoryStore;
+    use aft_types::codec::encode_commit_record;
+    use aft_types::{Key, TransactionId, Uuid};
+
+    fn tid(ts: u64) -> TransactionId {
+        TransactionId::new(ts, Uuid::from_u128(ts as u128))
+    }
+
+    fn put_record(storage: &SharedStorage, ts: u64, keys: &[&str]) -> TransactionRecord {
+        let record = TransactionRecord::new(tid(ts), keys.iter().map(|k| Key::new(k)));
+        storage
+            .put(&record.storage_key(), encode_commit_record(&record))
+            .unwrap();
+        record
+    }
+
+    #[test]
+    fn warm_cache_loads_all_records() {
+        let storage: SharedStorage = InMemoryStore::shared();
+        for ts in 1..=5 {
+            put_record(&storage, ts, &["k"]);
+        }
+        let metadata = MetadataCache::new();
+        let loaded = warm_metadata_cache(&storage, &metadata, usize::MAX).unwrap();
+        assert_eq!(loaded, 5);
+        assert_eq!(metadata.len(), 5);
+        assert_eq!(metadata.latest_version_of(&Key::new("k")), Some(tid(5)));
+    }
+
+    #[test]
+    fn warm_cache_respects_limit_and_prefers_recent() {
+        let storage: SharedStorage = InMemoryStore::shared();
+        for ts in 1..=10 {
+            put_record(&storage, ts, &["k"]);
+        }
+        let metadata = MetadataCache::new();
+        let loaded = warm_metadata_cache(&storage, &metadata, 3).unwrap();
+        assert_eq!(loaded, 3);
+        assert!(metadata.is_committed(&tid(10)));
+        assert!(metadata.is_committed(&tid(8)));
+        assert!(!metadata.is_committed(&tid(1)));
+    }
+
+    #[test]
+    fn corrupt_records_are_skipped() {
+        let storage: SharedStorage = InMemoryStore::shared();
+        put_record(&storage, 1, &["k"]);
+        storage
+            .put("commit/garbage", bytes::Bytes::from_static(b"not a record"))
+            .unwrap();
+        let metadata = MetadataCache::new();
+        let loaded = warm_metadata_cache(&storage, &metadata, usize::MAX).unwrap();
+        assert_eq!(loaded, 1);
+    }
+
+    #[test]
+    fn commit_record_existence_check() {
+        let storage: SharedStorage = InMemoryStore::shared();
+        let record = put_record(&storage, 7, &["k"]);
+        assert!(commit_record_exists(&storage, &record.id).unwrap());
+        assert!(!commit_record_exists(&storage, &tid(8)).unwrap());
+    }
+
+    #[test]
+    fn empty_storage_warms_nothing() {
+        let storage: SharedStorage = InMemoryStore::shared();
+        let metadata = MetadataCache::new();
+        assert_eq!(warm_metadata_cache(&storage, &metadata, usize::MAX).unwrap(), 0);
+        assert!(metadata.is_empty());
+    }
+}

@@ -1,0 +1,228 @@
+//! The node-local data cache.
+//!
+//! In addition to the metadata cache, each AFT node keeps a data cache that
+//! stores payloads for a subset of the key versions it knows about (§3.1).
+//! The cache avoids a storage round trip for frequently read versions; its
+//! effect — modest over Redis, up to ~15-17% over DynamoDB, growing with
+//! access skew — is evaluated in §6.2 (Figure 4).
+//!
+//! The cache is a byte-bounded LRU keyed by version storage key. Entries are
+//! only ever inserted for *committed* versions (the commit path and the read
+//! path both insert after the commit record is known), so a cache hit can
+//! never leak dirty data.
+
+use std::collections::HashMap;
+
+use aft_types::Value;
+use parking_lot::Mutex;
+
+/// A byte-bounded LRU cache from version storage keys to payloads.
+#[derive(Debug)]
+pub struct DataCache {
+    inner: Mutex<Inner>,
+    capacity_bytes: usize,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    entries: HashMap<String, Entry>,
+    /// Monotonic counter used as the LRU clock.
+    tick: u64,
+    total_bytes: usize,
+    hits: u64,
+    misses: u64,
+}
+
+#[derive(Debug)]
+struct Entry {
+    value: Value,
+    last_used: u64,
+}
+
+impl DataCache {
+    /// Creates a cache bounded to `capacity_bytes` of payload. A capacity of
+    /// zero disables caching entirely (every lookup misses).
+    pub fn new(capacity_bytes: usize) -> Self {
+        DataCache {
+            inner: Mutex::new(Inner::default()),
+            capacity_bytes,
+        }
+    }
+
+    /// A disabled cache.
+    pub fn disabled() -> Self {
+        Self::new(0)
+    }
+
+    /// Returns true if the cache can never hold anything.
+    pub fn is_disabled(&self) -> bool {
+        self.capacity_bytes == 0
+    }
+
+    /// Looks up the payload cached for `storage_key`.
+    pub fn get(&self, storage_key: &str) -> Option<Value> {
+        if self.is_disabled() {
+            return None;
+        }
+        let mut inner = self.inner.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        let value = inner.entries.get_mut(storage_key).map(|entry| {
+            entry.last_used = tick;
+            entry.value.clone()
+        });
+        if value.is_some() {
+            inner.hits += 1;
+        } else {
+            inner.misses += 1;
+        }
+        value
+    }
+
+    /// Inserts a payload for `storage_key`, evicting least-recently-used
+    /// entries if needed. Values larger than the whole cache are ignored.
+    pub fn insert(&self, storage_key: &str, value: Value) {
+        if self.is_disabled() || value.len() > self.capacity_bytes {
+            return;
+        }
+        let mut inner = self.inner.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        if let Some(old) = inner.entries.insert(
+            storage_key.to_owned(),
+            Entry {
+                value: value.clone(),
+                last_used: tick,
+            },
+        ) {
+            inner.total_bytes -= old.value.len();
+        }
+        inner.total_bytes += value.len();
+        // Evict until we fit.
+        while inner.total_bytes > self.capacity_bytes {
+            let victim = inner
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+                .expect("cache over capacity implies at least one entry");
+            if let Some(e) = inner.entries.remove(&victim) {
+                inner.total_bytes -= e.value.len();
+            }
+        }
+    }
+
+    /// Removes the entry for `storage_key` (garbage collection evicts data
+    /// for deleted transactions).
+    pub fn evict(&self, storage_key: &str) {
+        let mut inner = self.inner.lock();
+        if let Some(e) = inner.entries.remove(storage_key) {
+            inner.total_bytes -= e.value.len();
+        }
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.inner.lock().entries.len()
+    }
+
+    /// Returns true if the cache holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().entries.is_empty()
+    }
+
+    /// Total payload bytes currently cached.
+    pub fn bytes(&self) -> usize {
+        self.inner.lock().total_bytes
+    }
+
+    /// `(hits, misses)` counters since creation.
+    pub fn hit_stats(&self) -> (u64, u64) {
+        let inner = self.inner.lock();
+        (inner.hits, inner.misses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+
+    fn val(n: usize) -> Value {
+        Bytes::from(vec![7u8; n])
+    }
+
+    #[test]
+    fn hit_and_miss() {
+        let cache = DataCache::new(1024);
+        assert!(cache.get("a").is_none());
+        cache.insert("a", val(10));
+        assert_eq!(cache.get("a").unwrap().len(), 10);
+        assert_eq!(cache.hit_stats(), (1, 1));
+        assert_eq!(cache.bytes(), 10);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn lru_eviction_prefers_cold_entries() {
+        let cache = DataCache::new(100);
+        cache.insert("cold", val(40));
+        cache.insert("hot", val(40));
+        // Touch "cold" then "hot" so that "cold" is older.
+        cache.get("cold");
+        cache.get("hot");
+        cache.get("hot");
+        // Inserting 40 more bytes must evict exactly one entry: the LRU one
+        // is "cold"? No: "cold" was touched before "hot", so "cold" is older.
+        cache.insert("new", val(40));
+        assert!(cache.get("hot").is_some(), "recently used entry survives");
+        assert!(cache.get("cold").is_none(), "LRU entry is evicted");
+        assert!(cache.bytes() <= 100);
+    }
+
+    #[test]
+    fn oversized_values_are_not_cached() {
+        let cache = DataCache::new(16);
+        cache.insert("big", val(64));
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn disabled_cache_never_stores() {
+        let cache = DataCache::disabled();
+        assert!(cache.is_disabled());
+        cache.insert("a", val(1));
+        assert!(cache.get("a").is_none());
+        assert_eq!(cache.len(), 0);
+    }
+
+    #[test]
+    fn reinsert_replaces_and_accounts_bytes() {
+        let cache = DataCache::new(100);
+        cache.insert("a", val(30));
+        cache.insert("a", val(50));
+        assert_eq!(cache.bytes(), 50);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn evict_removes_specific_entry() {
+        let cache = DataCache::new(100);
+        cache.insert("a", val(10));
+        cache.insert("b", val(10));
+        cache.evict("a");
+        assert!(cache.get("a").is_none());
+        assert!(cache.get("b").is_some());
+        assert_eq!(cache.bytes(), 10);
+    }
+
+    #[test]
+    fn many_inserts_respect_capacity() {
+        let cache = DataCache::new(1000);
+        for i in 0..200 {
+            cache.insert(&format!("k{i}"), val(17));
+        }
+        assert!(cache.bytes() <= 1000);
+        assert!(cache.len() <= 1000 / 17 + 1);
+    }
+}

@@ -1,0 +1,110 @@
+//! Local metadata garbage collection (§5.1).
+//!
+//! Without garbage collection two things grow without bound: the commit
+//! metadata cached (and stored) for every transaction ever committed, and the
+//! key versions written to storage. Each node bounds the first locally: a
+//! background sweep walks its cached commit records oldest-first and drops
+//! every transaction that (a) is superseded (Algorithm 2) and (b) has no
+//! running transaction that read from its write set. Data in *storage* is
+//! never deleted locally — that requires the global protocol driven by the
+//! fault manager (§5.2), which `aft-cluster` implements on top of the hooks
+//! exposed here.
+
+use std::time::Duration;
+
+/// Configuration of a node's local metadata GC sweeps.
+#[derive(Debug, Clone, Copy)]
+pub struct LocalGcConfig {
+    /// Maximum number of transactions to delete in one sweep; bounds the time
+    /// spent holding metadata locks.
+    pub max_deletions_per_sweep: usize,
+    /// How often the background sweep runs when driven by a cluster
+    /// deployment.
+    pub sweep_interval: Duration,
+    /// Never garbage collect a transaction until at least this much time has
+    /// passed since its commit timestamp, giving in-flight readers on *other*
+    /// nodes a grace period (mitigates the §5.2.1 missing-version hazard).
+    pub min_age: Duration,
+}
+
+impl Default for LocalGcConfig {
+    fn default() -> Self {
+        LocalGcConfig {
+            max_deletions_per_sweep: 10_000,
+            sweep_interval: Duration::from_secs(1),
+            min_age: Duration::from_millis(0),
+        }
+    }
+}
+
+impl LocalGcConfig {
+    /// A configuration that deletes aggressively; used by GC stress tests to
+    /// provoke the missing-version condition of §5.2.1.
+    pub fn aggressive() -> Self {
+        LocalGcConfig {
+            max_deletions_per_sweep: usize::MAX,
+            sweep_interval: Duration::from_millis(10),
+            min_age: Duration::ZERO,
+        }
+    }
+}
+
+/// The result of one local GC sweep.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GcOutcome {
+    /// Commit records examined.
+    pub examined: usize,
+    /// Records that were superseded but kept because a running transaction
+    /// had read from them.
+    pub retained_for_readers: usize,
+    /// Records removed from the metadata cache in this sweep.
+    pub deleted: usize,
+}
+
+impl GcOutcome {
+    /// Merges two sweep outcomes (used when a sweep is split into batches).
+    pub fn merge(self, other: GcOutcome) -> GcOutcome {
+        GcOutcome {
+            examined: self.examined + other.examined,
+            retained_for_readers: self.retained_for_readers + other.retained_for_readers,
+            deleted: self.deleted + other.deleted,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_sane() {
+        let config = LocalGcConfig::default();
+        assert!(config.max_deletions_per_sweep > 0);
+        assert!(config.sweep_interval > Duration::ZERO);
+    }
+
+    #[test]
+    fn aggressive_config_has_no_limits() {
+        let config = LocalGcConfig::aggressive();
+        assert_eq!(config.max_deletions_per_sweep, usize::MAX);
+        assert_eq!(config.min_age, Duration::ZERO);
+    }
+
+    #[test]
+    fn outcomes_merge_componentwise() {
+        let a = GcOutcome {
+            examined: 3,
+            retained_for_readers: 1,
+            deleted: 2,
+        };
+        let b = GcOutcome {
+            examined: 5,
+            retained_for_readers: 0,
+            deleted: 4,
+        };
+        let merged = a.merge(b);
+        assert_eq!(merged.examined, 8);
+        assert_eq!(merged.retained_for_readers, 1);
+        assert_eq!(merged.deleted, 6);
+    }
+}

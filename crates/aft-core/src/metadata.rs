@@ -1,0 +1,218 @@
+//! The node-local metadata cache: the Commit Set Cache and the key version
+//! index.
+//!
+//! Every AFT node caches the IDs (and write sets) of recently committed
+//! transactions and maintains an index from each key to the committed
+//! versions of that key (§3.1). Algorithm 1 consults only this cache, so a
+//! version becomes readable on a node exactly when that node learns of the
+//! commit — either by committing locally, by receiving a multicast from a
+//! peer (§4), or by being told by the fault manager (§4.2).
+
+use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
+
+use aft_types::{Key, TransactionId, TransactionRecord};
+use parking_lot::RwLock;
+
+/// The committed-transaction metadata cache of one AFT node.
+#[derive(Debug, Default)]
+pub struct MetadataCache {
+    inner: RwLock<Inner>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    /// Commit Set Cache: every committed transaction this node knows about.
+    committed: HashMap<TransactionId, Arc<TransactionRecord>>,
+    /// Key version index: for each key, the committed transactions that wrote
+    /// it, in transaction-ID order.
+    key_index: HashMap<Key, BTreeSet<TransactionId>>,
+}
+
+impl MetadataCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        MetadataCache::default()
+    }
+
+    /// Inserts a committed transaction record, updating the key version
+    /// index. Returns `false` if the record was already known.
+    pub fn insert(&self, record: Arc<TransactionRecord>) -> bool {
+        let mut inner = self.inner.write();
+        if inner.committed.contains_key(&record.id) {
+            return false;
+        }
+        for key in &record.write_set {
+            inner
+                .key_index
+                .entry(key.clone())
+                .or_default()
+                .insert(record.id);
+        }
+        inner.committed.insert(record.id, record);
+        true
+    }
+
+    /// Returns true if `id` is a committed transaction this node knows about.
+    pub fn is_committed(&self, id: &TransactionId) -> bool {
+        self.inner.read().committed.contains_key(id)
+    }
+
+    /// Returns the commit record for `id`, if known.
+    pub fn record(&self, id: &TransactionId) -> Option<Arc<TransactionRecord>> {
+        self.inner.read().committed.get(id).cloned()
+    }
+
+    /// Returns the committed versions of `key` known to this node, oldest
+    /// first.
+    pub fn versions_of(&self, key: &Key) -> Vec<TransactionId> {
+        self.inner
+            .read()
+            .key_index
+            .get(key)
+            .map(|set| set.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Returns the newest committed version of `key` known to this node.
+    pub fn latest_version_of(&self, key: &Key) -> Option<TransactionId> {
+        self.inner
+            .read()
+            .key_index
+            .get(key)
+            .and_then(|set| set.iter().next_back().copied())
+    }
+
+    /// Returns true if a committed version of `key` newer than `than` exists.
+    pub fn has_newer_version(&self, key: &Key, than: &TransactionId) -> bool {
+        self.latest_version_of(key).is_some_and(|latest| latest > *than)
+    }
+
+    /// Removes a transaction's metadata (local garbage collection, §5.1).
+    ///
+    /// The caller is responsible for having checked supersedence and for
+    /// evicting any cached data; this method only touches metadata. Returns
+    /// the removed record, if it was present.
+    pub fn remove(&self, id: &TransactionId) -> Option<Arc<TransactionRecord>> {
+        let mut inner = self.inner.write();
+        let record = inner.committed.remove(id)?;
+        for key in &record.write_set {
+            if let Some(set) = inner.key_index.get_mut(key) {
+                set.remove(id);
+                if set.is_empty() {
+                    inner.key_index.remove(key);
+                }
+            }
+        }
+        Some(record)
+    }
+
+    /// Number of committed transactions currently cached.
+    pub fn len(&self) -> usize {
+        self.inner.read().committed.len()
+    }
+
+    /// Returns true if no committed transactions are cached.
+    pub fn is_empty(&self) -> bool {
+        self.inner.read().committed.is_empty()
+    }
+
+    /// Number of keys present in the key version index.
+    pub fn indexed_keys(&self) -> usize {
+        self.inner.read().key_index.len()
+    }
+
+    /// A snapshot of every cached commit record (used by garbage collection
+    /// sweeps and by tests).
+    pub fn all_records(&self) -> Vec<Arc<TransactionRecord>> {
+        self.inner.read().committed.values().cloned().collect()
+    }
+
+    /// A snapshot of every cached commit record whose ID is at most `up_to`,
+    /// oldest first — the local GC sweeps oldest transactions first (§5.2.1).
+    pub fn records_oldest_first(&self) -> Vec<Arc<TransactionRecord>> {
+        let mut records = self.all_records();
+        records.sort_by_key(|r| r.id);
+        records
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aft_types::Uuid;
+
+    fn tid(ts: u64, id: u128) -> TransactionId {
+        TransactionId::new(ts, Uuid::from_u128(id))
+    }
+
+    fn record(ts: u64, keys: &[&str]) -> Arc<TransactionRecord> {
+        Arc::new(TransactionRecord::new(
+            tid(ts, ts as u128),
+            keys.iter().map(|k| Key::new(k)),
+        ))
+    }
+
+    #[test]
+    fn insert_updates_commit_set_and_index() {
+        let cache = MetadataCache::new();
+        assert!(cache.insert(record(1, &["a", "b"])));
+        assert!(cache.insert(record(2, &["b"])));
+        assert!(!cache.insert(record(2, &["b"])), "duplicate insert is a no-op");
+
+        assert_eq!(cache.len(), 2);
+        assert!(cache.is_committed(&tid(1, 1)));
+        assert!(!cache.is_committed(&tid(3, 3)));
+        assert_eq!(cache.versions_of(&Key::new("b")), vec![tid(1, 1), tid(2, 2)]);
+        assert_eq!(cache.latest_version_of(&Key::new("b")), Some(tid(2, 2)));
+        assert_eq!(cache.latest_version_of(&Key::new("a")), Some(tid(1, 1)));
+        assert_eq!(cache.latest_version_of(&Key::new("zzz")), None);
+        assert_eq!(cache.indexed_keys(), 2);
+    }
+
+    #[test]
+    fn has_newer_version_compares_full_ids() {
+        let cache = MetadataCache::new();
+        cache.insert(record(5, &["k"]));
+        assert!(cache.has_newer_version(&Key::new("k"), &tid(4, 0)));
+        assert!(!cache.has_newer_version(&Key::new("k"), &tid(5, 5)));
+        assert!(!cache.has_newer_version(&Key::new("k"), &tid(9, 0)));
+        assert!(!cache.has_newer_version(&Key::new("unknown"), &tid(0, 0)));
+    }
+
+    #[test]
+    fn remove_cleans_the_index() {
+        let cache = MetadataCache::new();
+        cache.insert(record(1, &["a", "b"]));
+        cache.insert(record(2, &["b"]));
+
+        let removed = cache.remove(&tid(1, 1)).expect("record was present");
+        assert_eq!(removed.id, tid(1, 1));
+        assert!(cache.remove(&tid(1, 1)).is_none(), "second remove is a no-op");
+
+        // "a" had only the removed version; its index entry disappears.
+        assert!(cache.versions_of(&Key::new("a")).is_empty());
+        // "b" still has the newer version.
+        assert_eq!(cache.versions_of(&Key::new("b")), vec![tid(2, 2)]);
+        assert_eq!(cache.indexed_keys(), 1);
+    }
+
+    #[test]
+    fn records_oldest_first_is_sorted() {
+        let cache = MetadataCache::new();
+        cache.insert(record(30, &["x"]));
+        cache.insert(record(10, &["x"]));
+        cache.insert(record(20, &["x"]));
+        let ids: Vec<_> = cache.records_oldest_first().iter().map(|r| r.id).collect();
+        assert_eq!(ids, vec![tid(10, 10), tid(20, 20), tid(30, 30)]);
+    }
+
+    #[test]
+    fn record_lookup_returns_write_set() {
+        let cache = MetadataCache::new();
+        cache.insert(record(7, &["k", "l"]));
+        let r = cache.record(&tid(7, 7)).unwrap();
+        assert!(r.wrote(&Key::new("k")));
+        assert!(cache.record(&tid(8, 8)).is_none());
+    }
+}

@@ -1,0 +1,999 @@
+//! The AFT node: Table 1's transactional key-value API, the write-ordering
+//! commit protocol (§3.3), and the glue between the read protocol, the write
+//! buffer, and the caches.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+use std::time::Duration;
+
+use aft_storage::latency::{LatencyMode, LatencyModel, LatencyProfile};
+use aft_storage::SharedStorage;
+use aft_types::codec::encode_commit_record;
+use aft_types::{
+    AftError, AftResult, Key, KeyVersion, SharedClock, SystemClock, TransactionId,
+    TransactionRecord, Uuid, Value,
+};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::bootstrap::warm_metadata_cache;
+use crate::data_cache::DataCache;
+use crate::gc::{GcOutcome, LocalGcConfig};
+use crate::metadata::MetadataCache;
+use crate::read::{select_version, VersionChoice};
+use crate::stats::NodeStats;
+use crate::supersede::is_superseded;
+use crate::write_buffer::WriteBuffer;
+
+/// Configuration of a single AFT node.
+#[derive(Debug, Clone)]
+pub struct NodeConfig {
+    /// Human-readable node identifier (used in cluster membership and logs).
+    pub node_id: String,
+    /// Capacity of the data cache in bytes; 0 disables data caching (§6.2
+    /// evaluates both settings).
+    pub data_cache_bytes: usize,
+    /// Spill threshold of the Atomic Write Buffer: once a single
+    /// transaction's buffered bytes exceed this, intermediary data is written
+    /// to storage ahead of commit (§3.3).
+    pub write_buffer_spill_bytes: usize,
+    /// In-flight transactions older than this are aborted by
+    /// [`AftNode::abort_expired`] (§3.3.1: "aborted after a timeout").
+    pub transaction_timeout: Duration,
+    /// Whether to warm the metadata cache from the Transaction Commit Set at
+    /// startup (§3.1); replacement nodes in a cluster always do.
+    pub bootstrap: bool,
+    /// How many of the most recent commit records to load when
+    /// bootstrapping.
+    pub bootstrap_limit: usize,
+    /// Latency of one client→shim API call (the network hop that is part of
+    /// AFT's overhead in Figure 2); zero for unit tests.
+    pub rpc_profile: LatencyProfile,
+    /// Whether simulated latencies sleep or are merely recorded.
+    pub latency_mode: LatencyMode,
+    /// Global latency scale factor shared with the storage simulators.
+    pub latency_scale: f64,
+    /// Seed for the node's RNG (transaction UUIDs, latency sampling).
+    pub rng_seed: u64,
+}
+
+impl Default for NodeConfig {
+    fn default() -> Self {
+        NodeConfig {
+            node_id: "aft-node-0".to_owned(),
+            data_cache_bytes: 64 * 1024 * 1024,
+            write_buffer_spill_bytes: 16 * 1024 * 1024,
+            transaction_timeout: Duration::from_secs(30),
+            bootstrap: true,
+            bootstrap_limit: 100_000,
+            rpc_profile: LatencyProfile::ZERO,
+            latency_mode: LatencyMode::Virtual,
+            latency_scale: 0.0,
+            rng_seed: 0xAF71,
+        }
+    }
+}
+
+impl NodeConfig {
+    /// A zero-latency configuration for unit tests, with caching enabled.
+    pub fn test() -> Self {
+        NodeConfig::default()
+    }
+
+    /// A zero-latency test configuration without a data cache.
+    pub fn test_without_cache() -> Self {
+        NodeConfig {
+            data_cache_bytes: 0,
+            ..NodeConfig::default()
+        }
+    }
+
+    /// Sets the node identifier.
+    pub fn with_node_id(mut self, id: impl Into<String>) -> Self {
+        self.node_id = id.into();
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.rng_seed = seed;
+        self
+    }
+
+    /// Configures the simulated client→shim RPC hop used by the benchmark
+    /// harness (median/p99 in microseconds at full scale).
+    pub fn with_rpc_latency(mut self, profile: LatencyProfile, mode: LatencyMode, scale: f64) -> Self {
+        self.rpc_profile = profile;
+        self.latency_mode = mode;
+        self.latency_scale = scale;
+        self
+    }
+}
+
+/// A single AFT shim node.
+///
+/// All methods take `&self`; a node is shared across many client threads
+/// (each FaaS function invocation issues its operations against one node).
+pub struct AftNode {
+    config: NodeConfig,
+    storage: SharedStorage,
+    clock: SharedClock,
+    buffer: WriteBuffer,
+    metadata: MetadataCache,
+    data_cache: DataCache,
+    stats: Arc<NodeStats>,
+    rpc_latency: Arc<LatencyModel>,
+    rng: Mutex<StdRng>,
+    /// Commits made on this node since the last multicast drain (§4).
+    recent_commits: Mutex<Vec<Arc<TransactionRecord>>>,
+    /// Transactions whose metadata this node has locally garbage collected;
+    /// reported to the global GC (§5.2).
+    locally_deleted: Mutex<HashSet<TransactionId>>,
+}
+
+impl AftNode {
+    /// Creates a node over `storage` using the real system clock.
+    pub fn new(config: NodeConfig, storage: SharedStorage) -> AftResult<Arc<Self>> {
+        Self::with_clock(config, storage, SystemClock::shared())
+    }
+
+    /// Creates a node with an explicit clock (tests use [`aft_types::MockClock`]).
+    pub fn with_clock(
+        config: NodeConfig,
+        storage: SharedStorage,
+        clock: SharedClock,
+    ) -> AftResult<Arc<Self>> {
+        let metadata = MetadataCache::new();
+        if config.bootstrap {
+            warm_metadata_cache(&storage, &metadata, config.bootstrap_limit)?;
+        }
+        let rpc_latency = LatencyModel::new(config.latency_mode, config.latency_scale);
+        Ok(Arc::new(AftNode {
+            data_cache: DataCache::new(config.data_cache_bytes),
+            buffer: WriteBuffer::new(),
+            stats: NodeStats::new_shared(),
+            rng: Mutex::new(StdRng::seed_from_u64(config.rng_seed)),
+            recent_commits: Mutex::new(Vec::new()),
+            locally_deleted: Mutex::new(HashSet::new()),
+            rpc_latency,
+            metadata,
+            storage,
+            clock,
+            config,
+        }))
+    }
+
+    /// The node's identifier.
+    pub fn node_id(&self) -> &str {
+        &self.config.node_id
+    }
+
+    /// The node's operational counters.
+    pub fn stats(&self) -> &Arc<NodeStats> {
+        &self.stats
+    }
+
+    /// The storage engine this node commits to.
+    pub fn storage(&self) -> &SharedStorage {
+        &self.storage
+    }
+
+    /// The node's committed-transaction metadata cache.
+    pub fn metadata(&self) -> &MetadataCache {
+        &self.metadata
+    }
+
+    /// The node's data cache.
+    pub fn data_cache(&self) -> &DataCache {
+        &self.data_cache
+    }
+
+    /// Number of transactions currently in flight on this node.
+    pub fn in_flight(&self) -> usize {
+        self.buffer.len()
+    }
+
+    fn rpc(&self) {
+        if self.config.rpc_profile.median_us > 0.0 {
+            // Sample under the RNG lock, sleep outside it — concurrent client
+            // requests to the same node must not serialise on the sampler.
+            self.rpc_latency
+                .apply_with(&self.config.rpc_profile, &self.rng, 0);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Table 1 API
+    // ------------------------------------------------------------------
+
+    /// `StartTransaction()`: begins a new transaction and returns its ID.
+    ///
+    /// The ID carries the start timestamp and a fresh UUID; the *commit*
+    /// timestamp is assigned later, in [`commit`](AftNode::commit) (§3.1).
+    pub fn start_transaction(&self) -> TransactionId {
+        self.rpc();
+        let uuid = {
+            let mut rng = self.rng.lock();
+            Uuid::from_rng(&mut *rng)
+        };
+        let id = TransactionId::new(self.clock.now(), uuid);
+        self.buffer.begin(id);
+        self.stats.record_started();
+        id
+    }
+
+    /// Re-registers a transaction ID on this node, used when a retried
+    /// function continues a transaction whose state was lost (§3.3.1). If the
+    /// transaction is still in flight this is a no-op.
+    pub fn ensure_transaction(&self, id: TransactionId) {
+        if !self.buffer.contains(&id) {
+            self.buffer.begin(id);
+            self.stats.record_started();
+        }
+    }
+
+    /// `Get(txid, key)`: reads `key` in the context of transaction `txid`.
+    ///
+    /// Returns `Ok(None)` when the key has no visible version (the NULL
+    /// version of §3.2) and `Err(AftError::NoValidVersion)` when versions
+    /// exist but none is compatible with the transaction's read set (§3.6) —
+    /// the caller should abort and retry the logical request.
+    pub fn get(&self, txid: &TransactionId, key: &Key) -> AftResult<Option<Value>> {
+        Ok(self.get_versioned(txid, key)?.map(|(value, _)| value))
+    }
+
+    /// Like [`get`](AftNode::get), but also reports which committed
+    /// transaction wrote the returned version (`None` when the value came
+    /// from the transaction's own write buffer).
+    ///
+    /// Key versions are normally hidden from clients (§3.2); this variant
+    /// exists for the evaluation harness, which uses the true version IDs to
+    /// verify that observed read sets really are Atomic Readsets.
+    pub fn get_versioned(
+        &self,
+        txid: &TransactionId,
+        key: &Key,
+    ) -> AftResult<Option<(Value, Option<TransactionId>)>> {
+        self.rpc();
+        self.stats.record_read();
+
+        // Read-your-writes (§3.5): buffered writes win and bypass Algorithm 1.
+        let buffered = self.buffer.with_txn(txid, |txn| txn.buffered_value(key))?;
+        if let Some(value) = buffered {
+            self.stats.record_read_from_write_buffer();
+            return Ok(Some((value, None)));
+        }
+
+        // Algorithm 1 over the local committed-transaction metadata.
+        let choice = self
+            .buffer
+            .with_txn(txid, |txn| select_version(key, &txn.reads, &self.metadata))?;
+        let target = match choice {
+            VersionChoice::NotFound => {
+                self.stats.record_null_read();
+                return Ok(None);
+            }
+            VersionChoice::NoValidVersion => {
+                self.stats.record_no_valid_version();
+                return Err(AftError::NoValidVersion {
+                    key: key.clone(),
+                    txn: *txid,
+                });
+            }
+            VersionChoice::Version(tid) => tid,
+        };
+
+        // Fetch the payload: data cache first, then storage.
+        let storage_key = KeyVersion::new(key.clone(), target).storage_key();
+        let value = match self.data_cache.get(&storage_key) {
+            Some(value) => {
+                self.stats.record_read_from_data_cache();
+                value
+            }
+            None => match self.storage.get(&storage_key)? {
+                Some(value) => {
+                    self.stats.record_read_from_storage();
+                    self.data_cache.insert(&storage_key, value.clone());
+                    value
+                }
+                None => {
+                    // The version's data was deleted underneath us (global GC
+                    // racing a long transaction, §5.2.1). Treat it like a
+                    // missing valid version so the client retries.
+                    self.stats.record_no_valid_version();
+                    return Err(AftError::NoValidVersion {
+                        key: key.clone(),
+                        txn: *txid,
+                    });
+                }
+            },
+        };
+
+        // Extend the read set only after the read has definitely succeeded.
+        self.buffer
+            .with_txn(txid, |txn| txn.reads.record(key.clone(), target))?;
+        Ok(Some((value, Some(target))))
+    }
+
+    /// `Put(txid, key, value)`: buffers an update for transaction `txid`.
+    pub fn put(&self, txid: &TransactionId, key: Key, value: Value) -> AftResult<()> {
+        self.rpc();
+        self.stats.record_write();
+        let spill = self.buffer.with_txn(txid, |txn| {
+            txn.buffer_write(key, value);
+            if txn.buffered_bytes() >= self.config.write_buffer_spill_bytes {
+                Some(txn.mark_spilled())
+            } else {
+                None
+            }
+        })?;
+        // A saturated write buffer proactively writes intermediary data; the
+        // data stays invisible because no commit record references it yet
+        // (§3.3). Performed outside the buffer lock.
+        if let Some(items) = spill {
+            self.storage.put_batch(items)?;
+        }
+        Ok(())
+    }
+
+    /// Buffers several updates with a single client→shim request (the
+    /// "AFT Batch" configuration of Figure 2).
+    pub fn put_all(
+        &self,
+        txid: &TransactionId,
+        items: impl IntoIterator<Item = (Key, Value)>,
+    ) -> AftResult<()> {
+        self.rpc();
+        let spill = self.buffer.with_txn(txid, |txn| {
+            for (key, value) in items {
+                self.stats.record_write();
+                txn.buffer_write(key, value);
+            }
+            if txn.buffered_bytes() >= self.config.write_buffer_spill_bytes {
+                Some(txn.mark_spilled())
+            } else {
+                None
+            }
+        })?;
+        if let Some(items) = spill {
+            self.storage.put_batch(items)?;
+        }
+        Ok(())
+    }
+
+    /// `CommitTransaction(txid)`: persists the transaction's updates and its
+    /// commit record, makes them visible, and returns the final transaction
+    /// ID (with the commit timestamp).
+    ///
+    /// The ordering is the write-ordering protocol of §3.3: data first, then
+    /// the commit record, then (and only then) local visibility. The call
+    /// returns only after both are durable in storage.
+    pub fn commit(&self, txid: &TransactionId) -> AftResult<TransactionId> {
+        self.rpc();
+        let txn = self.buffer.take(txid)?;
+
+        // Assign the commit timestamp from the local clock (§3.1).
+        let final_id = TransactionId::new(self.clock.now(), txid.uuid);
+
+        // 1. Persist the transaction's key versions (one storage key per
+        //    version, so concurrent committers never interfere).
+        let items = {
+            let mut txn = txn;
+            txn.id = final_id;
+            txn.storage_items()
+        };
+        let write_set: Vec<Key> = items
+            .iter()
+            .map(|(storage_key, _)| {
+                KeyVersion::parse_storage_key(storage_key)
+                    .map(|(key, _)| key)
+                    .expect("storage keys we just built are well-formed")
+            })
+            .collect();
+        let cached_values: Vec<(String, Value)> = items.clone();
+        if !items.is_empty() {
+            self.storage.put_batch(items)?;
+        }
+
+        // 2. Persist the commit record to the Transaction Commit Set.
+        let record = TransactionRecord::new(final_id, write_set);
+        self.storage
+            .put(&record.storage_key(), encode_commit_record(&record))?;
+
+        // 3. Only now make the transaction visible to other requests.
+        let record = Arc::new(record);
+        self.metadata.insert(Arc::clone(&record));
+        for (storage_key, value) in cached_values {
+            self.data_cache.insert(&storage_key, value);
+        }
+        self.recent_commits.lock().push(record);
+        self.stats.record_committed();
+        Ok(final_id)
+    }
+
+    /// `AbortTransaction(txid)`: discards the transaction's buffered updates.
+    ///
+    /// Spilled intermediary data (never visible) is deleted eagerly.
+    pub fn abort(&self, txid: &TransactionId) -> AftResult<()> {
+        self.rpc();
+        let txn = self.buffer.take(txid)?;
+        let spilled = txn.spilled_storage_keys();
+        if !spilled.is_empty() {
+            self.storage.delete_batch(&spilled)?;
+        }
+        self.stats.record_aborted();
+        Ok(())
+    }
+
+    /// Aborts every in-flight transaction older than the configured timeout;
+    /// returns the aborted IDs. Driven periodically by cluster deployments.
+    pub fn abort_expired(&self) -> Vec<TransactionId> {
+        let expired = self.buffer.expired(self.config.transaction_timeout);
+        let mut aborted = Vec::new();
+        for id in expired {
+            if self.abort(&id).is_ok() {
+                aborted.push(id);
+            }
+        }
+        aborted
+    }
+
+    // ------------------------------------------------------------------
+    // Cluster hooks: multicast, fault manager, garbage collection
+    // ------------------------------------------------------------------
+
+    /// Drains the commits made on this node since the last drain. The
+    /// cluster's multicast thread calls this every broadcast period (§4);
+    /// supersedence pruning (§4.1) is applied by the caller so that the fault
+    /// manager can still receive the unpruned stream (§4.2).
+    pub fn drain_recent_commits(&self) -> Vec<Arc<TransactionRecord>> {
+        std::mem::take(&mut *self.recent_commits.lock())
+    }
+
+    /// Merges commit records learned from peers (multicast) or from the fault
+    /// manager into the local metadata cache. Records that are already
+    /// superseded locally are skipped entirely (§4.1).
+    pub fn receive_peer_commits(&self, records: impl IntoIterator<Item = Arc<TransactionRecord>>) {
+        for record in records {
+            if is_superseded(&record, &self.metadata) {
+                continue;
+            }
+            if self.metadata.insert(record) {
+                self.stats.record_peer_commit();
+            }
+        }
+    }
+
+    /// Runs one local metadata GC sweep (§5.1): removes superseded
+    /// transactions that no running transaction has read from, evicts their
+    /// cached data, and remembers them for the global GC protocol.
+    pub fn run_local_gc(&self, config: &LocalGcConfig) -> GcOutcome {
+        let mut outcome = GcOutcome::default();
+        let now_ms = self.clock.now();
+        let min_age_ms = config.min_age.as_millis() as u64;
+        for record in self.metadata.records_oldest_first() {
+            if outcome.deleted >= config.max_deletions_per_sweep {
+                break;
+            }
+            outcome.examined += 1;
+            if now_ms.saturating_sub(record.id.timestamp) < min_age_ms {
+                // Too young; and since records are visited oldest-first, every
+                // later record is younger still.
+                break;
+            }
+            if !is_superseded(&record, &self.metadata) {
+                continue;
+            }
+            if self.buffer.any_reader_of(&record.id) {
+                outcome.retained_for_readers += 1;
+                continue;
+            }
+            if self.metadata.remove(&record.id).is_some() {
+                for kv in record.key_versions() {
+                    self.data_cache.evict(&kv.storage_key());
+                }
+                self.locally_deleted.lock().insert(record.id);
+                self.stats.record_gc_deleted();
+                outcome.deleted += 1;
+            }
+        }
+        outcome
+    }
+
+    /// The set of transactions this node has locally garbage collected; the
+    /// global GC deletes a transaction's data only once *every* node reports
+    /// it here (§5.2).
+    pub fn locally_deleted(&self) -> HashSet<TransactionId> {
+        self.locally_deleted.lock().clone()
+    }
+
+    /// Returns true if this node has locally garbage collected `id`.
+    pub fn has_locally_deleted(&self, id: &TransactionId) -> bool {
+        self.locally_deleted.lock().contains(id)
+    }
+
+    /// Forgets globally deleted transactions from the local tombstone set
+    /// (called by the global GC after it has deleted their data).
+    pub fn forget_deleted(&self, ids: &[TransactionId]) {
+        let mut deleted = self.locally_deleted.lock();
+        for id in ids {
+            deleted.remove(id);
+        }
+    }
+
+    /// Convenience wrapper binding a transaction to this node.
+    pub fn transaction(self: &Arc<Self>) -> TransactionHandle {
+        TransactionHandle::begin(Arc::clone(self))
+    }
+}
+
+/// A convenience handle pairing an [`AftNode`] with one transaction ID.
+///
+/// Examples and application code read more naturally with a handle; the
+/// underlying node API is unchanged (and is what the FaaS layer uses, since a
+/// transaction handle cannot cross function boundaries — only the ID can).
+pub struct TransactionHandle {
+    node: Arc<AftNode>,
+    id: TransactionId,
+    finished: bool,
+}
+
+impl TransactionHandle {
+    /// Starts a new transaction on `node`.
+    pub fn begin(node: Arc<AftNode>) -> Self {
+        let id = node.start_transaction();
+        TransactionHandle {
+            node,
+            id,
+            finished: false,
+        }
+    }
+
+    /// The transaction's ID (pass it to the next function in a composition).
+    pub fn id(&self) -> TransactionId {
+        self.id
+    }
+
+    /// Reads `key` within this transaction.
+    pub fn get(&self, key: impl Into<Key>) -> AftResult<Option<Value>> {
+        self.node.get(&self.id, &key.into())
+    }
+
+    /// Writes `key` within this transaction.
+    pub fn put(&self, key: impl Into<Key>, value: impl Into<Value>) -> AftResult<()> {
+        self.node.put(&self.id, key.into(), value.into())
+    }
+
+    /// Commits the transaction and returns its final ID.
+    pub fn commit(mut self) -> AftResult<TransactionId> {
+        self.finished = true;
+        self.node.commit(&self.id)
+    }
+
+    /// Aborts the transaction.
+    pub fn abort(mut self) -> AftResult<()> {
+        self.finished = true;
+        self.node.abort(&self.id)
+    }
+}
+
+impl Drop for TransactionHandle {
+    fn drop(&mut self) {
+        if !self.finished {
+            // Dropping an unfinished handle aborts the transaction, mirroring
+            // the timeout-abort a crashed function would eventually get.
+            let _ = self.node.abort(&self.id);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aft_storage::{BackendConfig, BackendKind, InMemoryStore, StorageEngine};
+    use aft_types::MockClock;
+    use bytes::Bytes;
+
+    fn val(s: &str) -> Value {
+        Bytes::copy_from_slice(s.as_bytes())
+    }
+
+    fn test_node() -> Arc<AftNode> {
+        let storage: SharedStorage = InMemoryStore::shared();
+        // A strictly increasing clock keeps commit order equal to timestamp
+        // order, which makes version-selection assertions deterministic.
+        AftNode::with_clock(
+            NodeConfig::test(),
+            storage,
+            aft_types::clock::TickingClock::shared(1_000, 1),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn write_then_read_within_transaction() {
+        let node = test_node();
+        let t = node.start_transaction();
+        assert!(node.get(&t, &Key::new("k")).unwrap().is_none());
+        node.put(&t, Key::new("k"), val("v")).unwrap();
+        // Read-your-writes before commit.
+        assert_eq!(node.get(&t, &Key::new("k")).unwrap().unwrap(), val("v"));
+        let committed = node.commit(&t).unwrap();
+        assert_eq!(committed.uuid, t.uuid);
+
+        // A later transaction sees the committed value.
+        let t2 = node.start_transaction();
+        assert_eq!(node.get(&t2, &Key::new("k")).unwrap().unwrap(), val("v"));
+        node.commit(&t2).unwrap();
+    }
+
+    #[test]
+    fn uncommitted_data_is_invisible_to_others() {
+        let node = test_node();
+        let writer = node.start_transaction();
+        node.put(&writer, Key::new("k"), val("dirty")).unwrap();
+
+        let reader = node.start_transaction();
+        assert!(
+            node.get(&reader, &Key::new("k")).unwrap().is_none(),
+            "no dirty reads"
+        );
+        node.abort(&writer).unwrap();
+        assert!(node.get(&reader, &Key::new("k")).unwrap().is_none());
+    }
+
+    #[test]
+    fn abort_discards_updates() {
+        let node = test_node();
+        let t = node.start_transaction();
+        node.put(&t, Key::new("k"), val("v")).unwrap();
+        node.abort(&t).unwrap();
+        let t2 = node.start_transaction();
+        assert!(node.get(&t2, &Key::new("k")).unwrap().is_none());
+        // The aborted transaction is gone.
+        assert!(matches!(
+            node.get(&t, &Key::new("k")),
+            Err(AftError::UnknownTransaction(_))
+        ));
+    }
+
+    #[test]
+    fn commit_writes_data_and_commit_record_to_storage() {
+        let storage = InMemoryStore::shared();
+        let shared: SharedStorage = storage.clone();
+        let node =
+            AftNode::with_clock(NodeConfig::test(), shared, MockClock::starting_at(5).shared())
+                .unwrap();
+        let t = node.start_transaction();
+        node.put(&t, Key::new("a"), val("1")).unwrap();
+        node.put(&t, Key::new("b"), val("2")).unwrap();
+        let id = node.commit(&t).unwrap();
+
+        let commits = node.storage().list_prefix("commit/").unwrap();
+        assert_eq!(commits.len(), 1);
+        assert!(commits[0].contains(&id.storage_suffix()));
+        let data = node.storage().list_prefix("data/").unwrap();
+        assert_eq!(data.len(), 2);
+    }
+
+    #[test]
+    fn fractured_reads_are_prevented() {
+        // T1 writes {l}; T2 writes {k, l}. A reader that saw k from T2 must
+        // not see l from T1.
+        let node = test_node();
+        let t1 = node.start_transaction();
+        node.put(&t1, Key::new("l"), val("l1")).unwrap();
+        node.commit(&t1).unwrap();
+
+        let t2 = node.start_transaction();
+        node.put(&t2, Key::new("k"), val("k2")).unwrap();
+        node.put(&t2, Key::new("l"), val("l2")).unwrap();
+        node.commit(&t2).unwrap();
+
+        let reader = node.start_transaction();
+        assert_eq!(node.get(&reader, &Key::new("k")).unwrap().unwrap(), val("k2"));
+        assert_eq!(
+            node.get(&reader, &Key::new("l")).unwrap().unwrap(),
+            val("l2"),
+            "reading l1 would be a fractured read"
+        );
+    }
+
+    #[test]
+    fn repeatable_reads_across_concurrent_commits() {
+        let node = test_node();
+        let t1 = node.start_transaction();
+        node.put(&t1, Key::new("k"), val("old")).unwrap();
+        node.commit(&t1).unwrap();
+
+        let reader = node.start_transaction();
+        assert_eq!(node.get(&reader, &Key::new("k")).unwrap().unwrap(), val("old"));
+
+        // Another transaction commits a newer version mid-flight.
+        let t2 = node.start_transaction();
+        node.put(&t2, Key::new("k"), val("new")).unwrap();
+        node.commit(&t2).unwrap();
+
+        assert_eq!(
+            node.get(&reader, &Key::new("k")).unwrap().unwrap(),
+            val("old"),
+            "repeatable read"
+        );
+    }
+
+    #[test]
+    fn staleness_can_force_no_valid_version() {
+        // §3.6: Tr reads l1, then T2:{k,l} commits, and k only has the version
+        // cowritten with l2 — the read of k must fail rather than fracture.
+        let node = test_node();
+        let t1 = node.start_transaction();
+        node.put(&t1, Key::new("l"), val("l1")).unwrap();
+        node.commit(&t1).unwrap();
+
+        let reader = node.start_transaction();
+        assert_eq!(node.get(&reader, &Key::new("l")).unwrap().unwrap(), val("l1"));
+
+        let t2 = node.start_transaction();
+        node.put(&t2, Key::new("k"), val("k2")).unwrap();
+        node.put(&t2, Key::new("l"), val("l2")).unwrap();
+        node.commit(&t2).unwrap();
+
+        match node.get(&reader, &Key::new("k")) {
+            Err(AftError::NoValidVersion { key, .. }) => assert_eq!(key.as_str(), "k"),
+            other => panic!("expected NoValidVersion, got {other:?}"),
+        }
+        assert_eq!(node.stats().no_valid_version_aborts(), 1);
+    }
+
+    #[test]
+    fn write_buffer_spill_keeps_data_invisible_until_commit() {
+        let storage = InMemoryStore::shared();
+        let shared: SharedStorage = storage.clone();
+        let config = NodeConfig {
+            write_buffer_spill_bytes: 8, // spill after ~8 buffered bytes
+            ..NodeConfig::test()
+        };
+        let node =
+            AftNode::with_clock(config, shared, MockClock::starting_at(1).shared()).unwrap();
+
+        let t = node.start_transaction();
+        node.put(&t, Key::new("big"), val("0123456789abcdef")).unwrap();
+        // The intermediary data has been spilled to storage...
+        assert_eq!(storage.list_prefix("data/").unwrap().len(), 1);
+        // ...but no commit record exists and other transactions cannot see it.
+        let reader = node.start_transaction();
+        assert!(node.get(&reader, &Key::new("big")).unwrap().is_none());
+        // The writer still reads its own write.
+        assert_eq!(
+            node.get(&t, &Key::new("big")).unwrap().unwrap(),
+            val("0123456789abcdef")
+        );
+        node.commit(&t).unwrap();
+        let reader2 = node.start_transaction();
+        assert!(node.get(&reader2, &Key::new("big")).unwrap().is_some());
+    }
+
+    #[test]
+    fn abort_cleans_up_spilled_data() {
+        let storage = InMemoryStore::shared();
+        let shared: SharedStorage = storage.clone();
+        let config = NodeConfig {
+            write_buffer_spill_bytes: 4,
+            ..NodeConfig::test()
+        };
+        let node =
+            AftNode::with_clock(config, shared, MockClock::starting_at(1).shared()).unwrap();
+        let t = node.start_transaction();
+        node.put(&t, Key::new("k"), val("spilled-data")).unwrap();
+        assert_eq!(storage.list_prefix("data/").unwrap().len(), 1);
+        node.abort(&t).unwrap();
+        assert!(storage.list_prefix("data/").unwrap().is_empty());
+    }
+
+    #[test]
+    fn bootstrap_recovers_committed_state() {
+        let storage: SharedStorage = InMemoryStore::shared();
+        let clock = MockClock::starting_at(100);
+        {
+            let node =
+                AftNode::with_clock(NodeConfig::test(), storage.clone(), clock.shared()).unwrap();
+            let t = node.start_transaction();
+            node.put(&t, Key::new("k"), val("durable")).unwrap();
+            node.commit(&t).unwrap();
+            // Node "fails" here (dropped).
+        }
+        // A replacement node bootstraps from the Transaction Commit Set.
+        let node2 =
+            AftNode::with_clock(NodeConfig::test(), storage, clock.shared()).unwrap();
+        let t = node2.start_transaction();
+        assert_eq!(node2.get(&t, &Key::new("k")).unwrap().unwrap(), val("durable"));
+    }
+
+    #[test]
+    fn commit_timestamps_come_from_the_clock() {
+        let storage: SharedStorage = InMemoryStore::shared();
+        let clock = MockClock::starting_at(1_000);
+        let node = AftNode::with_clock(NodeConfig::test(), storage, clock.shared()).unwrap();
+        let t = node.start_transaction();
+        clock.advance(500);
+        node.put(&t, Key::new("k"), val("v")).unwrap();
+        let committed = node.commit(&t).unwrap();
+        assert_eq!(committed.timestamp, 1_500);
+        assert_eq!(committed.uuid, t.uuid);
+    }
+
+    #[test]
+    fn read_only_transactions_commit_with_empty_write_set() {
+        let node = test_node();
+        let t = node.start_transaction();
+        assert!(node.get(&t, &Key::new("missing")).unwrap().is_none());
+        let id = node.commit(&t).unwrap();
+        let record = node.metadata().record(&id).unwrap();
+        assert!(record.write_set.is_empty());
+    }
+
+    #[test]
+    fn peer_commits_become_visible_unless_superseded() {
+        let node = test_node();
+        // A peer committed k at t=9999.
+        let peer_new = Arc::new(TransactionRecord::new(
+            TransactionId::new(9_999, Uuid::from_u128(1)),
+            vec![Key::new("peer-key")],
+        ));
+        node.receive_peer_commits([Arc::clone(&peer_new)]);
+        assert!(node.metadata().is_committed(&peer_new.id));
+
+        // An older peer commit of the same key is superseded and ignored.
+        let peer_old = Arc::new(TransactionRecord::new(
+            TransactionId::new(10, Uuid::from_u128(2)),
+            vec![Key::new("peer-key")],
+        ));
+        node.receive_peer_commits([Arc::clone(&peer_old)]);
+        assert!(!node.metadata().is_committed(&peer_old.id));
+        assert_eq!(node.stats().peer_commits(), 1);
+    }
+
+    #[test]
+    fn drain_recent_commits_hands_records_to_the_multicaster() {
+        let node = test_node();
+        let t = node.start_transaction();
+        node.put(&t, Key::new("k"), val("v")).unwrap();
+        let id = node.commit(&t).unwrap();
+        let drained = node.drain_recent_commits();
+        assert_eq!(drained.len(), 1);
+        assert_eq!(drained[0].id, id);
+        assert!(node.drain_recent_commits().is_empty(), "drain is destructive");
+    }
+
+    #[test]
+    fn local_gc_removes_superseded_transactions_only() {
+        let node = test_node();
+        for i in 0..3 {
+            let t = node.start_transaction();
+            node.put(&t, Key::new("hot"), val(&format!("v{i}"))).unwrap();
+            node.commit(&t).unwrap();
+        }
+        assert_eq!(node.metadata().len(), 3);
+        let outcome = node.run_local_gc(&LocalGcConfig::default());
+        // The two older versions are superseded; the newest survives.
+        assert_eq!(outcome.deleted, 2);
+        assert_eq!(node.metadata().len(), 1);
+        assert_eq!(node.locally_deleted().len(), 2);
+        assert_eq!(node.stats().gc_deleted(), 2);
+    }
+
+    #[test]
+    fn local_gc_spares_transactions_with_active_readers() {
+        let node = test_node();
+        let t1 = node.start_transaction();
+        node.put(&t1, Key::new("k"), val("old")).unwrap();
+        let committed_old = node.commit(&t1).unwrap();
+
+        // A long-running reader depends on the old version.
+        let reader = node.start_transaction();
+        assert_eq!(node.get(&reader, &Key::new("k")).unwrap().unwrap(), val("old"));
+
+        let t2 = node.start_transaction();
+        node.put(&t2, Key::new("k"), val("new")).unwrap();
+        node.commit(&t2).unwrap();
+
+        let outcome = node.run_local_gc(&LocalGcConfig::default());
+        assert_eq!(outcome.deleted, 0);
+        assert_eq!(outcome.retained_for_readers, 1);
+        assert!(node.metadata().is_committed(&committed_old));
+
+        // Once the reader commits, the old version can go.
+        node.commit(&reader).unwrap();
+        let outcome = node.run_local_gc(&LocalGcConfig::default());
+        assert_eq!(outcome.deleted, 2, "old k version and the reader's empty txn");
+    }
+
+    #[test]
+    fn expired_transactions_are_aborted() {
+        let storage: SharedStorage = InMemoryStore::shared();
+        let config = NodeConfig {
+            transaction_timeout: Duration::ZERO,
+            ..NodeConfig::test()
+        };
+        let node =
+            AftNode::with_clock(config, storage, MockClock::starting_at(1).shared()).unwrap();
+        let t = node.start_transaction();
+        node.put(&t, Key::new("k"), val("v")).unwrap();
+        let aborted = node.abort_expired();
+        assert_eq!(aborted, vec![t]);
+        assert_eq!(node.in_flight(), 0);
+        assert_eq!(node.stats().aborted(), 1);
+    }
+
+    #[test]
+    fn transaction_handle_commits_and_aborts() {
+        let node = test_node();
+        let txn = node.transaction();
+        txn.put("k", val("v")).unwrap();
+        assert_eq!(txn.get("k").unwrap().unwrap(), val("v"));
+        txn.commit().unwrap();
+
+        let txn2 = node.transaction();
+        txn2.put("k", val("doomed")).unwrap();
+        txn2.abort().unwrap();
+
+        let txn3 = node.transaction();
+        assert_eq!(txn3.get("k").unwrap().unwrap(), val("v"));
+        drop(txn3); // implicit abort of the read-only handle
+        assert_eq!(node.in_flight(), 0);
+    }
+
+    #[test]
+    fn works_over_every_simulated_backend() {
+        for kind in [BackendKind::S3, BackendKind::DynamoDb, BackendKind::Redis] {
+            let storage = aft_storage::make_backend(BackendConfig::test(kind));
+            let node = AftNode::with_clock(
+                NodeConfig::test(),
+                storage,
+                MockClock::starting_at(1).shared(),
+            )
+            .unwrap();
+            let t = node.start_transaction();
+            node.put(&t, Key::new("k"), val("v")).unwrap();
+            node.commit(&t).unwrap();
+            let t2 = node.start_transaction();
+            assert_eq!(
+                node.get(&t2, &Key::new("k")).unwrap().unwrap(),
+                val("v"),
+                "backend {kind}"
+            );
+        }
+    }
+
+    #[test]
+    fn ensure_transaction_is_idempotent() {
+        let node = test_node();
+        let t = node.start_transaction();
+        node.ensure_transaction(t);
+        assert_eq!(node.in_flight(), 1);
+        node.abort(&t).unwrap();
+        // A retry can re-register the same ID after the state was lost.
+        node.ensure_transaction(t);
+        assert_eq!(node.in_flight(), 1);
+        node.put(&t, Key::new("k"), val("v")).unwrap();
+        node.commit(&t).unwrap();
+    }
+
+    #[test]
+    fn data_cache_serves_repeat_reads() {
+        let node = test_node();
+        let t = node.start_transaction();
+        node.put(&t, Key::new("k"), val("v")).unwrap();
+        node.commit(&t).unwrap();
+
+        let r1 = node.start_transaction();
+        node.get(&r1, &Key::new("k")).unwrap();
+        let r2 = node.start_transaction();
+        node.get(&r2, &Key::new("k")).unwrap();
+        // The commit inserted the value into the cache, so no storage reads
+        // were needed at all.
+        assert_eq!(node.stats().reads_from_storage(), 0);
+        assert!(node.stats().reads_from_data_cache() >= 2);
+    }
+}

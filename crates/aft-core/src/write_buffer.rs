@@ -1,0 +1,311 @@
+//! The Atomic Write Buffer and per-transaction state.
+//!
+//! The write buffer sequesters every update made by an in-flight transaction
+//! (§3.3). Nothing reaches storage until `CommitTransaction` — with one
+//! exception: if a transaction's buffered updates exceed the configured spill
+//! threshold, the buffer proactively writes the intermediary data to the
+//! transaction's (still-invisible) storage keys. Because visibility is
+//! controlled entirely by the commit record, spilled data stays invisible
+//! until commit and simply becomes garbage if the transaction aborts or the
+//! node fails (§3.3, cleaned up in §5).
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::time::Instant;
+
+use aft_types::{AftError, AftResult, Key, KeyVersion, TransactionId, Uuid, Value};
+use parking_lot::Mutex;
+
+use crate::read::ReadSet;
+
+/// Per-transaction in-flight state: buffered writes and the read set.
+#[derive(Debug)]
+pub struct ActiveTransaction {
+    /// The transaction's ID as of `StartTransaction` (start timestamp + UUID);
+    /// the final commit timestamp is assigned at commit time.
+    pub id: TransactionId,
+    /// Buffered writes: the most recent value written for each key.
+    pub writes: BTreeMap<Key, Value>,
+    /// Keys whose intermediary data has already been spilled to storage.
+    pub spilled: HashSet<Key>,
+    /// The versions read so far (Algorithm 1's `R`).
+    pub reads: ReadSet,
+    /// When the transaction started, for timeout-based abort.
+    pub started: Instant,
+    /// Total bytes currently buffered (not yet spilled).
+    buffered_bytes: usize,
+}
+
+impl ActiveTransaction {
+    /// Creates the in-flight state for a new transaction.
+    pub fn new(id: TransactionId) -> Self {
+        ActiveTransaction {
+            id,
+            writes: BTreeMap::new(),
+            spilled: HashSet::new(),
+            reads: ReadSet::new(),
+            started: Instant::now(),
+            buffered_bytes: 0,
+        }
+    }
+
+    /// Buffers a write, replacing any previous buffered value for the key
+    /// (read-your-writes always sees the latest buffered value).
+    pub fn buffer_write(&mut self, key: Key, value: Value) {
+        if let Some(old) = self.writes.insert(key, value.clone()) {
+            self.buffered_bytes = self.buffered_bytes.saturating_sub(old.len());
+        }
+        self.buffered_bytes += value.len();
+    }
+
+    /// The buffered value for `key`, if the transaction has written it.
+    pub fn buffered_value(&self, key: &Key) -> Option<Value> {
+        self.writes.get(key).cloned()
+    }
+
+    /// Bytes of payload currently buffered (spilled data excluded).
+    pub fn buffered_bytes(&self) -> usize {
+        self.buffered_bytes
+    }
+
+    /// The transaction's write set so far (buffered and spilled keys).
+    pub fn write_set(&self) -> impl Iterator<Item = &Key> {
+        self.writes.keys()
+    }
+
+    /// The storage items for all currently buffered writes, keyed by the
+    /// transaction's version storage keys.
+    pub fn storage_items(&self) -> Vec<(String, Value)> {
+        self.writes
+            .iter()
+            .map(|(k, v)| {
+                (
+                    KeyVersion::new(k.clone(), self.id).storage_key(),
+                    v.clone(),
+                )
+            })
+            .collect()
+    }
+
+    /// Marks every currently buffered key as spilled and returns the items to
+    /// write; the buffered values are retained so read-your-writes and the
+    /// final commit still see them.
+    pub fn mark_spilled(&mut self) -> Vec<(String, Value)> {
+        let items = self.storage_items();
+        for key in self.writes.keys() {
+            self.spilled.insert(key.clone());
+        }
+        self.buffered_bytes = 0;
+        items
+    }
+
+    /// The storage keys of every version this transaction has (or may have)
+    /// written to storage — used to clean up after an abort.
+    pub fn spilled_storage_keys(&self) -> Vec<String> {
+        self.spilled
+            .iter()
+            .map(|k| KeyVersion::new(k.clone(), self.id).storage_key())
+            .collect()
+    }
+}
+
+/// The Atomic Write Buffer: all in-flight transactions on one AFT node,
+/// keyed by their UUID so that a retried function can continue a transaction
+/// it started earlier (§3.3.1).
+#[derive(Debug, Default)]
+pub struct WriteBuffer {
+    active: Mutex<HashMap<Uuid, ActiveTransaction>>,
+}
+
+impl WriteBuffer {
+    /// Creates an empty write buffer.
+    pub fn new() -> Self {
+        WriteBuffer::default()
+    }
+
+    /// Registers a new in-flight transaction.
+    pub fn begin(&self, id: TransactionId) {
+        self.active.lock().insert(id.uuid, ActiveTransaction::new(id));
+    }
+
+    /// Runs `f` with mutable access to the transaction's in-flight state.
+    pub fn with_txn<T>(
+        &self,
+        id: &TransactionId,
+        f: impl FnOnce(&mut ActiveTransaction) -> T,
+    ) -> AftResult<T> {
+        let mut active = self.active.lock();
+        let txn = active
+            .get_mut(&id.uuid)
+            .ok_or(AftError::UnknownTransaction(*id))?;
+        Ok(f(txn))
+    }
+
+    /// Removes and returns the transaction's in-flight state (commit or
+    /// abort takes ownership of it).
+    pub fn take(&self, id: &TransactionId) -> AftResult<ActiveTransaction> {
+        self.active
+            .lock()
+            .remove(&id.uuid)
+            .ok_or(AftError::UnknownTransaction(*id))
+    }
+
+    /// Returns true if the transaction is currently in flight.
+    pub fn contains(&self, id: &TransactionId) -> bool {
+        self.active.lock().contains_key(&id.uuid)
+    }
+
+    /// Number of in-flight transactions.
+    pub fn len(&self) -> usize {
+        self.active.lock().len()
+    }
+
+    /// Returns true if no transactions are in flight.
+    pub fn is_empty(&self) -> bool {
+        self.active.lock().is_empty()
+    }
+
+    /// Returns true if any in-flight transaction has read a version written
+    /// by `tid` — the local GC must not delete such metadata (§5.1).
+    pub fn any_reader_of(&self, tid: &TransactionId) -> bool {
+        self.active
+            .lock()
+            .values()
+            .any(|txn| txn.reads.reads_from(tid))
+    }
+
+    /// The IDs of in-flight transactions older than `max_age`, which the node
+    /// aborts on a timeout sweep (a failed function never calls abort; §3.3.1
+    /// "its transaction will be aborted after a timeout").
+    pub fn expired(&self, max_age: std::time::Duration) -> Vec<TransactionId> {
+        let active = self.active.lock();
+        active
+            .values()
+            .filter(|txn| txn.started.elapsed() >= max_age)
+            .map(|txn| txn.id)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+
+    fn tid(ts: u64, id: u128) -> TransactionId {
+        TransactionId::new(ts, Uuid::from_u128(id))
+    }
+
+    fn val(s: &str) -> Value {
+        Bytes::copy_from_slice(s.as_bytes())
+    }
+
+    #[test]
+    fn buffered_writes_overwrite_and_track_bytes() {
+        let mut txn = ActiveTransaction::new(tid(1, 1));
+        txn.buffer_write(Key::new("k"), val("hello"));
+        assert_eq!(txn.buffered_bytes(), 5);
+        txn.buffer_write(Key::new("k"), val("hi"));
+        assert_eq!(txn.buffered_bytes(), 2, "overwrites reclaim the old bytes");
+        assert_eq!(txn.buffered_value(&Key::new("k")).unwrap(), val("hi"));
+        assert!(txn.buffered_value(&Key::new("other")).is_none());
+        assert_eq!(txn.write_set().count(), 1);
+    }
+
+    #[test]
+    fn storage_items_use_version_storage_keys() {
+        let mut txn = ActiveTransaction::new(tid(1, 0xabc));
+        txn.buffer_write(Key::new("k"), val("v"));
+        let items = txn.storage_items();
+        assert_eq!(items.len(), 1);
+        assert!(items[0].0.starts_with("data/k/"));
+        assert!(items[0].0.ends_with(&format!("{}", Uuid::from_u128(0xabc))));
+    }
+
+    #[test]
+    fn spill_retains_values_for_read_your_writes() {
+        let mut txn = ActiveTransaction::new(tid(1, 1));
+        txn.buffer_write(Key::new("a"), val("1"));
+        txn.buffer_write(Key::new("b"), val("2"));
+        let spilled = txn.mark_spilled();
+        assert_eq!(spilled.len(), 2);
+        assert_eq!(txn.buffered_bytes(), 0);
+        assert_eq!(txn.spilled.len(), 2);
+        // Values are still visible to the transaction itself.
+        assert_eq!(txn.buffered_value(&Key::new("a")).unwrap(), val("1"));
+        assert_eq!(txn.spilled_storage_keys().len(), 2);
+    }
+
+    #[test]
+    fn write_buffer_lifecycle() {
+        let buffer = WriteBuffer::new();
+        let id = tid(10, 99);
+        assert!(buffer.is_empty());
+        buffer.begin(id);
+        assert!(buffer.contains(&id));
+        assert_eq!(buffer.len(), 1);
+
+        buffer
+            .with_txn(&id, |txn| txn.buffer_write(Key::new("k"), val("v")))
+            .unwrap();
+        let taken = buffer.take(&id).unwrap();
+        assert_eq!(taken.writes.len(), 1);
+        assert!(!buffer.contains(&id));
+        assert!(matches!(
+            buffer.take(&id),
+            Err(AftError::UnknownTransaction(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_transactions_are_rejected() {
+        let buffer = WriteBuffer::new();
+        let id = tid(1, 1);
+        assert!(matches!(
+            buffer.with_txn(&id, |_| ()),
+            Err(AftError::UnknownTransaction(_))
+        ));
+    }
+
+    #[test]
+    fn any_reader_of_tracks_read_dependencies() {
+        let buffer = WriteBuffer::new();
+        let reader = tid(5, 5);
+        let writer = tid(3, 3);
+        buffer.begin(reader);
+        assert!(!buffer.any_reader_of(&writer));
+        buffer
+            .with_txn(&reader, |txn| txn.reads.record(Key::new("k"), writer))
+            .unwrap();
+        assert!(buffer.any_reader_of(&writer));
+        assert!(!buffer.any_reader_of(&tid(4, 4)));
+    }
+
+    #[test]
+    fn expired_finds_old_transactions() {
+        let buffer = WriteBuffer::new();
+        let id = tid(1, 1);
+        buffer.begin(id);
+        assert!(buffer.expired(std::time::Duration::from_secs(60)).is_empty());
+        let expired = buffer.expired(std::time::Duration::ZERO);
+        assert_eq!(expired, vec![id]);
+    }
+
+    #[test]
+    fn retried_function_can_continue_by_uuid() {
+        // A retry carries the same transaction ID; the buffer keys state by
+        // UUID so the retried function sees the buffered writes.
+        let buffer = WriteBuffer::new();
+        let id = tid(7, 42);
+        buffer.begin(id);
+        buffer
+            .with_txn(&id, |txn| txn.buffer_write(Key::new("k"), val("v")))
+            .unwrap();
+        // The retry presents the same UUID (possibly with the same start
+        // timestamp, as IDs are immutable until commit).
+        let retry_id = TransactionId::new(7, Uuid::from_u128(42));
+        let seen = buffer
+            .with_txn(&retry_id, |txn| txn.buffered_value(&Key::new("k")))
+            .unwrap();
+        assert_eq!(seen.unwrap(), val("v"));
+    }
+}

@@ -1,0 +1,243 @@
+//! Property-based tests of the core guarantees (§3.2).
+//!
+//! These tests drive an [`AftNode`] with randomly generated transaction
+//! histories and check the paper's invariants end-to-end:
+//!
+//! * every transaction's read set is an Atomic Readset (Theorem 1),
+//! * no transaction ever observes uncommitted or aborted data,
+//! * read-your-writes and repeatable read hold,
+//! * Algorithm 2 / local GC never remove a version a later read needs for
+//!   correctness (it may force a retry, but never a fracture).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use aft_core::read::is_atomic_readset;
+use aft_core::{AftNode, LocalGcConfig, NodeConfig};
+use aft_storage::{InMemoryStore, SharedStorage};
+use aft_types::clock::TickingClock;
+use aft_types::{Key, TransactionId, Value};
+use bytes::Bytes;
+use proptest::prelude::*;
+
+/// One step of a randomly generated workload.
+#[derive(Debug, Clone)]
+enum Step {
+    /// Start a new transaction (slot index selects which in-flight slot).
+    Begin(usize),
+    /// Read a key within the transaction in the given slot.
+    Read(usize, u8),
+    /// Write a key within the transaction in the given slot.
+    Write(usize, u8),
+    /// Commit the transaction in the given slot.
+    Commit(usize),
+    /// Abort the transaction in the given slot.
+    Abort(usize),
+    /// Run a local GC sweep.
+    Gc,
+}
+
+fn arb_step() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (0..4usize).prop_map(Step::Begin),
+        (0..4usize, 0..6u8).prop_map(|(s, k)| Step::Read(s, k)),
+        (0..4usize, 0..6u8).prop_map(|(s, k)| Step::Write(s, k)),
+        (0..4usize).prop_map(Step::Commit),
+        (0..4usize).prop_map(Step::Abort),
+        Just(Step::Gc),
+    ]
+}
+
+fn key_name(k: u8) -> Key {
+    Key::new(format!("key-{k}"))
+}
+
+/// The value every committed transaction writes: its slot plus a counter, so
+/// each value is unique and identifies the writing transaction.
+fn value_for(counter: u64) -> Value {
+    Bytes::from(format!("value-{counter}"))
+}
+
+fn node() -> Arc<AftNode> {
+    let storage: SharedStorage = InMemoryStore::shared();
+    AftNode::with_clock(
+        NodeConfig::test(),
+        storage,
+        TickingClock::shared(1, 1),
+    )
+    .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Theorem 1: after any sequence of operations, every transaction's
+    /// observed (key, version) pairs form an Atomic Readset, and dirty /
+    /// aborted data is never observed.
+    #[test]
+    fn read_sets_are_always_atomic(steps in proptest::collection::vec(arb_step(), 1..120)) {
+        let node = node();
+        // Map from written value -> transaction id, filled at commit time;
+        // used to translate observed values back into versions.
+        let mut value_writer: HashMap<Value, TransactionId> = HashMap::new();
+        let mut slots: Vec<Option<TransactionId>> = vec![None; 4];
+        // Reads observed per in-flight transaction: key -> value.
+        let mut observed: Vec<HashMap<Key, Value>> = vec![HashMap::new(); 4];
+        // Writes buffered per in-flight transaction: key -> value.
+        let mut pending_writes: Vec<HashMap<Key, Value>> = vec![HashMap::new(); 4];
+        let mut aborted_values: Vec<Value> = Vec::new();
+        let mut counter = 0u64;
+
+        for step in steps {
+            match step {
+                Step::Begin(slot) => {
+                    if slots[slot].is_none() {
+                        slots[slot] = Some(node.start_transaction());
+                        observed[slot].clear();
+                        pending_writes[slot].clear();
+                    }
+                }
+                Step::Write(slot, k) => {
+                    if let Some(txid) = slots[slot] {
+                        counter += 1;
+                        let value = value_for(counter);
+                        node.put(&txid, key_name(k), value.clone()).unwrap();
+                        pending_writes[slot].insert(key_name(k), value);
+                    }
+                }
+                Step::Read(slot, k) => {
+                    if let Some(txid) = slots[slot] {
+                        let key = key_name(k);
+                        match node.get(&txid, &key) {
+                            Ok(Some(value)) => {
+                                // Read-your-writes: a buffered write must win.
+                                if let Some(own) = pending_writes[slot].get(&key) {
+                                    prop_assert_eq!(&value, own, "read-your-writes violated");
+                                } else {
+                                    // Aborted data must never be observed.
+                                    prop_assert!(
+                                        !aborted_values.contains(&value),
+                                        "observed a value written by an aborted transaction"
+                                    );
+                                    // Repeatable read: same key, same value
+                                    // (unless we wrote it ourselves, handled above).
+                                    if let Some(prev) = observed[slot].get(&key) {
+                                        prop_assert_eq!(prev, &value, "repeatable read violated");
+                                    }
+                                    observed[slot].insert(key, value);
+                                }
+                            }
+                            Ok(None) => {
+                                // NULL read: nothing to record.
+                            }
+                            Err(aft_types::AftError::NoValidVersion { .. }) => {
+                                // Allowed outcome (§3.6): the whole request
+                                // would be retried. Keep the transaction going.
+                            }
+                            Err(other) => return Err(TestCaseError::fail(format!("unexpected error: {other}"))),
+                        }
+                    }
+                }
+                Step::Commit(slot) => {
+                    if let Some(txid) = slots[slot].take() {
+                        let final_id = node.commit(&txid).unwrap();
+                        for value in pending_writes[slot].values() {
+                            value_writer.insert(value.clone(), final_id);
+                        }
+                        // Check atomicity of everything this transaction read
+                        // from *other* transactions.
+                        let reads: Vec<(Key, TransactionId)> = observed[slot]
+                            .iter()
+                            .filter_map(|(key, value)| {
+                                value_writer.get(value).map(|tid| (key.clone(), *tid))
+                            })
+                            .collect();
+                        prop_assert!(
+                            is_atomic_readset(&reads, node.metadata()),
+                            "fractured read set observed: {reads:?}"
+                        );
+                        observed[slot].clear();
+                        pending_writes[slot].clear();
+                    }
+                }
+                Step::Abort(slot) => {
+                    if let Some(txid) = slots[slot].take() {
+                        node.abort(&txid).unwrap();
+                        aborted_values.extend(pending_writes[slot].values().cloned());
+                        observed[slot].clear();
+                        pending_writes[slot].clear();
+                    }
+                }
+                Step::Gc => {
+                    node.run_local_gc(&LocalGcConfig::default());
+                }
+            }
+        }
+    }
+
+    /// The write-ordering protocol: every version readable by a fresh
+    /// transaction belongs to a transaction whose commit record exists in
+    /// storage.
+    #[test]
+    fn visible_data_always_has_a_durable_commit_record(
+        writes in proptest::collection::vec((0..6u8, any::<bool>()), 1..40)
+    ) {
+        let node = node();
+        let mut committed_values = Vec::new();
+        let mut aborted_values = Vec::new();
+        let mut counter = 0u64;
+
+        for (k, commit) in writes {
+            let t = node.start_transaction();
+            counter += 1;
+            let value = value_for(counter);
+            node.put(&t, key_name(k), value.clone()).unwrap();
+            if commit {
+                node.commit(&t).unwrap();
+                committed_values.push(value);
+            } else {
+                node.abort(&t).unwrap();
+                aborted_values.push(value);
+            }
+        }
+
+        let reader = node.start_transaction();
+        for k in 0..6u8 {
+            if let Ok(Some(value)) = node.get(&reader, &key_name(k)) {
+                prop_assert!(committed_values.contains(&value));
+                prop_assert!(!aborted_values.contains(&value));
+            }
+        }
+    }
+
+    /// Local GC plus supersedence never loses the *latest* committed version
+    /// of any key: a fresh transaction always reads the newest value.
+    #[test]
+    fn gc_never_hides_the_latest_version(
+        writes in proptest::collection::vec(0..4u8, 1..60),
+        gc_every in 1usize..8
+    ) {
+        let node = node();
+        let mut latest: HashMap<Key, Value> = HashMap::new();
+        let mut counter = 0u64;
+
+        for (i, k) in writes.iter().enumerate() {
+            let t = node.start_transaction();
+            counter += 1;
+            let value = value_for(counter);
+            node.put(&t, key_name(*k), value.clone()).unwrap();
+            node.commit(&t).unwrap();
+            latest.insert(key_name(*k), value);
+            if i % gc_every == 0 {
+                node.run_local_gc(&LocalGcConfig::aggressive());
+            }
+        }
+        node.run_local_gc(&LocalGcConfig::aggressive());
+
+        let reader = node.start_transaction();
+        for (key, expected) in &latest {
+            let got = node.get(&reader, key).unwrap();
+            prop_assert_eq!(got.as_ref(), Some(expected), "key {} lost its latest version", key);
+        }
+    }
+}

@@ -1,0 +1,201 @@
+//! Failure injection.
+//!
+//! The motivating example of §1 is a function that writes key `k`, fails, and
+//! never writes key `l` — exposing a fractional update to concurrent readers
+//! unless something guarantees atomic visibility. The failure injector
+//! recreates exactly that situation: functions can be killed before they run,
+//! after they run (work done, acknowledgement lost — the idempotence case),
+//! or *mid-body* via an explicit crash point that workload functions consult
+//! between their writes.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Where, relative to the function body, an injected failure strikes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailurePoint {
+    /// The invocation fails before the body runs (no side effects).
+    BeforeBody,
+    /// The body runs to completion but the invocation is reported as failed
+    /// (side effects applied, acknowledgement lost) — retries must be
+    /// idempotent to survive this.
+    AfterBody,
+    /// The body is asked to crash at its next mid-body crash point (between
+    /// two writes); only functions that poll
+    /// [`FailureInjector::should_crash_midway`] observe this.
+    MidBody,
+}
+
+/// Probabilities of each failure point, evaluated independently per
+/// invocation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FailurePlan {
+    /// Probability of failing before the body runs.
+    pub before_body: f64,
+    /// Probability of failing after the body runs.
+    pub after_body: f64,
+    /// Probability of a mid-body crash request.
+    pub mid_body: f64,
+}
+
+impl FailurePlan {
+    /// A plan that never injects failures.
+    pub const NONE: FailurePlan = FailurePlan {
+        before_body: 0.0,
+        after_body: 0.0,
+        mid_body: 0.0,
+    };
+
+    /// A plan that fails each invocation with probability `p`, split evenly
+    /// across the three failure points.
+    pub fn uniform(p: f64) -> Self {
+        FailurePlan {
+            before_body: p / 3.0,
+            after_body: p / 3.0,
+            mid_body: p / 3.0,
+        }
+    }
+
+    /// Returns true if this plan can never fire.
+    pub fn is_none(&self) -> bool {
+        self.before_body <= 0.0 && self.after_body <= 0.0 && self.mid_body <= 0.0
+    }
+}
+
+/// A seeded failure injector shared by all invocations of a platform.
+#[derive(Debug)]
+pub struct FailureInjector {
+    plan: FailurePlan,
+    rng: Mutex<StdRng>,
+    /// Number of outstanding mid-body crash requests; workload functions
+    /// consume them at their crash points.
+    pending_mid_body: AtomicU64,
+    injected: AtomicU64,
+}
+
+impl FailureInjector {
+    /// Creates an injector with the given plan and RNG seed.
+    pub fn new(plan: FailurePlan, seed: u64) -> Self {
+        FailureInjector {
+            plan,
+            rng: Mutex::new(StdRng::seed_from_u64(seed)),
+            pending_mid_body: AtomicU64::new(0),
+            injected: AtomicU64::new(0),
+        }
+    }
+
+    /// An injector that never fails anything.
+    pub fn disabled() -> Self {
+        Self::new(FailurePlan::NONE, 0)
+    }
+
+    /// Decides whether (and where) this invocation fails.
+    pub fn decide(&self) -> Option<FailurePoint> {
+        if self.plan.is_none() {
+            return None;
+        }
+        let roll: f64 = self.rng.lock().gen();
+        let point = if roll < self.plan.before_body {
+            Some(FailurePoint::BeforeBody)
+        } else if roll < self.plan.before_body + self.plan.after_body {
+            Some(FailurePoint::AfterBody)
+        } else if roll < self.plan.before_body + self.plan.after_body + self.plan.mid_body {
+            Some(FailurePoint::MidBody)
+        } else {
+            None
+        };
+        if point == Some(FailurePoint::MidBody) {
+            self.pending_mid_body.fetch_add(1, Ordering::Relaxed);
+        }
+        if point.is_some() {
+            self.injected.fetch_add(1, Ordering::Relaxed);
+        }
+        point
+    }
+
+    /// Called by workload functions at their mid-body crash points (between
+    /// two writes). Returns true if the function should crash now, consuming
+    /// one pending mid-body failure.
+    pub fn should_crash_midway(&self) -> bool {
+        self.pending_mid_body
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| n.checked_sub(1))
+            .is_ok()
+    }
+
+    /// Total failures injected so far.
+    pub fn injected(&self) -> u64 {
+        self.injected.load(Ordering::Relaxed)
+    }
+
+    /// The configured plan.
+    pub fn plan(&self) -> FailurePlan {
+        self.plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_injector_never_fires() {
+        let injector = FailureInjector::disabled();
+        for _ in 0..100 {
+            assert_eq!(injector.decide(), None);
+        }
+        assert!(!injector.should_crash_midway());
+        assert_eq!(injector.injected(), 0);
+    }
+
+    #[test]
+    fn always_fail_plan_fires_every_time() {
+        let injector = FailureInjector::new(
+            FailurePlan {
+                before_body: 1.0,
+                after_body: 0.0,
+                mid_body: 0.0,
+            },
+            1,
+        );
+        for _ in 0..50 {
+            assert_eq!(injector.decide(), Some(FailurePoint::BeforeBody));
+        }
+        assert_eq!(injector.injected(), 50);
+    }
+
+    #[test]
+    fn uniform_plan_hits_roughly_the_requested_rate() {
+        let injector = FailureInjector::new(FailurePlan::uniform(0.3), 42);
+        let fired = (0..10_000).filter(|_| injector.decide().is_some()).count();
+        assert!(
+            (2_400..3_600).contains(&fired),
+            "expected ~3000 failures, got {fired}"
+        );
+    }
+
+    #[test]
+    fn mid_body_requests_are_consumed_once() {
+        let injector = FailureInjector::new(
+            FailurePlan {
+                before_body: 0.0,
+                after_body: 0.0,
+                mid_body: 1.0,
+            },
+            7,
+        );
+        assert_eq!(injector.decide(), Some(FailurePoint::MidBody));
+        assert!(injector.should_crash_midway());
+        assert!(!injector.should_crash_midway(), "each request crashes once");
+    }
+
+    #[test]
+    fn plan_helpers() {
+        assert!(FailurePlan::NONE.is_none());
+        assert!(!FailurePlan::uniform(0.5).is_none());
+        let p = FailurePlan::uniform(0.3);
+        assert!((p.before_body + p.after_body + p.mid_body - 0.3).abs() < 1e-9);
+    }
+}

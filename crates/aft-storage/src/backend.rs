@@ -1,0 +1,161 @@
+//! Backend selection and construction.
+//!
+//! The evaluation runs the same workloads over several storage services; the
+//! harness selects them by [`BackendKind`] and builds them through
+//! [`make_backend`] so every experiment shares one construction path (and one
+//! place to configure latency scale and injection mode).
+
+use std::sync::Arc;
+
+use crate::dynamo::SimDynamo;
+use crate::engine::SharedStorage;
+use crate::latency::{LatencyMode, LatencyModel};
+use crate::memory::InMemoryStore;
+use crate::redis::SimRedis;
+use crate::s3::SimS3;
+
+/// The storage services the reproduction can run over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BackendKind {
+    /// Zero-latency in-memory store (tests and protocol microbenchmarks).
+    Memory,
+    /// Simulated AWS S3.
+    S3,
+    /// Simulated AWS DynamoDB.
+    DynamoDb,
+    /// Simulated Redis cluster (AWS ElastiCache).
+    Redis,
+}
+
+impl BackendKind {
+    /// All benchmarkable backends, in the order the paper presents them.
+    pub const EVALUATED: [BackendKind; 3] =
+        [BackendKind::S3, BackendKind::DynamoDb, BackendKind::Redis];
+
+    /// Human-readable label used in benchmark output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            BackendKind::Memory => "Memory",
+            BackendKind::S3 => "S3",
+            BackendKind::DynamoDb => "DynamoDB",
+            BackendKind::Redis => "Redis",
+        }
+    }
+}
+
+impl std::fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Configuration for building a simulated backend.
+#[derive(Debug, Clone, Copy)]
+pub struct BackendConfig {
+    /// Which service to simulate.
+    pub kind: BackendKind,
+    /// Whether sampled latencies sleep or are only recorded.
+    pub mode: LatencyMode,
+    /// Global latency scale factor (1.0 = the calibrated full-scale values;
+    /// the harness typically uses 0.02–0.1 to compress wall-clock time).
+    pub scale: f64,
+    /// RNG seed for the backend's latency sampler.
+    pub seed: u64,
+    /// Number of Redis shards (ignored by other backends).
+    pub redis_shards: usize,
+}
+
+impl BackendConfig {
+    /// A configuration with realistic sleeping latency at the given scale.
+    pub fn simulated(kind: BackendKind, scale: f64) -> Self {
+        BackendConfig {
+            kind,
+            mode: LatencyMode::Sleep,
+            scale,
+            seed: 0xAF7,
+            redis_shards: crate::redis::DEFAULT_REDIS_SHARDS,
+        }
+    }
+
+    /// A zero-latency configuration for unit tests.
+    pub fn test(kind: BackendKind) -> Self {
+        BackendConfig {
+            kind,
+            mode: LatencyMode::Virtual,
+            scale: 0.0,
+            seed: 0xAF7,
+            redis_shards: crate::redis::DEFAULT_REDIS_SHARDS,
+        }
+    }
+
+    /// Overrides the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Builds a storage engine according to `config`.
+pub fn make_backend(config: BackendConfig) -> SharedStorage {
+    let latency = LatencyModel::new(config.mode, config.scale);
+    match config.kind {
+        BackendKind::Memory => Arc::new(InMemoryStore::new()),
+        BackendKind::S3 => {
+            SimS3::with_profile(crate::profiles::ServiceProfile::s3(), latency, config.seed)
+        }
+        BackendKind::DynamoDb => SimDynamo::with_profile(
+            crate::profiles::ServiceProfile::dynamodb(),
+            latency,
+            config.seed,
+        ),
+        BackendKind::Redis => SimRedis::with_shards(
+            config.redis_shards,
+            crate::profiles::ServiceProfile::redis(),
+            latency,
+            config.seed,
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+
+    #[test]
+    fn every_backend_kind_constructs_and_works() {
+        for kind in [
+            BackendKind::Memory,
+            BackendKind::S3,
+            BackendKind::DynamoDb,
+            BackendKind::Redis,
+        ] {
+            let store = make_backend(BackendConfig::test(kind));
+            store.put("k", Bytes::from_static(b"v")).unwrap();
+            assert_eq!(
+                store.get("k").unwrap().unwrap(),
+                Bytes::from_static(b"v"),
+                "backend {kind} failed a round trip"
+            );
+        }
+    }
+
+    #[test]
+    fn labels_and_batch_support_match_the_paper() {
+        assert_eq!(BackendKind::DynamoDb.label(), "DynamoDB");
+        let dynamo = make_backend(BackendConfig::test(BackendKind::DynamoDb));
+        let redis = make_backend(BackendConfig::test(BackendKind::Redis));
+        let s3 = make_backend(BackendConfig::test(BackendKind::S3));
+        assert!(dynamo.supports_batch_put());
+        assert!(!redis.supports_batch_put());
+        assert!(!s3.supports_batch_put());
+    }
+
+    #[test]
+    fn evaluated_list_is_s3_dynamo_redis() {
+        assert_eq!(
+            BackendKind::EVALUATED,
+            [BackendKind::S3, BackendKind::DynamoDb, BackendKind::Redis]
+        );
+    }
+}

@@ -1,0 +1,100 @@
+//! The storage-engine abstraction AFT builds on.
+//!
+//! AFT makes exactly one assumption about the storage layer: updates are
+//! durable once acknowledged (§3.1). It does not require consistency
+//! guarantees, visibility ordering, partitioning, or fixed membership. The
+//! [`StorageEngine`] trait is therefore deliberately narrow: opaque blobs
+//! keyed by strings, single and batched writes, deletes, and a prefix scan
+//! (used only by bootstrap, the fault manager, and garbage collection — never
+//! on the transaction critical path).
+
+use std::sync::Arc;
+
+use aft_types::{AftResult, Value};
+
+use crate::counters::StorageStats;
+
+/// A durable key-value store for opaque blobs.
+///
+/// All methods are synchronous and may block for the backend's simulated
+/// latency. Implementations must be safe to call from many threads at once —
+/// every AFT node thread, background multicast thread, and GC thread shares
+/// one handle per backend.
+pub trait StorageEngine: Send + Sync {
+    /// A short human-readable backend name ("dynamodb", "redis", "s3", ...).
+    fn name(&self) -> &'static str;
+
+    /// Reads the blob stored at `key`, or `None` if the key does not exist.
+    fn get(&self, key: &str) -> AftResult<Option<Value>>;
+
+    /// Durably writes `value` at `key`, overwriting any previous blob.
+    fn put(&self, key: &str, value: Value) -> AftResult<()>;
+
+    /// Durably writes a set of key/value pairs.
+    ///
+    /// Backends that support a batch API (DynamoDB's `BatchWriteItem`)
+    /// perform this in as few API calls as their limits allow; backends that
+    /// do not (S3, cross-shard Redis) fall back to sequential single writes.
+    /// Either way the call returns only once every item is durable.
+    fn put_batch(&self, items: Vec<(String, Value)>) -> AftResult<()>;
+
+    /// Deletes the blob at `key`. Deleting a missing key is not an error.
+    fn delete(&self, key: &str) -> AftResult<()>;
+
+    /// Deletes a set of keys, using a batch API where available.
+    fn delete_batch(&self, keys: &[String]) -> AftResult<()>;
+
+    /// Returns all keys that start with `prefix`, in lexicographic order.
+    ///
+    /// Because AFT's storage keys embed zero-padded commit timestamps,
+    /// lexicographic order is also commit-time order for the Transaction
+    /// Commit Set.
+    fn list_prefix(&self, prefix: &str) -> AftResult<Vec<String>>;
+
+    /// Whether the backend can write several keys in one API call.
+    fn supports_batch_put(&self) -> bool;
+
+    /// Operation statistics for this backend instance.
+    fn stats(&self) -> Arc<StorageStats>;
+}
+
+/// A shareable, dynamically dispatched storage engine handle.
+pub type SharedStorage = Arc<dyn StorageEngine>;
+
+/// Blanket helpers available on every storage engine.
+pub trait StorageEngineExt: StorageEngine {
+    /// Reads `key` and fails with [`aft_types::AftError::KeyNotFound`] if it
+    /// does not exist.
+    fn get_required(&self, key: &str) -> AftResult<Value> {
+        self.get(key)?
+            .ok_or_else(|| aft_types::AftError::KeyNotFound(aft_types::Key::new(key)))
+    }
+
+    /// Returns true if `key` exists.
+    fn contains(&self, key: &str) -> AftResult<bool> {
+        Ok(self.get(key)?.is_some())
+    }
+}
+
+impl<T: StorageEngine + ?Sized> StorageEngineExt for T {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::InMemoryStore;
+    use aft_types::AftError;
+    use bytes::Bytes;
+
+    #[test]
+    fn ext_helpers_work_through_dyn_handle() {
+        let store: SharedStorage = Arc::new(InMemoryStore::new());
+        store.put("a", Bytes::from_static(b"1")).unwrap();
+        assert!(store.contains("a").unwrap());
+        assert!(!store.contains("b").unwrap());
+        assert_eq!(store.get_required("a").unwrap(), Bytes::from_static(b"1"));
+        match store.get_required("missing") {
+            Err(AftError::KeyNotFound(k)) => assert_eq!(k.as_str(), "missing"),
+            other => panic!("expected KeyNotFound, got {other:?}"),
+        }
+    }
+}

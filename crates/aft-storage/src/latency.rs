@@ -1,0 +1,308 @@
+//! Latency models for the simulated cloud services.
+//!
+//! The paper's evaluation runs against real AWS services; this reproduction
+//! replaces them with in-process simulators whose latency is drawn from
+//! parameterised distributions. Two properties matter for reproducing the
+//! *shape* of every figure:
+//!
+//! 1. The relative magnitudes between services (S3 ≫ DynamoDB > Redis) and
+//!    between operations (batch vs sequential writes), and
+//! 2. the heaviness of each service's tail (S3's small-object writes have a
+//!    notoriously long tail, which drives the 99th-percentile whiskers in
+//!    Figures 2–6).
+//!
+//! A [`LatencyModel`] is a log-normal-ish sampler described by a median and a
+//! p99 target. All models are scaled by a single global factor so that a full
+//! experiment (tens of thousands of transactions) finishes in seconds while
+//! preserving every ratio; `LatencyMode::Virtual` disables sleeping entirely
+//! for deterministic unit tests and records the would-have-slept time instead.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use rand::Rng;
+
+/// Standard normal quantile for p99 (Φ⁻¹(0.99)).
+const Z_P99: f64 = 2.326_347_874;
+
+/// How sampled latencies are applied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LatencyMode {
+    /// Sleep for the sampled (scaled) duration — used by the benchmark
+    /// harness, where wall-clock concurrency effects matter (throughput
+    /// plateaus, queueing during node failures).
+    #[default]
+    Sleep,
+    /// Do not sleep; only accumulate the sampled time in a counter. Used by
+    /// unit and property tests that need determinism and speed.
+    Virtual,
+}
+
+/// A latency distribution for one class of storage operation.
+///
+/// Latencies are sampled from a log-normal distribution fitted to the
+/// requested median and p99, which matches the long-tailed behaviour of cloud
+/// storage services well enough for shape reproduction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyProfile {
+    /// Median latency in microseconds (before global scaling).
+    pub median_us: f64,
+    /// 99th-percentile latency in microseconds (before global scaling).
+    pub p99_us: f64,
+    /// Additional per-kilobyte transfer cost in microseconds.
+    pub per_kb_us: f64,
+}
+
+impl LatencyProfile {
+    /// A profile with no latency at all.
+    pub const ZERO: LatencyProfile = LatencyProfile {
+        median_us: 0.0,
+        p99_us: 0.0,
+        per_kb_us: 0.0,
+    };
+
+    /// Creates a profile from a median and p99, both in microseconds.
+    pub fn new(median_us: f64, p99_us: f64) -> Self {
+        LatencyProfile {
+            median_us,
+            p99_us: p99_us.max(median_us),
+            per_kb_us: 0.0,
+        }
+    }
+
+    /// Adds a per-kilobyte transfer cost.
+    pub fn with_per_kb(mut self, per_kb_us: f64) -> Self {
+        self.per_kb_us = per_kb_us;
+        self
+    }
+
+    /// The log-normal sigma implied by the median/p99 pair.
+    fn sigma(&self) -> f64 {
+        if self.median_us <= 0.0 || self.p99_us <= self.median_us {
+            return 0.0;
+        }
+        (self.p99_us / self.median_us).ln() / Z_P99
+    }
+
+    /// Samples one latency (in microseconds, unscaled) for a payload of
+    /// `payload_bytes`.
+    pub fn sample_us<R: Rng + ?Sized>(&self, rng: &mut R, payload_bytes: usize) -> f64 {
+        if self.median_us <= 0.0 {
+            return self.per_kb_us * (payload_bytes as f64 / 1024.0);
+        }
+        let sigma = self.sigma();
+        let base = if sigma == 0.0 {
+            self.median_us
+        } else {
+            // Box-Muller: we only need one standard normal per sample.
+            let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+            let u2: f64 = rng.gen_range(0.0..1.0);
+            let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+            self.median_us * (sigma * z).exp()
+        };
+        base + self.per_kb_us * (payload_bytes as f64 / 1024.0)
+    }
+}
+
+/// A scaled, mode-aware latency injector shared by a backend's operations.
+#[derive(Debug)]
+pub struct LatencyModel {
+    mode: LatencyMode,
+    /// Global scale factor applied to every sample (e.g. 0.02 turns a 10 ms
+    /// service into 200 µs of simulated latency).
+    scale: f64,
+    /// Total simulated latency injected, in nanoseconds. In `Virtual` mode
+    /// this is the only observable effect.
+    injected_ns: AtomicU64,
+}
+
+impl LatencyModel {
+    /// Creates a latency model.
+    pub fn new(mode: LatencyMode, scale: f64) -> Arc<Self> {
+        Arc::new(LatencyModel {
+            mode,
+            scale: scale.max(0.0),
+            injected_ns: AtomicU64::new(0),
+        })
+    }
+
+    /// A model that never sleeps and never records time; for unit tests.
+    pub fn disabled() -> Arc<Self> {
+        Self::new(LatencyMode::Virtual, 0.0)
+    }
+
+    /// The injection mode.
+    pub fn mode(&self) -> LatencyMode {
+        self.mode
+    }
+
+    /// The global scale factor.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Samples a latency from `profile`, scales it, and applies it according
+    /// to the mode. Returns the (scaled) duration that was applied.
+    pub fn apply<R: Rng + ?Sized>(
+        &self,
+        profile: &LatencyProfile,
+        rng: &mut R,
+        payload_bytes: usize,
+    ) -> Duration {
+        let duration = self.sample(profile, rng, payload_bytes);
+        self.finish(duration)
+    }
+
+    /// Samples (and scales) a latency without applying it. Callers that keep
+    /// their RNG behind a lock use this to sample while holding the lock and
+    /// then call [`finish`](LatencyModel::finish) after releasing it, so that
+    /// the simulated service never serialises concurrent requests on its RNG.
+    pub fn sample<R: Rng + ?Sized>(
+        &self,
+        profile: &LatencyProfile,
+        rng: &mut R,
+        payload_bytes: usize,
+    ) -> Duration {
+        let us = profile.sample_us(rng, payload_bytes) * self.scale;
+        Duration::from_nanos((us * 1000.0) as u64)
+    }
+
+    /// Records a previously sampled duration and, in `Sleep` mode, sleeps for
+    /// it. Returns the duration.
+    pub fn finish(&self, duration: Duration) -> Duration {
+        self.injected_ns
+            .fetch_add(duration.as_nanos() as u64, Ordering::Relaxed);
+        if self.mode == LatencyMode::Sleep && !duration.is_zero() {
+            // Plain `thread::sleep` is used rather than spinning: the
+            // simulations run hundreds of client threads, frequently on
+            // modest hosts, and busy-waiting would distort every measurement
+            // by stealing CPU from the threads doing real work. The kernel
+            // overshoots short sleeps by a roughly constant amount, so that
+            // overhead is calibrated once and subtracted; durations below the
+            // overhead are treated as free rather than inflated to ~100 µs,
+            // which preserves the ordering between fast and slow services.
+            let overhead = sleep_overhead();
+            if duration > overhead {
+                std::thread::sleep(duration - overhead);
+            }
+        }
+        duration
+    }
+
+    /// Samples from `profile` using an RNG behind a mutex, holding the lock
+    /// only for the sample, then records/sleeps outside the lock.
+    pub fn apply_with<R: Rng>(
+        &self,
+        profile: &LatencyProfile,
+        rng: &parking_lot::Mutex<R>,
+        payload_bytes: usize,
+    ) -> Duration {
+        let duration = {
+            let mut rng = rng.lock();
+            self.sample(profile, &mut *rng, payload_bytes)
+        };
+        self.finish(duration)
+    }
+
+    /// Total simulated latency injected so far.
+    pub fn injected(&self) -> Duration {
+        Duration::from_nanos(self.injected_ns.load(Ordering::Relaxed))
+    }
+}
+
+/// The host's `thread::sleep` overshoot for short sleeps, measured once.
+fn sleep_overhead() -> Duration {
+    static OVERHEAD: std::sync::OnceLock<Duration> = std::sync::OnceLock::new();
+    *OVERHEAD.get_or_init(|| {
+        let requested = Duration::from_micros(50);
+        let rounds = 10;
+        let start = std::time::Instant::now();
+        for _ in 0..rounds {
+            std::thread::sleep(requested);
+        }
+        let average = start.elapsed() / rounds;
+        average
+            .saturating_sub(requested)
+            .min(Duration::from_micros(300))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_profile_is_free() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(LatencyProfile::ZERO.sample_us(&mut rng, 4096), 0.0);
+    }
+
+    #[test]
+    fn median_is_roughly_respected() {
+        let profile = LatencyProfile::new(1_000.0, 5_000.0);
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut samples: Vec<f64> = (0..5_000).map(|_| profile.sample_us(&mut rng, 0)).collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = samples[samples.len() / 2];
+        assert!(
+            (median - 1_000.0).abs() / 1_000.0 < 0.15,
+            "median {median} should be within 15% of 1000"
+        );
+        let p99 = samples[(samples.len() as f64 * 0.99) as usize];
+        assert!(
+            (p99 - 5_000.0).abs() / 5_000.0 < 0.35,
+            "p99 {p99} should be within 35% of 5000"
+        );
+    }
+
+    #[test]
+    fn per_kb_cost_scales_with_payload() {
+        let profile = LatencyProfile::new(100.0, 100.0).with_per_kb(10.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let small = profile.sample_us(&mut rng, 1024);
+        let large = profile.sample_us(&mut rng, 1024 * 100);
+        assert!(large > small + 900.0, "100KB should cost ~990us more");
+    }
+
+    #[test]
+    fn virtual_mode_records_without_sleeping() {
+        let model = LatencyModel::new(LatencyMode::Virtual, 1.0);
+        let profile = LatencyProfile::new(50_000.0, 50_000.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let start = std::time::Instant::now();
+        let applied = model.apply(&profile, &mut rng, 0);
+        assert!(start.elapsed() < Duration::from_millis(20), "must not sleep");
+        assert!(applied >= Duration::from_millis(40));
+        assert!(model.injected() >= Duration::from_millis(40));
+    }
+
+    #[test]
+    fn sleep_mode_actually_sleeps() {
+        let model = LatencyModel::new(LatencyMode::Sleep, 1.0);
+        let profile = LatencyProfile::new(2_000.0, 2_000.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let start = std::time::Instant::now();
+        model.apply(&profile, &mut rng, 0);
+        assert!(start.elapsed() >= Duration::from_micros(1_500));
+    }
+
+    #[test]
+    fn scale_factor_shrinks_latency() {
+        let model = LatencyModel::new(LatencyMode::Virtual, 0.01);
+        let profile = LatencyProfile::new(10_000.0, 10_000.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let applied = model.apply(&profile, &mut rng, 0);
+        assert!(applied <= Duration::from_micros(150));
+    }
+
+    #[test]
+    fn disabled_model_injects_nothing() {
+        let model = LatencyModel::disabled();
+        let mut rng = StdRng::seed_from_u64(3);
+        model.apply(&LatencyProfile::new(1_000.0, 2_000.0), &mut rng, 0);
+        assert_eq!(model.injected(), Duration::ZERO);
+    }
+}

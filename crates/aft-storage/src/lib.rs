@@ -1,0 +1,41 @@
+//! Storage substrates for the AFT shim.
+//!
+//! The paper's only requirement on the storage layer is that *updates are
+//! durable once acknowledged* (§3.1) — AFT never relies on the store for
+//! consistency, visibility ordering, or partitioning. This crate provides:
+//!
+//! * [`StorageEngine`] — the narrow key-value interface AFT uses
+//!   (get / put / batched put / delete / list-by-prefix).
+//! * [`InMemoryStore`] — a zero-latency reference backend used by unit tests.
+//! * [`SimS3`], [`SimDynamo`], [`SimRedis`] — simulated stand-ins for the
+//!   three backends the paper evaluates (AWS S3, AWS DynamoDB, AWS
+//!   ElastiCache/Redis in cluster mode), each reproducing the behavioural
+//!   properties the evaluation depends on: latency magnitude and variance,
+//!   batch-write support and its limits, sharding, and (for DynamoDB) a
+//!   serializable single-call transaction mode.
+//! * [`latency`] — parameterised latency models, scaled down uniformly so
+//!   experiments finish quickly while preserving the *ratios* between
+//!   backends that determine every figure's shape.
+//! * [`counters`] — per-backend operation statistics (API calls, bytes), used
+//!   by the benchmarks to report API-call behaviour (e.g. Figure 5's analysis
+//!   of API calls per transaction).
+
+pub mod backend;
+pub mod counters;
+pub mod dynamo;
+pub mod engine;
+pub mod latency;
+pub mod memory;
+pub mod profiles;
+pub mod redis;
+pub mod s3;
+
+pub use backend::{make_backend, BackendConfig, BackendKind};
+pub use counters::{OpKind, StorageStats, StorageStatsSnapshot};
+pub use dynamo::{DynamoTransactionMode, SimDynamo};
+pub use engine::{SharedStorage, StorageEngine};
+pub use latency::{LatencyMode, LatencyModel, LatencyProfile};
+pub use memory::InMemoryStore;
+pub use profiles::ServiceProfile;
+pub use redis::SimRedis;
+pub use s3::SimS3;

@@ -1,0 +1,239 @@
+//! In-memory blob storage.
+//!
+//! [`MemoryMap`] is the data plane shared by every simulated backend: a
+//! sorted map of string keys to opaque blobs behind a read-write lock. The
+//! simulators wrap it with latency models and API-shape restrictions;
+//! [`InMemoryStore`] exposes it directly as a zero-latency [`StorageEngine`]
+//! for unit tests and protocol-only benchmarks.
+
+use std::collections::BTreeMap;
+use std::ops::Bound;
+use std::sync::Arc;
+
+use aft_types::{AftResult, Value};
+use parking_lot::RwLock;
+
+use crate::counters::{OpKind, StorageStats};
+use crate::engine::StorageEngine;
+
+/// A thread-safe sorted map of string keys to blobs.
+#[derive(Debug, Default)]
+pub struct MemoryMap {
+    inner: RwLock<BTreeMap<String, Value>>,
+}
+
+impl MemoryMap {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        MemoryMap::default()
+    }
+
+    /// Returns the blob stored at `key`.
+    pub fn get(&self, key: &str) -> Option<Value> {
+        self.inner.read().get(key).cloned()
+    }
+
+    /// Stores `value` at `key`, returning the previous blob if any.
+    pub fn put(&self, key: &str, value: Value) -> Option<Value> {
+        self.inner.write().insert(key.to_owned(), value)
+    }
+
+    /// Removes `key`, returning the previous blob if any.
+    pub fn remove(&self, key: &str) -> Option<Value> {
+        self.inner.write().remove(key)
+    }
+
+    /// Returns all keys starting with `prefix` in lexicographic order.
+    pub fn keys_with_prefix(&self, prefix: &str) -> Vec<String> {
+        let map = self.inner.read();
+        map.range::<String, _>((Bound::Included(prefix.to_owned()), Bound::Unbounded))
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .map(|(k, _)| k.clone())
+            .collect()
+    }
+
+    /// Number of keys stored.
+    pub fn len(&self) -> usize {
+        self.inner.read().len()
+    }
+
+    /// Returns true if no keys are stored.
+    pub fn is_empty(&self) -> bool {
+        self.inner.read().is_empty()
+    }
+
+    /// Total bytes of stored payloads (keys excluded).
+    pub fn payload_bytes(&self) -> usize {
+        self.inner.read().values().map(|v| v.len()).sum()
+    }
+}
+
+/// A zero-latency storage engine backed by [`MemoryMap`].
+#[derive(Debug, Default)]
+pub struct InMemoryStore {
+    map: MemoryMap,
+    stats: Arc<StorageStats>,
+}
+
+impl InMemoryStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        InMemoryStore::default()
+    }
+
+    /// Creates an empty store behind a shared handle.
+    pub fn shared() -> Arc<Self> {
+        Arc::new(Self::new())
+    }
+
+    /// Number of keys stored; useful for GC assertions in tests.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Returns true if the store holds no keys.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+impl StorageEngine for InMemoryStore {
+    fn name(&self) -> &'static str {
+        "memory"
+    }
+
+    fn get(&self, key: &str) -> AftResult<Option<Value>> {
+        self.stats.record_call(OpKind::Get);
+        let v = self.map.get(key);
+        if let Some(v) = &v {
+            self.stats.record_read_bytes(v.len());
+        }
+        Ok(v)
+    }
+
+    fn put(&self, key: &str, value: Value) -> AftResult<()> {
+        self.stats.record_call(OpKind::Put);
+        self.stats.record_written_bytes(value.len());
+        self.map.put(key, value);
+        Ok(())
+    }
+
+    fn put_batch(&self, items: Vec<(String, Value)>) -> AftResult<()> {
+        self.stats.record_call(OpKind::BatchPut);
+        for (k, v) in items {
+            self.stats.record_written_bytes(v.len());
+            self.map.put(&k, v);
+        }
+        Ok(())
+    }
+
+    fn delete(&self, key: &str) -> AftResult<()> {
+        self.stats.record_call(OpKind::Delete);
+        self.map.remove(key);
+        Ok(())
+    }
+
+    fn delete_batch(&self, keys: &[String]) -> AftResult<()> {
+        self.stats.record_call(OpKind::BatchDelete);
+        for k in keys {
+            self.map.remove(k);
+        }
+        Ok(())
+    }
+
+    fn list_prefix(&self, prefix: &str) -> AftResult<Vec<String>> {
+        self.stats.record_call(OpKind::List);
+        Ok(self.map.keys_with_prefix(prefix))
+    }
+
+    fn supports_batch_put(&self) -> bool {
+        true
+    }
+
+    fn stats(&self) -> Arc<StorageStats> {
+        Arc::clone(&self.stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+
+    fn val(s: &str) -> Value {
+        Bytes::copy_from_slice(s.as_bytes())
+    }
+
+    #[test]
+    fn put_get_delete_round_trip() {
+        let store = InMemoryStore::new();
+        assert!(store.get("k").unwrap().is_none());
+        store.put("k", val("v1")).unwrap();
+        assert_eq!(store.get("k").unwrap().unwrap(), val("v1"));
+        store.put("k", val("v2")).unwrap();
+        assert_eq!(store.get("k").unwrap().unwrap(), val("v2"));
+        store.delete("k").unwrap();
+        assert!(store.get("k").unwrap().is_none());
+        // Deleting a missing key is not an error.
+        store.delete("k").unwrap();
+    }
+
+    #[test]
+    fn batch_put_stores_everything_in_one_call() {
+        let store = InMemoryStore::new();
+        store
+            .put_batch(vec![
+                ("a".into(), val("1")),
+                ("b".into(), val("2")),
+                ("c".into(), val("3")),
+            ])
+            .unwrap();
+        assert_eq!(store.len(), 3);
+        assert_eq!(store.stats().calls(OpKind::BatchPut), 1);
+        assert_eq!(store.stats().calls(OpKind::Put), 0);
+    }
+
+    #[test]
+    fn list_prefix_returns_sorted_matches_only() {
+        let store = InMemoryStore::new();
+        for k in ["commit/002", "commit/001", "data/k/001", "commit/010"] {
+            store.put(k, val("x")).unwrap();
+        }
+        let listed = store.list_prefix("commit/").unwrap();
+        assert_eq!(listed, vec!["commit/001", "commit/002", "commit/010"]);
+        assert!(store.list_prefix("nothing/").unwrap().is_empty());
+    }
+
+    #[test]
+    fn delete_batch_removes_all() {
+        let store = InMemoryStore::new();
+        store.put("a", val("1")).unwrap();
+        store.put("b", val("2")).unwrap();
+        store
+            .delete_batch(&["a".to_owned(), "b".to_owned(), "missing".to_owned()])
+            .unwrap();
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn memory_map_prefix_scan_is_exact() {
+        let map = MemoryMap::new();
+        map.put("ab", val("1"));
+        map.put("abc", val("2"));
+        map.put("abd", val("3"));
+        map.put("ac", val("4"));
+        assert_eq!(map.keys_with_prefix("ab"), vec!["ab", "abc", "abd"]);
+        assert_eq!(map.keys_with_prefix("abc"), vec!["abc"]);
+        assert_eq!(map.payload_bytes(), 4);
+    }
+
+    #[test]
+    fn stats_track_bytes() {
+        let store = InMemoryStore::new();
+        store.put("k", val("hello")).unwrap();
+        store.get("k").unwrap();
+        let snap = store.stats().snapshot();
+        assert_eq!(snap.bytes_written, 5);
+        assert_eq!(snap.bytes_read, 5);
+    }
+}

@@ -1,0 +1,132 @@
+//! Calibrated latency profiles for the simulated cloud services.
+//!
+//! The absolute numbers below are taken from the magnitudes reported in the
+//! paper's evaluation (Figures 2 and 3) and from public characterisations of
+//! the services: DynamoDB single-digit-millisecond reads/writes with a
+//! moderate tail, Redis sub-millisecond operations, S3 tens-of-milliseconds
+//! object operations with a very heavy tail for small objects. What matters
+//! for reproducing the figures is not the absolute values but the ratios and
+//! tail shapes, which survive the global scale factor applied by
+//! [`LatencyModel`](crate::LatencyModel).
+
+use crate::latency::LatencyProfile;
+
+/// The full latency description of one simulated storage service.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServiceProfile {
+    /// Single-key read.
+    pub read: LatencyProfile,
+    /// Single-key write.
+    pub write: LatencyProfile,
+    /// Base cost of a batched write API call (DynamoDB `BatchWriteItem`).
+    pub batch_write_base: LatencyProfile,
+    /// Additional cost per item inside a batched write, in microseconds.
+    pub batch_write_per_item_us: f64,
+    /// Single-key delete.
+    pub delete: LatencyProfile,
+    /// Prefix scan / list.
+    pub list: LatencyProfile,
+    /// Storage-level transactional call (only meaningful for DynamoDB).
+    pub transact: LatencyProfile,
+}
+
+impl ServiceProfile {
+    /// A profile with no latency at all — used by unit tests.
+    pub fn zero() -> Self {
+        ServiceProfile {
+            read: LatencyProfile::ZERO,
+            write: LatencyProfile::ZERO,
+            batch_write_base: LatencyProfile::ZERO,
+            batch_write_per_item_us: 0.0,
+            delete: LatencyProfile::ZERO,
+            list: LatencyProfile::ZERO,
+            transact: LatencyProfile::ZERO,
+        }
+    }
+
+    /// AWS DynamoDB: single-digit-millisecond KVS with a batch-write API and
+    /// a (more expensive) transactional API.
+    pub fn dynamodb() -> Self {
+        ServiceProfile {
+            read: LatencyProfile::new(2_500.0, 9_000.0).with_per_kb(15.0),
+            write: LatencyProfile::new(3_000.0, 11_000.0).with_per_kb(20.0),
+            batch_write_base: LatencyProfile::new(3_200.0, 12_000.0).with_per_kb(10.0),
+            batch_write_per_item_us: 350.0,
+            delete: LatencyProfile::new(2_800.0, 10_000.0),
+            list: LatencyProfile::new(6_000.0, 25_000.0),
+            transact: LatencyProfile::new(6_500.0, 22_000.0).with_per_kb(20.0),
+        }
+    }
+
+    /// AWS ElastiCache / Redis in cluster mode: memory-speed KVS.
+    pub fn redis() -> Self {
+        ServiceProfile {
+            read: LatencyProfile::new(500.0, 1_400.0).with_per_kb(4.0),
+            write: LatencyProfile::new(550.0, 1_600.0).with_per_kb(5.0),
+            // MSET within a shard: slightly more than a single SET.
+            batch_write_base: LatencyProfile::new(650.0, 1_900.0).with_per_kb(4.0),
+            batch_write_per_item_us: 60.0,
+            delete: LatencyProfile::new(500.0, 1_400.0),
+            list: LatencyProfile::new(2_000.0, 6_000.0),
+            transact: LatencyProfile::new(900.0, 2_500.0),
+        }
+    }
+
+    /// AWS S3: throughput-oriented object store; slow, very heavy-tailed
+    /// writes for small objects, no batch API.
+    pub fn s3() -> Self {
+        ServiceProfile {
+            read: LatencyProfile::new(14_000.0, 80_000.0).with_per_kb(8.0),
+            write: LatencyProfile::new(28_000.0, 250_000.0).with_per_kb(10.0),
+            // S3 has no batch write; the simulator never uses these fields but
+            // keeps them equal to the single-write cost for completeness.
+            batch_write_base: LatencyProfile::new(28_000.0, 250_000.0).with_per_kb(10.0),
+            batch_write_per_item_us: 0.0,
+            delete: LatencyProfile::new(18_000.0, 90_000.0),
+            list: LatencyProfile::new(40_000.0, 150_000.0),
+            transact: LatencyProfile::ZERO,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn service_ordering_matches_the_paper() {
+        // The property every figure depends on: Redis < DynamoDB << S3.
+        let d = ServiceProfile::dynamodb();
+        let r = ServiceProfile::redis();
+        let s = ServiceProfile::s3();
+        assert!(r.read.median_us < d.read.median_us);
+        assert!(d.read.median_us < s.read.median_us);
+        assert!(r.write.median_us < d.write.median_us);
+        assert!(d.write.median_us < s.write.median_us);
+    }
+
+    #[test]
+    fn s3_tail_is_much_heavier_than_dynamo() {
+        let d = ServiceProfile::dynamodb();
+        let s = ServiceProfile::s3();
+        let d_ratio = d.write.p99_us / d.write.median_us;
+        let s_ratio = s.write.p99_us / s.write.median_us;
+        assert!(s_ratio > 2.0 * d_ratio, "S3 writes must have a much heavier tail");
+    }
+
+    #[test]
+    fn dynamo_batch_beats_sequential_for_multi_writes() {
+        let d = ServiceProfile::dynamodb();
+        // 10 sequential writes vs one batch of 10.
+        let sequential = 10.0 * d.write.median_us;
+        let batched = d.batch_write_base.median_us + 10.0 * d.batch_write_per_item_us;
+        assert!(batched < sequential / 2.0);
+    }
+
+    #[test]
+    fn zero_profile_is_free() {
+        let z = ServiceProfile::zero();
+        assert_eq!(z.read.median_us, 0.0);
+        assert_eq!(z.batch_write_per_item_us, 0.0);
+    }
+}

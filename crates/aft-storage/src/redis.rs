@@ -1,0 +1,306 @@
+//! A simulated Redis cluster (AWS ElastiCache).
+//!
+//! The evaluation uses Redis in cluster mode with two shards (§6). The
+//! properties the figures depend on are:
+//!
+//! * memory-speed, sub-millisecond operations,
+//! * hash-slot sharding: every key maps to exactly one shard,
+//! * per-shard linearizability but **no guarantees across shards** (which is
+//!   why "Redis Shard / Linearizable" still shows anomalies in Table 2), and
+//! * `MSET` can only write keys that live in a single shard, so AFT cannot
+//!   batch its commit writes over Redis (§6.1.2, §6.3).
+//!
+//! `SimRedis` reproduces this with one mutex-protected map per shard and the
+//! calibrated Redis latency profile.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::BTreeMap;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+use aft_types::{AftError, AftResult, Value};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::counters::{OpKind, StorageStats};
+use crate::engine::StorageEngine;
+use crate::latency::LatencyModel;
+use crate::profiles::ServiceProfile;
+
+/// Default number of shards, matching the paper's deployment ("cluster mode
+/// with 2 shards").
+pub const DEFAULT_REDIS_SHARDS: usize = 2;
+
+/// One Redis shard: a linearizable (single-lock) map.
+#[derive(Debug, Default)]
+struct Shard {
+    data: Mutex<BTreeMap<String, Value>>,
+}
+
+/// A simulated Redis cluster.
+pub struct SimRedis {
+    shards: Vec<Shard>,
+    profile: ServiceProfile,
+    latency: Arc<LatencyModel>,
+    stats: Arc<StorageStats>,
+    rng: Mutex<StdRng>,
+}
+
+impl SimRedis {
+    /// Creates a cluster with [`DEFAULT_REDIS_SHARDS`] shards and the default
+    /// calibrated profile.
+    pub fn new(latency: Arc<LatencyModel>) -> Arc<Self> {
+        Self::with_shards(DEFAULT_REDIS_SHARDS, ServiceProfile::redis(), latency, 0x0BAD_CAFE)
+    }
+
+    /// Creates a cluster with an explicit shard count, profile, and RNG seed.
+    pub fn with_shards(
+        num_shards: usize,
+        profile: ServiceProfile,
+        latency: Arc<LatencyModel>,
+        seed: u64,
+    ) -> Arc<Self> {
+        assert!(num_shards > 0, "a Redis cluster needs at least one shard");
+        Arc::new(SimRedis {
+            shards: (0..num_shards).map(|_| Shard::default()).collect(),
+            profile,
+            latency,
+            stats: StorageStats::new_shared(),
+            rng: Mutex::new(StdRng::seed_from_u64(seed)),
+        })
+    }
+
+    /// Number of shards in the cluster.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard a key hashes to (the cluster's hash-slot mapping).
+    pub fn shard_of(&self, key: &str) -> usize {
+        let mut hasher = DefaultHasher::new();
+        key.hash(&mut hasher);
+        (hasher.finish() as usize) % self.shards.len()
+    }
+
+    /// Total number of keys across all shards.
+    pub fn item_count(&self) -> usize {
+        self.shards.iter().map(|s| s.data.lock().len()).sum()
+    }
+
+    fn inject(&self, profile: &crate::latency::LatencyProfile, payload_bytes: usize) {
+        // Sample under the RNG lock, sleep outside it: concurrent requests to
+        // the simulated service must not serialise on the latency sampler.
+        self.latency.apply_with(profile, &self.rng, payload_bytes);
+    }
+
+    /// `MSET`: writes several keys in one API call, but only if they all live
+    /// in the same shard — the real cluster rejects cross-slot multi-key
+    /// commands.
+    pub fn mset(&self, items: Vec<(String, Value)>) -> AftResult<()> {
+        if items.is_empty() {
+            return Ok(());
+        }
+        let shard = self.shard_of(&items[0].0);
+        if items.iter().any(|(k, _)| self.shard_of(k) != shard) {
+            return Err(AftError::Storage(
+                "CROSSSLOT keys in request don't hash to the same slot".to_owned(),
+            ));
+        }
+        self.stats.record_call(OpKind::BatchPut);
+        let payload: usize = items.iter().map(|(_, v)| v.len()).sum();
+        let per_item = self.profile.batch_write_per_item_us * items.len() as f64;
+        let mut profile = self.profile.batch_write_base;
+        profile.median_us += per_item;
+        profile.p99_us += per_item;
+        self.inject(&profile, payload);
+        let mut data = self.shards[shard].data.lock();
+        for (k, v) in items {
+            self.stats.record_written_bytes(v.len());
+            data.insert(k, v);
+        }
+        Ok(())
+    }
+}
+
+impl StorageEngine for SimRedis {
+    fn name(&self) -> &'static str {
+        "redis"
+    }
+
+    fn get(&self, key: &str) -> AftResult<Option<Value>> {
+        self.stats.record_call(OpKind::Get);
+        let value = self.shards[self.shard_of(key)].data.lock().get(key).cloned();
+        let bytes = value.as_ref().map_or(0, |v| v.len());
+        self.inject(&self.profile.read, bytes);
+        if let Some(v) = &value {
+            self.stats.record_read_bytes(v.len());
+        }
+        Ok(value)
+    }
+
+    fn put(&self, key: &str, value: Value) -> AftResult<()> {
+        self.stats.record_call(OpKind::Put);
+        self.stats.record_written_bytes(value.len());
+        self.inject(&self.profile.write, value.len());
+        self.shards[self.shard_of(key)]
+            .data
+            .lock()
+            .insert(key.to_owned(), value);
+        Ok(())
+    }
+
+    fn put_batch(&self, items: Vec<(String, Value)>) -> AftResult<()> {
+        // Arbitrary write sets are not guaranteed to land in one shard, so —
+        // like the paper's implementation — AFT over Redis issues one SET per
+        // key instead of relying on MSET (§6.1.2).
+        for (k, v) in items {
+            self.put(&k, v)?;
+        }
+        Ok(())
+    }
+
+    fn delete(&self, key: &str) -> AftResult<()> {
+        self.stats.record_call(OpKind::Delete);
+        self.inject(&self.profile.delete, 0);
+        self.shards[self.shard_of(key)].data.lock().remove(key);
+        Ok(())
+    }
+
+    fn delete_batch(&self, keys: &[String]) -> AftResult<()> {
+        for k in keys {
+            self.delete(k)?;
+        }
+        Ok(())
+    }
+
+    fn list_prefix(&self, prefix: &str) -> AftResult<Vec<String>> {
+        // SCAN across all shards; results are merged and sorted.
+        self.stats.record_call(OpKind::List);
+        self.inject(&self.profile.list, 0);
+        let mut keys = Vec::new();
+        for shard in &self.shards {
+            let data = shard.data.lock();
+            keys.extend(
+                data.range(prefix.to_owned()..)
+                    .take_while(|(k, _)| k.starts_with(prefix))
+                    .map(|(k, _)| k.clone()),
+            );
+        }
+        keys.sort();
+        Ok(keys)
+    }
+
+    fn supports_batch_put(&self) -> bool {
+        // Cross-shard batching is not available; see put_batch.
+        false
+    }
+
+    fn stats(&self) -> Arc<StorageStats> {
+        Arc::clone(&self.stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+
+    fn cluster(shards: usize) -> Arc<SimRedis> {
+        SimRedis::with_shards(shards, ServiceProfile::zero(), LatencyModel::disabled(), 1)
+    }
+
+    fn val(s: &str) -> Value {
+        Bytes::copy_from_slice(s.as_bytes())
+    }
+
+    #[test]
+    fn basic_operations_round_trip() {
+        let r = cluster(2);
+        r.put("k", val("v")).unwrap();
+        assert_eq!(r.get("k").unwrap().unwrap(), val("v"));
+        r.delete("k").unwrap();
+        assert!(r.get("k").unwrap().is_none());
+        assert_eq!(r.name(), "redis");
+        assert!(!r.supports_batch_put());
+    }
+
+    #[test]
+    fn sharding_is_stable_and_covers_all_shards() {
+        let r = cluster(4);
+        for key in ["a", "b", "k1", "k2"] {
+            assert_eq!(r.shard_of(key), r.shard_of(key), "shard mapping must be stable");
+            assert!(r.shard_of(key) < 4);
+        }
+        // With enough keys every shard should receive something.
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..200 {
+            seen.insert(r.shard_of(&format!("key-{i}")));
+        }
+        assert_eq!(seen.len(), 4);
+    }
+
+    #[test]
+    fn put_batch_issues_one_call_per_key() {
+        let r = cluster(2);
+        r.put_batch(vec![
+            ("a".into(), val("1")),
+            ("b".into(), val("2")),
+            ("c".into(), val("3")),
+        ])
+        .unwrap();
+        assert_eq!(r.item_count(), 3);
+        assert_eq!(r.stats().calls(OpKind::Put), 3);
+        assert_eq!(r.stats().calls(OpKind::BatchPut), 0);
+    }
+
+    #[test]
+    fn mset_rejects_cross_slot_keys() {
+        let r = cluster(8);
+        // Find two keys on different shards.
+        let k1 = "key-0".to_owned();
+        let mut k2 = None;
+        for i in 1..100 {
+            let candidate = format!("key-{i}");
+            if r.shard_of(&candidate) != r.shard_of(&k1) {
+                k2 = Some(candidate);
+                break;
+            }
+        }
+        let k2 = k2.expect("some key must land on a different shard");
+        let err = r
+            .mset(vec![(k1.clone(), val("1")), (k2, val("2"))])
+            .unwrap_err();
+        assert!(matches!(err, AftError::Storage(_)));
+        // Same-slot MSET succeeds.
+        r.mset(vec![(k1.clone(), val("1")), (k1, val("1b"))]).unwrap();
+    }
+
+    #[test]
+    fn list_prefix_merges_all_shards_sorted() {
+        let r = cluster(3);
+        for i in 0..20 {
+            r.put(&format!("data/k/{i:03}"), val("x")).unwrap();
+        }
+        r.put("other", val("y")).unwrap();
+        let listed = r.list_prefix("data/").unwrap();
+        assert_eq!(listed.len(), 20);
+        let mut sorted = listed.clone();
+        sorted.sort();
+        assert_eq!(listed, sorted);
+    }
+
+    #[test]
+    fn single_shard_cluster_is_allowed() {
+        let r = cluster(1);
+        r.mset(vec![("a".into(), val("1")), ("b".into(), val("2"))])
+            .unwrap();
+        assert_eq!(r.item_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_panics() {
+        let _ = cluster(0);
+    }
+}

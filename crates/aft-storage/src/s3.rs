@@ -1,0 +1,188 @@
+//! A simulated AWS S3.
+//!
+//! S3 is a throughput-oriented object store. For AFT's key-per-version
+//! layout the properties that matter (§6.1.2) are:
+//!
+//! * high per-object latency — 4–10× slower than DynamoDB/Redis,
+//! * very high write-latency variance for small objects (the p99 whiskers in
+//!   Figure 3), and
+//! * no batch API: every object PUT is its own request.
+//!
+//! The paper stops using S3 after §6.1.2 because the key-per-version layout
+//! is a poor fit for it; the simulator intentionally preserves that poor fit.
+
+use std::sync::Arc;
+
+use aft_types::{AftResult, Value};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::counters::{OpKind, StorageStats};
+use crate::engine::StorageEngine;
+use crate::latency::LatencyModel;
+use crate::memory::MemoryMap;
+use crate::profiles::ServiceProfile;
+
+/// A simulated S3 bucket.
+pub struct SimS3 {
+    map: MemoryMap,
+    profile: ServiceProfile,
+    latency: Arc<LatencyModel>,
+    stats: Arc<StorageStats>,
+    rng: Mutex<StdRng>,
+}
+
+impl SimS3 {
+    /// Creates a simulated bucket with the default calibrated profile.
+    pub fn new(latency: Arc<LatencyModel>) -> Arc<Self> {
+        Self::with_profile(ServiceProfile::s3(), latency, 0x0000_5333)
+    }
+
+    /// Creates a simulated bucket with a custom profile and RNG seed.
+    pub fn with_profile(
+        profile: ServiceProfile,
+        latency: Arc<LatencyModel>,
+        seed: u64,
+    ) -> Arc<Self> {
+        Arc::new(SimS3 {
+            map: MemoryMap::new(),
+            profile,
+            latency,
+            stats: StorageStats::new_shared(),
+            rng: Mutex::new(StdRng::seed_from_u64(seed)),
+        })
+    }
+
+    fn inject(&self, profile: &crate::latency::LatencyProfile, payload_bytes: usize) {
+        // Sample under the RNG lock, sleep outside it: concurrent requests to
+        // the simulated service must not serialise on the latency sampler.
+        self.latency.apply_with(profile, &self.rng, payload_bytes);
+    }
+
+    /// Number of objects currently stored.
+    pub fn object_count(&self) -> usize {
+        self.map.len()
+    }
+}
+
+impl StorageEngine for SimS3 {
+    fn name(&self) -> &'static str {
+        "s3"
+    }
+
+    fn get(&self, key: &str) -> AftResult<Option<Value>> {
+        self.stats.record_call(OpKind::Get);
+        let value = self.map.get(key);
+        let bytes = value.as_ref().map_or(0, |v| v.len());
+        self.inject(&self.profile.read, bytes);
+        if let Some(v) = &value {
+            self.stats.record_read_bytes(v.len());
+        }
+        Ok(value)
+    }
+
+    fn put(&self, key: &str, value: Value) -> AftResult<()> {
+        self.stats.record_call(OpKind::Put);
+        self.stats.record_written_bytes(value.len());
+        self.inject(&self.profile.write, value.len());
+        self.map.put(key, value);
+        Ok(())
+    }
+
+    fn put_batch(&self, items: Vec<(String, Value)>) -> AftResult<()> {
+        // No batch API: every object is a separate PUT request.
+        for (k, v) in items {
+            self.put(&k, v)?;
+        }
+        Ok(())
+    }
+
+    fn delete(&self, key: &str) -> AftResult<()> {
+        self.stats.record_call(OpKind::Delete);
+        self.inject(&self.profile.delete, 0);
+        self.map.remove(key);
+        Ok(())
+    }
+
+    fn delete_batch(&self, keys: &[String]) -> AftResult<()> {
+        // S3 does offer DeleteObjects (up to 1000 keys); garbage collection
+        // uses it, so model it as a single call.
+        self.stats.record_call(OpKind::BatchDelete);
+        self.inject(&self.profile.delete, 0);
+        for k in keys {
+            self.map.remove(k);
+        }
+        Ok(())
+    }
+
+    fn list_prefix(&self, prefix: &str) -> AftResult<Vec<String>> {
+        self.stats.record_call(OpKind::List);
+        self.inject(&self.profile.list, 0);
+        Ok(self.map.keys_with_prefix(prefix))
+    }
+
+    fn supports_batch_put(&self) -> bool {
+        false
+    }
+
+    fn stats(&self) -> Arc<StorageStats> {
+        Arc::clone(&self.stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+
+    fn bucket() -> Arc<SimS3> {
+        SimS3::with_profile(ServiceProfile::zero(), LatencyModel::disabled(), 3)
+    }
+
+    fn val(s: &str) -> Value {
+        Bytes::copy_from_slice(s.as_bytes())
+    }
+
+    #[test]
+    fn object_round_trip() {
+        let s3 = bucket();
+        s3.put("data/k/001", val("payload")).unwrap();
+        assert_eq!(s3.get("data/k/001").unwrap().unwrap(), val("payload"));
+        assert_eq!(s3.object_count(), 1);
+        s3.delete("data/k/001").unwrap();
+        assert!(s3.get("data/k/001").unwrap().is_none());
+    }
+
+    #[test]
+    fn batch_put_degenerates_to_sequential_puts() {
+        let s3 = bucket();
+        s3.put_batch(vec![("a".into(), val("1")), ("b".into(), val("2"))])
+            .unwrap();
+        assert_eq!(s3.stats().calls(OpKind::Put), 2);
+        assert_eq!(s3.stats().calls(OpKind::BatchPut), 0);
+        assert!(!s3.supports_batch_put());
+    }
+
+    #[test]
+    fn delete_batch_is_one_call() {
+        let s3 = bucket();
+        s3.put("a", val("1")).unwrap();
+        s3.put("b", val("2")).unwrap();
+        s3.delete_batch(&["a".into(), "b".into()]).unwrap();
+        assert_eq!(s3.object_count(), 0);
+        assert_eq!(s3.stats().calls(OpKind::BatchDelete), 1);
+    }
+
+    #[test]
+    fn list_prefix_is_sorted() {
+        let s3 = bucket();
+        for k in ["commit/3", "commit/1", "commit/2"] {
+            s3.put(k, val("x")).unwrap();
+        }
+        assert_eq!(
+            s3.list_prefix("commit/").unwrap(),
+            vec!["commit/1", "commit/2", "commit/3"]
+        );
+    }
+}

@@ -1,0 +1,358 @@
+//! A small, dependency-free binary codec.
+//!
+//! AFT only requires the storage engine to provide durability for opaque
+//! blobs (§3.1), so everything the shim persists — commit records in the
+//! Transaction Commit Set and the metadata-tagged values used by the Plain
+//! baselines — is serialised by this module into length-prefixed,
+//! little-endian byte strings. The format is deliberately simple and
+//! versioned so that the property tests can round-trip arbitrary records.
+
+use bytes::{BufMut, Bytes, BytesMut};
+
+use crate::error::{AftError, AftResult};
+use crate::key::Key;
+use crate::record::TransactionRecord;
+use crate::txid::TransactionId;
+use crate::uuid::Uuid;
+use crate::value::TaggedValue;
+
+/// Format version written as the first byte of every encoded structure.
+const CODEC_VERSION: u8 = 1;
+
+/// Tag byte identifying an encoded [`TransactionRecord`].
+const TAG_COMMIT_RECORD: u8 = 0x01;
+/// Tag byte identifying an encoded [`TaggedValue`].
+const TAG_TAGGED_VALUE: u8 = 0x02;
+
+/// Incremental writer producing the codec's wire format.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: BytesMut,
+}
+
+impl Writer {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Writer {
+            buf: BytesMut::new(),
+        }
+    }
+
+    /// Creates a writer with `cap` bytes preallocated.
+    pub fn with_capacity(cap: usize) -> Self {
+        Writer {
+            buf: BytesMut::with_capacity(cap),
+        }
+    }
+
+    /// Appends a single byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.put_u8(v);
+    }
+
+    /// Appends a little-endian u32.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.put_u32_le(v);
+    }
+
+    /// Appends a little-endian u64.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.put_u64_le(v);
+    }
+
+    /// Appends a little-endian u128.
+    pub fn put_u128(&mut self, v: u128) {
+        self.buf.put_u128_le(v);
+    }
+
+    /// Appends a length-prefixed byte string.
+    pub fn put_bytes(&mut self, v: &[u8]) {
+        self.put_u32(v.len() as u32);
+        self.buf.put_slice(v);
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, v: &str) {
+        self.put_bytes(v.as_bytes());
+    }
+
+    /// Appends a transaction ID (timestamp then uuid).
+    pub fn put_tid(&mut self, id: &TransactionId) {
+        self.put_u64(id.timestamp);
+        self.put_u128(id.uuid.as_u128());
+    }
+
+    /// Finishes the writer and returns the encoded bytes.
+    pub fn finish(self) -> Bytes {
+        self.buf.freeze()
+    }
+
+    /// Number of bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Returns true if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+/// Incremental reader for the codec's wire format.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Creates a reader over `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> AftResult<&'a [u8]> {
+        if self.pos + n > self.buf.len() {
+            return Err(AftError::Codec(format!(
+                "unexpected end of input: wanted {n} bytes at offset {}, have {}",
+                self.pos,
+                self.buf.len()
+            )));
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Reads a single byte.
+    pub fn get_u8(&mut self) -> AftResult<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian u32.
+    pub fn get_u32(&mut self) -> AftResult<u32> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes(b.try_into().expect("slice is 4 bytes")))
+    }
+
+    /// Reads a little-endian u64.
+    pub fn get_u64(&mut self) -> AftResult<u64> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("slice is 8 bytes")))
+    }
+
+    /// Reads a little-endian u128.
+    pub fn get_u128(&mut self) -> AftResult<u128> {
+        let b = self.take(16)?;
+        Ok(u128::from_le_bytes(b.try_into().expect("slice is 16 bytes")))
+    }
+
+    /// Reads a length-prefixed byte string.
+    pub fn get_bytes(&mut self) -> AftResult<Vec<u8>> {
+        let len = self.get_u32()? as usize;
+        Ok(self.take(len)?.to_vec())
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn get_str(&mut self) -> AftResult<String> {
+        let raw = self.get_bytes()?;
+        String::from_utf8(raw).map_err(|e| AftError::Codec(format!("invalid utf-8: {e}")))
+    }
+
+    /// Reads a transaction ID.
+    pub fn get_tid(&mut self) -> AftResult<TransactionId> {
+        let timestamp = self.get_u64()?;
+        let uuid = Uuid::from_u128(self.get_u128()?);
+        Ok(TransactionId { timestamp, uuid })
+    }
+
+    /// Returns the number of bytes that have not been consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Fails unless every byte of input has been consumed.
+    pub fn expect_end(&self) -> AftResult<()> {
+        if self.remaining() != 0 {
+            return Err(AftError::Codec(format!(
+                "{} trailing bytes after decoded value",
+                self.remaining()
+            )));
+        }
+        Ok(())
+    }
+}
+
+fn check_header(reader: &mut Reader<'_>, expected_tag: u8) -> AftResult<()> {
+    let version = reader.get_u8()?;
+    if version != CODEC_VERSION {
+        return Err(AftError::Codec(format!(
+            "unsupported codec version {version}, expected {CODEC_VERSION}"
+        )));
+    }
+    let tag = reader.get_u8()?;
+    if tag != expected_tag {
+        return Err(AftError::Codec(format!(
+            "unexpected tag {tag:#04x}, expected {expected_tag:#04x}"
+        )));
+    }
+    Ok(())
+}
+
+/// Encodes a commit record for the Transaction Commit Set.
+pub fn encode_commit_record(record: &TransactionRecord) -> Bytes {
+    let mut w = Writer::with_capacity(32 + record.write_set.len() * 24);
+    w.put_u8(CODEC_VERSION);
+    w.put_u8(TAG_COMMIT_RECORD);
+    w.put_tid(&record.id);
+    w.put_u32(record.write_set.len() as u32);
+    for key in &record.write_set {
+        w.put_str(key.as_str());
+    }
+    w.finish()
+}
+
+/// Decodes a commit record previously produced by [`encode_commit_record`].
+pub fn decode_commit_record(bytes: &[u8]) -> AftResult<TransactionRecord> {
+    let mut r = Reader::new(bytes);
+    check_header(&mut r, TAG_COMMIT_RECORD)?;
+    let id = r.get_tid()?;
+    let n = r.get_u32()? as usize;
+    // The length prefix is untrusted input (it may be corrupted); never
+    // pre-allocate from it directly.
+    let mut keys = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        keys.push(Key::from(r.get_str()?));
+    }
+    r.expect_end()?;
+    Ok(TransactionRecord::new(id, keys))
+}
+
+/// Encodes a metadata-tagged value (used by the Plain baselines, §6.1.2).
+pub fn encode_tagged_value(value: &TaggedValue) -> Bytes {
+    let mut w = Writer::with_capacity(64 + value.payload.len());
+    w.put_u8(CODEC_VERSION);
+    w.put_u8(TAG_TAGGED_VALUE);
+    w.put_tid(&value.tid);
+    w.put_u32(value.cowritten.len() as u32);
+    for key in &value.cowritten {
+        w.put_str(key.as_str());
+    }
+    w.put_bytes(&value.payload);
+    w.finish()
+}
+
+/// Decodes a tagged value previously produced by [`encode_tagged_value`].
+pub fn decode_tagged_value(bytes: &[u8]) -> AftResult<TaggedValue> {
+    let mut r = Reader::new(bytes);
+    check_header(&mut r, TAG_TAGGED_VALUE)?;
+    let tid = r.get_tid()?;
+    let n = r.get_u32()? as usize;
+    // Untrusted length prefix — see decode_commit_record.
+    let mut cowritten = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        cowritten.push(Key::from(r.get_str()?));
+    }
+    let payload = Bytes::from(r.get_bytes()?);
+    r.expect_end()?;
+    Ok(TaggedValue {
+        tid,
+        cowritten,
+        payload,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::payload_of_size;
+
+    fn tid(ts: u64, id: u128) -> TransactionId {
+        TransactionId::new(ts, Uuid::from_u128(id))
+    }
+
+    #[test]
+    fn commit_record_round_trips() {
+        let record = TransactionRecord::new(
+            tid(123, 456),
+            vec![Key::new("alpha"), Key::new("beta"), Key::new("gamma")],
+        );
+        let encoded = encode_commit_record(&record);
+        let decoded = decode_commit_record(&encoded).unwrap();
+        assert_eq!(decoded, record);
+    }
+
+    #[test]
+    fn empty_write_set_round_trips() {
+        let record = TransactionRecord::new(tid(1, 1), Vec::<Key>::new());
+        let decoded = decode_commit_record(&encode_commit_record(&record)).unwrap();
+        assert!(decoded.write_set.is_empty());
+    }
+
+    #[test]
+    fn tagged_value_round_trips() {
+        let tv = TaggedValue::new(
+            tid(9, 10),
+            vec![Key::new("k"), Key::new("l")],
+            payload_of_size(4096),
+        );
+        let decoded = decode_tagged_value(&encode_tagged_value(&tv)).unwrap();
+        assert_eq!(decoded, tv);
+    }
+
+    #[test]
+    fn decoding_wrong_tag_fails() {
+        let record = TransactionRecord::new(tid(1, 2), vec![Key::new("a")]);
+        let encoded = encode_commit_record(&record);
+        assert!(decode_tagged_value(&encoded).is_err());
+    }
+
+    #[test]
+    fn truncated_input_fails_cleanly() {
+        let record = TransactionRecord::new(tid(1, 2), vec![Key::new("abcdef")]);
+        let encoded = encode_commit_record(&record);
+        for cut in 0..encoded.len() {
+            assert!(
+                decode_commit_record(&encoded[..cut]).is_err(),
+                "decoding a {cut}-byte prefix should fail"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_fails() {
+        let record = TransactionRecord::new(tid(1, 2), vec![Key::new("a")]);
+        let mut raw = encode_commit_record(&record).to_vec();
+        raw.push(0xFF);
+        assert!(decode_commit_record(&raw).is_err());
+    }
+
+    #[test]
+    fn unsupported_version_fails() {
+        let record = TransactionRecord::new(tid(1, 2), vec![Key::new("a")]);
+        let mut raw = encode_commit_record(&record).to_vec();
+        raw[0] = 99;
+        assert!(decode_commit_record(&raw).is_err());
+    }
+
+    #[test]
+    fn reader_primitives_round_trip() {
+        let mut w = Writer::new();
+        w.put_u8(7);
+        w.put_u32(0xDEAD_BEEF);
+        w.put_u64(u64::MAX);
+        w.put_u128(u128::MAX / 3);
+        w.put_str("hello");
+        w.put_bytes(&[1, 2, 3]);
+        let bytes = w.finish();
+
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.get_u8().unwrap(), 7);
+        assert_eq!(r.get_u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64().unwrap(), u64::MAX);
+        assert_eq!(r.get_u128().unwrap(), u128::MAX / 3);
+        assert_eq!(r.get_str().unwrap(), "hello");
+        assert_eq!(r.get_bytes().unwrap(), vec![1, 2, 3]);
+        assert!(r.expect_end().is_ok());
+    }
+}

@@ -1,0 +1,128 @@
+//! The error type shared by the whole workspace.
+
+use std::fmt;
+
+use crate::key::Key;
+use crate::txid::TransactionId;
+
+/// Convenient result alias used across the workspace.
+pub type AftResult<T> = Result<T, AftError>;
+
+/// Errors surfaced by the AFT shim, its storage substrates, and the simulated
+/// FaaS platform.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AftError {
+    /// The caller referenced a transaction ID this node does not know about
+    /// (never started here, already committed, or already aborted).
+    UnknownTransaction(TransactionId),
+
+    /// The transaction was aborted (explicitly, by timeout, or because the
+    /// node restarted) and can no longer issue operations.
+    TransactionAborted(TransactionId),
+
+    /// Algorithm 1 found no key version compatible with the transaction's
+    /// read set (§3.6): the read would violate read atomicity. The client
+    /// should abort and retry the logical request.
+    NoValidVersion {
+        /// The key that was requested.
+        key: Key,
+        /// The transaction whose read set ruled out every candidate version.
+        txn: TransactionId,
+    },
+
+    /// The requested key has never been written (its only version is NULL).
+    KeyNotFound(Key),
+
+    /// The storage engine failed or rejected the request.
+    Storage(String),
+
+    /// A storage-level transactional operation (DynamoDB transaction mode)
+    /// aborted because of a conflict with a concurrent transaction; the
+    /// caller retries.
+    StorageConflict(String),
+
+    /// The target AFT node (or FaaS function slot) is not available — used by
+    /// the cluster simulation when a node has been killed (§6.7) or when the
+    /// platform's concurrency limit is exhausted.
+    Unavailable(String),
+
+    /// A function invocation failed (fault injection or user code panic) and
+    /// exhausted its retry budget.
+    FunctionFailed(String),
+
+    /// Data could not be encoded or decoded.
+    Codec(String),
+
+    /// A request violated the API contract (e.g. committing twice).
+    InvalidRequest(String),
+}
+
+impl fmt::Display for AftError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AftError::UnknownTransaction(id) => write!(f, "unknown transaction {id}"),
+            AftError::TransactionAborted(id) => write!(f, "transaction {id} was aborted"),
+            AftError::NoValidVersion { key, txn } => write!(
+                f,
+                "no version of key {key} is compatible with the read set of transaction {txn}"
+            ),
+            AftError::KeyNotFound(key) => write!(f, "key {key} not found"),
+            AftError::Storage(msg) => write!(f, "storage error: {msg}"),
+            AftError::StorageConflict(msg) => write!(f, "storage transaction conflict: {msg}"),
+            AftError::Unavailable(msg) => write!(f, "service unavailable: {msg}"),
+            AftError::FunctionFailed(msg) => write!(f, "function invocation failed: {msg}"),
+            AftError::Codec(msg) => write!(f, "codec error: {msg}"),
+            AftError::InvalidRequest(msg) => write!(f, "invalid request: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for AftError {}
+
+impl AftError {
+    /// Returns true if the failure is transient and the *whole logical
+    /// request* should be retried from scratch, which is the paper's
+    /// fault-tolerance model (retry-based, §3.3.1).
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            AftError::NoValidVersion { .. }
+                | AftError::StorageConflict(_)
+                | AftError::Unavailable(_)
+                | AftError::TransactionAborted(_)
+                | AftError::FunctionFailed(_)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::uuid::Uuid;
+
+    #[test]
+    fn retryable_classification() {
+        let id = TransactionId::new(1, Uuid::from_u128(1));
+        assert!(AftError::NoValidVersion {
+            key: Key::new("k"),
+            txn: id
+        }
+        .is_retryable());
+        assert!(AftError::StorageConflict("c".into()).is_retryable());
+        assert!(AftError::Unavailable("down".into()).is_retryable());
+        assert!(!AftError::Codec("bad".into()).is_retryable());
+        assert!(!AftError::UnknownTransaction(id).is_retryable());
+    }
+
+    #[test]
+    fn display_contains_context() {
+        let id = TransactionId::new(3, Uuid::from_u128(9));
+        let err = AftError::NoValidVersion {
+            key: Key::new("cart"),
+            txn: id,
+        };
+        let s = err.to_string();
+        assert!(s.contains("cart"));
+        assert!(s.contains("no version"));
+    }
+}

@@ -1,0 +1,58 @@
+//! Core data types shared by every crate in the AFT reproduction.
+//!
+//! AFT ("Atomic Fault Tolerance") is a shim that sits between a
+//! Functions-as-a-Service platform and a durable key-value store and provides
+//! read atomic isolation for logical requests that span multiple functions
+//! (Sreekanti et al., *A Fault-Tolerance Shim for Serverless Computing*,
+//! EuroSys 2020).
+//!
+//! This crate defines the vocabulary of that protocol:
+//!
+//! * [`TransactionId`] — the `<timestamp, uuid>` pair that identifies and
+//!   orders transactions (§3.1 of the paper).
+//! * [`Key`], [`Value`], [`KeyVersion`] — client-visible keys, opaque values,
+//!   and the per-transaction key versions AFT writes to storage (§3.2).
+//! * [`TransactionRecord`] — the commit record persisted to the Transaction
+//!   Commit Set at the end of the write-ordering protocol (§3.3).
+//! * [`codec`] — a small, dependency-free binary codec used to turn records
+//!   and tagged values into the opaque blobs the storage layer persists. AFT
+//!   only relies on the storage engine for durability, so everything it stores
+//!   is just bytes.
+//! * [`clock`] — the clock abstraction. AFT does not rely on clock
+//!   synchronisation for correctness; timestamps only provide relative
+//!   freshness, and ties are broken by UUID.
+//! * [`AftError`] — the error type used across the workspace.
+
+pub mod clock;
+pub mod codec;
+pub mod error;
+pub mod key;
+pub mod record;
+pub mod txid;
+pub mod uuid;
+pub mod value;
+
+pub use clock::{Clock, MockClock, SharedClock, SystemClock};
+pub use error::{AftError, AftResult};
+pub use key::{Key, KeyVersion};
+pub use record::{TransactionRecord, TransactionStatus, WriteSet};
+pub use txid::{Timestamp, TransactionId};
+pub use uuid::Uuid;
+pub use value::{payload_of_size, TaggedValue, Value};
+
+/// Storage key prefix under which AFT stores key-version data blobs.
+pub const DATA_PREFIX: &str = "data";
+
+/// Storage key prefix under which AFT stores commit records (the Transaction
+/// Commit Set of §3.1/§3.3).
+pub const COMMIT_PREFIX: &str = "commit";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefixes_are_distinct() {
+        assert_ne!(DATA_PREFIX, COMMIT_PREFIX);
+    }
+}

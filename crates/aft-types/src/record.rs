@@ -1,0 +1,192 @@
+//! Transaction commit records and write sets.
+//!
+//! The write-ordering protocol (§3.3) persists a transaction's data blobs
+//! first and only then writes a *commit record* — the transaction's ID plus
+//! its write set — to the Transaction Commit Set in storage. A transaction is
+//! committed if and only if its commit record is durable; everything else
+//! (metadata caches, key version indexes, multicast state) is soft state that
+//! can be rebuilt from the commit set.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::AftError;
+use crate::key::{Key, KeyVersion};
+use crate::txid::TransactionId;
+use crate::COMMIT_PREFIX;
+
+/// The set of keys written by a transaction.
+///
+/// Stored as a sorted set: the cowritten set of every key version written by
+/// the transaction is exactly this set (§3.2), and deterministic iteration
+/// order keeps the codec canonical.
+pub type WriteSet = BTreeSet<Key>;
+
+/// Lifecycle of a transaction as tracked by an AFT node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TransactionStatus {
+    /// The transaction has started and may still issue reads and writes.
+    Running,
+    /// CommitTransaction was called; data blobs are being persisted but the
+    /// commit record is not yet durable. Not visible to other transactions.
+    Committing,
+    /// The commit record is durable; the transaction's writes are visible.
+    Committed,
+    /// The transaction was aborted; its buffered writes were discarded.
+    Aborted,
+}
+
+impl fmt::Display for TransactionStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TransactionStatus::Running => "running",
+            TransactionStatus::Committing => "committing",
+            TransactionStatus::Committed => "committed",
+            TransactionStatus::Aborted => "aborted",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A committed transaction's entry in the Transaction Commit Set.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TransactionRecord {
+    /// The transaction's `<timestamp, uuid>` identifier.
+    pub id: TransactionId,
+    /// Every key the transaction wrote.
+    pub write_set: WriteSet,
+}
+
+impl TransactionRecord {
+    /// Creates a commit record.
+    pub fn new(id: TransactionId, write_set: impl IntoIterator<Item = Key>) -> Self {
+        TransactionRecord {
+            id,
+            write_set: write_set.into_iter().collect(),
+        }
+    }
+
+    /// The storage key of this record in the Transaction Commit Set:
+    /// `commit/{timestamp:020}_{uuid}`.
+    pub fn storage_key(&self) -> String {
+        Self::storage_key_for(&self.id)
+    }
+
+    /// The commit-set storage key for an arbitrary transaction ID.
+    pub fn storage_key_for(id: &TransactionId) -> String {
+        format!("{COMMIT_PREFIX}/{}", id.storage_suffix())
+    }
+
+    /// The prefix under which all commit records live; bootstrap and the fault
+    /// manager scan this prefix (§3.1, §4.2).
+    pub fn storage_prefix() -> String {
+        format!("{COMMIT_PREFIX}/")
+    }
+
+    /// Parses the transaction ID back out of a commit-set storage key.
+    pub fn id_from_storage_key(storage_key: &str) -> Result<TransactionId, AftError> {
+        let suffix = storage_key
+            .strip_prefix(COMMIT_PREFIX)
+            .and_then(|r| r.strip_prefix('/'))
+            .ok_or_else(|| {
+                AftError::Codec(format!("storage key {storage_key:?} is not a commit record"))
+            })?;
+        TransactionId::from_storage_suffix(suffix)
+    }
+
+    /// Returns true if this transaction wrote `key`.
+    pub fn wrote(&self, key: &Key) -> bool {
+        self.write_set.contains(key)
+    }
+
+    /// The key versions this transaction produced: one per written key, all
+    /// carrying the transaction's own ID.
+    pub fn key_versions(&self) -> impl Iterator<Item = KeyVersion> + '_ {
+        self.write_set
+            .iter()
+            .map(move |k| KeyVersion::new(k.clone(), self.id))
+    }
+
+    /// The cowritten set of any key version written by this transaction is the
+    /// transaction's write set (§3.2).
+    pub fn cowritten(&self) -> &WriteSet {
+        &self.write_set
+    }
+}
+
+impl fmt::Display for TransactionRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T[{}]{{", self.id)?;
+        for (i, k) in self.write_set.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{k}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::uuid::Uuid;
+
+    fn tid(ts: u64, id: u128) -> TransactionId {
+        TransactionId::new(ts, Uuid::from_u128(id))
+    }
+
+    fn record(ts: u64, keys: &[&str]) -> TransactionRecord {
+        TransactionRecord::new(tid(ts, ts as u128), keys.iter().map(|k| Key::new(k)))
+    }
+
+    #[test]
+    fn storage_key_round_trips() {
+        let r = record(77, &["a", "b"]);
+        let sk = r.storage_key();
+        assert!(sk.starts_with("commit/"));
+        assert_eq!(TransactionRecord::id_from_storage_key(&sk).unwrap(), r.id);
+    }
+
+    #[test]
+    fn commit_keys_sort_in_commit_order() {
+        let older = record(5, &["x"]).storage_key();
+        let newer = record(50, &["x"]).storage_key();
+        assert!(older < newer);
+    }
+
+    #[test]
+    fn wrote_and_cowritten() {
+        let r = record(1, &["k", "l"]);
+        assert!(r.wrote(&Key::new("k")));
+        assert!(!r.wrote(&Key::new("m")));
+        assert_eq!(r.cowritten().len(), 2);
+    }
+
+    #[test]
+    fn key_versions_carry_the_transaction_id() {
+        let r = record(9, &["a", "b", "c"]);
+        let versions: Vec<_> = r.key_versions().collect();
+        assert_eq!(versions.len(), 3);
+        assert!(versions.iter().all(|kv| kv.tid == r.id));
+    }
+
+    #[test]
+    fn duplicate_keys_collapse_in_write_set() {
+        let r = TransactionRecord::new(tid(1, 1), vec![Key::new("k"), Key::new("k")]);
+        assert_eq!(r.write_set.len(), 1);
+    }
+
+    #[test]
+    fn id_from_storage_key_rejects_data_keys() {
+        assert!(TransactionRecord::id_from_storage_key("data/k/000_1").is_err());
+    }
+
+    #[test]
+    fn status_display() {
+        assert_eq!(TransactionStatus::Running.to_string(), "running");
+        assert_eq!(TransactionStatus::Committed.to_string(), "committed");
+    }
+}

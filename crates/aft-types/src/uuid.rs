@@ -1,0 +1,132 @@
+//! A minimal 128-bit random identifier.
+//!
+//! The paper assigns every transaction a globally unique UUID at
+//! `StartTransaction` time and breaks commit-timestamp ties by comparing UUIDs
+//! lexicographically (§3.1). We only need uniqueness and a total order, so a
+//! random 128-bit value rendered as fixed-width hex is sufficient; pulling in a
+//! full RFC 4122 implementation would add nothing the protocol uses.
+
+use std::fmt;
+use std::str::FromStr;
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::error::AftError;
+
+/// A 128-bit random identifier with a total lexicographic order.
+///
+/// `Uuid` is `Copy` and 16 bytes, so it is cheap to embed in every
+/// [`TransactionId`](crate::TransactionId) and key version.
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct Uuid(u128);
+
+impl Uuid {
+    /// A UUID of all zeroes, used for the implicit `NULL` version of every key
+    /// (§3.2: "Each key has a NULL version").
+    pub const NIL: Uuid = Uuid(0);
+
+    /// Generates a new random UUID from the thread-local RNG.
+    pub fn new_random() -> Self {
+        Uuid(rand::thread_rng().gen())
+    }
+
+    /// Generates a new random UUID from a caller-supplied RNG.
+    ///
+    /// Deterministic tests and simulations seed their own RNGs and route all
+    /// randomness through them.
+    pub fn from_rng<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        Uuid(rng.gen())
+    }
+
+    /// Builds a UUID from a raw 128-bit value.
+    pub const fn from_u128(raw: u128) -> Self {
+        Uuid(raw)
+    }
+
+    /// Returns the raw 128-bit value.
+    pub const fn as_u128(&self) -> u128 {
+        self.0
+    }
+
+    /// Returns true if this is the [`Uuid::NIL`] identifier.
+    pub const fn is_nil(&self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for Uuid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Fixed-width lowercase hex so the string order matches the numeric
+        // order; storage keys embed this representation.
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+impl FromStr for Uuid {
+    type Err = AftError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s.len() != 32 {
+            return Err(AftError::Codec(format!(
+                "uuid must be 32 hex characters, got {} in {s:?}",
+                s.len()
+            )));
+        }
+        u128::from_str_radix(s, 16)
+            .map(Uuid)
+            .map_err(|e| AftError::Codec(format!("invalid uuid {s:?}: {e}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_uuids_are_distinct() {
+        let a = Uuid::new_random();
+        let b = Uuid::new_random();
+        assert_ne!(a, b, "two random 128-bit values collided");
+    }
+
+    #[test]
+    fn seeded_rng_is_deterministic() {
+        let mut r1 = StdRng::seed_from_u64(7);
+        let mut r2 = StdRng::seed_from_u64(7);
+        assert_eq!(Uuid::from_rng(&mut r1), Uuid::from_rng(&mut r2));
+    }
+
+    #[test]
+    fn display_round_trips() {
+        let u = Uuid::from_u128(0xdead_beef_0102_0304_0506_0708_090a_0b0c);
+        let s = u.to_string();
+        assert_eq!(s.len(), 32);
+        assert_eq!(s.parse::<Uuid>().unwrap(), u);
+    }
+
+    #[test]
+    fn display_order_matches_numeric_order() {
+        let small = Uuid::from_u128(0x01);
+        let large = Uuid::from_u128(0xff00_0000_0000_0000_0000_0000_0000_0000);
+        assert!(small < large);
+        assert!(small.to_string() < large.to_string());
+    }
+
+    #[test]
+    fn nil_is_nil() {
+        assert!(Uuid::NIL.is_nil());
+        assert!(!Uuid::from_u128(1).is_nil());
+    }
+
+    #[test]
+    fn parse_rejects_bad_input() {
+        assert!("not-a-uuid".parse::<Uuid>().is_err());
+        assert!("abcd".parse::<Uuid>().is_err());
+        assert!("zz".repeat(16).parse::<Uuid>().is_err());
+    }
+}

@@ -1,0 +1,239 @@
+//! The "Plain" baseline driver: functions write directly to cloud storage.
+//!
+//! This is what a serverless application looks like without AFT: every
+//! function reads and writes the shared store in place, so a failure between
+//! two writes exposes a fractional update, retries can double-expose partial
+//! state, and concurrent requests freely interleave. To count the resulting
+//! anomalies the driver embeds the same metadata AFT maintains — a request
+//! ID and cowritten key set — inside each stored value (§6.1.2 reports this
+//! costs about 70 extra bytes per 4 KB object).
+
+use std::sync::Arc;
+
+use aft_faas::{Composition, FaasPlatform, RetryPolicy};
+use aft_storage::SharedStorage;
+use aft_types::codec::{decode_tagged_value, encode_tagged_value};
+use aft_types::{
+    payload_of_size, AftError, AftResult, Key, SharedClock, SystemClock, TaggedValue,
+    TransactionId, Uuid,
+};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::anomaly::{AnomalyFlags, TaggedObservation};
+use crate::drivers::RequestDriver;
+use crate::generator::TransactionPlan;
+
+/// Executes logical requests directly against a storage engine, without AFT.
+pub struct PlainDriver {
+    platform: Arc<FaasPlatform>,
+    storage: SharedStorage,
+    retry: RetryPolicy,
+    rng: Mutex<StdRng>,
+    /// Strictly increasing tag timestamps. Real deployments use the wall
+    /// clock; at simulation speed many requests share a millisecond, so a
+    /// per-driver counter (seeded from the clock) keeps tag order consistent
+    /// with issue order and avoids spurious fractured-read reports.
+    tag_clock: std::sync::atomic::AtomicU64,
+    label: String,
+}
+
+/// Per-attempt state for a plain request.
+struct PlainRequestCtx {
+    observation: TaggedObservation,
+}
+
+impl PlainDriver {
+    /// Creates a plain driver over `storage`.
+    pub fn new(storage: SharedStorage, platform: Arc<FaasPlatform>, retry: RetryPolicy) -> Self {
+        Self::with_clock(storage, platform, retry, SystemClock::shared())
+    }
+
+    /// Creates a plain driver with an explicit clock for request tags.
+    pub fn with_clock(
+        storage: SharedStorage,
+        platform: Arc<FaasPlatform>,
+        retry: RetryPolicy,
+        clock: SharedClock,
+    ) -> Self {
+        let label = format!("Plain ({})", storage.name());
+        PlainDriver {
+            platform,
+            storage,
+            retry,
+            rng: Mutex::new(StdRng::seed_from_u64(0x71A1)),
+            tag_clock: std::sync::atomic::AtomicU64::new(clock.now() * 1_000),
+            label,
+        }
+    }
+
+    fn new_tag(&self) -> TransactionId {
+        let uuid = Uuid::from_rng(&mut *self.rng.lock());
+        // Reserve a window of 16 so per-attempt re-tags stay unique.
+        let timestamp = self
+            .tag_clock
+            .fetch_add(16, std::sync::atomic::Ordering::Relaxed);
+        TransactionId::new(timestamp, uuid)
+    }
+
+    fn build_composition(&self, plan: Arc<TransactionPlan>) -> Composition<PlainRequestCtx> {
+        let storage = self.storage.clone();
+        let platform = Arc::clone(&self.platform);
+        let write_set: Arc<Vec<Key>> = Arc::new(plan.write_set());
+        Composition::repeated("plain-request", plan.functions.len(), move |ctx: &mut PlainRequestCtx, info| {
+            let function = &plan.functions[info.step_index];
+            for key in &function.reads {
+                let observed = match storage.get(key.as_str())? {
+                    Some(blob) => Some(decode_tagged_value(&blob)?),
+                    None => None,
+                };
+                ctx.observation.record_read(key.clone(), observed);
+            }
+            for key in &function.writes {
+                let value = TaggedValue::new(
+                    ctx.observation.own_tag,
+                    write_set.as_ref().clone(),
+                    payload_of_size(plan.value_size),
+                );
+                storage.put(key.as_str(), encode_tagged_value(&value))?;
+                ctx.observation.record_write(key.clone());
+                // Without AFT, a crash here leaves the previous writes
+                // visible to everyone — the §1 fractional-update hazard.
+                if platform.injector().should_crash_midway() {
+                    return Err(AftError::FunctionFailed(
+                        "injected crash between writes".to_owned(),
+                    ));
+                }
+            }
+            Ok(())
+        })
+    }
+}
+
+impl RequestDriver for PlainDriver {
+    fn name(&self) -> &str {
+        &self.label
+    }
+
+    fn execute(&self, plan: &TransactionPlan) -> AftResult<AnomalyFlags> {
+        let plan = Arc::new(plan.clone());
+        let composition = self.build_composition(Arc::clone(&plan));
+        let tagger = self.new_tag();
+        let (ctx, outcome) = self.platform.run_request(
+            &composition,
+            move |attempt| PlainRequestCtx {
+                // Retries re-tag so that a half-finished earlier attempt is a
+                // distinct writer — exactly what a client re-issuing a request
+                // looks like to the rest of the system.
+                observation: TaggedObservation::new(TransactionId::new(
+                    tagger.timestamp.wrapping_add(attempt as u64),
+                    tagger.uuid,
+                )),
+            },
+            &self.retry,
+        );
+        match ctx {
+            Some(ctx) => Ok(ctx.observation.analyze()),
+            None => Err(outcome
+                .error
+                .unwrap_or_else(|| AftError::FunctionFailed("request failed".to_owned()))),
+        }
+    }
+
+    fn preload(&self, keys: &[Key], value_size: usize) -> AftResult<()> {
+        let tag = TransactionId::new(0, Uuid::from_u128(0x9E10AD));
+        let items: Vec<(String, aft_types::Value)> = keys
+            .iter()
+            .map(|key| {
+                let value =
+                    TaggedValue::new(tag, vec![key.clone()], payload_of_size(value_size));
+                (key.as_str().to_owned(), encode_tagged_value(&value))
+            })
+            .collect();
+        self.storage.put_batch(items)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aft_faas::{FailurePlan, PlatformConfig};
+    use aft_storage::{BackendConfig, BackendKind};
+    use crate::generator::{WorkloadConfig, WorkloadGenerator};
+
+    fn make_driver(kind: BackendKind) -> PlainDriver {
+        let storage = aft_storage::make_backend(BackendConfig::test(kind));
+        let platform = FaasPlatform::new(PlatformConfig::test());
+        PlainDriver::new(storage, platform, RetryPolicy::with_attempts(3))
+    }
+
+    #[test]
+    fn single_client_requests_are_anomaly_free() {
+        // Without concurrency or failures there is nobody to interleave with,
+        // so even the plain driver observes no anomalies.
+        let driver = make_driver(BackendKind::DynamoDb);
+        let mut generator = WorkloadGenerator::new(
+            WorkloadConfig::standard().with_keys(40).with_value_size(128),
+            9,
+        );
+        driver.preload(&generator.preload_plan(), 128).unwrap();
+        for _ in 0..30 {
+            let flags = driver.execute(&generator.next_plan()).unwrap();
+            assert_eq!(flags, AnomalyFlags::CLEAN);
+        }
+    }
+
+    #[test]
+    fn partial_writes_from_crashed_functions_are_visible() {
+        // A mid-body crash in the plain driver leaves some of the request's
+        // writes in storage even though the request failed — the motivating
+        // anomaly of §1. With no retries the request errors out, and the
+        // partially written key retains the crashed request's tag.
+        let storage = aft_storage::make_backend(BackendConfig::test(BackendKind::DynamoDb));
+        let platform = FaasPlatform::new(PlatformConfig::test().with_failures(FailurePlan {
+            before_body: 0.0,
+            after_body: 0.0,
+            mid_body: 1.0,
+        }));
+        let driver = PlainDriver::new(
+            storage.clone(),
+            platform,
+            RetryPolicy::no_retries(),
+        );
+        let mut generator = WorkloadGenerator::new(
+            WorkloadConfig::standard().with_keys(10).with_value_size(64),
+            2,
+        );
+        driver.preload(&generator.preload_plan(), 64).unwrap();
+
+        let plan = generator.next_plan();
+        let result = driver.execute(&plan);
+        assert!(result.is_err(), "the crashed request fails");
+
+        // The first written key of the plan now holds data from the failed
+        // request (a fractional update).
+        let first_write = &plan.functions[0].writes[0];
+        let blob = storage.get(first_write.as_str()).unwrap().unwrap();
+        let tagged = decode_tagged_value(&blob).unwrap();
+        assert_ne!(tagged.tid, TransactionId::new(0, Uuid::from_u128(0x9E10AD)));
+    }
+
+    #[test]
+    fn preload_then_read_round_trips_over_every_backend() {
+        for kind in [BackendKind::S3, BackendKind::DynamoDb, BackendKind::Redis] {
+            let driver = make_driver(kind);
+            let keys: Vec<Key> = (0..5).map(|i| Key::new(format!("k{i}"))).collect();
+            driver.preload(&keys, 32).unwrap();
+            let plan = TransactionPlan {
+                functions: vec![crate::generator::FunctionPlan {
+                    reads: keys.clone(),
+                    writes: vec![],
+                }],
+                value_size: 32,
+            };
+            let flags = driver.execute(&plan).unwrap();
+            assert_eq!(flags, AnomalyFlags::CLEAN, "backend {kind:?}");
+        }
+    }
+}

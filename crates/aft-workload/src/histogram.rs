@@ -1,0 +1,232 @@
+//! Latency recording and throughput timelines.
+//!
+//! Every figure in the paper reports either latency percentiles (median boxes
+//! with 99th-percentile whiskers) or throughput over time / versus offered
+//! load. [`LatencyRecorder`] collects per-request latencies and computes the
+//! percentiles; [`ThroughputTimeline`] buckets completions into fixed-width
+//! windows for the Figure 9/10 time series.
+
+use std::time::Duration;
+
+/// A simple exact latency recorder (stores every sample).
+#[derive(Debug, Clone, Default)]
+pub struct LatencyRecorder {
+    samples_us: Vec<u64>,
+}
+
+impl LatencyRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        LatencyRecorder::default()
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, latency: Duration) {
+        self.samples_us.push(latency.as_micros() as u64);
+    }
+
+    /// Merges another recorder's samples into this one.
+    pub fn merge(&mut self, other: &LatencyRecorder) {
+        self.samples_us.extend_from_slice(&other.samples_us);
+    }
+
+    /// Number of samples recorded.
+    pub fn len(&self) -> usize {
+        self.samples_us.len()
+    }
+
+    /// Returns true if no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples_us.is_empty()
+    }
+
+    /// Computes summary statistics over the recorded samples.
+    pub fn stats(&self) -> LatencyStats {
+        if self.samples_us.is_empty() {
+            return LatencyStats::default();
+        }
+        let mut sorted = self.samples_us.clone();
+        sorted.sort_unstable();
+        let percentile = |p: f64| -> Duration {
+            let rank = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+            Duration::from_micros(sorted[rank])
+        };
+        let sum: u64 = sorted.iter().sum();
+        LatencyStats {
+            count: sorted.len(),
+            mean: Duration::from_micros(sum / sorted.len() as u64),
+            median: percentile(0.5),
+            p95: percentile(0.95),
+            p99: percentile(0.99),
+            min: Duration::from_micros(sorted[0]),
+            max: Duration::from_micros(sorted[sorted.len() - 1]),
+        }
+    }
+}
+
+/// Summary statistics of a latency distribution.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LatencyStats {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: Duration,
+    /// 50th percentile.
+    pub median: Duration,
+    /// 95th percentile.
+    pub p95: Duration,
+    /// 99th percentile.
+    pub p99: Duration,
+    /// Smallest sample.
+    pub min: Duration,
+    /// Largest sample.
+    pub max: Duration,
+}
+
+impl LatencyStats {
+    /// Median latency in (fractional) milliseconds, as the figures report it.
+    pub fn median_ms(&self) -> f64 {
+        self.median.as_secs_f64() * 1e3
+    }
+
+    /// 99th-percentile latency in milliseconds.
+    pub fn p99_ms(&self) -> f64 {
+        self.p99.as_secs_f64() * 1e3
+    }
+}
+
+/// Completions bucketed into fixed-width time windows.
+#[derive(Debug, Clone)]
+pub struct ThroughputTimeline {
+    bucket_width: Duration,
+    buckets: Vec<u64>,
+}
+
+impl ThroughputTimeline {
+    /// Creates a timeline with the given bucket width.
+    pub fn new(bucket_width: Duration) -> Self {
+        assert!(!bucket_width.is_zero(), "bucket width must be positive");
+        ThroughputTimeline {
+            bucket_width,
+            buckets: Vec::new(),
+        }
+    }
+
+    /// Records one completion at `elapsed` since the experiment started.
+    pub fn record(&mut self, elapsed: Duration) {
+        let index = (elapsed.as_secs_f64() / self.bucket_width.as_secs_f64()) as usize;
+        if index >= self.buckets.len() {
+            self.buckets.resize(index + 1, 0);
+        }
+        self.buckets[index] += 1;
+    }
+
+    /// Merges another timeline (same bucket width) into this one.
+    pub fn merge(&mut self, other: &ThroughputTimeline) {
+        assert_eq!(
+            self.bucket_width, other.bucket_width,
+            "cannot merge timelines with different bucket widths"
+        );
+        if other.buckets.len() > self.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (i, count) in other.buckets.iter().enumerate() {
+            self.buckets[i] += count;
+        }
+    }
+
+    /// The bucket width.
+    pub fn bucket_width(&self) -> Duration {
+        self.bucket_width
+    }
+
+    /// `(bucket start time in seconds, completions per second)` series.
+    pub fn series(&self) -> Vec<(f64, f64)> {
+        let width = self.bucket_width.as_secs_f64();
+        self.buckets
+            .iter()
+            .enumerate()
+            .map(|(i, &count)| (i as f64 * width, count as f64 / width))
+            .collect()
+    }
+
+    /// Total completions recorded.
+    pub fn total(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_recorder_reports_zeroes() {
+        let recorder = LatencyRecorder::new();
+        assert!(recorder.is_empty());
+        let stats = recorder.stats();
+        assert_eq!(stats.count, 0);
+        assert_eq!(stats.median, Duration::ZERO);
+    }
+
+    #[test]
+    fn percentiles_are_computed_over_sorted_samples() {
+        let mut recorder = LatencyRecorder::new();
+        // 1ms..=100ms inserted in reverse order.
+        for ms in (1..=100u64).rev() {
+            recorder.record(Duration::from_millis(ms));
+        }
+        let stats = recorder.stats();
+        assert_eq!(stats.count, 100);
+        assert_eq!(stats.min, Duration::from_millis(1));
+        assert_eq!(stats.max, Duration::from_millis(100));
+        assert!((stats.median_ms() - 50.0).abs() <= 1.0);
+        assert!((stats.p99_ms() - 99.0).abs() <= 1.0);
+        assert!(stats.mean >= Duration::from_millis(50));
+    }
+
+    #[test]
+    fn merge_combines_samples() {
+        let mut a = LatencyRecorder::new();
+        let mut b = LatencyRecorder::new();
+        a.record(Duration::from_millis(10));
+        b.record(Duration::from_millis(30));
+        a.merge(&b);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.stats().max, Duration::from_millis(30));
+    }
+
+    #[test]
+    fn timeline_buckets_completions() {
+        let mut timeline = ThroughputTimeline::new(Duration::from_secs(1));
+        for i in 0..10 {
+            timeline.record(Duration::from_millis(i * 300));
+        }
+        let series = timeline.series();
+        assert_eq!(timeline.total(), 10);
+        // 0.0-1.0s holds events at 0,300,600,900ms = 4 completions.
+        assert_eq!(series[0], (0.0, 4.0));
+        assert_eq!(series[1].1, 3.0);
+    }
+
+    #[test]
+    fn timeline_merge_adds_buckets() {
+        let mut a = ThroughputTimeline::new(Duration::from_secs(1));
+        let mut b = ThroughputTimeline::new(Duration::from_secs(1));
+        a.record(Duration::from_millis(500));
+        b.record(Duration::from_millis(700));
+        b.record(Duration::from_millis(1_500));
+        a.merge(&b);
+        assert_eq!(a.total(), 3);
+        assert_eq!(a.series()[0].1, 2.0);
+        assert_eq!(a.series()[1].1, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "different bucket widths")]
+    fn merging_mismatched_widths_panics() {
+        let mut a = ThroughputTimeline::new(Duration::from_secs(1));
+        let b = ThroughputTimeline::new(Duration::from_secs(2));
+        a.merge(&b);
+    }
+}

@@ -1,0 +1,292 @@
+//! The closed-loop experiment runner.
+//!
+//! Every experiment in §6 follows the same pattern: N parallel clients each
+//! synchronously issue logical requests (invoke, wait, repeat), and the
+//! harness reports latency percentiles, throughput, and anomaly counts.
+//! [`run_closed_loop`] is that harness: it spawns one thread per client,
+//! drives the given [`RequestDriver`], and merges the per-client
+//! measurements.
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use aft_types::AftResult;
+
+use crate::anomaly::AnomalyCounts;
+use crate::drivers::RequestDriver;
+use crate::generator::{WorkloadConfig, WorkloadGenerator};
+use crate::histogram::{LatencyRecorder, LatencyStats, ThroughputTimeline};
+
+/// Configuration of one experiment run.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Parallel closed-loop clients.
+    pub clients: usize,
+    /// Requests each client issues (ignored if zero and a duration is set).
+    pub requests_per_client: usize,
+    /// Optional wall-clock limit; the run stops when either bound is hit.
+    pub duration: Option<Duration>,
+    /// Bucket width of the throughput timeline.
+    pub timeline_bucket: Duration,
+    /// Whether to preload the key space through the driver before measuring.
+    pub preload: bool,
+    /// The workload every client generates plans from.
+    pub workload: WorkloadConfig,
+    /// Base RNG seed; client `i` uses `seed + i`.
+    pub seed: u64,
+}
+
+impl RunConfig {
+    /// A single-client run of 100 requests over the given workload.
+    pub fn new(workload: WorkloadConfig) -> Self {
+        RunConfig {
+            clients: 1,
+            requests_per_client: 100,
+            duration: None,
+            timeline_bucket: Duration::from_secs(1),
+            preload: true,
+            workload,
+            seed: 0xC11E17,
+        }
+    }
+
+    /// Sets the number of clients.
+    pub fn with_clients(mut self, clients: usize) -> Self {
+        self.clients = clients;
+        self
+    }
+
+    /// Sets the per-client request count.
+    pub fn with_requests(mut self, requests: usize) -> Self {
+        self.requests_per_client = requests;
+        self
+    }
+
+    /// Sets a wall-clock duration bound.
+    pub fn with_duration(mut self, duration: Duration) -> Self {
+        self.duration = Some(duration);
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// The merged measurements of one experiment run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// The driver's display name.
+    pub driver: String,
+    /// Latency distribution of successful requests.
+    pub latency: LatencyStats,
+    /// Anomaly counts across successful requests.
+    pub anomalies: AnomalyCounts,
+    /// Requests that completed successfully.
+    pub completed: u64,
+    /// Requests that exhausted their retries.
+    pub failed: u64,
+    /// Wall-clock time of the measured phase.
+    pub elapsed: Duration,
+    /// Completions bucketed over time.
+    pub timeline: ThroughputTimeline,
+}
+
+impl RunResult {
+    /// Average throughput over the measured phase, in requests per second.
+    pub fn throughput_tps(&self) -> f64 {
+        if self.elapsed.is_zero() {
+            0.0
+        } else {
+            self.completed as f64 / self.elapsed.as_secs_f64()
+        }
+    }
+}
+
+struct ClientMeasurements {
+    latencies: LatencyRecorder,
+    anomalies: AnomalyCounts,
+    completed: u64,
+    failed: u64,
+    timeline: ThroughputTimeline,
+}
+
+/// Runs a closed-loop experiment and returns the merged measurements.
+pub fn run_closed_loop(driver: &dyn RequestDriver, config: &RunConfig) -> AftResult<RunResult> {
+    if config.preload {
+        let generator = WorkloadGenerator::new(config.workload.clone(), config.seed);
+        driver.preload(&generator.preload_plan(), config.workload.value_size)?;
+    }
+
+    let per_client_requests = if config.requests_per_client == 0 {
+        usize::MAX
+    } else {
+        config.requests_per_client
+    };
+    let deadline = config.duration;
+    let started = Instant::now();
+    let collected: Mutex<Vec<ClientMeasurements>> = Mutex::new(Vec::new());
+
+    std::thread::scope(|scope| {
+        for client in 0..config.clients {
+            let collected = &collected;
+            let workload = config.workload.clone();
+            let seed = config.seed + 1 + client as u64;
+            let bucket = config.timeline_bucket;
+            scope.spawn(move || {
+                let mut generator = WorkloadGenerator::new(workload, seed);
+                let mut measurements = ClientMeasurements {
+                    latencies: LatencyRecorder::new(),
+                    anomalies: AnomalyCounts::default(),
+                    completed: 0,
+                    failed: 0,
+                    timeline: ThroughputTimeline::new(bucket),
+                };
+                for _ in 0..per_client_requests {
+                    if let Some(limit) = deadline {
+                        if started.elapsed() >= limit {
+                            break;
+                        }
+                    }
+                    let plan = generator.next_plan();
+                    let request_start = Instant::now();
+                    match driver.execute(&plan) {
+                        Ok(flags) => {
+                            measurements.latencies.record(request_start.elapsed());
+                            measurements.anomalies.record(flags);
+                            measurements.completed += 1;
+                            measurements.timeline.record(started.elapsed());
+                        }
+                        Err(_) => {
+                            measurements.failed += 1;
+                        }
+                    }
+                }
+                collected.lock().expect("collector mutex").push(measurements);
+            });
+        }
+    });
+
+    let elapsed = started.elapsed();
+    let mut latencies = LatencyRecorder::new();
+    let mut anomalies = AnomalyCounts::default();
+    let mut completed = 0;
+    let mut failed = 0;
+    let mut timeline = ThroughputTimeline::new(config.timeline_bucket);
+    for client in collected.into_inner().expect("collector mutex") {
+        latencies.merge(&client.latencies);
+        anomalies.merge(&client.anomalies);
+        completed += client.completed;
+        failed += client.failed;
+        timeline.merge(&client.timeline);
+    }
+
+    Ok(RunResult {
+        driver: driver.name().to_owned(),
+        latency: latencies.stats(),
+        anomalies,
+        completed,
+        failed,
+        elapsed,
+        timeline,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::drivers::{AftDriver, PlainDriver};
+    use aft_core::{AftNode, NodeConfig};
+    use aft_faas::{FaasPlatform, PlatformConfig, RetryPolicy};
+    use aft_storage::{BackendConfig, BackendKind, InMemoryStore};
+    use aft_types::clock::TickingClock;
+
+    fn small_workload() -> WorkloadConfig {
+        WorkloadConfig::standard().with_keys(50).with_value_size(64)
+    }
+
+    fn aft_driver() -> AftDriver {
+        let node = AftNode::with_clock(
+            NodeConfig::test(),
+            InMemoryStore::shared(),
+            TickingClock::shared(1, 1),
+        )
+        .unwrap();
+        AftDriver::single_node(
+            node,
+            FaasPlatform::new(PlatformConfig::test()),
+            RetryPolicy::with_attempts(5),
+        )
+    }
+
+    #[test]
+    fn single_client_run_completes_every_request() {
+        let driver = aft_driver();
+        let config = RunConfig::new(small_workload()).with_requests(25);
+        let result = run_closed_loop(&driver, &config).unwrap();
+        assert_eq!(result.completed, 25);
+        assert_eq!(result.failed, 0);
+        assert_eq!(result.anomalies.total_transactions, 25);
+        assert_eq!(result.anomalies.ryw_transactions, 0);
+        assert_eq!(result.anomalies.fr_transactions, 0);
+        assert_eq!(result.latency.count, 25);
+        assert_eq!(result.timeline.total(), 25);
+        assert!(result.throughput_tps() > 0.0);
+        assert_eq!(result.driver, "AFT");
+    }
+
+    #[test]
+    fn multi_client_runs_aggregate_across_threads() {
+        let driver = aft_driver();
+        let config = RunConfig::new(small_workload())
+            .with_clients(4)
+            .with_requests(10);
+        let result = run_closed_loop(&driver, &config).unwrap();
+        assert_eq!(result.completed, 40);
+        assert_eq!(result.latency.count, 40);
+        // With concurrent clients AFT must still never show anomalies.
+        assert_eq!(result.anomalies.ryw_transactions, 0);
+        assert_eq!(result.anomalies.fr_transactions, 0);
+    }
+
+    #[test]
+    fn duration_bound_stops_the_run() {
+        let driver = aft_driver();
+        let config = RunConfig::new(small_workload())
+            .with_requests(0)
+            .with_duration(Duration::from_millis(100));
+        let result = run_closed_loop(&driver, &config).unwrap();
+        assert!(result.completed > 0);
+        assert!(result.elapsed >= Duration::from_millis(100));
+        assert!(result.elapsed < Duration::from_secs(10));
+    }
+
+    #[test]
+    fn concurrent_plain_clients_eventually_show_anomalies() {
+        // The contended plain workload is the Table 2 setting: with enough
+        // parallel clients hammering a tiny hot key space, read-your-writes
+        // and fractured-read anomalies appear.
+        let storage = aft_storage::make_backend(BackendConfig::test(BackendKind::DynamoDb));
+        let driver = PlainDriver::new(
+            storage,
+            FaasPlatform::new(PlatformConfig::test()),
+            RetryPolicy::with_attempts(3),
+        );
+        let config = RunConfig::new(
+            WorkloadConfig::standard()
+                .with_keys(4)
+                .with_zipf(2.0)
+                .with_value_size(64),
+        )
+        .with_clients(8)
+        .with_requests(150);
+        let result = run_closed_loop(&driver, &config).unwrap();
+        assert_eq!(result.completed, 8 * 150);
+        assert!(
+            result.anomalies.ryw_transactions + result.anomalies.fr_transactions > 0,
+            "expected at least one anomaly under heavy contention without AFT"
+        );
+    }
+}

@@ -1,0 +1,150 @@
+//! Zipfian key-popularity distribution.
+//!
+//! The paper's workloads draw keys from Zipfian distributions with
+//! coefficients 1.0 ("lightly contended"), 1.5 ("moderately contended") and
+//! 2.0 ("heavily contended") — §6.1.2 and §6.2. The generator here uses the
+//! classic inverse-CDF construction over a precomputed cumulative weight
+//! table, which is exact and fast for the key-space sizes the evaluation uses
+//! (1,000 to 100,000 keys).
+
+use rand::Rng;
+
+/// A sampler over `0..n` with Zipfian popularity (rank 1 is the most popular).
+#[derive(Debug, Clone)]
+pub struct ZipfGenerator {
+    /// Cumulative normalised weights; `cdf[i]` is P(rank <= i).
+    cdf: Vec<f64>,
+}
+
+impl ZipfGenerator {
+    /// Creates a generator over `n` items with exponent `s`.
+    ///
+    /// `s = 0` degenerates to the uniform distribution. Larger exponents
+    /// concentrate probability on the lowest ranks.
+    ///
+    /// # Panics
+    /// Panics if `n` is zero or `s` is negative.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "a Zipf distribution needs at least one item");
+        assert!(s >= 0.0, "the Zipf exponent must be non-negative");
+        let mut cdf = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for rank in 1..=n {
+            total += 1.0 / (rank as f64).powf(s);
+            cdf.push(total);
+        }
+        for value in &mut cdf {
+            *value /= total;
+        }
+        ZipfGenerator { cdf }
+    }
+
+    /// Number of items in the distribution.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Returns true if the distribution has no items (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Samples an item index in `0..n` (0 is the most popular item).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        // Find the first rank whose cumulative probability covers u.
+        match self
+            .cdf
+            .binary_search_by(|probe| probe.partial_cmp(&u).expect("cdf contains no NaN"))
+        {
+            Ok(index) => index,
+            Err(index) => index.min(self.cdf.len() - 1),
+        }
+    }
+
+    /// The probability of sampling item `index`.
+    pub fn probability(&self, index: usize) -> f64 {
+        if index >= self.cdf.len() {
+            return 0.0;
+        }
+        if index == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[index] - self.cdf[index - 1]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn frequencies(n: usize, s: f64, samples: usize) -> Vec<usize> {
+        let zipf = ZipfGenerator::new(n, s);
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut counts = vec![0usize; n];
+        for _ in 0..samples {
+            counts[zipf.sample(&mut rng)] += 1;
+        }
+        counts
+    }
+
+    #[test]
+    fn uniform_when_exponent_is_zero() {
+        let counts = frequencies(10, 0.0, 100_000);
+        for &count in &counts {
+            assert!(
+                (8_000..12_000).contains(&count),
+                "uniform draw should give ~10k per bucket, got {count}"
+            );
+        }
+    }
+
+    #[test]
+    fn skew_increases_with_exponent() {
+        let light = frequencies(1_000, 1.0, 50_000);
+        let heavy = frequencies(1_000, 2.0, 50_000);
+        let light_top = light[0] as f64 / 50_000.0;
+        let heavy_top = heavy[0] as f64 / 50_000.0;
+        assert!(light_top > 0.05, "rank 1 under zipf(1.0) is popular");
+        assert!(
+            heavy_top > 2.0 * light_top,
+            "zipf(2.0) concentrates much more on rank 1 ({heavy_top} vs {light_top})"
+        );
+    }
+
+    #[test]
+    fn ranks_are_monotonically_less_popular() {
+        let counts = frequencies(100, 1.5, 200_000);
+        // Compare well-separated ranks to keep sampling noise manageable.
+        assert!(counts[0] > counts[9]);
+        assert!(counts[9] > counts[49]);
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let zipf = ZipfGenerator::new(500, 1.5);
+        let total: f64 = (0..500).map(|i| zipf.probability(i)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert_eq!(zipf.probability(500), 0.0);
+        assert_eq!(zipf.len(), 500);
+        assert!(!zipf.is_empty());
+    }
+
+    #[test]
+    fn samples_stay_in_range() {
+        let zipf = ZipfGenerator::new(3, 1.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            assert!(zipf.sample(&mut rng) < 3);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one item")]
+    fn zero_items_panics() {
+        let _ = ZipfGenerator::new(0, 1.0);
+    }
+}

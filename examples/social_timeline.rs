@@ -1,0 +1,147 @@
+//! A social-network timeline: multi-key fan-out writes that must never be
+//! seen half-applied.
+//!
+//! Run with `cargo run --example social_timeline`.
+//!
+//! Posting an update touches several keys — the post itself, the author's
+//! post list, and every follower's timeline. Without atomic visibility a
+//! reader can see a timeline entry that points at a post which "does not
+//! exist yet" (the fractured read of §2.1). This example runs the workload
+//! twice over the simulated Redis cluster: once directly against storage
+//! (Plain) and once through AFT, and counts how many reads observed a
+//! dangling timeline entry.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use aft::core::{AftNode, NodeConfig};
+use aft::storage::{BackendConfig, BackendKind, SharedStorage};
+use aft::types::Key;
+use bytes::Bytes;
+
+const USERS: usize = 4;
+const POSTS_PER_USER: usize = 50;
+
+fn post_key(user: usize, seq: u64) -> String {
+    format!("post:{user}:{seq}")
+}
+
+fn timeline_key(user: usize) -> String {
+    format!("timeline:{user}")
+}
+
+/// Publishes one post directly against storage (no AFT): each key is written
+/// in place, one at a time, so readers can observe the fan-out mid-flight.
+fn publish_plain(storage: &SharedStorage, author: usize, seq: u64) {
+    // Followers' timelines are updated *before* the post body is written, the
+    // ordering bug this example is about.
+    for follower in (0..USERS).filter(|f| *f != author) {
+        storage
+            .put(&timeline_key(follower), Bytes::from(post_key(author, seq)))
+            .unwrap();
+    }
+    std::thread::yield_now(); // widen the window a reader can fall into
+    storage
+        .put(&post_key(author, seq), Bytes::from(format!("post #{seq} by user {author}")))
+        .unwrap();
+}
+
+/// Publishes one post through AFT: the same writes, buffered and committed
+/// atomically.
+fn publish_aft(node: &AftNode, author: usize, seq: u64) {
+    let txn = node.start_transaction();
+    for follower in (0..USERS).filter(|f| *f != author) {
+        node.put(&txn, Key::new(timeline_key(follower)), Bytes::from(post_key(author, seq)))
+            .unwrap();
+    }
+    node.put(
+        &txn,
+        Key::new(post_key(author, seq)),
+        Bytes::from(format!("post #{seq} by user {author}")),
+    )
+    .unwrap();
+    node.commit(&txn).unwrap();
+}
+
+fn main() {
+    println!("== Plain (direct writes to the Redis cluster) ==");
+    let dangling_plain = run(false);
+    println!("   dangling timeline reads observed: {dangling_plain}");
+
+    println!("\n== AFT (same workload through the shim) ==");
+    let dangling_aft = run(true);
+    println!("   dangling timeline reads observed: {dangling_aft}");
+
+    println!(
+        "\nAFT prevented every fractured read; the plain run exposed {dangling_plain} of them."
+    );
+    assert_eq!(dangling_aft, 0, "AFT must never expose a dangling timeline entry");
+}
+
+/// Runs publishers and timeline readers concurrently; returns how many reads
+/// saw a timeline entry whose post was not yet visible.
+fn run(use_aft: bool) -> u64 {
+    let storage = aft::storage::make_backend(BackendConfig::test(BackendKind::Redis));
+    let node = AftNode::new(NodeConfig::default(), storage.clone()).expect("node");
+    let dangling = Arc::new(AtomicU64::new(0));
+    let done = Arc::new(AtomicU64::new(0));
+
+    std::thread::scope(|scope| {
+        // Publishers: each user posts POSTS_PER_USER times.
+        for author in 0..USERS {
+            let storage = storage.clone();
+            let node = Arc::clone(&node);
+            let done = Arc::clone(&done);
+            scope.spawn(move || {
+                for seq in 0..POSTS_PER_USER as u64 {
+                    if use_aft {
+                        publish_aft(&node, author, seq);
+                    } else {
+                        publish_plain(&storage, author, seq);
+                    }
+                }
+                done.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+
+        // Readers: repeatedly read a timeline entry and then dereference it.
+        for reader_user in 0..USERS {
+            let storage = storage.clone();
+            let node = Arc::clone(&node);
+            let dangling = Arc::clone(&dangling);
+            let done = Arc::clone(&done);
+            scope.spawn(move || {
+                while done.load(Ordering::SeqCst) < USERS as u64 {
+                    let observed = if use_aft {
+                        let txn = node.start_transaction();
+                        let head = node.get(&txn, &Key::new(timeline_key(reader_user))).unwrap();
+                        // Only a timeline entry that points at an invisible
+                        // post counts as dangling; an empty timeline is fine.
+                        let is_dangling = match head {
+                            Some(post_ref) => {
+                                let post_key = String::from_utf8_lossy(&post_ref).into_owned();
+                                node.get(&txn, &Key::new(post_key)).unwrap().is_none()
+                            }
+                            None => false,
+                        };
+                        node.commit(&txn).unwrap();
+                        is_dangling
+                    } else {
+                        match storage.get(&timeline_key(reader_user)).unwrap() {
+                            Some(post_ref) => {
+                                let post_key = String::from_utf8_lossy(&post_ref).into_owned();
+                                storage.get(&post_key).unwrap().is_none()
+                            }
+                            None => false,
+                        }
+                    };
+                    if observed {
+                        dangling.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+    });
+
+    dangling.load(Ordering::Relaxed)
+}
