@@ -19,7 +19,9 @@ fn bench(c: &mut Criterion) {
     let env = env();
     let payload = payload_of_size(4 * 1024);
     let mut group = c.benchmark_group("fig2_io_latency_5_writes");
-    group.sample_size(20).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(3));
 
     let storage = env.storage(BackendKind::DynamoDb, 1);
     let mut counter = 0u64;
@@ -27,7 +29,9 @@ fn bench(c: &mut Criterion) {
         b.iter(|| {
             counter += 1;
             for w in 0..5 {
-                storage.put(&format!("k/{counter}/{w}"), payload.clone()).unwrap();
+                storage
+                    .put(&format!("k/{counter}/{w}"), payload.clone())
+                    .unwrap();
             }
         })
     });
@@ -36,7 +40,9 @@ fn bench(c: &mut Criterion) {
     group.bench_function("dynamodb_batch", |b| {
         b.iter(|| {
             counter += 1;
-            let items = (0..5).map(|w| (format!("k/{counter}/{w}"), payload.clone())).collect();
+            let items = (0..5)
+                .map(|w| (format!("k/{counter}/{w}"), payload.clone()))
+                .collect();
             storage.put_batch(items).unwrap();
         })
     });
@@ -47,7 +53,8 @@ fn bench(c: &mut Criterion) {
             counter += 1;
             let t = node.start_transaction();
             for w in 0..5 {
-                node.put(&t, Key::new(format!("k/{counter}/{w}")), payload.clone()).unwrap();
+                node.put(&t, Key::new(format!("k/{counter}/{w}")), payload.clone())
+                    .unwrap();
             }
             node.commit(&t).unwrap();
         })

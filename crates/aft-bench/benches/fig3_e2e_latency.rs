@@ -19,22 +19,38 @@ fn bench(c: &mut Criterion) {
     let env = env();
     let workload = WorkloadConfig::standard().with_keys(200);
     let mut group = c.benchmark_group("fig3_e2e_request");
-    group.sample_size(20).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(3));
 
     let mut run = |name: &str, driver: Box<dyn RequestDriver>| {
         let mut generator = WorkloadGenerator::new(workload.clone(), 7);
-        driver.preload(&generator.preload_plan(), workload.value_size).unwrap();
+        driver
+            .preload(&generator.preload_plan(), workload.value_size)
+            .unwrap();
         group.bench_function(name, |b| {
             b.iter(|| driver.execute(&generator.next_plan()).unwrap())
         });
     };
 
     run("plain_s3", Box::new(env.plain_driver(BackendKind::S3, 1)));
-    run("plain_dynamodb", Box::new(env.plain_driver(BackendKind::DynamoDb, 2)));
-    run("plain_redis", Box::new(env.plain_driver(BackendKind::Redis, 3)));
+    run(
+        "plain_dynamodb",
+        Box::new(env.plain_driver(BackendKind::DynamoDb, 2)),
+    );
+    run(
+        "plain_redis",
+        Box::new(env.plain_driver(BackendKind::Redis, 3)),
+    );
     run("aft_s3", Box::new(env.aft_driver(BackendKind::S3, true, 4)));
-    run("aft_dynamodb", Box::new(env.aft_driver(BackendKind::DynamoDb, true, 5)));
-    run("aft_redis", Box::new(env.aft_driver(BackendKind::Redis, true, 6)));
+    run(
+        "aft_dynamodb",
+        Box::new(env.aft_driver(BackendKind::DynamoDb, true, 5)),
+    );
+    run(
+        "aft_redis",
+        Box::new(env.aft_driver(BackendKind::Redis, true, 6)),
+    );
     run("dynamodb_txn_mode", Box::new(env.dynamo_txn_driver(7)));
     group.finish();
 }

@@ -8,10 +8,16 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
-    let env = BenchEnv { scale: 0.01, requests_per_client: 1, fast: true };
+    let env = BenchEnv {
+        scale: 0.01,
+        requests_per_client: 1,
+        fast: true,
+    };
     let workload = WorkloadConfig::caching_skew(2.0).with_keys(2_000);
     let mut group = c.benchmark_group("fig4_caching_zipf2");
-    group.sample_size(20).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(3));
 
     for (name, kind, caching) in [
         ("aft_dynamodb_no_cache", BackendKind::DynamoDb, false),
@@ -21,7 +27,9 @@ fn bench(c: &mut Criterion) {
     ] {
         let driver = env.aft_driver(kind, caching, 11);
         let mut generator = WorkloadGenerator::new(workload.clone(), 7);
-        driver.preload(&generator.preload_plan(), workload.value_size).unwrap();
+        driver
+            .preload(&generator.preload_plan(), workload.value_size)
+            .unwrap();
         group.bench_function(name, |b| {
             b.iter(|| driver.execute(&generator.next_plan()).unwrap())
         });

@@ -8,16 +8,24 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
-    let env = BenchEnv { scale: 0.01, requests_per_client: 1, fast: true };
+    let env = BenchEnv {
+        scale: 0.01,
+        requests_per_client: 1,
+        fast: true,
+    };
     let mut group = c.benchmark_group("fig5_rw_ratio");
-    group.sample_size(20).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(3));
 
     for kind in [BackendKind::DynamoDb, BackendKind::Redis] {
         for pct in [0u32, 60, 100] {
             let workload = WorkloadConfig::read_write_ratio(pct).with_keys(200);
             let driver = env.aft_driver(kind, true, pct as u64 + 21);
             let mut generator = WorkloadGenerator::new(workload.clone(), 9);
-            driver.preload(&generator.preload_plan(), workload.value_size).unwrap();
+            driver
+                .preload(&generator.preload_plan(), workload.value_size)
+                .unwrap();
             group.bench_function(format!("{}_{}pct_reads", kind.label(), pct), |b| {
                 b.iter(|| driver.execute(&generator.next_plan()).unwrap())
             });

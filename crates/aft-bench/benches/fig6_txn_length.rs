@@ -8,16 +8,24 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
-    let env = BenchEnv { scale: 0.01, requests_per_client: 1, fast: true };
+    let env = BenchEnv {
+        scale: 0.01,
+        requests_per_client: 1,
+        fast: true,
+    };
     let mut group = c.benchmark_group("fig6_txn_length");
-    group.sample_size(20).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(3));
 
     for kind in [BackendKind::DynamoDb, BackendKind::Redis] {
         for functions in [1usize, 5, 10] {
             let workload = WorkloadConfig::transaction_length(functions).with_keys(200);
             let driver = env.aft_driver(kind, true, functions as u64 + 31);
             let mut generator = WorkloadGenerator::new(workload.clone(), 13);
-            driver.preload(&generator.preload_plan(), workload.value_size).unwrap();
+            driver
+                .preload(&generator.preload_plan(), workload.value_size)
+                .unwrap();
             group.bench_function(format!("{}_{}_functions", kind.label(), functions), |b| {
                 b.iter(|| driver.execute(&generator.next_plan()).unwrap())
             });

@@ -8,15 +8,23 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
-    let env = BenchEnv { scale: 0.01, requests_per_client: 1, fast: true };
+    let env = BenchEnv {
+        scale: 0.01,
+        requests_per_client: 1,
+        fast: true,
+    };
     let workload = WorkloadConfig::standard().with_zipf(1.5).with_keys(1_000);
     let mut group = c.benchmark_group("fig7_single_node_request");
-    group.sample_size(20).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(3));
 
     for kind in [BackendKind::DynamoDb, BackendKind::Redis] {
         let driver = env.aft_driver(kind, true, 41);
         let mut generator = WorkloadGenerator::new(workload.clone(), 17);
-        driver.preload(&generator.preload_plan(), workload.value_size).unwrap();
+        driver
+            .preload(&generator.preload_plan(), workload.value_size)
+            .unwrap();
         group.bench_function(kind.label(), |b| {
             b.iter(|| driver.execute(&generator.next_plan()).unwrap())
         });

@@ -9,17 +9,29 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
-    let env = BenchEnv { scale: 0.01, requests_per_client: 1, fast: true };
+    let env = BenchEnv {
+        scale: 0.01,
+        requests_per_client: 1,
+        fast: true,
+    };
     let workload = WorkloadConfig::standard().with_zipf(1.5).with_keys(1_000);
     let mut group = c.benchmark_group("fig8_clustered_request");
-    group.sample_size(20).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(3));
 
     for nodes in [1usize, 4] {
         let cluster = env.cluster(env.storage(BackendKind::DynamoDb, 51), nodes, true);
         cluster.start_background();
-        let driver = AftDriver::clustered(cluster.clone(), env.platform(), RetryPolicy::with_attempts(8));
+        let driver = AftDriver::clustered(
+            cluster.clone(),
+            env.platform(),
+            RetryPolicy::with_attempts(8),
+        );
         let mut generator = WorkloadGenerator::new(workload.clone(), 19);
-        driver.preload(&generator.preload_plan(), workload.value_size).unwrap();
+        driver
+            .preload(&generator.preload_plan(), workload.value_size)
+            .unwrap();
         group.bench_function(format!("dynamodb_{nodes}_nodes"), |b| {
             b.iter(|| driver.execute(&generator.next_plan()).unwrap())
         });

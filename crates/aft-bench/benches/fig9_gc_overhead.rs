@@ -10,9 +10,15 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
-    let env = BenchEnv { scale: 0.0, requests_per_client: 1, fast: true };
+    let env = BenchEnv {
+        scale: 0.0,
+        requests_per_client: 1,
+        fast: true,
+    };
     let mut group = c.benchmark_group("fig9_gc");
-    group.sample_size(20).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(3));
 
     // Commit + local GC sweep interleaved (the steady state of Figure 9).
     let node = env.node(env.storage(BackendKind::Memory, 61), true, 61);
@@ -22,7 +28,12 @@ fn bench(c: &mut Criterion) {
         b.iter(|| {
             counter += 1;
             let t = node.start_transaction();
-            node.put(&t, Key::new(format!("hot-{}", counter % 16)), payload.clone()).unwrap();
+            node.put(
+                &t,
+                Key::new(format!("hot-{}", counter % 16)),
+                payload.clone(),
+            )
+            .unwrap();
             node.commit(&t).unwrap();
             node.run_local_gc(&LocalGcConfig::default());
         })
@@ -37,7 +48,8 @@ fn bench(c: &mut Criterion) {
         b.iter(|| {
             for i in 0..20u32 {
                 let t = node.start_transaction();
-                node.put(&t, Key::new(format!("hot-{}", i % 4)), payload.clone()).unwrap();
+                node.put(&t, Key::new(format!("hot-{}", i % 4)), payload.clone())
+                    .unwrap();
                 node.commit(&t).unwrap();
             }
             broadcast_round(&nodes, Some(&fm));

@@ -18,7 +18,9 @@ fn tid(ts: u64) -> TransactionId {
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("micro_protocols");
-    group.sample_size(50).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(50)
+        .measurement_time(Duration::from_secs(3));
 
     // Algorithm 1 over a key with 100 committed versions and a 10-key read set.
     let cache = MetadataCache::new();
@@ -59,7 +61,8 @@ fn bench(c: &mut Criterion) {
         b.iter(|| {
             counter += 1;
             let t = node.start_transaction();
-            node.put(&t, Key::new(format!("k-{}", counter % 64)), payload.clone()).unwrap();
+            node.put(&t, Key::new(format!("k-{}", counter % 64)), payload.clone())
+                .unwrap();
             node.commit(&t).unwrap();
         })
     });

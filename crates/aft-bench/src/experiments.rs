@@ -39,7 +39,13 @@ fn latency_row(table: &mut Table, config: &str, detail: &str, result: &RunResult
 pub fn fig2_io_latency(env: &BenchEnv) -> Table {
     let mut table = Table::new(
         "Figure 2 — IO latency: 1/5/10 writes (ms)",
-        &["configuration", "writes", "median (ms)", "p99 (ms)", "requests"],
+        &[
+            "configuration",
+            "writes",
+            "median (ms)",
+            "p99 (ms)",
+            "requests",
+        ],
     );
     let requests = env.sized(env.requests_per_client, 30);
     let payload = payload_of_size(4 * 1024);
@@ -75,7 +81,9 @@ pub fn fig2_io_latency(env: &BenchEnv) -> Table {
                 .map(|w| (format!("fig2/{request}/{w}"), payload.clone()))
                 .collect();
             let start = Instant::now();
-            storage.put_batch(items).expect("simulated storage never fails");
+            storage
+                .put_batch(items)
+                .expect("simulated storage never fails");
             recorder.record(start.elapsed());
         }
         let stats = recorder.stats();
@@ -95,8 +103,12 @@ pub fn fig2_io_latency(env: &BenchEnv) -> Table {
             let start = Instant::now();
             let txid = node.start_transaction();
             for w in 0..writes {
-                node.put(&txid, Key::new(format!("fig2/{request}/{w}")), payload.clone())
-                    .expect("put");
+                node.put(
+                    &txid,
+                    Key::new(format!("fig2/{request}/{w}")),
+                    payload.clone(),
+                )
+                .expect("put");
             }
             node.commit(&txid).expect("commit");
             recorder.record(start.elapsed());
@@ -150,7 +162,13 @@ pub fn fig3_and_table2(env: &BenchEnv) -> (Table, Table) {
 
     let mut latency = Table::new(
         "Figure 3 — end-to-end latency, 2-function / 6-IO transactions",
-        &["configuration", "backend", "median (ms)", "p99 (ms)", "requests"],
+        &[
+            "configuration",
+            "backend",
+            "median (ms)",
+            "p99 (ms)",
+            "requests",
+        ],
     );
     let mut anomalies = Table::new(
         "Table 2 — consistency anomalies",
@@ -232,7 +250,13 @@ pub fn fig3_and_table2(env: &BenchEnv) -> (Table, Table) {
 pub fn fig4_caching_skew(env: &BenchEnv) -> Table {
     let mut table = Table::new(
         "Figure 4 — read caching and data skew",
-        &["configuration", "zipf", "median (ms)", "p99 (ms)", "cache hit rate"],
+        &[
+            "configuration",
+            "zipf",
+            "median (ms)",
+            "p99 (ms)",
+            "cache hit rate",
+        ],
     );
     let clients = env.sized(10, 4);
     let requests = env.sized(env.requests_per_client, 20);
@@ -267,12 +291,8 @@ pub fn fig4_caching_skew(env: &BenchEnv) -> Table {
             for caching in [false, true] {
                 let storage = env.storage(kind, 0xF4_20);
                 let node = env.node(storage, caching, 0xF4_21);
-                let driver = AftDriver::single_node(
-                    Arc::clone(&node),
-                    env.platform(),
-                    env.retry(),
-                )
-                .with_label(crate::setup::aft_label(kind, caching));
+                let driver = AftDriver::single_node(Arc::clone(&node), env.platform(), env.retry())
+                    .with_label(crate::setup::aft_label(kind, caching));
                 let result = run(&driver);
                 let hit_rate = node.stats().snapshot().cache_hit_rate();
                 table.add_row(vec![
@@ -297,7 +317,13 @@ pub fn fig4_caching_skew(env: &BenchEnv) -> Table {
 pub fn fig5_rw_ratio(env: &BenchEnv) -> Table {
     let mut table = Table::new(
         "Figure 5 — read/write ratio (10 IOs per transaction)",
-        &["configuration", "% reads", "median (ms)", "p99 (ms)", "storage API calls/txn"],
+        &[
+            "configuration",
+            "% reads",
+            "median (ms)",
+            "p99 (ms)",
+            "storage API calls/txn",
+        ],
     );
     let clients = env.sized(10, 4);
     let requests = env.sized(env.requests_per_client, 20);
@@ -383,7 +409,12 @@ pub fn fig6_txn_length(env: &BenchEnv) -> Table {
 pub fn fig7_single_node(env: &BenchEnv) -> Table {
     let mut table = Table::new(
         "Figure 7 — single-node throughput vs clients (Zipf 1.5)",
-        &["configuration", "clients", "throughput (txn/s)", "median (ms)"],
+        &[
+            "configuration",
+            "clients",
+            "throughput (txn/s)",
+            "median (ms)",
+        ],
     );
     let client_counts: Vec<usize> = if env.fast {
         vec![1, 4, 8]
@@ -434,7 +465,11 @@ pub fn fig8_distributed(env: &BenchEnv) -> Table {
         ],
     );
     let clients_per_node = env.sized(40, 8);
-    let node_counts: Vec<usize> = if env.fast { vec![1, 2] } else { vec![1, 2, 4, 8] };
+    let node_counts: Vec<usize> = if env.fast {
+        vec![1, 2]
+    } else {
+        vec![1, 2, 4, 8]
+    };
     let requests = env.sized(40, 10);
     let workload = WorkloadConfig::standard().with_zipf(1.5);
 
@@ -461,7 +496,11 @@ pub fn fig8_distributed(env: &BenchEnv) -> Table {
                 single_node_tps = tps / node_counts[0] as f64;
             }
             let ideal = single_node_tps * nodes as f64;
-            let pct = if ideal > 0.0 { 100.0 * tps / ideal } else { 100.0 };
+            let pct = if ideal > 0.0 {
+                100.0 * tps / ideal
+            } else {
+                100.0
+            };
             table.add_row(vec![
                 driver.name().to_owned(),
                 nodes.to_string(),
@@ -513,7 +552,11 @@ pub fn fig9_gc(env: &BenchEnv) -> Table {
         let cluster = Cluster::new(cluster_config, storage.clone()).expect("cluster");
         cluster.start_background();
         let driver = AftDriver::clustered(Arc::clone(&cluster), env.platform(), env.retry())
-            .with_label(if gc_enabled { "GC enabled" } else { "GC disabled" });
+            .with_label(if gc_enabled {
+                "GC enabled"
+            } else {
+                "GC disabled"
+            });
 
         let result = run_closed_loop(
             &driver,
@@ -644,7 +687,10 @@ mod tests {
             .find(|l| l.starts_with("AFT"))
             .expect("AFT row present");
         let cells: Vec<&str> = aft_line.split_whitespace().collect();
-        assert!(cells.contains(&"0"), "AFT row shows zero anomalies: {aft_line}");
+        assert!(
+            cells.contains(&"0"),
+            "AFT row shows zero anomalies: {aft_line}"
+        );
     }
 
     #[test]

@@ -44,9 +44,10 @@ impl Table {
 
     /// Renders the table to a string.
     pub fn render(&self) -> String {
-        let columns = self.headers.len().max(
-            self.rows.iter().map(|r| r.len()).max().unwrap_or(0),
-        );
+        let columns = self
+            .headers
+            .len()
+            .max(self.rows.iter().map(|r| r.len()).max().unwrap_or(0));
         let mut widths = vec![0usize; columns];
         for (i, header) in self.headers.iter().enumerate() {
             widths[i] = widths[i].max(header.len());
@@ -117,9 +118,9 @@ mod tests {
 
     #[test]
     fn ms_formatting_scales_precision() {
-        assert_eq!(ms(3.14159), "3.14");
-        assert_eq!(ms(31.4159), "31.4");
-        assert_eq!(ms(314.159), "314");
+        assert_eq!(ms(3.72111), "3.72");
+        assert_eq!(ms(37.2111), "37.2");
+        assert_eq!(ms(372.111), "372");
     }
 
     #[test]

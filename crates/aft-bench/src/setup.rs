@@ -198,7 +198,9 @@ mod tests {
     #[test]
     fn drivers_built_by_the_env_execute_requests() {
         let env = BenchEnv::test();
-        let workload = WorkloadConfig::standard().with_keys(50).with_value_size(128);
+        let workload = WorkloadConfig::standard()
+            .with_keys(50)
+            .with_value_size(128);
         for driver in [
             Box::new(env.aft_driver(BackendKind::DynamoDb, true, 1)) as Box<dyn RequestDriver>,
             Box::new(env.plain_driver(BackendKind::Redis, 2)) as Box<dyn RequestDriver>,

@@ -44,7 +44,10 @@ impl BroadcastStats {
 /// Runs one multicast round: every node drains its recent commits, sends the
 /// unpruned stream to the fault manager, prunes superseded records, and
 /// delivers the rest to every *other* node.
-pub fn broadcast_round(nodes: &[Arc<AftNode>], fault_manager: Option<&FaultManager>) -> BroadcastStats {
+pub fn broadcast_round(
+    nodes: &[Arc<AftNode>],
+    fault_manager: Option<&FaultManager>,
+) -> BroadcastStats {
     let mut stats = BroadcastStats::default();
 
     // Drain first so that commits arriving during the round go to the next one.
@@ -103,7 +106,9 @@ mod tests {
         let nodes = (0..n)
             .map(|i| {
                 AftNode::with_clock(
-                    NodeConfig::test().with_node_id(format!("node-{i}")).with_seed(i as u64),
+                    NodeConfig::test()
+                        .with_node_id(format!("node-{i}"))
+                        .with_seed(i as u64),
                     storage.clone(),
                     clock.clone(),
                 )

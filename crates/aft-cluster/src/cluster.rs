@@ -257,9 +257,9 @@ impl Cluster {
             }
         }
         if self.config.global_gc_enabled {
-            stats.global_gc = self
-                .global_gc
-                .run_round(&self.fault_manager, &nodes, &self.storage)?;
+            stats.global_gc =
+                self.global_gc
+                    .run_round(&self.fault_manager, &nodes, &self.storage)?;
         }
         Ok(stats)
     }
@@ -344,7 +344,10 @@ mod tests {
             .iter()
             .map(|n| n.node_id().to_owned())
             .collect();
-        assert_eq!(ids, vec!["aft-node-0", "aft-node-1", "aft-node-2", "aft-node-3"]);
+        assert_eq!(
+            ids,
+            vec!["aft-node-0", "aft-node-1", "aft-node-2", "aft-node-3"]
+        );
     }
 
     #[test]

@@ -122,7 +122,9 @@ mod tests {
         let nodes = (0..n)
             .map(|i| {
                 AftNode::with_clock(
-                    NodeConfig::test().with_node_id(format!("node-{i}")).with_seed(i as u64),
+                    NodeConfig::test()
+                        .with_node_id(format!("node-{i}"))
+                        .with_seed(i as u64),
                     storage.clone(),
                     clock.clone(),
                 )

@@ -147,7 +147,9 @@ mod tests {
         let nodes = (0..n)
             .map(|i| {
                 AftNode::with_clock(
-                    NodeConfig::test().with_node_id(format!("node-{i}")).with_seed(i as u64),
+                    NodeConfig::test()
+                        .with_node_id(format!("node-{i}"))
+                        .with_seed(i as u64),
                     storage.clone(),
                     clock.clone(),
                 )
@@ -192,7 +194,10 @@ mod tests {
         }
         let outcome = gc.run_round(&fm, &nodes, &storage).unwrap();
         assert_eq!(outcome.deleted, 2, "two superseded versions removed");
-        assert!(outcome.storage_keys_deleted >= 4, "2 data blobs + 2 commit records");
+        assert!(
+            outcome.storage_keys_deleted >= 4,
+            "2 data blobs + 2 commit records"
+        );
         assert_eq!(raw.list_prefix("data/hot/").unwrap().len(), 1);
         assert_eq!(raw.list_prefix("commit/").unwrap().len(), 1);
 

@@ -58,11 +58,7 @@ mod tests {
     use aft_storage::InMemoryStore;
 
     fn node(id: &str) -> Arc<AftNode> {
-        AftNode::new(
-            NodeConfig::test().with_node_id(id),
-            InMemoryStore::shared(),
-        )
-        .unwrap()
+        AftNode::new(NodeConfig::test().with_node_id(id), InMemoryStore::shared()).unwrap()
     }
 
     #[test]

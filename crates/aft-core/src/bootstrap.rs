@@ -9,9 +9,9 @@
 
 use std::sync::Arc;
 
+use aft_storage::SharedStorage;
 use aft_types::codec::decode_commit_record;
 use aft_types::{AftResult, TransactionRecord};
-use aft_storage::SharedStorage;
 
 use crate::metadata::MetadataCache;
 
@@ -59,7 +59,9 @@ pub fn commit_record_exists(
     storage: &SharedStorage,
     id: &aft_types::TransactionId,
 ) -> AftResult<bool> {
-    Ok(storage.get(&TransactionRecord::storage_key_for(id))?.is_some())
+    Ok(storage
+        .get(&TransactionRecord::storage_key_for(id))?
+        .is_some())
 }
 
 #[cfg(test)]
@@ -74,7 +76,7 @@ mod tests {
     }
 
     fn put_record(storage: &SharedStorage, ts: u64, keys: &[&str]) -> TransactionRecord {
-        let record = TransactionRecord::new(tid(ts), keys.iter().map(|k| Key::new(k)));
+        let record = TransactionRecord::new(tid(ts), keys.iter().map(Key::new));
         storage
             .put(&record.storage_key(), encode_commit_record(&record))
             .unwrap();
@@ -132,7 +134,10 @@ mod tests {
     fn empty_storage_warms_nothing() {
         let storage: SharedStorage = InMemoryStore::shared();
         let metadata = MetadataCache::new();
-        assert_eq!(warm_metadata_cache(&storage, &metadata, usize::MAX).unwrap(), 0);
+        assert_eq!(
+            warm_metadata_cache(&storage, &metadata, usize::MAX).unwrap(),
+            0
+        );
         assert!(metadata.is_empty());
     }
 }

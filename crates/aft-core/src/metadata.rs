@@ -85,7 +85,8 @@ impl MetadataCache {
 
     /// Returns true if a committed version of `key` newer than `than` exists.
     pub fn has_newer_version(&self, key: &Key, than: &TransactionId) -> bool {
-        self.latest_version_of(key).is_some_and(|latest| latest > *than)
+        self.latest_version_of(key)
+            .is_some_and(|latest| latest > *than)
     }
 
     /// Removes a transaction's metadata (local garbage collection, §5.1).
@@ -149,7 +150,7 @@ mod tests {
     fn record(ts: u64, keys: &[&str]) -> Arc<TransactionRecord> {
         Arc::new(TransactionRecord::new(
             tid(ts, ts as u128),
-            keys.iter().map(|k| Key::new(k)),
+            keys.iter().map(Key::new),
         ))
     }
 
@@ -158,12 +159,18 @@ mod tests {
         let cache = MetadataCache::new();
         assert!(cache.insert(record(1, &["a", "b"])));
         assert!(cache.insert(record(2, &["b"])));
-        assert!(!cache.insert(record(2, &["b"])), "duplicate insert is a no-op");
+        assert!(
+            !cache.insert(record(2, &["b"])),
+            "duplicate insert is a no-op"
+        );
 
         assert_eq!(cache.len(), 2);
         assert!(cache.is_committed(&tid(1, 1)));
         assert!(!cache.is_committed(&tid(3, 3)));
-        assert_eq!(cache.versions_of(&Key::new("b")), vec![tid(1, 1), tid(2, 2)]);
+        assert_eq!(
+            cache.versions_of(&Key::new("b")),
+            vec![tid(1, 1), tid(2, 2)]
+        );
         assert_eq!(cache.latest_version_of(&Key::new("b")), Some(tid(2, 2)));
         assert_eq!(cache.latest_version_of(&Key::new("a")), Some(tid(1, 1)));
         assert_eq!(cache.latest_version_of(&Key::new("zzz")), None);
@@ -188,7 +195,10 @@ mod tests {
 
         let removed = cache.remove(&tid(1, 1)).expect("record was present");
         assert_eq!(removed.id, tid(1, 1));
-        assert!(cache.remove(&tid(1, 1)).is_none(), "second remove is a no-op");
+        assert!(
+            cache.remove(&tid(1, 1)).is_none(),
+            "second remove is a no-op"
+        );
 
         // "a" had only the removed version; its index entry disappears.
         assert!(cache.versions_of(&Key::new("a")).is_empty());

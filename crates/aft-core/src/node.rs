@@ -103,7 +103,12 @@ impl NodeConfig {
 
     /// Configures the simulated client→shim RPC hop used by the benchmark
     /// harness (median/p99 in microseconds at full scale).
-    pub fn with_rpc_latency(mut self, profile: LatencyProfile, mode: LatencyMode, scale: f64) -> Self {
+    pub fn with_rpc_latency(
+        mut self,
+        profile: LatencyProfile,
+        mode: LatencyMode,
+        scale: f64,
+    ) -> Self {
         self.rpc_profile = profile;
         self.latency_mode = mode;
         self.latency_scale = scale;
@@ -662,9 +667,12 @@ mod tests {
     fn commit_writes_data_and_commit_record_to_storage() {
         let storage = InMemoryStore::shared();
         let shared: SharedStorage = storage.clone();
-        let node =
-            AftNode::with_clock(NodeConfig::test(), shared, MockClock::starting_at(5).shared())
-                .unwrap();
+        let node = AftNode::with_clock(
+            NodeConfig::test(),
+            shared,
+            MockClock::starting_at(5).shared(),
+        )
+        .unwrap();
         let t = node.start_transaction();
         node.put(&t, Key::new("a"), val("1")).unwrap();
         node.put(&t, Key::new("b"), val("2")).unwrap();
@@ -692,7 +700,10 @@ mod tests {
         node.commit(&t2).unwrap();
 
         let reader = node.start_transaction();
-        assert_eq!(node.get(&reader, &Key::new("k")).unwrap().unwrap(), val("k2"));
+        assert_eq!(
+            node.get(&reader, &Key::new("k")).unwrap().unwrap(),
+            val("k2")
+        );
         assert_eq!(
             node.get(&reader, &Key::new("l")).unwrap().unwrap(),
             val("l2"),
@@ -708,7 +719,10 @@ mod tests {
         node.commit(&t1).unwrap();
 
         let reader = node.start_transaction();
-        assert_eq!(node.get(&reader, &Key::new("k")).unwrap().unwrap(), val("old"));
+        assert_eq!(
+            node.get(&reader, &Key::new("k")).unwrap().unwrap(),
+            val("old")
+        );
 
         // Another transaction commits a newer version mid-flight.
         let t2 = node.start_transaction();
@@ -732,7 +746,10 @@ mod tests {
         node.commit(&t1).unwrap();
 
         let reader = node.start_transaction();
-        assert_eq!(node.get(&reader, &Key::new("l")).unwrap().unwrap(), val("l1"));
+        assert_eq!(
+            node.get(&reader, &Key::new("l")).unwrap().unwrap(),
+            val("l1")
+        );
 
         let t2 = node.start_transaction();
         node.put(&t2, Key::new("k"), val("k2")).unwrap();
@@ -754,11 +771,11 @@ mod tests {
             write_buffer_spill_bytes: 8, // spill after ~8 buffered bytes
             ..NodeConfig::test()
         };
-        let node =
-            AftNode::with_clock(config, shared, MockClock::starting_at(1).shared()).unwrap();
+        let node = AftNode::with_clock(config, shared, MockClock::starting_at(1).shared()).unwrap();
 
         let t = node.start_transaction();
-        node.put(&t, Key::new("big"), val("0123456789abcdef")).unwrap();
+        node.put(&t, Key::new("big"), val("0123456789abcdef"))
+            .unwrap();
         // The intermediary data has been spilled to storage...
         assert_eq!(storage.list_prefix("data/").unwrap().len(), 1);
         // ...but no commit record exists and other transactions cannot see it.
@@ -782,8 +799,7 @@ mod tests {
             write_buffer_spill_bytes: 4,
             ..NodeConfig::test()
         };
-        let node =
-            AftNode::with_clock(config, shared, MockClock::starting_at(1).shared()).unwrap();
+        let node = AftNode::with_clock(config, shared, MockClock::starting_at(1).shared()).unwrap();
         let t = node.start_transaction();
         node.put(&t, Key::new("k"), val("spilled-data")).unwrap();
         assert_eq!(storage.list_prefix("data/").unwrap().len(), 1);
@@ -804,10 +820,12 @@ mod tests {
             // Node "fails" here (dropped).
         }
         // A replacement node bootstraps from the Transaction Commit Set.
-        let node2 =
-            AftNode::with_clock(NodeConfig::test(), storage, clock.shared()).unwrap();
+        let node2 = AftNode::with_clock(NodeConfig::test(), storage, clock.shared()).unwrap();
         let t = node2.start_transaction();
-        assert_eq!(node2.get(&t, &Key::new("k")).unwrap().unwrap(), val("durable"));
+        assert_eq!(
+            node2.get(&t, &Key::new("k")).unwrap().unwrap(),
+            val("durable")
+        );
     }
 
     #[test]
@@ -863,7 +881,10 @@ mod tests {
         let drained = node.drain_recent_commits();
         assert_eq!(drained.len(), 1);
         assert_eq!(drained[0].id, id);
-        assert!(node.drain_recent_commits().is_empty(), "drain is destructive");
+        assert!(
+            node.drain_recent_commits().is_empty(),
+            "drain is destructive"
+        );
     }
 
     #[test]
@@ -871,7 +892,8 @@ mod tests {
         let node = test_node();
         for i in 0..3 {
             let t = node.start_transaction();
-            node.put(&t, Key::new("hot"), val(&format!("v{i}"))).unwrap();
+            node.put(&t, Key::new("hot"), val(&format!("v{i}")))
+                .unwrap();
             node.commit(&t).unwrap();
         }
         assert_eq!(node.metadata().len(), 3);
@@ -892,7 +914,10 @@ mod tests {
 
         // A long-running reader depends on the old version.
         let reader = node.start_transaction();
-        assert_eq!(node.get(&reader, &Key::new("k")).unwrap().unwrap(), val("old"));
+        assert_eq!(
+            node.get(&reader, &Key::new("k")).unwrap().unwrap(),
+            val("old")
+        );
 
         let t2 = node.start_transaction();
         node.put(&t2, Key::new("k"), val("new")).unwrap();
@@ -906,7 +931,10 @@ mod tests {
         // Once the reader commits, the old version can go.
         node.commit(&reader).unwrap();
         let outcome = node.run_local_gc(&LocalGcConfig::default());
-        assert_eq!(outcome.deleted, 2, "old k version and the reader's empty txn");
+        assert_eq!(
+            outcome.deleted, 2,
+            "old k version and the reader's empty txn"
+        );
     }
 
     #[test]

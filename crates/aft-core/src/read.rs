@@ -161,12 +161,8 @@ pub fn select_version(key: &Key, read_set: &ReadSet, metadata: &MetadataCache) -
 /// verify Theorem 1 end-to-end: for every read version `k_i`, if the reading
 /// transaction also read a key `l` that `T_i` cowrote, the version of `l` it
 /// read must be at least as new as `i`.
-pub fn is_atomic_readset(
-    reads: &[(Key, TransactionId)],
-    metadata: &MetadataCache,
-) -> bool {
-    let by_key: HashMap<&Key, TransactionId> =
-        reads.iter().map(|(k, t)| (k, *t)).collect();
+pub fn is_atomic_readset(reads: &[(Key, TransactionId)], metadata: &MetadataCache) -> bool {
+    let by_key: HashMap<&Key, TransactionId> = reads.iter().map(|(k, t)| (k, *t)).collect();
     for (_, tid) in reads {
         if tid.is_null() {
             continue;
@@ -199,7 +195,7 @@ mod tests {
         let id = tid(ts);
         cache.insert(Arc::new(TransactionRecord::new(
             id,
-            keys.iter().map(|k| Key::new(k)),
+            keys.iter().map(Key::new),
         )));
         id
     }
@@ -329,11 +325,17 @@ mod tests {
         // derive the lower bound, so keep it but drop l from the index by
         // removing ta and re-adding a k-only record with the same id.
         cache.remove(&ta);
-        cache.insert(Arc::new(TransactionRecord::new(ta, vec![Key::new("k"), Key::new("l")])));
+        cache.insert(Arc::new(TransactionRecord::new(
+            ta,
+            vec![Key::new("k"), Key::new("l")],
+        )));
         // Simulate GC of the data/metadata for l by removing ta's index entry
         // for l via a fresh cache.
         let gc_cache = MetadataCache::new();
-        gc_cache.insert(Arc::new(TransactionRecord::new(ta, vec![Key::new("k"), Key::new("l")])));
+        gc_cache.insert(Arc::new(TransactionRecord::new(
+            ta,
+            vec![Key::new("k"), Key::new("l")],
+        )));
         // Note: in the real system the record and index are removed together;
         // this test documents that a constrained read with zero surviving
         // versions reports NoValidVersion rather than silently returning NULL.

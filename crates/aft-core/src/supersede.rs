@@ -40,7 +40,7 @@ mod tests {
     }
 
     fn record(ts: u64, keys: &[&str]) -> Arc<TransactionRecord> {
-        Arc::new(TransactionRecord::new(tid(ts), keys.iter().map(|k| Key::new(k))))
+        Arc::new(TransactionRecord::new(tid(ts), keys.iter().map(Key::new)))
     }
 
     #[test]

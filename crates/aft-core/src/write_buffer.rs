@@ -77,12 +77,7 @@ impl ActiveTransaction {
     pub fn storage_items(&self) -> Vec<(String, Value)> {
         self.writes
             .iter()
-            .map(|(k, v)| {
-                (
-                    KeyVersion::new(k.clone(), self.id).storage_key(),
-                    v.clone(),
-                )
-            })
+            .map(|(k, v)| (KeyVersion::new(k.clone(), self.id).storage_key(), v.clone()))
             .collect()
     }
 
@@ -124,7 +119,9 @@ impl WriteBuffer {
 
     /// Registers a new in-flight transaction.
     pub fn begin(&self, id: TransactionId) {
-        self.active.lock().insert(id.uuid, ActiveTransaction::new(id));
+        self.active
+            .lock()
+            .insert(id.uuid, ActiveTransaction::new(id));
     }
 
     /// Runs `f` with mutable access to the transaction's in-flight state.
@@ -285,7 +282,9 @@ mod tests {
         let buffer = WriteBuffer::new();
         let id = tid(1, 1);
         buffer.begin(id);
-        assert!(buffer.expired(std::time::Duration::from_secs(60)).is_empty());
+        assert!(buffer
+            .expired(std::time::Duration::from_secs(60))
+            .is_empty());
         let expired = buffer.expired(std::time::Duration::ZERO);
         assert_eq!(expired, vec![id]);
     }

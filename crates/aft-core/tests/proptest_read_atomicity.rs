@@ -60,12 +60,7 @@ fn value_for(counter: u64) -> Value {
 
 fn node() -> Arc<AftNode> {
     let storage: SharedStorage = InMemoryStore::shared();
-    AftNode::with_clock(
-        NodeConfig::test(),
-        storage,
-        TickingClock::shared(1, 1),
-    )
-    .unwrap()
+    AftNode::with_clock(NodeConfig::test(), storage, TickingClock::shared(1, 1)).unwrap()
 }
 
 proptest! {

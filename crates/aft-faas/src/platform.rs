@@ -405,7 +405,10 @@ mod tests {
                 assert_eq!(ctx.unwrap(), 1);
             }
         }
-        assert_eq!(completed, 200, "with a generous budget every request completes");
+        assert_eq!(
+            completed, 200,
+            "with a generous budget every request completes"
+        );
         assert!(platform.stats().snapshot().injected_failures > 0);
     }
 
@@ -451,6 +454,10 @@ mod tests {
             Ok(())
         });
         assert!(matches!(result, Err(AftError::FunctionFailed(_))));
-        assert_eq!(executed.load(Ordering::SeqCst), 1, "body ran before the failure");
+        assert_eq!(
+            executed.load(Ordering::SeqCst),
+            1,
+            "body ran before the failure"
+        );
     }
 }

@@ -301,7 +301,9 @@ mod tests {
         let d = store();
         d.transact_write(vec![("a".into(), val("1")), ("b".into(), val("2"))])
             .unwrap();
-        let out = d.transact_read(&["a".into(), "b".into(), "c".into()]).unwrap();
+        let out = d
+            .transact_read(&["a".into(), "b".into(), "c".into()])
+            .unwrap();
         assert_eq!(out[0].as_ref().unwrap(), &val("1"));
         assert_eq!(out[1].as_ref().unwrap(), &val("2"));
         assert!(out[2].is_none());
@@ -312,9 +314,7 @@ mod tests {
         let d = store();
         // Simulate another in-flight transaction holding a lock on "a".
         d.acquire_txn_locks(&["a".to_owned()]).unwrap();
-        let err = d
-            .transact_write(vec![("a".into(), val("x"))])
-            .unwrap_err();
+        let err = d.transact_write(vec![("a".into(), val("x"))]).unwrap_err();
         assert!(matches!(err, AftError::StorageConflict(_)));
         assert_eq!(d.stats().snapshot().conflicts, 1);
         d.release_txn_locks(&["a".to_owned()]);
@@ -332,7 +332,9 @@ mod tests {
             d.transact_write(too_many),
             Err(AftError::InvalidRequest(_))
         ));
-        let too_many_keys: Vec<String> = (0..=DYNAMO_TRANSACT_LIMIT).map(|i| format!("k{i}")).collect();
+        let too_many_keys: Vec<String> = (0..=DYNAMO_TRANSACT_LIMIT)
+            .map(|i| format!("k{i}"))
+            .collect();
         assert!(d.transact_read(&too_many_keys).is_err());
     }
 
@@ -341,7 +343,10 @@ mod tests {
         let d = store();
         let txn = d.transaction_mode();
         txn.write(vec![("x".into(), val("9"))]).unwrap();
-        assert_eq!(txn.read(&["x".into()]).unwrap()[0].as_ref().unwrap(), &val("9"));
+        assert_eq!(
+            txn.read(&["x".into()]).unwrap()[0].as_ref().unwrap(),
+            &val("9")
+        );
         assert_eq!(txn.table().item_count(), 1);
     }
 

@@ -274,7 +274,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let start = std::time::Instant::now();
         let applied = model.apply(&profile, &mut rng, 0);
-        assert!(start.elapsed() < Duration::from_millis(20), "must not sleep");
+        assert!(
+            start.elapsed() < Duration::from_millis(20),
+            "must not sleep"
+        );
         assert!(applied >= Duration::from_millis(40));
         assert!(model.injected() >= Duration::from_millis(40));
     }

@@ -111,7 +111,10 @@ mod tests {
         let s = ServiceProfile::s3();
         let d_ratio = d.write.p99_us / d.write.median_us;
         let s_ratio = s.write.p99_us / s.write.median_us;
-        assert!(s_ratio > 2.0 * d_ratio, "S3 writes must have a much heavier tail");
+        assert!(
+            s_ratio > 2.0 * d_ratio,
+            "S3 writes must have a much heavier tail"
+        );
     }
 
     #[test]

@@ -51,7 +51,12 @@ impl SimRedis {
     /// Creates a cluster with [`DEFAULT_REDIS_SHARDS`] shards and the default
     /// calibrated profile.
     pub fn new(latency: Arc<LatencyModel>) -> Arc<Self> {
-        Self::with_shards(DEFAULT_REDIS_SHARDS, ServiceProfile::redis(), latency, 0x0BAD_CAFE)
+        Self::with_shards(
+            DEFAULT_REDIS_SHARDS,
+            ServiceProfile::redis(),
+            latency,
+            0x0BAD_CAFE,
+        )
     }
 
     /// Creates a cluster with an explicit shard count, profile, and RNG seed.
@@ -130,7 +135,11 @@ impl StorageEngine for SimRedis {
 
     fn get(&self, key: &str) -> AftResult<Option<Value>> {
         self.stats.record_call(OpKind::Get);
-        let value = self.shards[self.shard_of(key)].data.lock().get(key).cloned();
+        let value = self.shards[self.shard_of(key)]
+            .data
+            .lock()
+            .get(key)
+            .cloned();
         let bytes = value.as_ref().map_or(0, |v| v.len());
         self.inject(&self.profile.read, bytes);
         if let Some(v) = &value {
@@ -229,7 +238,11 @@ mod tests {
     fn sharding_is_stable_and_covers_all_shards() {
         let r = cluster(4);
         for key in ["a", "b", "k1", "k2"] {
-            assert_eq!(r.shard_of(key), r.shard_of(key), "shard mapping must be stable");
+            assert_eq!(
+                r.shard_of(key),
+                r.shard_of(key),
+                "shard mapping must be stable"
+            );
             assert!(r.shard_of(key) < 4);
         }
         // With enough keys every shard should receive something.
@@ -273,7 +286,8 @@ mod tests {
             .unwrap_err();
         assert!(matches!(err, AftError::Storage(_)));
         // Same-slot MSET succeeds.
-        r.mset(vec![(k1.clone(), val("1")), (k1, val("1b"))]).unwrap();
+        r.mset(vec![(k1.clone(), val("1")), (k1, val("1b"))])
+            .unwrap();
     }
 
     #[test]

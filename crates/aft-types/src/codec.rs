@@ -144,7 +144,9 @@ impl<'a> Reader<'a> {
     /// Reads a little-endian u128.
     pub fn get_u128(&mut self) -> AftResult<u128> {
         let b = self.take(16)?;
-        Ok(u128::from_le_bytes(b.try_into().expect("slice is 16 bytes")))
+        Ok(u128::from_le_bytes(
+            b.try_into().expect("slice is 16 bytes"),
+        ))
     }
 
     /// Reads a length-prefixed byte string.

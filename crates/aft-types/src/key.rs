@@ -144,7 +144,9 @@ impl KeyVersion {
         // The key itself may contain '/', but the uuid suffix never does, so
         // split on the *last* separator.
         let (key, suffix) = rest.rsplit_once('/').ok_or_else(|| {
-            AftError::Codec(format!("storage key {storage_key:?} missing version suffix"))
+            AftError::Codec(format!(
+                "storage key {storage_key:?} missing version suffix"
+            ))
         })?;
         Ok((Key::new(key), suffix.parse()?))
     }
@@ -204,7 +206,9 @@ mod tests {
     #[test]
     fn storage_prefix_contains_all_versions() {
         let kv = KeyVersion::new("k", tid(1, 1));
-        assert!(kv.storage_key().starts_with(&KeyVersion::storage_prefix(&Key::new("k"))));
+        assert!(kv
+            .storage_key()
+            .starts_with(&KeyVersion::storage_prefix(&Key::new("k"))));
     }
 
     #[test]

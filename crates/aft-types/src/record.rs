@@ -91,7 +91,9 @@ impl TransactionRecord {
             .strip_prefix(COMMIT_PREFIX)
             .and_then(|r| r.strip_prefix('/'))
             .ok_or_else(|| {
-                AftError::Codec(format!("storage key {storage_key:?} is not a commit record"))
+                AftError::Codec(format!(
+                    "storage key {storage_key:?} is not a commit record"
+                ))
             })?;
         TransactionId::from_storage_suffix(suffix)
     }
@@ -139,7 +141,7 @@ mod tests {
     }
 
     fn record(ts: u64, keys: &[&str]) -> TransactionRecord {
-        TransactionRecord::new(tid(ts, ts as u128), keys.iter().map(|k| Key::new(k)))
+        TransactionRecord::new(tid(ts, ts as u128), keys.iter().map(Key::new))
     }
 
     #[test]

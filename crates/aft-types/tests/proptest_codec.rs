@@ -7,7 +7,8 @@ use aft_types::{Key, TaggedValue, TransactionId, TransactionRecord, Uuid, Value}
 use proptest::prelude::*;
 
 fn arb_tid() -> impl Strategy<Value = TransactionId> {
-    (any::<u64>(), any::<u128>()).prop_map(|(ts, uuid)| TransactionId::new(ts, Uuid::from_u128(uuid)))
+    (any::<u64>(), any::<u128>())
+        .prop_map(|(ts, uuid)| TransactionId::new(ts, Uuid::from_u128(uuid)))
 }
 
 fn arb_key() -> impl Strategy<Value = Key> {
@@ -27,7 +28,9 @@ fn arb_tagged_value() -> impl Strategy<Value = TaggedValue> {
         proptest::collection::vec(arb_key(), 0..8),
         proptest::collection::vec(any::<u8>(), 0..2048),
     )
-        .prop_map(|(tid, cowritten, payload)| TaggedValue::new(tid, cowritten, Value::from(payload)))
+        .prop_map(|(tid, cowritten, payload)| {
+            TaggedValue::new(tid, cowritten, Value::from(payload))
+        })
 }
 
 proptest! {

@@ -180,8 +180,7 @@ impl TaggedObservation {
                         }
                         // The current read's writer also wrote the earlier
                         // key, and the earlier observation was older.
-                        if observed.cowritten.contains(earlier_key) && *earlier_tid < observed.tid
-                        {
+                        if observed.cowritten.contains(earlier_key) && *earlier_tid < observed.tid {
                             flags.fractured_read = true;
                         }
                     }
@@ -205,7 +204,7 @@ mod tests {
     fn tagged(ts: u64, cowritten: &[&str]) -> TaggedValue {
         TaggedValue::new(
             tid(ts),
-            cowritten.iter().map(|k| Key::new(k)).collect(),
+            cowritten.iter().map(Key::new).collect(),
             Value::from_static(b"payload"),
         )
     }
@@ -233,7 +232,11 @@ mod tests {
         ok.record_write(Key::new("k"));
         ok.record_read(
             Key::new("k"),
-            Some(TaggedValue::new(tid(100), vec![Key::new("k")], Value::from_static(b"x"))),
+            Some(TaggedValue::new(
+                tid(100),
+                vec![Key::new("k")],
+                Value::from_static(b"x"),
+            )),
         );
         assert!(!ok.analyze().read_your_writes);
     }

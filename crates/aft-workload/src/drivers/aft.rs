@@ -97,51 +97,54 @@ impl AftDriver {
 
     fn build_composition(&self, plan: Arc<TransactionPlan>) -> Composition<AftRequestCtx> {
         let platform = Arc::clone(&self.platform);
-        Composition::repeated("aft-request", plan.functions.len(), move |ctx: &mut AftRequestCtx, info| {
-            let node = ctx
-                .node
-                .clone()
-                .ok_or_else(|| AftError::Unavailable("no AFT node available".to_owned()))?;
-            let txid = ctx
-                .txid
-                .ok_or_else(|| AftError::Unavailable("transaction was not started".to_owned()))?;
-            let function = &plan.functions[info.step_index];
+        Composition::repeated(
+            "aft-request",
+            plan.functions.len(),
+            move |ctx: &mut AftRequestCtx, info| {
+                let node = ctx
+                    .node
+                    .clone()
+                    .ok_or_else(|| AftError::Unavailable("no AFT node available".to_owned()))?;
+                let txid = ctx.txid.ok_or_else(|| {
+                    AftError::Unavailable("transaction was not started".to_owned())
+                })?;
+                let function = &plan.functions[info.step_index];
 
-            for key in &function.reads {
-                match node.get_versioned(&txid, key)? {
-                    Some((value, Some(version))) => {
-                        ctx.reads.push((key.clone(), version));
-                        let _ = value;
-                    }
-                    Some((value, None)) => {
+                for key in &function.reads {
+                    match node.get_versioned(&txid, key)? {
+                        Some((value, Some(version))) => {
+                            ctx.reads.push((key.clone(), version));
+                            let _ = value;
+                        }
                         // Served from our own write buffer: verify we see the
                         // bytes we wrote (read-your-writes).
-                        if ctx.written.get(key) != Some(&value) {
+                        Some((value, None)) if ctx.written.get(key) != Some(&value) => {
                             ctx.ryw_violation = true;
                         }
+                        Some((_, None)) => {}
+                        None => {}
                     }
-                    None => {}
                 }
-            }
-            for key in &function.writes {
-                let value = payload_of_size(plan.value_size);
-                node.put(&txid, key.clone(), value.clone())?;
-                ctx.written.insert(key.clone(), value);
-                // The §1 hazard: a crash between two writes of the same
-                // request. AFT's write buffer keeps the partial update
-                // invisible; retries start a fresh transaction.
-                if platform.injector().should_crash_midway() {
-                    return Err(AftError::FunctionFailed(
-                        "injected crash between writes".to_owned(),
-                    ));
+                for key in &function.writes {
+                    let value = payload_of_size(plan.value_size);
+                    node.put(&txid, key.clone(), value.clone())?;
+                    ctx.written.insert(key.clone(), value);
+                    // The §1 hazard: a crash between two writes of the same
+                    // request. AFT's write buffer keeps the partial update
+                    // invisible; retries start a fresh transaction.
+                    if platform.injector().should_crash_midway() {
+                        return Err(AftError::FunctionFailed(
+                            "injected crash between writes".to_owned(),
+                        ));
+                    }
                 }
-            }
-            if info.step_index + 1 == info.total_steps {
-                node.commit(&txid)?;
-                ctx.committed = true;
-            }
-            Ok(())
-        })
+                if info.step_index + 1 == info.total_steps {
+                    node.commit(&txid)?;
+                    ctx.committed = true;
+                }
+                Ok(())
+            },
+        )
     }
 }
 
@@ -206,11 +209,11 @@ impl RequestDriver for AftDriver {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::generator::{WorkloadConfig, WorkloadGenerator};
     use aft_core::NodeConfig;
     use aft_faas::{FailurePlan, PlatformConfig};
     use aft_storage::InMemoryStore;
     use aft_types::clock::TickingClock;
-    use crate::generator::{WorkloadConfig, WorkloadGenerator};
 
     fn make_driver(failures: FailurePlan) -> (AftDriver, Arc<AftNode>) {
         let node = AftNode::with_clock(
@@ -220,11 +223,8 @@ mod tests {
         )
         .unwrap();
         let platform = FaasPlatform::new(PlatformConfig::test().with_failures(failures));
-        let driver = AftDriver::single_node(
-            Arc::clone(&node),
-            platform,
-            RetryPolicy::with_attempts(10),
-        );
+        let driver =
+            AftDriver::single_node(Arc::clone(&node), platform, RetryPolicy::with_attempts(10));
         (driver, node)
     }
 
@@ -262,7 +262,10 @@ mod tests {
                 clean += 1;
             }
         }
-        assert!(clean >= 95, "almost every request completes despite failures");
+        assert!(
+            clean >= 95,
+            "almost every request completes despite failures"
+        );
         assert!(
             driver.platform().stats().snapshot().injected_failures > 0,
             "failures were actually injected"

@@ -81,44 +81,51 @@ impl DynamoTxnDriver {
     fn build_composition(&self, plan: Arc<TransactionPlan>) -> Composition<DynamoTxnCtx> {
         let table = self.table.clone();
         let write_set: Arc<Vec<Key>> = Arc::new(plan.write_set());
-        Composition::repeated("dynamo-txn-request", plan.functions.len(), move |ctx: &mut DynamoTxnCtx, info| {
-            let function = &plan.functions[info.step_index];
+        Composition::repeated(
+            "dynamo-txn-request",
+            plan.functions.len(),
+            move |ctx: &mut DynamoTxnCtx, info| {
+                let function = &plan.functions[info.step_index];
 
-            // One read-only transaction per function.
-            if !function.reads.is_empty() {
-                let keys: Vec<String> =
-                    function.reads.iter().map(|k| k.as_str().to_owned()).collect();
-                let values = table.read(&keys)?;
-                for (key, blob) in function.reads.iter().zip(values) {
-                    let observed = match blob {
-                        Some(blob) => Some(decode_tagged_value(&blob)?),
-                        None => None,
-                    };
-                    ctx.observation.record_read(key.clone(), observed);
+                // One read-only transaction per function.
+                if !function.reads.is_empty() {
+                    let keys: Vec<String> = function
+                        .reads
+                        .iter()
+                        .map(|k| k.as_str().to_owned())
+                        .collect();
+                    let values = table.read(&keys)?;
+                    for (key, blob) in function.reads.iter().zip(values) {
+                        let observed = match blob {
+                            Some(blob) => Some(decode_tagged_value(&blob)?),
+                            None => None,
+                        };
+                        ctx.observation.record_read(key.clone(), observed);
+                    }
                 }
-            }
 
-            // All of the request's writes go into a single write-only
-            // transaction issued by the last function.
-            if info.step_index + 1 == info.total_steps && !write_set.is_empty() {
-                let items: Vec<(String, aft_types::Value)> = write_set
-                    .iter()
-                    .map(|key| {
-                        let value = TaggedValue::new(
-                            ctx.observation.own_tag,
-                            write_set.as_ref().clone(),
-                            payload_of_size(plan.value_size),
-                        );
-                        (key.as_str().to_owned(), encode_tagged_value(&value))
-                    })
-                    .collect();
-                table.write(items)?;
-                for key in write_set.iter() {
-                    ctx.observation.record_write(key.clone());
+                // All of the request's writes go into a single write-only
+                // transaction issued by the last function.
+                if info.step_index + 1 == info.total_steps && !write_set.is_empty() {
+                    let items: Vec<(String, aft_types::Value)> = write_set
+                        .iter()
+                        .map(|key| {
+                            let value = TaggedValue::new(
+                                ctx.observation.own_tag,
+                                write_set.as_ref().clone(),
+                                payload_of_size(plan.value_size),
+                            );
+                            (key.as_str().to_owned(), encode_tagged_value(&value))
+                        })
+                        .collect();
+                    table.write(items)?;
+                    for key in write_set.iter() {
+                        ctx.observation.record_write(key.clone());
+                    }
                 }
-            }
-            Ok(())
-        })
+                Ok(())
+            },
+        )
     }
 }
 
@@ -168,9 +175,9 @@ impl RequestDriver for DynamoTxnDriver {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::generator::{WorkloadConfig, WorkloadGenerator};
     use aft_faas::PlatformConfig;
     use aft_storage::{LatencyModel, ServiceProfile, SimDynamo, StorageEngine};
-    use crate::generator::{WorkloadConfig, WorkloadGenerator};
 
     fn make_driver() -> (DynamoTxnDriver, Arc<SimDynamo>) {
         let table = SimDynamo::with_profile(ServiceProfile::zero(), LatencyModel::disabled(), 5);
@@ -218,6 +225,10 @@ mod tests {
             1,
             "all writes in one TransactWriteItems call"
         );
-        assert_eq!(delta.calls(aft_storage::OpKind::TransactRead), 2, "one per function");
+        assert_eq!(
+            delta.calls(aft_storage::OpKind::TransactRead),
+            2,
+            "one per function"
+        );
     }
 }

@@ -81,33 +81,37 @@ impl PlainDriver {
         let storage = self.storage.clone();
         let platform = Arc::clone(&self.platform);
         let write_set: Arc<Vec<Key>> = Arc::new(plan.write_set());
-        Composition::repeated("plain-request", plan.functions.len(), move |ctx: &mut PlainRequestCtx, info| {
-            let function = &plan.functions[info.step_index];
-            for key in &function.reads {
-                let observed = match storage.get(key.as_str())? {
-                    Some(blob) => Some(decode_tagged_value(&blob)?),
-                    None => None,
-                };
-                ctx.observation.record_read(key.clone(), observed);
-            }
-            for key in &function.writes {
-                let value = TaggedValue::new(
-                    ctx.observation.own_tag,
-                    write_set.as_ref().clone(),
-                    payload_of_size(plan.value_size),
-                );
-                storage.put(key.as_str(), encode_tagged_value(&value))?;
-                ctx.observation.record_write(key.clone());
-                // Without AFT, a crash here leaves the previous writes
-                // visible to everyone — the §1 fractional-update hazard.
-                if platform.injector().should_crash_midway() {
-                    return Err(AftError::FunctionFailed(
-                        "injected crash between writes".to_owned(),
-                    ));
+        Composition::repeated(
+            "plain-request",
+            plan.functions.len(),
+            move |ctx: &mut PlainRequestCtx, info| {
+                let function = &plan.functions[info.step_index];
+                for key in &function.reads {
+                    let observed = match storage.get(key.as_str())? {
+                        Some(blob) => Some(decode_tagged_value(&blob)?),
+                        None => None,
+                    };
+                    ctx.observation.record_read(key.clone(), observed);
                 }
-            }
-            Ok(())
-        })
+                for key in &function.writes {
+                    let value = TaggedValue::new(
+                        ctx.observation.own_tag,
+                        write_set.as_ref().clone(),
+                        payload_of_size(plan.value_size),
+                    );
+                    storage.put(key.as_str(), encode_tagged_value(&value))?;
+                    ctx.observation.record_write(key.clone());
+                    // Without AFT, a crash here leaves the previous writes
+                    // visible to everyone — the §1 fractional-update hazard.
+                    if platform.injector().should_crash_midway() {
+                        return Err(AftError::FunctionFailed(
+                            "injected crash between writes".to_owned(),
+                        ));
+                    }
+                }
+                Ok(())
+            },
+        )
     }
 }
 
@@ -146,8 +150,7 @@ impl RequestDriver for PlainDriver {
         let items: Vec<(String, aft_types::Value)> = keys
             .iter()
             .map(|key| {
-                let value =
-                    TaggedValue::new(tag, vec![key.clone()], payload_of_size(value_size));
+                let value = TaggedValue::new(tag, vec![key.clone()], payload_of_size(value_size));
                 (key.as_str().to_owned(), encode_tagged_value(&value))
             })
             .collect();
@@ -158,9 +161,9 @@ impl RequestDriver for PlainDriver {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::generator::{WorkloadConfig, WorkloadGenerator};
     use aft_faas::{FailurePlan, PlatformConfig};
     use aft_storage::{BackendConfig, BackendKind};
-    use crate::generator::{WorkloadConfig, WorkloadGenerator};
 
     fn make_driver(kind: BackendKind) -> PlainDriver {
         let storage = aft_storage::make_backend(BackendConfig::test(kind));
@@ -174,7 +177,9 @@ mod tests {
         // so even the plain driver observes no anomalies.
         let driver = make_driver(BackendKind::DynamoDb);
         let mut generator = WorkloadGenerator::new(
-            WorkloadConfig::standard().with_keys(40).with_value_size(128),
+            WorkloadConfig::standard()
+                .with_keys(40)
+                .with_value_size(128),
             9,
         );
         driver.preload(&generator.preload_plan(), 128).unwrap();
@@ -196,11 +201,7 @@ mod tests {
             after_body: 0.0,
             mid_body: 1.0,
         }));
-        let driver = PlainDriver::new(
-            storage.clone(),
-            platform,
-            RetryPolicy::no_retries(),
-        );
+        let driver = PlainDriver::new(storage.clone(), platform, RetryPolicy::no_retries());
         let mut generator = WorkloadGenerator::new(
             WorkloadConfig::standard().with_keys(10).with_value_size(64),
             2,

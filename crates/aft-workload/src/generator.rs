@@ -261,8 +261,7 @@ mod tests {
 
     #[test]
     fn skewed_generators_prefer_popular_keys() {
-        let mut generator =
-            WorkloadGenerator::new(WorkloadConfig::standard().with_zipf(2.0), 11);
+        let mut generator = WorkloadGenerator::new(WorkloadConfig::standard().with_zipf(2.0), 11);
         let mut hot = 0;
         let mut total = 0;
         for _ in 0..500 {

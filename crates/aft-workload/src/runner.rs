@@ -164,7 +164,10 @@ pub fn run_closed_loop(driver: &dyn RequestDriver, config: &RunConfig) -> AftRes
                         }
                     }
                 }
-                collected.lock().expect("collector mutex").push(measurements);
+                collected
+                    .lock()
+                    .expect("collector mutex")
+                    .push(measurements);
             });
         }
     });

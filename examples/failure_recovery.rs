@@ -15,7 +15,6 @@
 //!    failure and a standby joins, while every committed transaction stays
 //!    visible.
 
-
 use aft::cluster::{Cluster, ClusterConfig};
 use aft::core::{AftNode, NodeConfig};
 use aft::faas::{FaasPlatform, FailurePlan, PlatformConfig, RetryPolicy};
@@ -33,7 +32,9 @@ fn main() {
 /// Functions crash between their writes; compare Plain and AFT.
 fn part1_crash_between_writes() {
     println!("== 1. Crashing between two writes of the same request ==");
-    let workload = WorkloadConfig::standard().with_keys(64).with_value_size(256);
+    let workload = WorkloadConfig::standard()
+        .with_keys(64)
+        .with_value_size(256);
     // Every third invocation (roughly) is killed somewhere around its body.
     let failures = FailurePlan {
         before_body: 0.05,
@@ -47,7 +48,9 @@ fn part1_crash_between_writes() {
     let plain = PlainDriver::new(storage, platform, RetryPolicy::with_attempts(6));
     let plain_result = run_closed_loop(
         &plain,
-        &RunConfig::new(workload.clone()).with_clients(6).with_requests(80),
+        &RunConfig::new(workload.clone())
+            .with_clients(6)
+            .with_requests(80),
     )
     .unwrap();
 
@@ -87,8 +90,12 @@ fn part2_node_recovery() {
     let committed_id = {
         let node = AftNode::new(NodeConfig::default(), storage.clone()).unwrap();
         let txn = node.start_transaction();
-        node.put(&txn, Key::new("account:alice"), Bytes::from_static(b"balance=100"))
-            .unwrap();
+        node.put(
+            &txn,
+            Key::new("account:alice"),
+            Bytes::from_static(b"balance=100"),
+        )
+        .unwrap();
         let id = node.commit(&txn).unwrap();
         println!("   node-0 committed {id} and then failed (dropped)");
         id
@@ -134,16 +141,26 @@ fn part3_cluster_failover() {
     for i in 0..30 {
         let node = cluster.route().unwrap();
         let txn = node.start_transaction();
-        node.put(&txn, Key::new(format!("key-{}", i % 10)), Bytes::from(format!("v{i}")))
-            .unwrap();
+        node.put(
+            &txn,
+            Key::new(format!("key-{}", i % 10)),
+            Bytes::from(format!("v{i}")),
+        )
+        .unwrap();
         node.commit(&txn).unwrap();
     }
     cluster.run_maintenance_round().unwrap();
-    println!("   committed 30 transactions across {} nodes", cluster.registry().active_count());
+    println!(
+        "   committed 30 transactions across {} nodes",
+        cluster.registry().active_count()
+    );
 
     // Kill a node; the router immediately stops sending requests to it.
     cluster.kill_node("aft-node-1");
-    println!("   killed aft-node-1; active nodes: {}", cluster.registry().active_count());
+    println!(
+        "   killed aft-node-1; active nodes: {}",
+        cluster.registry().active_count()
+    );
 
     // The fault manager replaces it (simulated container download + warm-up).
     let replaced = cluster.replace_failed_nodes().unwrap();
@@ -158,7 +175,11 @@ fn part3_cluster_failover() {
     for node in cluster.active_nodes() {
         let txn = node.start_transaction();
         for i in 0..10 {
-            if node.get(&txn, &Key::new(format!("key-{i}"))).unwrap().is_some() {
+            if node
+                .get(&txn, &Key::new(format!("key-{i}")))
+                .unwrap()
+                .is_some()
+            {
                 verified += 1;
             }
         }

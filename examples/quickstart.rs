@@ -20,20 +20,37 @@ fn main() {
 
     println!("== 1. A transaction's writes become visible atomically ==");
     let checkout = node.start_transaction();
-    node.put(&checkout, Key::new("cart:alice"), Bytes::from_static(b"book,lamp"))
-        .unwrap();
-    node.put(&checkout, Key::new("order:alice"), Bytes::from_static(b"pending"))
-        .unwrap();
+    node.put(
+        &checkout,
+        Key::new("cart:alice"),
+        Bytes::from_static(b"book,lamp"),
+    )
+    .unwrap();
+    node.put(
+        &checkout,
+        Key::new("order:alice"),
+        Bytes::from_static(b"pending"),
+    )
+    .unwrap();
 
     // Another request running *before* the commit sees none of the writes.
     let early_reader = node.start_transaction();
-    assert!(node.get(&early_reader, &Key::new("cart:alice")).unwrap().is_none());
-    assert!(node.get(&early_reader, &Key::new("order:alice")).unwrap().is_none());
+    assert!(node
+        .get(&early_reader, &Key::new("cart:alice"))
+        .unwrap()
+        .is_none());
+    assert!(node
+        .get(&early_reader, &Key::new("order:alice"))
+        .unwrap()
+        .is_none());
     println!("   before commit: other requests see neither key (no dirty reads)");
     node.abort(&early_reader).unwrap();
 
     // Read-your-writes: the transaction itself always sees its latest write.
-    let own = node.get(&checkout, &Key::new("cart:alice")).unwrap().unwrap();
+    let own = node
+        .get(&checkout, &Key::new("cart:alice"))
+        .unwrap()
+        .unwrap();
     println!(
         "   read-your-writes: checkout sees its own cart = {:?}",
         String::from_utf8_lossy(&own)
@@ -45,7 +62,10 @@ fn main() {
     // After the commit, both keys are visible together.
     let reader = node.start_transaction();
     let cart = node.get(&reader, &Key::new("cart:alice")).unwrap().unwrap();
-    let order = node.get(&reader, &Key::new("order:alice")).unwrap().unwrap();
+    let order = node
+        .get(&reader, &Key::new("order:alice"))
+        .unwrap()
+        .unwrap();
     println!(
         "   after commit: cart={:?} order={:?}",
         String::from_utf8_lossy(&cart),
@@ -55,8 +75,12 @@ fn main() {
     println!("\n== 2. Repeatable reads while other requests commit ==");
     // A concurrent request overwrites the cart.
     let update = node.start_transaction();
-    node.put(&update, Key::new("cart:alice"), Bytes::from_static(b"book,lamp,chair"))
-        .unwrap();
+    node.put(
+        &update,
+        Key::new("cart:alice"),
+        Bytes::from_static(b"book,lamp,chair"),
+    )
+    .unwrap();
     node.commit(&update).unwrap();
 
     // The long-running reader still sees the version it first read.
@@ -71,7 +95,10 @@ fn main() {
     // A fresh request sees the newest committed version.
     let fresh = node.start_transaction();
     let newest = node.get(&fresh, &Key::new("cart:alice")).unwrap().unwrap();
-    println!("   a fresh request sees {:?}", String::from_utf8_lossy(&newest));
+    println!(
+        "   a fresh request sees {:?}",
+        String::from_utf8_lossy(&newest)
+    );
     node.commit(&fresh).unwrap();
 
     println!("\n== 3. Aborted transactions leave no trace ==");

@@ -124,7 +124,10 @@ fn main() {
             &RetryPolicy::with_attempts(3),
         );
         match (&ctx, outcome.error) {
-            (Some(_), None) => println!("checkout for {user}: completed in {} attempt(s)", outcome.attempts),
+            (Some(_), None) => println!(
+                "checkout for {user}: completed in {} attempt(s)",
+                outcome.attempts
+            ),
             (_, Some(err)) => println!("checkout for {user}: rejected ({err})"),
             _ => unreachable!("a successful request always returns its context"),
         }
@@ -136,7 +139,14 @@ fn main() {
     let auditor = cluster.route().unwrap();
     let audit = auditor.start_transaction();
     println!("\nfinal state (read from {}):", auditor.node_id());
-    for key in ["sku:book", "sku:lamp", "sku:chair", "order:alice", "order:bob", "order:carol"] {
+    for key in [
+        "sku:book",
+        "sku:lamp",
+        "sku:chair",
+        "order:alice",
+        "order:bob",
+        "order:carol",
+    ] {
         let value = auditor
             .get(&audit, &Key::new(key))
             .unwrap()

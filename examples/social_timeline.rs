@@ -42,7 +42,10 @@ fn publish_plain(storage: &SharedStorage, author: usize, seq: u64) {
     }
     std::thread::yield_now(); // widen the window a reader can fall into
     storage
-        .put(&post_key(author, seq), Bytes::from(format!("post #{seq} by user {author}")))
+        .put(
+            &post_key(author, seq),
+            Bytes::from(format!("post #{seq} by user {author}")),
+        )
         .unwrap();
 }
 
@@ -51,8 +54,12 @@ fn publish_plain(storage: &SharedStorage, author: usize, seq: u64) {
 fn publish_aft(node: &AftNode, author: usize, seq: u64) {
     let txn = node.start_transaction();
     for follower in (0..USERS).filter(|f| *f != author) {
-        node.put(&txn, Key::new(timeline_key(follower)), Bytes::from(post_key(author, seq)))
-            .unwrap();
+        node.put(
+            &txn,
+            Key::new(timeline_key(follower)),
+            Bytes::from(post_key(author, seq)),
+        )
+        .unwrap();
     }
     node.put(
         &txn,
@@ -75,7 +82,10 @@ fn main() {
     println!(
         "\nAFT prevented every fractured read; the plain run exposed {dangling_plain} of them."
     );
-    assert_eq!(dangling_aft, 0, "AFT must never expose a dangling timeline entry");
+    assert_eq!(
+        dangling_aft, 0,
+        "AFT must never expose a dangling timeline entry"
+    );
 }
 
 /// Runs publishers and timeline readers concurrently; returns how many reads
@@ -114,7 +124,9 @@ fn run(use_aft: bool) -> u64 {
                 while done.load(Ordering::SeqCst) < USERS as u64 {
                     let observed = if use_aft {
                         let txn = node.start_transaction();
-                        let head = node.get(&txn, &Key::new(timeline_key(reader_user))).unwrap();
+                        let head = node
+                            .get(&txn, &Key::new(timeline_key(reader_user)))
+                            .unwrap();
                         // Only a timeline entry that points at an invisible
                         // post counts as dangling; an empty timeline is fine.
                         let is_dangling = match head {

@@ -10,13 +10,14 @@ use aft::storage::{BackendConfig, BackendKind};
 use aft::types::clock::TickingClock;
 use aft::types::Key;
 use aft::workload::{
-    run_closed_loop, AftDriver, DynamoTxnDriver, PlainDriver, RunConfig,
-    WorkloadConfig,
+    run_closed_loop, AftDriver, DynamoTxnDriver, PlainDriver, RunConfig, WorkloadConfig,
 };
 use bytes::Bytes;
 
 fn small_workload() -> WorkloadConfig {
-    WorkloadConfig::standard().with_keys(64).with_value_size(256)
+    WorkloadConfig::standard()
+        .with_keys(64)
+        .with_value_size(256)
 }
 
 fn test_cluster(nodes: usize) -> Arc<Cluster> {
@@ -45,7 +46,9 @@ fn aft_requests_over_every_backend_are_anomaly_free() {
         );
         let result = run_closed_loop(
             &driver,
-            &RunConfig::new(small_workload()).with_clients(4).with_requests(30),
+            &RunConfig::new(small_workload())
+                .with_clients(4)
+                .with_requests(30),
         )
         .unwrap();
         assert_eq!(result.completed, 120, "backend {kind:?}");
@@ -83,13 +86,18 @@ fn clustered_aft_keeps_read_atomicity_with_background_maintenance() {
 #[test]
 fn injected_function_failures_never_leak_partial_state_through_aft() {
     let cluster = test_cluster(2);
-    let platform = FaasPlatform::new(
-        PlatformConfig::test().with_failures(FailurePlan::uniform(0.35)),
+    let platform =
+        FaasPlatform::new(PlatformConfig::test().with_failures(FailurePlan::uniform(0.35)));
+    let driver = AftDriver::clustered(
+        Arc::clone(&cluster),
+        platform,
+        RetryPolicy::with_attempts(15),
     );
-    let driver = AftDriver::clustered(Arc::clone(&cluster), platform, RetryPolicy::with_attempts(15));
     let result = run_closed_loop(
         &driver,
-        &RunConfig::new(small_workload()).with_clients(4).with_requests(50),
+        &RunConfig::new(small_workload())
+            .with_clients(4)
+            .with_requests(50),
     )
     .unwrap();
 
@@ -114,16 +122,32 @@ fn plain_baseline_shows_anomalies_under_contention_but_aft_does_not() {
         .with_zipf(2.0)
         .with_value_size(128);
 
-    let plain = PlainDriver::new(
-        aft::storage::make_backend(BackendConfig::test(BackendKind::DynamoDb)),
-        FaasPlatform::new(PlatformConfig::test()),
-        RetryPolicy::with_attempts(3),
-    );
-    let plain_result = run_closed_loop(
-        &plain,
-        &RunConfig::new(contended.clone()).with_clients(8).with_requests(100),
-    )
-    .unwrap();
+    // Whether the racing clients actually interleave badly is up to the
+    // scheduler: on a loaded machine (e.g. CI running many test binaries at
+    // once) a run can finish with zero anomalies. Retry a few times — one
+    // anomalous run is all the comparison needs — so the assertion tests the
+    // baseline's lack of a guarantee, not one scheduler interleaving.
+    let mut plain_result = None;
+    for _ in 0..5 {
+        let plain = PlainDriver::new(
+            aft::storage::make_backend(BackendConfig::test(BackendKind::DynamoDb)),
+            FaasPlatform::new(PlatformConfig::test()),
+            RetryPolicy::with_attempts(3),
+        );
+        let result = run_closed_loop(
+            &plain,
+            &RunConfig::new(contended.clone())
+                .with_clients(8)
+                .with_requests(100),
+        )
+        .unwrap();
+        let anomalous = result.anomalies.ryw_transactions + result.anomalies.fr_transactions > 0;
+        plain_result = Some(result);
+        if anomalous {
+            break;
+        }
+    }
+    let plain_result = plain_result.expect("at least one plain run");
 
     let node = aft::core::AftNode::new(
         NodeConfig::default(),

@@ -26,8 +26,12 @@ fn committed_data_survives_total_node_loss() {
         let node = node_over(storage.clone(), "original");
         for i in 0..20 {
             let t = node.start_transaction();
-            node.put(&t, Key::new(format!("durable-{i}")), Bytes::from(format!("v{i}")))
-                .unwrap();
+            node.put(
+                &t,
+                Key::new(format!("durable-{i}")),
+                Bytes::from(format!("v{i}")),
+            )
+            .unwrap();
             node.commit(&t).unwrap();
         }
         // The node and every cache die here.
@@ -36,7 +40,10 @@ fn committed_data_survives_total_node_loss() {
     let t = replacement.start_transaction();
     for i in 0..20 {
         assert_eq!(
-            replacement.get(&t, &Key::new(format!("durable-{i}"))).unwrap().unwrap(),
+            replacement
+                .get(&t, &Key::new(format!("durable-{i}")))
+                .unwrap()
+                .unwrap(),
             Bytes::from(format!("v{i}"))
         );
     }
@@ -50,7 +57,8 @@ fn uncommitted_work_is_lost_on_node_failure_and_clients_retry() {
     {
         let node = node_over(storage.clone(), "doomed");
         let t = node.start_transaction();
-        node.put(&t, Key::new("half-done"), Bytes::from_static(b"x")).unwrap();
+        node.put(&t, Key::new("half-done"), Bytes::from_static(b"x"))
+            .unwrap();
         in_flight_txn = t;
         // Node fails before commit.
     }
@@ -58,12 +66,19 @@ fn uncommitted_work_is_lost_on_node_failure_and_clients_retry() {
     // The replacement knows nothing about the in-flight transaction; the
     // client's retry gets UnknownTransaction and must redo the request.
     let err = replacement
-        .put(&in_flight_txn, Key::new("half-done"), Bytes::from_static(b"y"))
+        .put(
+            &in_flight_txn,
+            Key::new("half-done"),
+            Bytes::from_static(b"y"),
+        )
         .unwrap_err();
     assert!(matches!(err, AftError::UnknownTransaction(_)));
     // And nothing of the half-done work is visible.
     let t = replacement.start_transaction();
-    assert!(replacement.get(&t, &Key::new("half-done")).unwrap().is_none());
+    assert!(replacement
+        .get(&t, &Key::new("half-done"))
+        .unwrap()
+        .is_none());
 }
 
 #[test]
@@ -71,8 +86,12 @@ fn fault_manager_recovers_commits_lost_before_broadcast() {
     let storage: SharedStorage = InMemoryStore::shared();
     let clock = TickingClock::shared(1, 1);
     let make = |id: &str| {
-        AftNode::with_clock(NodeConfig::default().with_node_id(id), storage.clone(), clock.clone())
-            .unwrap()
+        AftNode::with_clock(
+            NodeConfig::default().with_node_id(id),
+            storage.clone(),
+            clock.clone(),
+        )
+        .unwrap()
     };
     let dying = make("dying");
     let survivor_a = make("survivor-a");
@@ -80,7 +99,9 @@ fn fault_manager_recovers_commits_lost_before_broadcast() {
 
     // The dying node commits and acknowledges but never broadcasts.
     let t = dying.start_transaction();
-    dying.put(&t, Key::new("acked"), Bytes::from_static(b"important")).unwrap();
+    dying
+        .put(&t, Key::new("acked"), Bytes::from_static(b"important"))
+        .unwrap();
     dying.commit(&t).unwrap();
     drop(dying);
 
@@ -121,8 +142,12 @@ fn global_gc_reclaims_superseded_versions_without_losing_the_latest() {
     for i in 0..50u32 {
         let node = &nodes[(i % 2) as usize];
         let t = node.start_transaction();
-        node.put(&t, Key::new(format!("hot-{}", i % 5)), Bytes::from(format!("v{i}")))
-            .unwrap();
+        node.put(
+            &t,
+            Key::new(format!("hot-{}", i % 5)),
+            Bytes::from(format!("v{i}")),
+        )
+        .unwrap();
         node.commit(&t).unwrap();
     }
     broadcast_round(&nodes, Some(&fm));
@@ -130,17 +155,27 @@ fn global_gc_reclaims_superseded_versions_without_losing_the_latest() {
         node.run_local_gc(&LocalGcConfig::aggressive());
     }
     let outcome = gc.run_round(&fm, &nodes, &storage).unwrap();
-    assert!(outcome.deleted >= 40, "most superseded versions deleted, got {outcome:?}");
+    assert!(
+        outcome.deleted >= 40,
+        "most superseded versions deleted, got {outcome:?}"
+    );
 
     // Exactly one live version per key remains in storage.
     let remaining = storage.list_prefix("data/").unwrap();
-    assert_eq!(remaining.len(), 5, "one surviving version per hot key: {remaining:?}");
+    assert_eq!(
+        remaining.len(),
+        5,
+        "one surviving version per hot key: {remaining:?}"
+    );
 
     // And every key still reads its newest value on every node.
     for node in &nodes {
         let t = node.start_transaction();
         for k in 0..5u32 {
-            let value = node.get(&t, &Key::new(format!("hot-{k}"))).unwrap().unwrap();
+            let value = node
+                .get(&t, &Key::new(format!("hot-{k}")))
+                .unwrap()
+                .unwrap();
             let expected = format!("v{}", 45 + k); // last writer of hot-k
             assert_eq!(value, Bytes::from(expected));
         }
@@ -160,18 +195,25 @@ fn gc_racing_a_long_transaction_forces_retry_not_fracture() {
 
     // T_a writes {k, l}; the long-running reader reads k from T_a.
     let ta = node.start_transaction();
-    node.put(&ta, Key::new("k"), Bytes::from_static(b"ka")).unwrap();
-    node.put(&ta, Key::new("l"), Bytes::from_static(b"la")).unwrap();
+    node.put(&ta, Key::new("k"), Bytes::from_static(b"ka"))
+        .unwrap();
+    node.put(&ta, Key::new("l"), Bytes::from_static(b"la"))
+        .unwrap();
     node.commit(&ta).unwrap();
 
     let reader = node.start_transaction();
-    assert_eq!(node.get(&reader, &Key::new("k")).unwrap().unwrap(), Bytes::from_static(b"ka"));
+    assert_eq!(
+        node.get(&reader, &Key::new("k")).unwrap().unwrap(),
+        Bytes::from_static(b"ka")
+    );
 
     // Newer transactions supersede T_a entirely.
     for i in 0..3 {
         let t = node.start_transaction();
-        node.put(&t, Key::new("k"), Bytes::from(format!("k{i}"))).unwrap();
-        node.put(&t, Key::new("l"), Bytes::from(format!("l{i}"))).unwrap();
+        node.put(&t, Key::new("k"), Bytes::from(format!("k{i}")))
+            .unwrap();
+        node.put(&t, Key::new("l"), Bytes::from(format!("l{i}")))
+            .unwrap();
         node.commit(&t).unwrap();
     }
     let nodes = vec![Arc::clone(&node)];
@@ -210,8 +252,12 @@ fn cluster_failover_preserves_all_committed_data_under_load() {
     for i in 0..100u32 {
         let node = cluster.route().unwrap();
         let t = node.start_transaction();
-        node.put(&t, Key::new(format!("key-{}", i % 25)), Bytes::from(format!("v{i}")))
-            .unwrap();
+        node.put(
+            &t,
+            Key::new(format!("key-{}", i % 25)),
+            Bytes::from(format!("v{i}")),
+        )
+        .unwrap();
         node.commit(&t).unwrap();
     }
     cluster.run_maintenance_round().unwrap();
@@ -229,7 +275,9 @@ fn cluster_failover_preserves_all_committed_data_under_load() {
         let t = node.start_transaction();
         for k in 0..25u32 {
             assert!(
-                node.get(&t, &Key::new(format!("key-{k}"))).unwrap().is_some(),
+                node.get(&t, &Key::new(format!("key-{k}")))
+                    .unwrap()
+                    .is_some(),
                 "key-{k} missing on {}",
                 node.node_id()
             );

@@ -1,0 +1,99 @@
+//! Workspace smoke test: the facade crate's re-exports compose.
+//!
+//! This is deliberately shallow — deeper protocol properties live in the
+//! proptest suites — but it exercises the public API surface end-to-end
+//! exactly the way a downstream user of the `aft` crate would: open a node
+//! over the in-memory backend, run a transaction through it, and observe
+//! read-your-writes, commit atomicity, and cluster/faas/workload re-exports
+//! resolving through `aft::*` paths alone.
+
+use aft::cluster::{Cluster, ClusterConfig};
+use aft::core::{AftNode, NodeConfig};
+use aft::storage::InMemoryStore;
+use aft::types::clock::TickingClock;
+use aft::types::Key;
+use bytes::Bytes;
+
+#[test]
+fn facade_node_round_trip_with_read_your_writes() {
+    // Open a node over the in-memory backend through facade paths only.
+    let node = AftNode::new(NodeConfig::default(), InMemoryStore::shared())
+        .expect("facade node construction");
+
+    // Begin a transaction, buffer a write.
+    let txn = node.start_transaction();
+    let key = Key::new("smoke:cart");
+    let value = Bytes::from_static(b"3 items");
+    node.put(&txn, key.clone(), value.clone()).expect("put");
+
+    // Read-your-writes: the uncommitted write is visible inside the
+    // transaction that buffered it...
+    let seen = node.get(&txn, &key).expect("get inside txn");
+    assert_eq!(seen, Some(value.clone()), "read-your-writes through facade");
+
+    // ...but not to a concurrent transaction.
+    let other = node.start_transaction();
+    let hidden = node.get(&other, &key).expect("get from other txn");
+    assert_eq!(hidden, None, "uncommitted data must stay invisible");
+
+    // Commit, then a fresh transaction observes the write.
+    node.commit(&txn).expect("commit");
+    let fresh = node.start_transaction();
+    let observed = node.get(&fresh, &key).expect("get after commit");
+    assert_eq!(
+        observed,
+        Some(value),
+        "committed write visible after commit"
+    );
+}
+
+#[test]
+fn facade_cluster_and_types_compose() {
+    // The cluster layer, clock, and storage compose through facade paths.
+    let cluster = Cluster::with_clock(
+        ClusterConfig {
+            initial_nodes: 2,
+            ..ClusterConfig::default()
+        },
+        InMemoryStore::shared(),
+        TickingClock::shared(1, 1),
+    )
+    .expect("facade cluster construction");
+
+    let nodes = cluster.active_nodes();
+    assert_eq!(nodes.len(), 2);
+
+    // Commit through one node, then any node serves the value after a
+    // maintenance round.
+    let writer = &nodes[0];
+    let txn = writer.start_transaction();
+    let key = Key::new("smoke:cluster");
+    writer
+        .put(&txn, key.clone(), Bytes::from_static(b"v1"))
+        .expect("put");
+    writer.commit(&txn).expect("commit");
+    cluster.run_maintenance_round().expect("maintenance");
+
+    for node in cluster.active_nodes() {
+        let txn = node.start_transaction();
+        let got = node.get(&txn, &key).expect("read");
+        assert_eq!(
+            got,
+            Some(Bytes::from_static(b"v1")),
+            "node {} must serve the committed value",
+            node.node_id()
+        );
+    }
+}
+
+#[test]
+fn facade_module_surface_is_complete() {
+    // One symbol per re-exported module: if any of these stop resolving the
+    // facade lost part of its surface.
+    let _config: aft::core::NodeConfig = aft::core::NodeConfig::default();
+    let _cluster_config: aft::cluster::ClusterConfig = aft::cluster::ClusterConfig::default();
+    let _retry: aft::faas::RetryPolicy = aft::faas::RetryPolicy::default();
+    let _workload: aft::workload::WorkloadConfig = aft::workload::WorkloadConfig::standard();
+    let _key: aft::types::Key = aft::types::Key::new("k");
+    let _store = aft::storage::InMemoryStore::shared();
+}

@@ -1,0 +1,309 @@
+//! Offline, API-compatible subset of the [`criterion`] benchmark harness.
+//!
+//! The build environment has no crates.io access, so this vendored stub
+//! implements the criterion surface the `aft-bench` benches use:
+//! [`Criterion`], [`BenchmarkGroup`] (with `sample_size` /
+//! `measurement_time` / `bench_function` / `finish`), [`Bencher::iter`], and
+//! the [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement is deliberately simple — warm-up, then `sample_size` timed
+//! samples of an adaptively chosen iteration count, reporting mean and
+//! min/max per benchmark to stdout. It honours the standard
+//! `cargo bench -- <filter>` argument and `--bench` flag so `cargo bench`
+//! and `cargo bench --no-run` behave as CI expects. Statistical analysis,
+//! plotting, and baselines are out of scope for the stub.
+//!
+//! [`criterion`]: https://docs.rs/criterion
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Reads the benchmark name filter from `cargo bench -- <filter>` argv,
+/// skipping the flags the cargo bench harness protocol passes.
+fn arg_filter() -> Option<String> {
+    std::env::args()
+        .skip(1)
+        .find(|a| !a.starts_with('-') && !a.is_empty())
+}
+
+/// An opaque black box preventing the optimizer from deleting a computed
+/// value (re-export shim for `criterion::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// The benchmark manager: entry point mirroring `criterion::Criterion`.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            // Far below upstream's 100 samples / 5s: these benches simulate
+            // storage latency, so wall-clock per sample is what matters.
+            sample_size: 10,
+            measurement_time: Duration::from_secs(1),
+            warm_up_time: Duration::from_millis(200),
+            filter: arg_filter(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the default number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the default time budget for the timed samples of one benchmark.
+    pub fn measurement_time(mut self, dur: Duration) -> Self {
+        self.measurement_time = dur;
+        self
+    }
+
+    /// Sets the warm-up budget run before timing starts.
+    pub fn warm_up_time(mut self, dur: Duration) -> Self {
+        self.warm_up_time = dur;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+            measurement_time: None,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
+        let name = name.into();
+        let sample_size = self.sample_size;
+        let measurement_time = self.measurement_time;
+        self.run_one(&name, sample_size, measurement_time, f);
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(
+        &self,
+        full_name: &str,
+        sample_size: usize,
+        measurement_time: Duration,
+        mut f: F,
+    ) {
+        if let Some(filter) = &self.filter {
+            if !full_name.contains(filter.as_str()) {
+                return;
+            }
+        }
+
+        // Warm-up pass: run the routine until the warm-up budget is spent,
+        // measuring how long one iteration takes.
+        let mut bencher = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        let warm_up_start = Instant::now();
+        let mut per_iter = Duration::from_nanos(1);
+        while warm_up_start.elapsed() < self.warm_up_time {
+            bencher.elapsed = Duration::ZERO;
+            f(&mut bencher);
+            if bencher.elapsed > Duration::ZERO {
+                per_iter = bencher.elapsed / bencher.iters as u32;
+            }
+        }
+
+        // Choose an iteration count so `sample_size` samples fit the budget.
+        let per_sample = measurement_time
+            .checked_div(sample_size as u32)
+            .unwrap_or(Duration::ZERO);
+        let iters =
+            (per_sample.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, u64::MAX as u128) as u64;
+
+        let mut samples = Vec::with_capacity(sample_size);
+        for _ in 0..sample_size {
+            bencher.iters = iters;
+            bencher.elapsed = Duration::ZERO;
+            f(&mut bencher);
+            samples.push(bencher.elapsed.as_secs_f64() / iters as f64);
+        }
+
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().cloned().fold(0.0f64, f64::max);
+        println!(
+            "{full_name:<60} time: [{} {} {}]  ({} samples x {iters} iters)",
+            fmt_time(min),
+            fmt_time(mean),
+            fmt_time(max),
+            samples.len(),
+        );
+    }
+}
+
+fn fmt_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.4} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.4} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.4} us", seconds * 1e6)
+    } else {
+        format!("{:.4} ns", seconds * 1e9)
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    measurement_time: Option<Duration>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of timed samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Overrides the measurement budget for this group.
+    pub fn measurement_time(&mut self, dur: Duration) -> &mut Self {
+        self.measurement_time = Some(dur);
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
+        let full_name = format!("{}/{}", self.name, name.into());
+        let sample_size = self.sample_size.unwrap_or(self.criterion.sample_size);
+        let measurement_time = self
+            .measurement_time
+            .unwrap_or(self.criterion.measurement_time);
+        self.criterion
+            .run_one(&full_name, sample_size, measurement_time, f);
+        self
+    }
+
+    /// Closes the group. (The stub keeps no cross-group state; this exists
+    /// for API parity.)
+    pub fn finish(self) {}
+}
+
+/// Times closures handed to it by a benchmark routine.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Calls `routine` the harness-chosen number of times and records the
+    /// total elapsed wall-clock time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        /// Benchmark group entry point generated by `criterion_group!`.
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        /// Benchmark group entry point generated by `criterion_group!`.
+        pub fn $group() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark entry point, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut calls = 0u64;
+        let mut c = Criterion {
+            sample_size: 2,
+            measurement_time: Duration::from_millis(10),
+            warm_up_time: Duration::from_millis(1),
+            filter: None,
+        };
+        c.bench_function("smoke", |b| {
+            b.iter(|| {
+                calls += 1;
+                black_box(calls)
+            })
+        });
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn groups_apply_overrides_and_filter() {
+        let mut c = Criterion {
+            sample_size: 2,
+            measurement_time: Duration::from_millis(5),
+            warm_up_time: Duration::from_millis(1),
+            filter: Some("matched".to_string()),
+        };
+        let mut matched = false;
+        let mut skipped = false;
+        let mut group = c.benchmark_group("g");
+        group
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(5));
+        group.bench_function("matched", |b| {
+            b.iter(|| {
+                matched = true;
+            })
+        });
+        group.bench_function("other", |b| {
+            b.iter(|| {
+                skipped = true;
+            })
+        });
+        group.finish();
+        assert!(matched);
+        assert!(!skipped, "filter should have excluded 'other'");
+    }
+}

@@ -1,0 +1,61 @@
+//! The [`Arbitrary`] trait and [`any`], covering the primitive types the
+//! workspace's suites request.
+
+use std::fmt::Debug;
+use std::marker::PhantomData;
+
+use rand::{Rng, StandardSample};
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized + Debug {
+    /// The strategy [`any`] returns.
+    type Strategy: Strategy<Value = Self>;
+
+    /// Builds the canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// Returns the canonical strategy generating any value of `A`.
+pub fn any<A: Arbitrary>() -> A::Strategy {
+    A::arbitrary()
+}
+
+/// The strategy behind [`any`] for primitives: uniform over the full domain.
+pub struct AnyStrategy<T> {
+    _marker: PhantomData<fn() -> T>,
+}
+
+impl<T> Default for AnyStrategy<T> {
+    fn default() -> Self {
+        AnyStrategy {
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<T: StandardSample + Debug> Strategy for AnyStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.gen()
+    }
+}
+
+macro_rules! impl_arbitrary_primitive {
+    ($($t:ty),* $(,)?) => {$(
+        impl Arbitrary for $t {
+            type Strategy = AnyStrategy<$t>;
+
+            fn arbitrary() -> Self::Strategy {
+                AnyStrategy::default()
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_primitive!(
+    u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, bool, f32, f64
+);

@@ -1,0 +1,255 @@
+//! Offline, API-compatible subset of the [`proptest`] framework.
+//!
+//! The build environment has no crates.io access, so this vendored stub
+//! implements the proptest surface the workspace's property suites use:
+//!
+//! * the [`Strategy`] trait with `prop_map`, [`Just`], range strategies,
+//!   tuple strategies, [`collection::vec`], regex-subset string strategies,
+//!   [`sample::Index`], and [`arbitrary::any`],
+//! * the [`proptest!`], [`prop_oneof!`], [`prop_assert!`],
+//!   [`prop_assert_eq!`], and [`prop_assert_ne!`] macros,
+//! * a deterministic [`test_runner::TestRunner`]: the case seed is derived
+//!   from the test name, so failures reproduce across runs and machines.
+//!
+//! **No shrinking**: on failure the harness reports the generated inputs,
+//! the case number, and the seed, but does not search for a minimal
+//! counterexample. That trade keeps the stub small while preserving the
+//! bug-finding power of randomized generation.
+//!
+//! [`proptest`]: https://docs.rs/proptest
+
+pub mod arbitrary;
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// Path-compatibility alias so `prop::sample::Index` etc. resolve as they do
+/// with the real crate's prelude.
+pub mod prop {
+    pub use crate::{arbitrary, collection, sample, strategy, string};
+}
+
+/// The glob-import surface test files use: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::prop;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult, TestRunner};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the current case
+/// (rather than panicking) so the harness can report the inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Asserts two values are equal inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `left == right` (left: `{:?}`, right: `{:?}`)",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left == right) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "{} (left: `{:?}`, right: `{:?}`)",
+                    format!($($fmt)+),
+                    left,
+                    right
+                ),
+            ));
+        }
+    }};
+}
+
+/// Asserts two values are unequal inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `left != right` (both: `{:?}`)",
+            left
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left != right) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("{} (both: `{:?}`)", format!($($fmt)+), left),
+            ));
+        }
+    }};
+}
+
+/// Combines strategies into one that picks among them, optionally weighted:
+/// `prop_oneof![a, b]` or `prop_oneof![3 => a, 1 => b]`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// Declares property tests: each `fn name(binding in strategy, ...) { body }`
+/// becomes a `#[test]` that runs the body against `config.cases` generated
+/// inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!(($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($config:expr) $($(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let mut runner = $crate::test_runner::TestRunner::new(config, stringify!($name));
+                while let Some(mut case) = runner.next_case() {
+                    let result: $crate::test_runner::TestCaseResult = (|| {
+                        $(
+                            let __value =
+                                $crate::strategy::Strategy::generate(&($strat), case.rng());
+                            case.record_input(stringify!($arg), &__value);
+                            let $arg = __value;
+                        )+
+                        { $body }
+                        ::core::result::Result::Ok(())
+                    })();
+                    runner.finish_case(case, result);
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Cmd {
+        Get(usize),
+        Put(usize, u8),
+        Flush,
+    }
+
+    fn arb_cmd() -> impl Strategy<Value = Cmd> {
+        prop_oneof![
+            3 => (0..10usize).prop_map(Cmd::Get),
+            3 => (0..10usize, 0..255u8).prop_map(|(k, v)| Cmd::Put(k, v)),
+            1 => Just(Cmd::Flush),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn vec_lengths_respect_bounds(v in crate::collection::vec(0..100u8, 2..9)) {
+            prop_assert!(v.len() >= 2 && v.len() < 9, "len {} out of bounds", v.len());
+        }
+
+        #[test]
+        fn regex_strategy_matches_class(s in "[a-z0-9_]{1,16}") {
+            prop_assert!(!s.is_empty() && s.len() <= 16);
+            prop_assert!(s.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+        }
+
+        #[test]
+        fn oneof_hits_all_arms(cmds in crate::collection::vec(arb_cmd(), 1..50)) {
+            for cmd in cmds {
+                match cmd {
+                    Cmd::Get(k) => prop_assert!(k < 10),
+                    Cmd::Put(k, _) => prop_assert!(k < 10),
+                    Cmd::Flush => {}
+                }
+            }
+        }
+
+        #[test]
+        fn index_is_always_in_range(idx in any::<prop::sample::Index>(), len in 1..100usize) {
+            prop_assert!(idx.index(len) < len);
+        }
+
+        #[test]
+        fn tuples_and_any_compose(pair in (any::<u64>(), any::<bool>(), 5..10u32)) {
+            let (_, _, ranged) = pair;
+            prop_assert!((5..10).contains(&ranged));
+        }
+    }
+
+    // Deliberately not marked #[test]: driven manually by
+    // `failing_case_reports_inputs` to observe the failure report.
+    proptest! {
+        fn always_fails(x in 0..10u8) {
+            prop_assert!(x > 200, "x was {}", x);
+        }
+    }
+
+    #[test]
+    fn failing_case_reports_inputs() {
+        let result = std::panic::catch_unwind(always_fails);
+        let err = result.expect_err("expected failure");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(
+            msg.contains("x was"),
+            "message should carry the assert text: {msg}"
+        );
+        assert!(msg.contains("x ="), "message should echo the inputs: {msg}");
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        use crate::strategy::Strategy;
+        use crate::test_runner::{ProptestConfig, TestRunner};
+        let collect = || {
+            let mut runner = TestRunner::new(ProptestConfig::with_cases(8), "determinism");
+            let mut seen = Vec::new();
+            while let Some(mut case) = runner.next_case() {
+                seen.push((0..1000u32).generate(case.rng()));
+                runner.finish_case(case, Ok(()));
+            }
+            seen
+        };
+        assert_eq!(collect(), collect());
+    }
+}

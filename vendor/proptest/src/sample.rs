@@ -1,0 +1,41 @@
+//! Sampling helpers (`prop::sample::Index`).
+
+use rand::Rng;
+
+use crate::arbitrary::Arbitrary;
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// A position into a collection of as-yet-unknown size: stores a uniform
+/// fraction of the index space and scales it to a concrete length on demand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Index(u64);
+
+impl Index {
+    /// Projects this abstract index onto a collection of `len` elements.
+    /// Panics if `len` is zero, like upstream.
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "cannot index an empty collection");
+        ((self.0 as u128 * len as u128) >> 64) as usize
+    }
+}
+
+/// Strategy generating [`Index`] values.
+#[derive(Debug, Clone, Default)]
+pub struct IndexStrategy;
+
+impl Strategy for IndexStrategy {
+    type Value = Index;
+
+    fn generate(&self, rng: &mut TestRng) -> Index {
+        Index(rng.gen())
+    }
+}
+
+impl Arbitrary for Index {
+    type Strategy = IndexStrategy;
+
+    fn arbitrary() -> IndexStrategy {
+        IndexStrategy
+    }
+}

@@ -1,0 +1,213 @@
+//! String strategies from regex-like patterns.
+//!
+//! Upstream proptest treats `&str` as "a strategy generating strings matched
+//! by this regex". The stub supports the subset of regex syntax the
+//! workspace's suites use (plus a little headroom): literal characters,
+//! character classes with ranges (`[a-zA-Z0-9_/:.-]`), `.` (printable
+//! ASCII), escapes, and the quantifiers `{m,n}`, `{n}`, `{n,}`, `?`, `*`,
+//! `+` (unbounded repeats are capped at 16).
+
+use rand::Rng;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+const UNBOUNDED_CAP: u32 = 16;
+
+/// One pattern element plus its repetition bounds.
+#[derive(Debug, Clone)]
+struct Atom {
+    /// Inclusive character ranges to choose among.
+    ranges: Vec<(char, char)>,
+    min: u32,
+    max: u32,
+}
+
+fn parse_pattern(pattern: &str) -> Vec<Atom> {
+    let mut chars = pattern.chars().peekable();
+    let mut atoms = Vec::new();
+    while let Some(c) = chars.next() {
+        let ranges = match c {
+            '[' => parse_class(&mut chars, pattern),
+            '.' => vec![(' ', '~')],
+            '\\' => {
+                let escaped = chars
+                    .next()
+                    .unwrap_or_else(|| panic!("dangling escape in pattern {pattern:?}"));
+                escape_ranges(escaped)
+            }
+            '(' | ')' | '|' | '^' | '$' => {
+                panic!("regex feature {c:?} is not supported by the proptest stub ({pattern:?})")
+            }
+            literal => vec![(literal, literal)],
+        };
+        let (min, max) = parse_quantifier(&mut chars, pattern);
+        atoms.push(Atom { ranges, min, max });
+    }
+    atoms
+}
+
+fn parse_class(
+    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+    pattern: &str,
+) -> Vec<(char, char)> {
+    let mut members: Vec<char> = Vec::new();
+    let mut ranges: Vec<(char, char)> = Vec::new();
+    loop {
+        let c = chars
+            .next()
+            .unwrap_or_else(|| panic!("unterminated class in pattern {pattern:?}"));
+        match c {
+            ']' => break,
+            '\\' => {
+                let escaped = chars
+                    .next()
+                    .unwrap_or_else(|| panic!("dangling escape in pattern {pattern:?}"));
+                ranges.extend(escape_ranges(escaped));
+            }
+            '-' => {
+                // A `-` between two members forms a range; first or last it
+                // is a literal.
+                match (members.pop(), chars.peek().copied()) {
+                    (Some(lo), Some(hi)) if hi != ']' => {
+                        chars.next();
+                        assert!(lo <= hi, "inverted range {lo}-{hi} in pattern {pattern:?}");
+                        ranges.push((lo, hi));
+                    }
+                    (prev, _) => {
+                        members.extend(prev);
+                        members.push('-');
+                    }
+                }
+            }
+            member => members.push(member),
+        }
+    }
+    ranges.extend(members.into_iter().map(|m| (m, m)));
+    assert!(!ranges.is_empty(), "empty class in pattern {pattern:?}");
+    ranges
+}
+
+fn escape_ranges(escaped: char) -> Vec<(char, char)> {
+    match escaped {
+        'd' => vec![('0', '9')],
+        'w' => vec![('a', 'z'), ('A', 'Z'), ('0', '9'), ('_', '_')],
+        's' => vec![(' ', ' '), ('\t', '\t'), ('\n', '\n')],
+        'n' => vec![('\n', '\n')],
+        't' => vec![('\t', '\t')],
+        'r' => vec![('\r', '\r')],
+        other => vec![(other, other)],
+    }
+}
+
+fn parse_quantifier(
+    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+    pattern: &str,
+) -> (u32, u32) {
+    match chars.peek() {
+        Some('{') => {
+            chars.next();
+            let mut body = String::new();
+            loop {
+                match chars.next() {
+                    Some('}') => break,
+                    Some(c) => body.push(c),
+                    None => panic!("unterminated quantifier in pattern {pattern:?}"),
+                }
+            }
+            let parse = |s: &str| -> u32 {
+                s.trim()
+                    .parse()
+                    .unwrap_or_else(|_| panic!("bad quantifier {{{body}}} in pattern {pattern:?}"))
+            };
+            match body.split_once(',') {
+                None => {
+                    let n = parse(&body);
+                    (n, n)
+                }
+                Some((min, "")) => {
+                    let min = parse(min);
+                    (min, min + UNBOUNDED_CAP)
+                }
+                Some((min, max)) => (parse(min), parse(max)),
+            }
+        }
+        Some('?') => {
+            chars.next();
+            (0, 1)
+        }
+        Some('*') => {
+            chars.next();
+            (0, UNBOUNDED_CAP)
+        }
+        Some('+') => {
+            chars.next();
+            (1, UNBOUNDED_CAP)
+        }
+        _ => (1, 1),
+    }
+}
+
+/// A string strategy compiled from a regex-subset pattern.
+#[derive(Debug, Clone)]
+pub struct StringParam {
+    atoms: Vec<Atom>,
+}
+
+impl StringParam {
+    /// Compiles `pattern`, panicking on syntax outside the supported subset.
+    pub fn new(pattern: &str) -> Self {
+        StringParam {
+            atoms: parse_pattern(pattern),
+        }
+    }
+}
+
+impl Strategy for StringParam {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for atom in &self.atoms {
+            let count = rng.gen_range(atom.min..=atom.max);
+            let total: u64 = atom
+                .ranges
+                .iter()
+                .map(|(lo, hi)| (*hi as u64) - (*lo as u64) + 1)
+                .sum();
+            for _ in 0..count {
+                let mut pick = rng.gen_range(0..total);
+                for (lo, hi) in &atom.ranges {
+                    let span = (*hi as u64) - (*lo as u64) + 1;
+                    if pick < span {
+                        out.push(
+                            char::from_u32(*lo as u32 + pick as u32)
+                                .expect("range endpoints are valid chars"),
+                        );
+                        break;
+                    }
+                    pick -= span;
+                }
+            }
+        }
+        out
+    }
+}
+
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        // Compiling per call is wasteful but keeps `&str` itself a strategy,
+        // matching upstream's API; test-suite patterns are tiny.
+        StringParam::new(self).generate(rng)
+    }
+}
+
+impl Strategy for String {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        StringParam::new(self).generate(rng)
+    }
+}

@@ -1,0 +1,202 @@
+//! Deterministic test runner: configuration, case errors, and the RNG handed
+//! to strategies.
+
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// Configuration accepted by `#![proptest_config(...)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases each test runs.
+    pub cases: u32,
+    /// Maximum number of rejected (skipped) cases tolerated before the run
+    /// is considered broken.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_global_rejects: 1024,
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// Returns the default configuration with `cases` overridden.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..ProptestConfig::default()
+        }
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The property does not hold for this input.
+    Fail(String),
+    /// The input is not interesting; skip it without counting it as a pass.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// Builds a failure from any displayable reason.
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError::Fail(reason.into())
+    }
+
+    /// Builds a rejection from any displayable reason.
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(reason) => write!(f, "test case failed: {reason}"),
+            TestCaseError::Reject(reason) => write!(f, "test case rejected: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// The outcome of one generated case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// The random source strategies draw from. A thin wrapper over the vendored
+/// `rand::rngs::StdRng` so the generator algorithm can change without
+/// touching strategy code.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    fn from_seed_u64(seed: u64) -> Self {
+        TestRng {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u32(&mut self) -> u32 {
+        self.inner.next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}
+
+/// One in-flight generated case: its RNG plus a human-readable transcript of
+/// the inputs generated so far (used in failure reports in place of
+/// shrinking).
+pub struct TestCase {
+    index: u32,
+    rng: TestRng,
+    inputs: String,
+}
+
+impl TestCase {
+    /// The RNG strategies should draw from.
+    pub fn rng(&mut self) -> &mut TestRng {
+        &mut self.rng
+    }
+
+    /// Records one named generated input for failure reporting.
+    pub fn record_input<T: fmt::Debug>(&mut self, name: &str, value: &T) {
+        use fmt::Write;
+        let _ = writeln!(self.inputs, "    {name} = {value:?}");
+    }
+}
+
+/// Drives one property test: hands out seeded cases and panics with a
+/// reproducible report when a case fails.
+pub struct TestRunner {
+    config: ProptestConfig,
+    name: &'static str,
+    seed: u64,
+    next_index: u32,
+    rejects: u32,
+}
+
+impl TestRunner {
+    /// Creates a runner for the named test. The seed is derived from the
+    /// test name (FNV-1a), so runs are deterministic across processes and
+    /// machines; set `PROPTEST_SEED` to explore a different stream.
+    pub fn new(config: ProptestConfig, name: &'static str) -> Self {
+        let seed = match std::env::var("PROPTEST_SEED") {
+            Ok(raw) => raw
+                .parse::<u64>()
+                .unwrap_or_else(|_| panic!("PROPTEST_SEED must be a u64, got {raw:?}")),
+            Err(_) => fnv1a(name.as_bytes()),
+        };
+        TestRunner {
+            config,
+            name,
+            seed,
+            next_index: 0,
+            rejects: 0,
+        }
+    }
+
+    /// Returns the next case to run, or `None` when the configured number of
+    /// cases have all been handed out.
+    pub fn next_case(&mut self) -> Option<TestCase> {
+        if self.next_index >= self.config.cases {
+            return None;
+        }
+        let index = self.next_index;
+        self.next_index += 1;
+        let case_seed = self
+            .seed
+            .wrapping_add((index as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        Some(TestCase {
+            index,
+            rng: TestRng::from_seed_u64(case_seed),
+            inputs: String::new(),
+        })
+    }
+
+    /// Reports the outcome of a case handed out by [`TestRunner::next_case`].
+    /// Panics with a reproduction report if the case failed.
+    pub fn finish_case(&mut self, case: TestCase, result: TestCaseResult) {
+        match result {
+            Ok(()) => {}
+            Err(TestCaseError::Reject(_)) => {
+                self.rejects += 1;
+                if self.rejects > self.config.max_global_rejects {
+                    panic!(
+                        "proptest `{}`: too many rejected cases ({})",
+                        self.name, self.rejects
+                    );
+                }
+                // A rejected case does not count toward the target.
+                self.config.cases += 1;
+            }
+            Err(TestCaseError::Fail(reason)) => {
+                panic!(
+                    "proptest `{}` failed at case {} (name-derived seed {}): {}\n  inputs:\n{}",
+                    self.name, case.index, self.seed, reason, case.inputs
+                );
+            }
+        }
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}

@@ -1,0 +1,255 @@
+//! Offline, API-compatible subset of the [`serde`] crate.
+//!
+//! The build environment has no crates.io access. Nothing in this workspace
+//! serializes through serde at runtime (the durable wire format is the
+//! hand-rolled codec in `aft-types::codec`), but several types declare
+//! `#[derive(Serialize, Deserialize)]` and `Key` implements the traits by
+//! hand so a future real-storage backend can plug in a serde format crate.
+//! This stub keeps those declarations compiling: the trait shapes match
+//! upstream for the surface used (`Serializer::serialize_str`,
+//! `String::deserialize`), and the derives (re-exported from the companion
+//! `serde_derive` stub) expand to nothing.
+//!
+//! [`serde`]: https://docs.rs/serde
+
+use std::fmt::Display;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Errors produced by a [`Serializer`] or [`Deserializer`].
+pub trait Error: Sized + std::error::Error {
+    /// Builds an error from a display-able message.
+    fn custom<T: Display>(msg: T) -> Self;
+}
+
+/// A data format that can serialize values (subset of upstream).
+pub trait Serializer: Sized {
+    /// The output produced on success.
+    type Ok;
+    /// The error produced on failure.
+    type Error: Error;
+
+    /// Serializes a string slice.
+    fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error>;
+
+    /// Serializes a byte slice.
+    fn serialize_bytes(self, v: &[u8]) -> Result<Self::Ok, Self::Error>;
+
+    /// Serializes a `u64`.
+    fn serialize_u64(self, v: u64) -> Result<Self::Ok, Self::Error>;
+
+    /// Serializes a `u128`.
+    fn serialize_u128(self, v: u128) -> Result<Self::Ok, Self::Error>;
+
+    /// Serializes a `bool`.
+    fn serialize_bool(self, v: bool) -> Result<Self::Ok, Self::Error>;
+}
+
+/// A data format that can deserialize values (subset of upstream; the stub
+/// replaces the visitor machinery with direct typed pulls, which is all the
+/// workspace's hand-written impls use).
+pub trait Deserializer<'de>: Sized {
+    /// The error produced on failure.
+    type Error: Error;
+
+    /// Deserializes an owned string.
+    fn deserialize_string(self) -> Result<String, Self::Error>;
+
+    /// Deserializes an owned byte buffer.
+    fn deserialize_byte_buf(self) -> Result<Vec<u8>, Self::Error>;
+
+    /// Deserializes a `u64`.
+    fn deserialize_u64(self) -> Result<u64, Self::Error>;
+
+    /// Deserializes a `u128`.
+    fn deserialize_u128(self) -> Result<u128, Self::Error>;
+
+    /// Deserializes a `bool`.
+    fn deserialize_bool(self) -> Result<bool, Self::Error>;
+}
+
+/// A value that can be serialized into any [`Serializer`].
+pub trait Serialize {
+    /// Serializes `self` into the given serializer.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// A value that can be deserialized from any [`Deserializer`].
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes an instance from the given deserializer.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl Serialize for u64 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_u64(*self)
+    }
+}
+
+impl Serialize for u128 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_u128(*self)
+    }
+}
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_bool(*self)
+    }
+}
+
+impl Serialize for Vec<u8> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_bytes(self)
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.deserialize_string()
+    }
+}
+
+impl<'de> Deserialize<'de> for Vec<u8> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.deserialize_byte_buf()
+    }
+}
+
+impl<'de> Deserialize<'de> for u64 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.deserialize_u64()
+    }
+}
+
+impl<'de> Deserialize<'de> for u128 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.deserialize_u128()
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.deserialize_bool()
+    }
+}
+
+/// `serde::ser` module alias, mirroring upstream paths.
+pub mod ser {
+    pub use crate::{Error, Serialize, Serializer};
+}
+
+/// `serde::de` module alias, mirroring upstream paths.
+pub mod de {
+    pub use crate::{Deserialize, Deserializer, Error};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fmt;
+
+    /// A toy serializer proving the trait shapes line up with hand-written
+    /// impls like `aft_types::Key`'s.
+    struct StringSink;
+
+    #[derive(Debug)]
+    struct SinkError(String);
+
+    impl fmt::Display for SinkError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            self.0.fmt(f)
+        }
+    }
+
+    impl std::error::Error for SinkError {}
+
+    impl Error for SinkError {
+        fn custom<T: Display>(msg: T) -> Self {
+            SinkError(msg.to_string())
+        }
+    }
+
+    impl Serializer for StringSink {
+        type Ok = String;
+        type Error = SinkError;
+
+        fn serialize_str(self, v: &str) -> Result<String, SinkError> {
+            Ok(v.to_string())
+        }
+
+        fn serialize_bytes(self, v: &[u8]) -> Result<String, SinkError> {
+            Ok(format!("{v:?}"))
+        }
+
+        fn serialize_u64(self, v: u64) -> Result<String, SinkError> {
+            Ok(v.to_string())
+        }
+
+        fn serialize_u128(self, v: u128) -> Result<String, SinkError> {
+            Ok(v.to_string())
+        }
+
+        fn serialize_bool(self, v: bool) -> Result<String, SinkError> {
+            Ok(v.to_string())
+        }
+    }
+
+    struct StrSource(&'static str);
+
+    impl<'de> Deserializer<'de> for StrSource {
+        type Error = SinkError;
+
+        fn deserialize_string(self) -> Result<String, SinkError> {
+            Ok(self.0.to_string())
+        }
+
+        fn deserialize_byte_buf(self) -> Result<Vec<u8>, SinkError> {
+            Ok(self.0.as_bytes().to_vec())
+        }
+
+        fn deserialize_u64(self) -> Result<u64, SinkError> {
+            self.0.parse().map_err(SinkError::custom)
+        }
+
+        fn deserialize_u128(self) -> Result<u128, SinkError> {
+            self.0.parse().map_err(SinkError::custom)
+        }
+
+        fn deserialize_bool(self) -> Result<bool, SinkError> {
+            self.0.parse().map_err(SinkError::custom)
+        }
+    }
+
+    #[test]
+    fn round_trip_through_stub_traits() {
+        let out = "hello".serialize(StringSink).unwrap();
+        assert_eq!(out, "hello");
+        let back = String::deserialize(StrSource("hello")).unwrap();
+        assert_eq!(back, "hello");
+        assert_eq!(u64::deserialize(StrSource("17")).unwrap(), 17);
+    }
+
+    #[derive(Serialize, Deserialize)]
+    struct Derived {
+        #[serde(rename = "x")]
+        _field: u64,
+    }
+
+    #[test]
+    fn noop_derives_parse() {
+        let _ = Derived { _field: 1 };
+    }
+}

@@ -1,0 +1,23 @@
+//! No-op `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the vendored
+//! serde stub.
+//!
+//! Nothing in this workspace serializes through serde at runtime — the wire
+//! format is the hand-rolled binary codec in `aft-types::codec` — so the
+//! derives only need to make `#[derive(Serialize, Deserialize)]` attributes
+//! parse. They expand to nothing; hand-written impls (e.g. for `Key`) provide
+//! the trait where it is actually referenced. The `serde` helper attribute is
+//! registered so `#[serde(...)]` field annotations remain legal.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; see the crate docs.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; see the crate docs.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
