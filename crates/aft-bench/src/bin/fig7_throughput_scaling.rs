@@ -1,0 +1,112 @@
+//! Runs the `fig7_throughput_scaling` sweep (clients × stripes × commit
+//! batching over the memory backend), prints the result table, and writes
+//! machine-readable `BENCH_throughput.json`.
+//!
+//! Usage:
+//!
+//! ```text
+//! fig7_throughput_scaling [--out PATH] [--baseline PATH] [--max-regression PCT]
+//!                         [--write-baseline PATH]
+//! ```
+//!
+//! * `--out PATH` — where to write the report JSON (default
+//!   `BENCH_throughput.json`).
+//! * `--baseline PATH` — compare against a previous report; exit non-zero if
+//!   single-client throughput regressed more than `--max-regression` percent
+//!   (default 30) or if any read-atomicity anomaly was observed.
+//! * `--write-baseline PATH` — additionally write this run's report to PATH,
+//!   for deliberate re-baselining.
+//! * `AFT_BENCH_FAST=1` — run the sub-minute CI sweep instead of the full
+//!   one.
+
+use aft_bench::scaling::{fig7_throughput_scaling, ScalingConfig};
+use aft_bench::Json;
+
+fn main() {
+    let mut out_path = "BENCH_throughput.json".to_owned();
+    let mut baseline_path: Option<String> = None;
+    let mut write_baseline: Option<String> = None;
+    let mut max_regression = 0.30;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let flag_value = |i: &mut usize| -> String {
+            *i += 1;
+            args.get(*i)
+                .unwrap_or_else(|| {
+                    eprintln!("missing value for {}", args[*i - 1]);
+                    std::process::exit(2);
+                })
+                .clone()
+        };
+        match args[i].as_str() {
+            "--out" => out_path = flag_value(&mut i),
+            "--baseline" => baseline_path = Some(flag_value(&mut i)),
+            "--write-baseline" => write_baseline = Some(flag_value(&mut i)),
+            "--max-regression" => {
+                max_regression = flag_value(&mut i).parse::<f64>().unwrap_or_else(|e| {
+                    eprintln!("invalid --max-regression: {e}");
+                    std::process::exit(2);
+                }) / 100.0;
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let fast = std::env::var("AFT_BENCH_FAST").is_ok();
+    let config = if fast {
+        ScalingConfig::fast()
+    } else {
+        ScalingConfig::standard()
+    };
+    println!(
+        "fig7_throughput_scaling (fast={fast}): clients {:?}, {} requests/client\n",
+        config.client_counts, config.requests_per_client
+    );
+
+    let report = fig7_throughput_scaling(&config);
+    report.table().print();
+    println!(
+        "summary: single-client {:.0} ops/s, multi-client speedup {:.2}x, {} anomalies",
+        report.single_client_ops(),
+        report.multi_client_speedup(),
+        report.total_anomalies()
+    );
+
+    let rendered = report.to_json().render();
+    if let Err(e) = std::fs::write(&out_path, &rendered) {
+        eprintln!("failed to write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out_path}");
+    if let Some(path) = write_baseline {
+        if let Err(e) = std::fs::write(&path, &rendered) {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("wrote baseline {path}");
+    }
+
+    if let Some(path) = baseline_path {
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("failed to read baseline {path}: {e}");
+            std::process::exit(1);
+        });
+        let baseline = Json::parse(&text).unwrap_or_else(|e| {
+            eprintln!("failed to parse baseline {path}: {e}");
+            std::process::exit(1);
+        });
+        match report.check_against_baseline(&baseline, max_regression) {
+            Ok(message) => println!("baseline check OK: {message}"),
+            Err(message) => {
+                eprintln!("baseline check FAILED: {message}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

@@ -1,7 +1,8 @@
-//! Runs every experiment in the evaluation back to back (Figures 2-10 and
-//! Table 2) and prints each table. Set `AFT_BENCH_FAST=1` for a quick pass.
+//! Runs every experiment in the evaluation back to back (Figures 2-10,
+//! Table 2, and the repo's own throughput-scaling sweep) and prints each
+//! table. Set `AFT_BENCH_FAST=1` for a quick pass.
 
-use aft_bench::{experiments, BenchEnv};
+use aft_bench::{experiments, scaling, BenchEnv, ScalingConfig};
 
 fn main() {
     let env = BenchEnv::from_env();
@@ -20,4 +21,12 @@ fn main() {
     experiments::fig8_distributed(&env).print();
     experiments::fig9_gc(&env).print();
     experiments::fig10_fault_tolerance(&env).print();
+    let scaling_config = if env.fast {
+        ScalingConfig::fast()
+    } else {
+        ScalingConfig::standard()
+    };
+    scaling::fig7_throughput_scaling(&scaling_config)
+        .table()
+        .print();
 }

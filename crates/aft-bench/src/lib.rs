@@ -24,8 +24,12 @@
 //!   fewer clients, shorter timelines) for smoke-testing.
 
 pub mod experiments;
+pub mod json;
 pub mod report;
+pub mod scaling;
 pub mod setup;
 
+pub use json::Json;
 pub use report::Table;
+pub use scaling::{fig7_throughput_scaling, ScalingConfig, ThroughputReport};
 pub use setup::BenchEnv;

@@ -94,6 +94,7 @@ impl BenchEnv {
             scale: self.scale,
             seed,
             redis_shards: 2,
+            stripes: aft_storage::DEFAULT_STRIPES,
         })
     }
 

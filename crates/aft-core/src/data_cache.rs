@@ -10,17 +10,33 @@
 //! only ever inserted for *committed* versions (the commit path and the read
 //! path both insert after the commit record is known), so a cache hit can
 //! never leak dirty data.
+//!
+//! The cache is lock-striped: `hash(storage_key) → stripe`, each stripe an
+//! independent LRU with `capacity / stripes` bytes. Concurrent readers of
+//! different keys therefore never serialise on one cache mutex. Small caches
+//! (below [`MIN_STRIPE_BYTES`] per stripe) collapse to a single stripe so
+//! byte-exact eviction tests and tiny configurations behave like the classic
+//! single-lock LRU.
 
 use std::collections::HashMap;
 
+use aft_storage::stripe_of;
 use aft_types::Value;
 use parking_lot::Mutex;
+
+/// Maximum stripe count for a data cache.
+pub const MAX_CACHE_STRIPES: usize = 16;
+
+/// Minimum per-stripe capacity; caches smaller than `2 * MIN_STRIPE_BYTES`
+/// use a single stripe.
+pub const MIN_STRIPE_BYTES: usize = 1024 * 1024;
 
 /// A byte-bounded LRU cache from version storage keys to payloads.
 #[derive(Debug)]
 pub struct DataCache {
-    inner: Mutex<Inner>,
+    stripes: Box<[Mutex<Inner>]>,
     capacity_bytes: usize,
+    stripe_capacity: usize,
 }
 
 #[derive(Debug, Default)]
@@ -41,11 +57,22 @@ struct Entry {
 
 impl DataCache {
     /// Creates a cache bounded to `capacity_bytes` of payload. A capacity of
-    /// zero disables caching entirely (every lookup misses).
+    /// zero disables caching entirely (every lookup misses). The stripe
+    /// count scales with capacity: one stripe per [`MIN_STRIPE_BYTES`], at
+    /// most [`MAX_CACHE_STRIPES`].
     pub fn new(capacity_bytes: usize) -> Self {
+        let stripes = (capacity_bytes / MIN_STRIPE_BYTES).clamp(1, MAX_CACHE_STRIPES);
+        Self::with_stripes(capacity_bytes, stripes)
+    }
+
+    /// Creates a cache with an explicit stripe count (clamped to ≥ 1). Each
+    /// stripe is an independent LRU over `capacity_bytes / stripes` bytes.
+    pub fn with_stripes(capacity_bytes: usize, stripes: usize) -> Self {
+        let stripes = stripes.max(1);
         DataCache {
-            inner: Mutex::new(Inner::default()),
+            stripes: (0..stripes).map(|_| Mutex::new(Inner::default())).collect(),
             capacity_bytes,
+            stripe_capacity: capacity_bytes / stripes,
         }
     }
 
@@ -59,12 +86,21 @@ impl DataCache {
         self.capacity_bytes == 0
     }
 
+    /// Number of lock stripes.
+    pub fn stripe_count(&self) -> usize {
+        self.stripes.len()
+    }
+
+    fn stripe(&self, storage_key: &str) -> &Mutex<Inner> {
+        &self.stripes[stripe_of(storage_key, self.stripes.len())]
+    }
+
     /// Looks up the payload cached for `storage_key`.
     pub fn get(&self, storage_key: &str) -> Option<Value> {
         if self.is_disabled() {
             return None;
         }
-        let mut inner = self.inner.lock();
+        let mut inner = self.stripe(storage_key).lock();
         inner.tick += 1;
         let tick = inner.tick;
         let value = inner.entries.get_mut(storage_key).map(|entry| {
@@ -80,12 +116,13 @@ impl DataCache {
     }
 
     /// Inserts a payload for `storage_key`, evicting least-recently-used
-    /// entries if needed. Values larger than the whole cache are ignored.
+    /// entries of its stripe if needed. Values larger than a stripe are
+    /// ignored.
     pub fn insert(&self, storage_key: &str, value: Value) {
-        if self.is_disabled() || value.len() > self.capacity_bytes {
+        if self.is_disabled() || value.len() > self.stripe_capacity {
             return;
         }
-        let mut inner = self.inner.lock();
+        let mut inner = self.stripe(storage_key).lock();
         inner.tick += 1;
         let tick = inner.tick;
         if let Some(old) = inner.entries.insert(
@@ -98,8 +135,8 @@ impl DataCache {
             inner.total_bytes -= old.value.len();
         }
         inner.total_bytes += value.len();
-        // Evict until we fit.
-        while inner.total_bytes > self.capacity_bytes {
+        // Evict until the stripe fits its share of the budget.
+        while inner.total_bytes > self.stripe_capacity {
             let victim = inner
                 .entries
                 .iter()
@@ -115,7 +152,7 @@ impl DataCache {
     /// Removes the entry for `storage_key` (garbage collection evicts data
     /// for deleted transactions).
     pub fn evict(&self, storage_key: &str) {
-        let mut inner = self.inner.lock();
+        let mut inner = self.stripe(storage_key).lock();
         if let Some(e) = inner.entries.remove(storage_key) {
             inner.total_bytes -= e.value.len();
         }
@@ -123,23 +160,29 @@ impl DataCache {
 
     /// Number of cached entries.
     pub fn len(&self) -> usize {
-        self.inner.lock().entries.len()
+        self.stripes.iter().map(|s| s.lock().entries.len()).sum()
     }
 
     /// Returns true if the cache holds nothing.
     pub fn is_empty(&self) -> bool {
-        self.inner.lock().entries.is_empty()
+        self.stripes.iter().all(|s| s.lock().entries.is_empty())
     }
 
     /// Total payload bytes currently cached.
     pub fn bytes(&self) -> usize {
-        self.inner.lock().total_bytes
+        self.stripes.iter().map(|s| s.lock().total_bytes).sum()
     }
 
     /// `(hits, misses)` counters since creation.
     pub fn hit_stats(&self) -> (u64, u64) {
-        let inner = self.inner.lock();
-        (inner.hits, inner.misses)
+        let mut hits = 0;
+        let mut misses = 0;
+        for stripe in &self.stripes {
+            let inner = stripe.lock();
+            hits += inner.hits;
+            misses += inner.misses;
+        }
+        (hits, misses)
     }
 }
 
@@ -224,5 +267,34 @@ mod tests {
         }
         assert!(cache.bytes() <= 1000);
         assert!(cache.len() <= 1000 / 17 + 1);
+    }
+
+    #[test]
+    fn stripe_count_scales_with_capacity() {
+        // Tiny caches stay single-stripe so byte-exact LRU tests hold.
+        assert_eq!(DataCache::new(1000).stripe_count(), 1);
+        assert_eq!(DataCache::new(0).stripe_count(), 1);
+        // Node-sized caches stripe up to the cap.
+        assert_eq!(DataCache::new(4 * 1024 * 1024).stripe_count(), 4);
+        assert_eq!(DataCache::new(256 * 1024 * 1024).stripe_count(), 16);
+    }
+
+    #[test]
+    fn striped_cache_keeps_total_bytes_within_capacity() {
+        let capacity = 8 * 1024 * 1024;
+        let cache = DataCache::with_stripes(capacity, 8);
+        assert_eq!(cache.stripe_count(), 8);
+        for i in 0..1000 {
+            cache.insert(&format!("data/k/{i}"), val(64 * 1024));
+        }
+        assert!(cache.bytes() <= capacity);
+        assert!(!cache.is_empty());
+        let (hits, misses) = cache.hit_stats();
+        assert_eq!(hits + misses, 0, "inserts alone record no lookups");
+        // Values larger than one stripe's share are ignored, keeping the
+        // per-stripe eviction loop well-defined.
+        let before = cache.len();
+        cache.insert("big", val(capacity / 8 + 1));
+        assert_eq!(cache.len(), before);
     }
 }

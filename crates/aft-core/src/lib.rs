@@ -28,6 +28,7 @@
 //! single-node protocol stack plus the hooks the cluster layer drives.
 
 pub mod bootstrap;
+pub mod commit_batcher;
 pub mod data_cache;
 pub mod gc;
 pub mod metadata;
@@ -37,6 +38,7 @@ pub mod stats;
 pub mod supersede;
 pub mod write_buffer;
 
+pub use commit_batcher::{BatchConfig, BatchStats, CommitBatcher};
 pub use data_cache::DataCache;
 pub use gc::{GcOutcome, LocalGcConfig};
 pub use metadata::MetadataCache;

@@ -18,6 +18,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::bootstrap::warm_metadata_cache;
+use crate::commit_batcher::{BatchConfig, CommitBatcher};
 use crate::data_cache::DataCache;
 use crate::gc::{GcOutcome, LocalGcConfig};
 use crate::metadata::MetadataCache;
@@ -56,6 +57,10 @@ pub struct NodeConfig {
     pub latency_scale: f64,
     /// Seed for the node's RNG (transaction UUIDs, latency sampling).
     pub rng_seed: u64,
+    /// Group-commit tuning: how many concurrently arriving commits may be
+    /// coalesced into one storage flush, and how long a flush may wait for
+    /// company. The default adds no latency for uncontended clients.
+    pub commit_batch: BatchConfig,
 }
 
 impl Default for NodeConfig {
@@ -71,6 +76,7 @@ impl Default for NodeConfig {
             latency_mode: LatencyMode::Virtual,
             latency_scale: 0.0,
             rng_seed: 0xAF71,
+            commit_batch: BatchConfig::default(),
         }
     }
 }
@@ -101,6 +107,12 @@ impl NodeConfig {
         self
     }
 
+    /// Sets the group-commit tuning.
+    pub fn with_commit_batch(mut self, commit_batch: BatchConfig) -> Self {
+        self.commit_batch = commit_batch;
+        self
+    }
+
     /// Configures the simulated client→shim RPC hop used by the benchmark
     /// harness (median/p99 in microseconds at full scale).
     pub fn with_rpc_latency(
@@ -125,6 +137,7 @@ pub struct AftNode {
     storage: SharedStorage,
     clock: SharedClock,
     buffer: WriteBuffer,
+    batcher: CommitBatcher,
     metadata: MetadataCache,
     data_cache: DataCache,
     stats: Arc<NodeStats>,
@@ -157,6 +170,7 @@ impl AftNode {
         Ok(Arc::new(AftNode {
             data_cache: DataCache::new(config.data_cache_bytes),
             buffer: WriteBuffer::new(),
+            batcher: CommitBatcher::new(config.commit_batch),
             stats: NodeStats::new_shared(),
             rng: Mutex::new(StdRng::seed_from_u64(config.rng_seed)),
             recent_commits: Mutex::new(Vec::new()),
@@ -197,6 +211,12 @@ impl AftNode {
     /// Number of transactions currently in flight on this node.
     pub fn in_flight(&self) -> usize {
         self.buffer.len()
+    }
+
+    /// Group-commit counters: commits submitted, storage flushes performed,
+    /// and the largest coalesced batch.
+    pub fn commit_batch_stats(&self) -> crate::commit_batcher::BatchStats {
+        self.batcher.stats()
     }
 
     fn rpc(&self) {
@@ -397,14 +417,20 @@ impl AftNode {
             })
             .collect();
         let cached_values: Vec<(String, Value)> = items.clone();
-        if !items.is_empty() {
-            self.storage.put_batch(items)?;
-        }
 
-        // 2. Persist the commit record to the Transaction Commit Set.
+        // 2. Persist the data and then the commit record, possibly coalesced
+        //    with concurrently arriving commits (group commit): one backend
+        //    multi-put for every member's data, one metadata append for every
+        //    member's record. The batcher preserves the data-before-record
+        //    ordering for every member and returns only once *this*
+        //    transaction's record is durable.
         let record = TransactionRecord::new(final_id, write_set);
-        self.storage
-            .put(&record.storage_key(), encode_commit_record(&record))?;
+        self.batcher.submit(
+            &self.storage,
+            items,
+            record.storage_key(),
+            encode_commit_record(&record),
+        )?;
 
         // 3. Only now make the transaction visible to other requests.
         let record = Arc::new(record);

@@ -103,23 +103,59 @@ impl ActiveTransaction {
     }
 }
 
+/// Default shard count for the in-flight transaction table.
+pub const DEFAULT_TXN_SHARDS: usize = 16;
+
 /// The Atomic Write Buffer: all in-flight transactions on one AFT node,
 /// keyed by their UUID so that a retried function can continue a transaction
 /// it started earlier (§3.3.1).
-#[derive(Debug, Default)]
+///
+/// The table is sharded by transaction UUID: every per-transaction operation
+/// (`begin` / `with_txn` / `take`) locks only the owning shard, so concurrent
+/// client threads driving different transactions never serialise on one
+/// global mutex. Whole-buffer queries (`len`, `any_reader_of`, `expired`)
+/// visit every shard; they run off the hot path (GC sweeps, timeout sweeps,
+/// test assertions).
+#[derive(Debug)]
 pub struct WriteBuffer {
-    active: Mutex<HashMap<Uuid, ActiveTransaction>>,
+    shards: Box<[Mutex<HashMap<Uuid, ActiveTransaction>>]>,
+}
+
+impl Default for WriteBuffer {
+    fn default() -> Self {
+        WriteBuffer::with_shards(DEFAULT_TXN_SHARDS)
+    }
 }
 
 impl WriteBuffer {
-    /// Creates an empty write buffer.
+    /// Creates an empty write buffer with the default shard count.
     pub fn new() -> Self {
         WriteBuffer::default()
     }
 
+    /// Creates an empty write buffer with an explicit shard count (≥ 1).
+    pub fn with_shards(shards: usize) -> Self {
+        WriteBuffer {
+            shards: (0..shards.max(1))
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+        }
+    }
+
+    /// Number of shards in the transaction table.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard(&self, uuid: &Uuid) -> &Mutex<HashMap<Uuid, ActiveTransaction>> {
+        // The UUID is already uniformly random; fold it instead of re-hashing.
+        let folded = uuid.as_u128() as u64 ^ (uuid.as_u128() >> 64) as u64;
+        &self.shards[folded as usize % self.shards.len()]
+    }
+
     /// Registers a new in-flight transaction.
     pub fn begin(&self, id: TransactionId) {
-        self.active
+        self.shard(&id.uuid)
             .lock()
             .insert(id.uuid, ActiveTransaction::new(id));
     }
@@ -130,7 +166,7 @@ impl WriteBuffer {
         id: &TransactionId,
         f: impl FnOnce(&mut ActiveTransaction) -> T,
     ) -> AftResult<T> {
-        let mut active = self.active.lock();
+        let mut active = self.shard(&id.uuid).lock();
         let txn = active
             .get_mut(&id.uuid)
             .ok_or(AftError::UnknownTransaction(*id))?;
@@ -140,7 +176,7 @@ impl WriteBuffer {
     /// Removes and returns the transaction's in-flight state (commit or
     /// abort takes ownership of it).
     pub fn take(&self, id: &TransactionId) -> AftResult<ActiveTransaction> {
-        self.active
+        self.shard(&id.uuid)
             .lock()
             .remove(&id.uuid)
             .ok_or(AftError::UnknownTransaction(*id))
@@ -148,38 +184,47 @@ impl WriteBuffer {
 
     /// Returns true if the transaction is currently in flight.
     pub fn contains(&self, id: &TransactionId) -> bool {
-        self.active.lock().contains_key(&id.uuid)
+        self.shard(&id.uuid).lock().contains_key(&id.uuid)
     }
 
     /// Number of in-flight transactions.
     pub fn len(&self) -> usize {
-        self.active.lock().len()
+        self.shards.iter().map(|s| s.lock().len()).sum()
     }
 
     /// Returns true if no transactions are in flight.
     pub fn is_empty(&self) -> bool {
-        self.active.lock().is_empty()
+        self.shards.iter().all(|s| s.lock().is_empty())
     }
 
     /// Returns true if any in-flight transaction has read a version written
     /// by `tid` — the local GC must not delete such metadata (§5.1).
+    ///
+    /// Shards are visited one at a time, so a transaction beginning on an
+    /// already-visited shard mid-scan may be missed; that race existed with
+    /// the single-lock table too (a transaction could begin right after the
+    /// scan) and is benign — the GC only needs a point-in-time answer.
     pub fn any_reader_of(&self, tid: &TransactionId) -> bool {
-        self.active
-            .lock()
-            .values()
-            .any(|txn| txn.reads.reads_from(tid))
+        self.shards
+            .iter()
+            .any(|s| s.lock().values().any(|txn| txn.reads.reads_from(tid)))
     }
 
     /// The IDs of in-flight transactions older than `max_age`, which the node
     /// aborts on a timeout sweep (a failed function never calls abort; §3.3.1
     /// "its transaction will be aborted after a timeout").
     pub fn expired(&self, max_age: std::time::Duration) -> Vec<TransactionId> {
-        let active = self.active.lock();
-        active
-            .values()
-            .filter(|txn| txn.started.elapsed() >= max_age)
-            .map(|txn| txn.id)
-            .collect()
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let active = shard.lock();
+            out.extend(
+                active
+                    .values()
+                    .filter(|txn| txn.started.elapsed() >= max_age)
+                    .map(|txn| txn.id),
+            );
+        }
+        out
     }
 }
 
@@ -287,6 +332,38 @@ mod tests {
             .is_empty());
         let expired = buffer.expired(std::time::Duration::ZERO);
         assert_eq!(expired, vec![id]);
+    }
+
+    #[test]
+    fn sharded_table_spreads_and_finds_transactions() {
+        let buffer = WriteBuffer::with_shards(4);
+        assert_eq!(buffer.shard_count(), 4);
+        let ids: Vec<TransactionId> = (0..64).map(|i| tid(i, 0x1000 + i as u128)).collect();
+        for id in &ids {
+            buffer.begin(*id);
+        }
+        assert_eq!(buffer.len(), 64);
+        for id in &ids {
+            assert!(buffer.contains(id));
+        }
+        // Every shard should hold some of the 64 sequential UUIDs.
+        let per_shard: Vec<usize> = (0..4)
+            .map(|s| {
+                ids.iter()
+                    .filter(|id| {
+                        let folded = id.uuid.as_u128() as u64 ^ (id.uuid.as_u128() >> 64) as u64;
+                        folded as usize % 4 == s
+                    })
+                    .count()
+            })
+            .collect();
+        assert!(per_shard.iter().all(|&n| n > 0), "shards: {per_shard:?}");
+        for id in &ids {
+            buffer.take(id).unwrap();
+        }
+        assert!(buffer.is_empty());
+        // Zero shards clamps to one.
+        assert_eq!(WriteBuffer::with_shards(0).shard_count(), 1);
     }
 
     #[test]

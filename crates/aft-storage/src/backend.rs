@@ -63,6 +63,10 @@ pub struct BackendConfig {
     pub seed: u64,
     /// Number of Redis shards (ignored by other backends).
     pub redis_shards: usize,
+    /// Lock-stripe count for the backend's data plane and latency sampler
+    /// (`1` reproduces the historical single-global-lock behaviour; Redis
+    /// ignores this and stripes by its shard count).
+    pub stripes: usize,
 }
 
 impl BackendConfig {
@@ -74,6 +78,7 @@ impl BackendConfig {
             scale,
             seed: 0xAF7,
             redis_shards: crate::redis::DEFAULT_REDIS_SHARDS,
+            stripes: crate::sharded::DEFAULT_STRIPES,
         }
     }
 
@@ -85,6 +90,7 @@ impl BackendConfig {
             scale: 0.0,
             seed: 0xAF7,
             redis_shards: crate::redis::DEFAULT_REDIS_SHARDS,
+            stripes: crate::sharded::DEFAULT_STRIPES,
         }
     }
 
@@ -93,20 +99,30 @@ impl BackendConfig {
         self.seed = seed;
         self
     }
+
+    /// Overrides the lock-stripe count.
+    pub fn with_stripes(mut self, stripes: usize) -> Self {
+        self.stripes = stripes.max(1);
+        self
+    }
 }
 
 /// Builds a storage engine according to `config`.
 pub fn make_backend(config: BackendConfig) -> SharedStorage {
     let latency = LatencyModel::new(config.mode, config.scale);
     match config.kind {
-        BackendKind::Memory => Arc::new(InMemoryStore::new()),
-        BackendKind::S3 => {
-            SimS3::with_profile(crate::profiles::ServiceProfile::s3(), latency, config.seed)
-        }
-        BackendKind::DynamoDb => SimDynamo::with_profile(
+        BackendKind::Memory => Arc::new(InMemoryStore::with_stripes(config.stripes)),
+        BackendKind::S3 => SimS3::with_stripes(
+            crate::profiles::ServiceProfile::s3(),
+            latency,
+            config.seed,
+            config.stripes,
+        ),
+        BackendKind::DynamoDb => SimDynamo::with_stripes(
             crate::profiles::ServiceProfile::dynamodb(),
             latency,
             config.seed,
+            config.stripes,
         ),
         BackendKind::Redis => SimRedis::with_shards(
             config.redis_shards,
@@ -149,6 +165,31 @@ mod tests {
         assert!(dynamo.supports_batch_put());
         assert!(!redis.supports_batch_put());
         assert!(!s3.supports_batch_put());
+    }
+
+    #[test]
+    fn stripe_override_reaches_every_backend() {
+        for kind in [BackendKind::Memory, BackendKind::S3, BackendKind::DynamoDb] {
+            let store = make_backend(BackendConfig::test(kind).with_stripes(4));
+            for i in 0..32 {
+                store
+                    .put(&format!("k{i}"), Bytes::from_static(b"v"))
+                    .unwrap();
+            }
+            let counts = store.stats().stripe_counts();
+            assert_eq!(counts.len(), 4, "backend {kind} must expose 4 stripes");
+            assert_eq!(counts.iter().sum::<u64>(), 32);
+        }
+        // Redis stripes by shard count, not by the stripes knob.
+        let redis = make_backend(BackendConfig::test(BackendKind::Redis).with_stripes(4));
+        assert_eq!(redis.stats().stripe_counts().len(), 2);
+        // with_stripes clamps zero to one.
+        assert_eq!(
+            BackendConfig::test(BackendKind::Memory)
+                .with_stripes(0)
+                .stripes,
+            1
+        );
     }
 
     #[test]

@@ -17,14 +17,13 @@ use std::sync::Arc;
 
 use aft_types::{AftError, AftResult, Value};
 use parking_lot::Mutex;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 use crate::counters::{OpKind, StorageStats};
 use crate::engine::StorageEngine;
-use crate::latency::LatencyModel;
+use crate::latency::{LatencyModel, StripedSampler};
 use crate::memory::MemoryMap;
 use crate::profiles::ServiceProfile;
+use crate::sharded::{stripe_of, DEFAULT_STRIPES};
 
 /// The real service's `BatchWriteItem` limit.
 pub const DYNAMO_BATCH_LIMIT: usize = 25;
@@ -36,9 +35,8 @@ pub const DYNAMO_TRANSACT_LIMIT: usize = 100;
 pub struct SimDynamo {
     map: MemoryMap,
     profile: ServiceProfile,
-    latency: Arc<LatencyModel>,
+    sampler: StripedSampler,
     stats: Arc<StorageStats>,
-    rng: Mutex<StdRng>,
     /// Item keys currently locked by an in-flight transactional call; a
     /// concurrent transactional call touching any of them aborts with a
     /// conflict, mimicking DynamoDB's optimistic conflict detection.
@@ -57,20 +55,34 @@ impl SimDynamo {
         latency: Arc<LatencyModel>,
         seed: u64,
     ) -> Arc<Self> {
+        Self::with_stripes(profile, latency, seed, DEFAULT_STRIPES)
+    }
+
+    /// Creates a simulated DynamoDB with an explicit lock-stripe count for
+    /// the data plane and the latency sampler.
+    pub fn with_stripes(
+        profile: ServiceProfile,
+        latency: Arc<LatencyModel>,
+        seed: u64,
+        stripes: usize,
+    ) -> Arc<Self> {
+        let map = MemoryMap::with_stripes(stripes);
+        let stats = StorageStats::new_shared();
+        stats.attach_stripes(map.stripe_counters());
         Arc::new(SimDynamo {
-            map: MemoryMap::new(),
+            sampler: StripedSampler::new(latency, seed, stripes),
+            map,
             profile,
-            latency,
-            stats: StorageStats::new_shared(),
-            rng: Mutex::new(StdRng::seed_from_u64(seed)),
+            stats,
             txn_locks: Mutex::new(HashSet::new()),
         })
     }
 
-    fn inject(&self, profile: &crate::latency::LatencyProfile, payload_bytes: usize) {
-        // Sample under the RNG lock, sleep outside it: concurrent requests to
-        // the simulated service must not serialise on the latency sampler.
-        self.latency.apply_with(profile, &self.rng, payload_bytes);
+    fn inject(&self, profile: &crate::latency::LatencyProfile, key: &str, payload_bytes: usize) {
+        // Sample on the stripe's RNG (held only for the sample), sleep outside
+        // it: concurrent requests to different stripes never serialise.
+        let stripe = stripe_of(key, self.sampler.stripes());
+        self.sampler.apply(profile, stripe, payload_bytes);
     }
 
     /// Number of items currently stored; used by GC tests.
@@ -103,7 +115,7 @@ impl SimDynamo {
         let keys: Vec<String> = items.iter().map(|(k, _)| k.clone()).collect();
         self.acquire_txn_locks(&keys)?;
         let payload: usize = items.iter().map(|(_, v)| v.len()).sum();
-        self.inject(&self.profile.transact, payload);
+        self.inject(&self.profile.transact, &keys[0], payload);
         for (k, v) in items {
             self.stats.record_written_bytes(v.len());
             self.map.put(&k, v);
@@ -127,7 +139,7 @@ impl SimDynamo {
         }
         self.stats.record_call(OpKind::TransactRead);
         self.acquire_txn_locks(keys)?;
-        self.inject(&self.profile.transact, 0);
+        self.inject(&self.profile.transact, &keys[0], 0);
         let values: Vec<Option<Value>> = keys.iter().map(|k| self.map.get(k)).collect();
         for v in values.iter().flatten() {
             self.stats.record_read_bytes(v.len());
@@ -167,7 +179,7 @@ impl StorageEngine for SimDynamo {
         self.stats.record_call(OpKind::Get);
         let value = self.map.get(key);
         let bytes = value.as_ref().map_or(0, |v| v.len());
-        self.inject(&self.profile.read, bytes);
+        self.inject(&self.profile.read, key, bytes);
         if let Some(v) = &value {
             self.stats.record_read_bytes(v.len());
         }
@@ -177,7 +189,7 @@ impl StorageEngine for SimDynamo {
     fn put(&self, key: &str, value: Value) -> AftResult<()> {
         self.stats.record_call(OpKind::Put);
         self.stats.record_written_bytes(value.len());
-        self.inject(&self.profile.write, value.len());
+        self.inject(&self.profile.write, key, value.len());
         self.map.put(key, value);
         Ok(())
     }
@@ -192,7 +204,7 @@ impl StorageEngine for SimDynamo {
             let mut profile = self.profile.batch_write_base;
             profile.median_us += per_item;
             profile.p99_us += per_item;
-            self.inject(&profile, payload);
+            self.inject(&profile, &chunk[0].0, payload);
             for (k, v) in chunk {
                 self.stats.record_written_bytes(v.len());
                 self.map.put(k, v.clone());
@@ -203,7 +215,7 @@ impl StorageEngine for SimDynamo {
 
     fn delete(&self, key: &str) -> AftResult<()> {
         self.stats.record_call(OpKind::Delete);
-        self.inject(&self.profile.delete, 0);
+        self.inject(&self.profile.delete, key, 0);
         self.map.remove(key);
         Ok(())
     }
@@ -211,7 +223,7 @@ impl StorageEngine for SimDynamo {
     fn delete_batch(&self, keys: &[String]) -> AftResult<()> {
         for chunk in keys.chunks(DYNAMO_BATCH_LIMIT) {
             self.stats.record_call(OpKind::BatchDelete);
-            self.inject(&self.profile.batch_write_base, 0);
+            self.inject(&self.profile.batch_write_base, &chunk[0], 0);
             for k in chunk {
                 self.map.remove(k);
             }
@@ -221,7 +233,7 @@ impl StorageEngine for SimDynamo {
 
     fn list_prefix(&self, prefix: &str) -> AftResult<Vec<String>> {
         self.stats.record_call(OpKind::List);
-        self.inject(&self.profile.list, 0);
+        self.inject(&self.profile.list, prefix, 0);
         Ok(self.map.keys_with_prefix(prefix))
     }
 

@@ -211,6 +211,63 @@ impl LatencyModel {
     }
 }
 
+/// A lock-striped latency sampler: one seeded RNG per stripe, so concurrent
+/// requests to a simulated service sample latency without serialising on a
+/// single RNG mutex. Stripe selection follows the same `hash(key) → stripe`
+/// mapping as the data plane, keeping runs reproducible for a fixed key set.
+pub struct StripedSampler {
+    model: Arc<LatencyModel>,
+    rngs: Box<[parking_lot::Mutex<rand::rngs::StdRng>]>,
+}
+
+impl StripedSampler {
+    /// Creates a sampler over `model` with `stripes` independent RNGs seeded
+    /// deterministically from `seed`.
+    pub fn new(model: Arc<LatencyModel>, seed: u64, stripes: usize) -> Self {
+        use rand::SeedableRng;
+        let stripes = stripes.max(1);
+        StripedSampler {
+            model,
+            rngs: (0..stripes)
+                .map(|i| {
+                    parking_lot::Mutex::new(rand::rngs::StdRng::seed_from_u64(
+                        seed.wrapping_add(i as u64),
+                    ))
+                })
+                .collect(),
+        }
+    }
+
+    /// The underlying latency model.
+    pub fn model(&self) -> &Arc<LatencyModel> {
+        &self.model
+    }
+
+    /// Number of RNG stripes.
+    pub fn stripes(&self) -> usize {
+        self.rngs.len()
+    }
+
+    /// Samples from `profile` on the RNG of `stripe` (held only for the
+    /// sample), then records/sleeps outside the lock. Returns the applied
+    /// duration.
+    pub fn apply(&self, profile: &LatencyProfile, stripe: usize, payload_bytes: usize) -> Duration {
+        let duration = {
+            let mut rng = self.rngs[stripe % self.rngs.len()].lock();
+            self.model.sample(profile, &mut *rng, payload_bytes)
+        };
+        self.model.finish(duration)
+    }
+}
+
+impl std::fmt::Debug for StripedSampler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StripedSampler")
+            .field("stripes", &self.rngs.len())
+            .finish_non_exhaustive()
+    }
+}
+
 /// The host's `thread::sleep` overshoot for short sleeps, measured once.
 fn sleep_overhead() -> Duration {
     static OVERHEAD: std::sync::OnceLock<Duration> = std::sync::OnceLock::new();
@@ -307,5 +364,25 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         model.apply(&LatencyProfile::new(1_000.0, 2_000.0), &mut rng, 0);
         assert_eq!(model.injected(), Duration::ZERO);
+    }
+
+    #[test]
+    fn striped_sampler_records_into_the_shared_model() {
+        let model = LatencyModel::new(LatencyMode::Virtual, 1.0);
+        let sampler = StripedSampler::new(Arc::clone(&model), 9, 4);
+        assert_eq!(sampler.stripes(), 4);
+        let profile = LatencyProfile::new(1_000.0, 1_000.0);
+        for stripe in 0..8 {
+            let applied = sampler.apply(&profile, stripe, 0);
+            assert!(applied >= Duration::from_micros(900));
+        }
+        assert!(sampler.model().injected() >= Duration::from_millis(7));
+    }
+
+    #[test]
+    fn striped_sampler_clamps_zero_stripes() {
+        let sampler = StripedSampler::new(LatencyModel::disabled(), 1, 0);
+        assert_eq!(sampler.stripes(), 1);
+        sampler.apply(&LatencyProfile::ZERO, 5, 0);
     }
 }

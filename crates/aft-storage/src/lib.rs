@@ -19,6 +19,9 @@
 //! * [`counters`] — per-backend operation statistics (API calls, bytes), used
 //!   by the benchmarks to report API-call behaviour (e.g. Figure 5's analysis
 //!   of API calls per transaction).
+//! * [`sharded`] — N-way lock striping for the backends' shared data plane,
+//!   so multi-client experiments measure the protocol rather than contention
+//!   on a single map lock. Per-stripe counters roll up into [`counters`].
 
 pub mod backend;
 pub mod counters;
@@ -29,9 +32,11 @@ pub mod memory;
 pub mod profiles;
 pub mod redis;
 pub mod s3;
+pub mod service;
+pub mod sharded;
 
 pub use backend::{make_backend, BackendConfig, BackendKind};
-pub use counters::{OpKind, StorageStats, StorageStatsSnapshot};
+pub use counters::{OpKind, StorageStats, StorageStatsSnapshot, StripeCounters};
 pub use dynamo::{DynamoTransactionMode, SimDynamo};
 pub use engine::{SharedStorage, StorageEngine};
 pub use latency::{LatencyMode, LatencyModel, LatencyProfile};
@@ -39,3 +44,5 @@ pub use memory::InMemoryStore;
 pub use profiles::ServiceProfile;
 pub use redis::SimRedis;
 pub use s3::SimS3;
+pub use service::SimShardedService;
+pub use sharded::{stripe_of, ShardedMap, DEFAULT_STRIPES};

@@ -1,89 +1,126 @@
 //! In-memory blob storage.
 //!
 //! [`MemoryMap`] is the data plane shared by every simulated backend: a
-//! sorted map of string keys to opaque blobs behind a read-write lock. The
-//! simulators wrap it with latency models and API-shape restrictions;
-//! [`InMemoryStore`] exposes it directly as a zero-latency [`StorageEngine`]
-//! for unit tests and protocol-only benchmarks.
+//! sorted map of string keys to opaque blobs, lock-striped N ways so that
+//! concurrent clients touching different keys never serialise on one lock
+//! (see [`sharded`](crate::sharded)). The simulators wrap it with latency
+//! models and API-shape restrictions; [`InMemoryStore`] exposes it directly
+//! as a zero-latency [`StorageEngine`] for unit tests, protocol-only
+//! benchmarks, and the throughput-scaling experiments.
 
-use std::collections::BTreeMap;
-use std::ops::Bound;
 use std::sync::Arc;
 
 use aft_types::{AftResult, Value};
-use parking_lot::RwLock;
 
-use crate::counters::{OpKind, StorageStats};
+use crate::counters::{OpKind, StorageStats, StripeCounters};
 use crate::engine::StorageEngine;
+use crate::sharded::{ShardedMap, DEFAULT_STRIPES};
 
 /// A thread-safe sorted map of string keys to blobs.
+///
+/// Internally lock-striped; the default stripe count is
+/// [`DEFAULT_STRIPES`]. Use [`MemoryMap::with_stripes`] to pick a specific
+/// count (`1` reproduces the historical single-global-lock behaviour, which
+/// the scaling experiments use as their baseline).
 #[derive(Debug, Default)]
 pub struct MemoryMap {
-    inner: RwLock<BTreeMap<String, Value>>,
+    inner: ShardedMap,
 }
 
 impl MemoryMap {
-    /// Creates an empty map.
+    /// Creates an empty map with the default stripe count.
     pub fn new() -> Self {
         MemoryMap::default()
     }
 
+    /// Creates an empty map with an explicit stripe count (clamped to ≥ 1).
+    pub fn with_stripes(stripes: usize) -> Self {
+        MemoryMap {
+            inner: ShardedMap::new(stripes),
+        }
+    }
+
+    /// Number of lock stripes.
+    pub fn stripe_count(&self) -> usize {
+        self.inner.stripe_count()
+    }
+
+    /// The map's per-stripe access counters.
+    pub fn stripe_counters(&self) -> Arc<StripeCounters> {
+        self.inner.counters()
+    }
+
     /// Returns the blob stored at `key`.
     pub fn get(&self, key: &str) -> Option<Value> {
-        self.inner.read().get(key).cloned()
+        self.inner.get(key)
     }
 
     /// Stores `value` at `key`, returning the previous blob if any.
     pub fn put(&self, key: &str, value: Value) -> Option<Value> {
-        self.inner.write().insert(key.to_owned(), value)
+        self.inner.put(key, value)
     }
 
     /// Removes `key`, returning the previous blob if any.
     pub fn remove(&self, key: &str) -> Option<Value> {
-        self.inner.write().remove(key)
+        self.inner.remove(key)
     }
 
     /// Returns all keys starting with `prefix` in lexicographic order.
     pub fn keys_with_prefix(&self, prefix: &str) -> Vec<String> {
-        let map = self.inner.read();
-        map.range::<String, _>((Bound::Included(prefix.to_owned()), Bound::Unbounded))
-            .take_while(|(k, _)| k.starts_with(prefix))
-            .map(|(k, _)| k.clone())
-            .collect()
+        self.inner.keys_with_prefix(prefix)
     }
 
     /// Number of keys stored.
     pub fn len(&self) -> usize {
-        self.inner.read().len()
+        self.inner.len()
     }
 
     /// Returns true if no keys are stored.
     pub fn is_empty(&self) -> bool {
-        self.inner.read().is_empty()
+        self.inner.is_empty()
     }
 
     /// Total bytes of stored payloads (keys excluded).
     pub fn payload_bytes(&self) -> usize {
-        self.inner.read().values().map(|v| v.len()).sum()
+        self.inner.payload_bytes()
     }
 }
 
 /// A zero-latency storage engine backed by [`MemoryMap`].
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct InMemoryStore {
     map: MemoryMap,
     stats: Arc<StorageStats>,
 }
 
+impl Default for InMemoryStore {
+    fn default() -> Self {
+        Self::with_stripes(DEFAULT_STRIPES)
+    }
+}
+
 impl InMemoryStore {
-    /// Creates an empty store.
+    /// Creates an empty store with the default stripe count.
     pub fn new() -> Self {
         InMemoryStore::default()
+    }
+
+    /// Creates an empty store with an explicit lock-stripe count.
+    pub fn with_stripes(stripes: usize) -> Self {
+        let map = MemoryMap::with_stripes(stripes);
+        let stats = StorageStats::new_shared();
+        stats.attach_stripes(map.stripe_counters());
+        InMemoryStore { map, stats }
     }
 
     /// Creates an empty store behind a shared handle.
     pub fn shared() -> Arc<Self> {
         Arc::new(Self::new())
+    }
+
+    /// Number of lock stripes in the data plane.
+    pub fn stripe_count(&self) -> usize {
+        self.map.stripe_count()
     }
 
     /// Number of keys stored; useful for GC assertions in tests.
@@ -225,6 +262,27 @@ mod tests {
         assert_eq!(map.keys_with_prefix("ab"), vec!["ab", "abc", "abd"]);
         assert_eq!(map.keys_with_prefix("abc"), vec!["abc"]);
         assert_eq!(map.payload_bytes(), 4);
+    }
+
+    #[test]
+    fn striped_and_single_stripe_stores_behave_identically() {
+        let striped = InMemoryStore::with_stripes(8);
+        let single = InMemoryStore::with_stripes(1);
+        assert_eq!(striped.stripe_count(), 8);
+        assert_eq!(single.stripe_count(), 1);
+        for store in [&striped, &single] {
+            for i in 0..50 {
+                store.put(&format!("data/k/{i:03}"), val("x")).unwrap();
+            }
+        }
+        assert_eq!(
+            striped.list_prefix("data/").unwrap(),
+            single.list_prefix("data/").unwrap()
+        );
+        assert_eq!(striped.len(), single.len());
+        // The striped store's per-key accesses roll up into its stats.
+        assert_eq!(striped.stats().stripe_counts().iter().sum::<u64>(), 50);
+        assert_eq!(striped.stats().stripe_counts().len(), 8);
     }
 
     #[test]

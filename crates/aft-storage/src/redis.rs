@@ -20,12 +20,10 @@ use std::sync::Arc;
 
 use aft_types::{AftError, AftResult, Value};
 use parking_lot::Mutex;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
-use crate::counters::{OpKind, StorageStats};
+use crate::counters::{OpKind, StorageStats, StripeCounters};
 use crate::engine::StorageEngine;
-use crate::latency::LatencyModel;
+use crate::latency::{LatencyModel, StripedSampler};
 use crate::profiles::ServiceProfile;
 
 /// Default number of shards, matching the paper's deployment ("cluster mode
@@ -42,9 +40,9 @@ struct Shard {
 pub struct SimRedis {
     shards: Vec<Shard>,
     profile: ServiceProfile,
-    latency: Arc<LatencyModel>,
+    sampler: StripedSampler,
     stats: Arc<StorageStats>,
-    rng: Mutex<StdRng>,
+    counters: Arc<StripeCounters>,
 }
 
 impl SimRedis {
@@ -67,12 +65,15 @@ impl SimRedis {
         seed: u64,
     ) -> Arc<Self> {
         assert!(num_shards > 0, "a Redis cluster needs at least one shard");
+        let stats = StorageStats::new_shared();
+        let counters = StripeCounters::new(num_shards);
+        stats.attach_stripes(Arc::clone(&counters));
         Arc::new(SimRedis {
             shards: (0..num_shards).map(|_| Shard::default()).collect(),
+            sampler: StripedSampler::new(latency, seed, num_shards),
             profile,
-            latency,
-            stats: StorageStats::new_shared(),
-            rng: Mutex::new(StdRng::seed_from_u64(seed)),
+            stats,
+            counters,
         })
     }
 
@@ -93,10 +94,18 @@ impl SimRedis {
         self.shards.iter().map(|s| s.data.lock().len()).sum()
     }
 
-    fn inject(&self, profile: &crate::latency::LatencyProfile, payload_bytes: usize) {
-        // Sample under the RNG lock, sleep outside it: concurrent requests to
-        // the simulated service must not serialise on the latency sampler.
-        self.latency.apply_with(profile, &self.rng, payload_bytes);
+    /// The shard `key` hashes to, with the access recorded in the per-shard
+    /// counters that roll up into this cluster's [`StorageStats`].
+    fn touch(&self, key: &str) -> usize {
+        let shard = self.shard_of(key);
+        self.counters.record(shard);
+        shard
+    }
+
+    fn inject(&self, profile: &crate::latency::LatencyProfile, shard: usize, payload_bytes: usize) {
+        // Sample on the shard's RNG (held only for the sample), sleep outside
+        // it: concurrent requests to different shards never serialise.
+        self.sampler.apply(profile, shard, payload_bytes);
     }
 
     /// `MSET`: writes several keys in one API call, but only if they all live
@@ -106,7 +115,7 @@ impl SimRedis {
         if items.is_empty() {
             return Ok(());
         }
-        let shard = self.shard_of(&items[0].0);
+        let shard = self.touch(&items[0].0);
         if items.iter().any(|(k, _)| self.shard_of(k) != shard) {
             return Err(AftError::Storage(
                 "CROSSSLOT keys in request don't hash to the same slot".to_owned(),
@@ -118,7 +127,7 @@ impl SimRedis {
         let mut profile = self.profile.batch_write_base;
         profile.median_us += per_item;
         profile.p99_us += per_item;
-        self.inject(&profile, payload);
+        self.inject(&profile, shard, payload);
         let mut data = self.shards[shard].data.lock();
         for (k, v) in items {
             self.stats.record_written_bytes(v.len());
@@ -135,13 +144,10 @@ impl StorageEngine for SimRedis {
 
     fn get(&self, key: &str) -> AftResult<Option<Value>> {
         self.stats.record_call(OpKind::Get);
-        let value = self.shards[self.shard_of(key)]
-            .data
-            .lock()
-            .get(key)
-            .cloned();
+        let shard = self.touch(key);
+        let value = self.shards[shard].data.lock().get(key).cloned();
         let bytes = value.as_ref().map_or(0, |v| v.len());
-        self.inject(&self.profile.read, bytes);
+        self.inject(&self.profile.read, shard, bytes);
         if let Some(v) = &value {
             self.stats.record_read_bytes(v.len());
         }
@@ -151,11 +157,9 @@ impl StorageEngine for SimRedis {
     fn put(&self, key: &str, value: Value) -> AftResult<()> {
         self.stats.record_call(OpKind::Put);
         self.stats.record_written_bytes(value.len());
-        self.inject(&self.profile.write, value.len());
-        self.shards[self.shard_of(key)]
-            .data
-            .lock()
-            .insert(key.to_owned(), value);
+        let shard = self.touch(key);
+        self.inject(&self.profile.write, shard, value.len());
+        self.shards[shard].data.lock().insert(key.to_owned(), value);
         Ok(())
     }
 
@@ -171,8 +175,9 @@ impl StorageEngine for SimRedis {
 
     fn delete(&self, key: &str) -> AftResult<()> {
         self.stats.record_call(OpKind::Delete);
-        self.inject(&self.profile.delete, 0);
-        self.shards[self.shard_of(key)].data.lock().remove(key);
+        let shard = self.touch(key);
+        self.inject(&self.profile.delete, shard, 0);
+        self.shards[shard].data.lock().remove(key);
         Ok(())
     }
 
@@ -186,7 +191,7 @@ impl StorageEngine for SimRedis {
     fn list_prefix(&self, prefix: &str) -> AftResult<Vec<String>> {
         // SCAN across all shards; results are merged and sorted.
         self.stats.record_call(OpKind::List);
-        self.inject(&self.profile.list, 0);
+        self.inject(&self.profile.list, 0, 0);
         let mut keys = Vec::new();
         for shard in &self.shards {
             let data = shard.data.lock();

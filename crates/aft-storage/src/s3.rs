@@ -14,23 +14,20 @@
 use std::sync::Arc;
 
 use aft_types::{AftResult, Value};
-use parking_lot::Mutex;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 use crate::counters::{OpKind, StorageStats};
 use crate::engine::StorageEngine;
-use crate::latency::LatencyModel;
+use crate::latency::{LatencyModel, StripedSampler};
 use crate::memory::MemoryMap;
 use crate::profiles::ServiceProfile;
+use crate::sharded::{stripe_of, DEFAULT_STRIPES};
 
 /// A simulated S3 bucket.
 pub struct SimS3 {
     map: MemoryMap,
     profile: ServiceProfile,
-    latency: Arc<LatencyModel>,
+    sampler: StripedSampler,
     stats: Arc<StorageStats>,
-    rng: Mutex<StdRng>,
 }
 
 impl SimS3 {
@@ -45,19 +42,33 @@ impl SimS3 {
         latency: Arc<LatencyModel>,
         seed: u64,
     ) -> Arc<Self> {
+        Self::with_stripes(profile, latency, seed, DEFAULT_STRIPES)
+    }
+
+    /// Creates a simulated bucket with an explicit lock-stripe count for the
+    /// data plane and the latency sampler.
+    pub fn with_stripes(
+        profile: ServiceProfile,
+        latency: Arc<LatencyModel>,
+        seed: u64,
+        stripes: usize,
+    ) -> Arc<Self> {
+        let map = MemoryMap::with_stripes(stripes);
+        let stats = StorageStats::new_shared();
+        stats.attach_stripes(map.stripe_counters());
         Arc::new(SimS3 {
-            map: MemoryMap::new(),
+            sampler: StripedSampler::new(latency, seed, stripes),
+            map,
             profile,
-            latency,
-            stats: StorageStats::new_shared(),
-            rng: Mutex::new(StdRng::seed_from_u64(seed)),
+            stats,
         })
     }
 
-    fn inject(&self, profile: &crate::latency::LatencyProfile, payload_bytes: usize) {
-        // Sample under the RNG lock, sleep outside it: concurrent requests to
-        // the simulated service must not serialise on the latency sampler.
-        self.latency.apply_with(profile, &self.rng, payload_bytes);
+    fn inject(&self, profile: &crate::latency::LatencyProfile, key: &str, payload_bytes: usize) {
+        // Sample on the stripe's RNG (held only for the sample), sleep outside
+        // it: concurrent requests to different stripes never serialise.
+        let stripe = stripe_of(key, self.sampler.stripes());
+        self.sampler.apply(profile, stripe, payload_bytes);
     }
 
     /// Number of objects currently stored.
@@ -75,7 +86,7 @@ impl StorageEngine for SimS3 {
         self.stats.record_call(OpKind::Get);
         let value = self.map.get(key);
         let bytes = value.as_ref().map_or(0, |v| v.len());
-        self.inject(&self.profile.read, bytes);
+        self.inject(&self.profile.read, key, bytes);
         if let Some(v) = &value {
             self.stats.record_read_bytes(v.len());
         }
@@ -85,7 +96,7 @@ impl StorageEngine for SimS3 {
     fn put(&self, key: &str, value: Value) -> AftResult<()> {
         self.stats.record_call(OpKind::Put);
         self.stats.record_written_bytes(value.len());
-        self.inject(&self.profile.write, value.len());
+        self.inject(&self.profile.write, key, value.len());
         self.map.put(key, value);
         Ok(())
     }
@@ -100,7 +111,7 @@ impl StorageEngine for SimS3 {
 
     fn delete(&self, key: &str) -> AftResult<()> {
         self.stats.record_call(OpKind::Delete);
-        self.inject(&self.profile.delete, 0);
+        self.inject(&self.profile.delete, key, 0);
         self.map.remove(key);
         Ok(())
     }
@@ -109,7 +120,11 @@ impl StorageEngine for SimS3 {
         // S3 does offer DeleteObjects (up to 1000 keys); garbage collection
         // uses it, so model it as a single call.
         self.stats.record_call(OpKind::BatchDelete);
-        self.inject(&self.profile.delete, 0);
+        self.inject(
+            &self.profile.delete,
+            keys.first().map_or("", String::as_str),
+            0,
+        );
         for k in keys {
             self.map.remove(k);
         }
@@ -118,7 +133,7 @@ impl StorageEngine for SimS3 {
 
     fn list_prefix(&self, prefix: &str) -> AftResult<Vec<String>> {
         self.stats.record_call(OpKind::List);
-        self.inject(&self.profile.list, 0);
+        self.inject(&self.profile.list, prefix, 0);
         Ok(self.map.keys_with_prefix(prefix))
     }
 

@@ -6,11 +6,16 @@
 //! [`run_closed_loop`] is that harness: it spawns one thread per client,
 //! drives the given [`RequestDriver`], and merges the per-client
 //! measurements.
+//!
+//! The merge mutex is a `parking_lot::Mutex` (like the rest of the
+//! workspace), which does not poison: a panicking client thread takes down
+//! its own scope join, not every sibling's result merge — one driver bug no
+//! longer cascades into unrelated lock-poisoning failures.
 
-use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use aft_types::AftResult;
+use parking_lot::Mutex;
 
 use crate::anomaly::AnomalyCounts;
 use crate::drivers::RequestDriver;
@@ -164,10 +169,7 @@ pub fn run_closed_loop(driver: &dyn RequestDriver, config: &RunConfig) -> AftRes
                         }
                     }
                 }
-                collected
-                    .lock()
-                    .expect("collector mutex")
-                    .push(measurements);
+                collected.lock().push(measurements);
             });
         }
     });
@@ -178,7 +180,7 @@ pub fn run_closed_loop(driver: &dyn RequestDriver, config: &RunConfig) -> AftRes
     let mut completed = 0;
     let mut failed = 0;
     let mut timeline = ThroughputTimeline::new(config.timeline_bucket);
-    for client in collected.into_inner().expect("collector mutex") {
+    for client in collected.into_inner() {
         latencies.merge(&client.latencies);
         anomalies.merge(&client.anomalies);
         completed += client.completed;

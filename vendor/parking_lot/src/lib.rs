@@ -184,6 +184,19 @@ impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
     }
 }
 
+/// The result of a timed condition-variable wait.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult {
+    timed_out: bool,
+}
+
+impl WaitTimeoutResult {
+    /// Returns true if the wait ended because the timeout elapsed.
+    pub fn timed_out(&self) -> bool {
+        self.timed_out
+    }
+}
+
 /// A condition variable paired with [`Mutex`].
 #[derive(Default)]
 pub struct Condvar {
@@ -208,6 +221,24 @@ impl Condvar {
                 .wait(std_guard)
                 .unwrap_or_else(sync::PoisonError::into_inner),
         );
+    }
+
+    /// Blocks like [`Condvar::wait`], but for at most `timeout`. Returns a
+    /// [`WaitTimeoutResult`] reporting whether the wait timed out.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: std::time::Duration,
+    ) -> WaitTimeoutResult {
+        let std_guard = guard.inner.take().expect("guard taken during wait");
+        let (std_guard, result) = self
+            .inner
+            .wait_timeout(std_guard, timeout)
+            .unwrap_or_else(sync::PoisonError::into_inner);
+        guard.inner = Some(std_guard);
+        WaitTimeoutResult {
+            timed_out: result.timed_out(),
+        }
     }
 
     /// Wakes one waiting thread.
@@ -248,6 +279,18 @@ mod tests {
         assert_eq!(l.read().len(), 1);
         l.write().push(2);
         assert_eq!(*l.read(), vec![1, 2]);
+    }
+
+    #[test]
+    fn condvar_wait_for_times_out() {
+        let m = Mutex::new(());
+        let cv = Condvar::new();
+        let mut guard = m.lock();
+        let result = cv.wait_for(&mut guard, Duration::from_millis(5));
+        assert!(result.timed_out());
+        // The guard is usable again after the timed wait.
+        drop(guard);
+        assert!(m.try_lock().is_some());
     }
 
     #[test]
