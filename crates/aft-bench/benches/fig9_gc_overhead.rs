@@ -54,7 +54,7 @@ fn bench(c: &mut Criterion) {
             }
             broadcast_round(&nodes, Some(&fm));
             node.run_local_gc(&LocalGcConfig::aggressive());
-            gc.run_round(&fm, &nodes, node.storage()).unwrap();
+            gc.run_round(&fm, &nodes, node.io()).unwrap();
         })
     });
     group.finish();

@@ -1,0 +1,87 @@
+//! Runs the `fig2_pipelined` experiment (sequential vs pipelined storage
+//! I/O per backend profile), prints the result table, and writes
+//! machine-readable `BENCH_pipelined.json`.
+//!
+//! Usage:
+//!
+//! ```text
+//! fig2_pipelined [--out PATH] [--skip-gate]
+//! ```
+//!
+//! * `--out PATH` — where to write the report JSON (default
+//!   `BENCH_pipelined.json`).
+//! * `--skip-gate` — do not fail when pipelined p50 commit latency regresses
+//!   past sequential (exploration runs only; CI keeps the gate on).
+//! * `AFT_BENCH_FAST=1` — run the trimmed CI configuration.
+//!
+//! The experiment uses the virtual clock (`LatencyMode::Virtual` at full
+//! scale), so it finishes in seconds regardless of the simulated latencies.
+
+use aft_bench::pipelined::{fig2_pipelined, PipelineConfig};
+
+fn main() {
+    let mut out_path = "BENCH_pipelined.json".to_owned();
+    let mut gate = true;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                i += 1;
+                out_path = args
+                    .get(i)
+                    .unwrap_or_else(|| {
+                        eprintln!("missing value for --out");
+                        std::process::exit(2);
+                    })
+                    .clone();
+            }
+            "--skip-gate" => gate = false,
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let fast = std::env::var("AFT_BENCH_FAST").is_ok();
+    let config = if fast {
+        PipelineConfig::fast()
+    } else {
+        PipelineConfig::standard()
+    };
+    println!(
+        "fig2_pipelined (fast={fast}): {} commits + {} reads per leg, \
+         {}-key transactions, virtual clock\n",
+        config.commits, config.reads, config.keys_per_txn
+    );
+
+    let report = fig2_pipelined(&config);
+    report.table().print();
+    for backend in report.backends() {
+        println!(
+            "{backend}: commit p50 speedup {:.2}x, read p50 speedup {:.2}x",
+            report.commit_speedup(&backend),
+            report.read_speedup(&backend)
+        );
+    }
+
+    let rendered = report.to_json().render();
+    if let Err(e) = std::fs::write(&out_path, &rendered) {
+        eprintln!("failed to write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out_path}");
+
+    if gate {
+        match report.check_gate() {
+            Ok(message) => println!("gate OK: {message}"),
+            Err(message) => {
+                eprintln!("gate FAILED: {message}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

@@ -25,11 +25,13 @@
 
 pub mod experiments;
 pub mod json;
+pub mod pipelined;
 pub mod report;
 pub mod scaling;
 pub mod setup;
 
 pub use json::Json;
+pub use pipelined::{fig2_pipelined, PipelineConfig, PipelineReport};
 pub use report::Table;
 pub use scaling::{fig7_throughput_scaling, ScalingConfig, ThroughputReport};
 pub use setup::BenchEnv;

@@ -24,7 +24,7 @@ use std::time::Duration;
 
 use aft_core::{AftNode, BatchConfig, NodeConfig};
 use aft_faas::{FaasPlatform, PlatformConfig, RetryPolicy};
-use aft_storage::{LatencyMode, LatencyModel, ServiceProfile, SimShardedService};
+use aft_storage::{make_backend, BackendConfig, BackendKind, IoConfig, LatencyMode};
 use aft_workload::{run_closed_loop, AftDriver, RunConfig, WorkloadConfig};
 
 use crate::json::Json;
@@ -334,16 +334,27 @@ pub fn fig7_throughput_scaling(config: &ScalingConfig) -> ThroughputReport {
     let mut points = Vec::new();
     for variant in &config.variants {
         for (i, &clients) in config.client_counts.iter().enumerate() {
-            let storage: aft_storage::SharedStorage = SimShardedService::with_stripes(
-                ServiceProfile::redis(),
-                LatencyModel::new(mode, config.latency_scale),
-                config.seed ^ variant.stripes as u64,
-                variant.stripes,
-            );
+            // Through the one shared construction path: `ShardedService` is a
+            // first-class BackendKind, so benches and tests select it exactly
+            // like the S3/DynamoDB/Redis sims.
+            let storage = make_backend(BackendConfig {
+                kind: BackendKind::ShardedService,
+                mode,
+                scale: config.latency_scale,
+                seed: config.seed ^ variant.stripes as u64,
+                redis_shards: aft_storage::redis::DEFAULT_REDIS_SHARDS,
+                stripes: variant.stripes,
+            });
             let node_config = NodeConfig {
                 data_cache_bytes: 0,
                 commit_batch: variant.batch_config(),
                 rng_seed: config.seed ^ (i as u64) << 8 ^ variant.stripes as u64,
+                // The sharded-service backend models *service-side* occupancy
+                // (no deferred latency), so every storage request holds an
+                // engine worker for its whole service time. Give the engine
+                // one worker per client: the sweep must measure the stripes'
+                // parallelism, never be capped by the worker pool.
+                io: IoConfig::pipelined().with_workers(clients.max(8)),
                 ..NodeConfig::default()
             };
             let node =

@@ -20,6 +20,7 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use aft_core::{AftNode, LocalGcConfig, NodeConfig};
+use aft_storage::io::{IoConfig, IoEngine};
 use aft_storage::SharedStorage;
 use aft_types::{AftResult, SharedClock, SystemClock};
 use parking_lot::Mutex;
@@ -53,6 +54,10 @@ pub struct ClusterConfig {
     /// Delay before a replacement node becomes active (container download +
     /// metadata cache warm-up, §6.7).
     pub replacement_delay: Duration,
+    /// Tuning of the cluster's own pipelined I/O engine, used by the fault
+    /// manager's commit-set scans and the global GC's batched deletes (the
+    /// nodes each have their own engine, configured via `node_template.io`).
+    pub io: IoConfig,
 }
 
 impl Default for ClusterConfig {
@@ -67,6 +72,7 @@ impl Default for ClusterConfig {
             global_gc: GlobalGcConfig::default(),
             fault_scan_interval: Duration::from_secs(5),
             replacement_delay: Duration::from_secs(50),
+            io: IoConfig::pipelined(),
         }
     }
 }
@@ -109,6 +115,9 @@ pub struct MaintenanceStats {
 pub struct Cluster {
     config: ClusterConfig,
     storage: SharedStorage,
+    /// Pipelined I/O engine for the cluster services (fault-manager scans,
+    /// global GC deletes) — off the transaction critical path.
+    io: IoEngine,
     clock: SharedClock,
     registry: Arc<NodeRegistry>,
     router: RoundRobinRouter,
@@ -139,6 +148,7 @@ impl Cluster {
             next_node_index: AtomicUsize::new(0),
             shutdown: Arc::new(AtomicBool::new(false)),
             background: Mutex::new(Vec::new()),
+            io: IoEngine::new(storage.clone(), config.io),
             registry,
             storage,
             clock,
@@ -185,6 +195,11 @@ impl Cluster {
     /// The shared storage backend.
     pub fn storage(&self) -> &SharedStorage {
         &self.storage
+    }
+
+    /// The cluster services' pipelined I/O engine.
+    pub fn io(&self) -> &IoEngine {
+        &self.io
     }
 
     /// All currently active nodes.
@@ -249,7 +264,7 @@ impl Cluster {
             broadcast: broadcast_round(&nodes, Some(&self.fault_manager)),
             ..MaintenanceStats::default()
         };
-        stats.recovered_commits = self.fault_manager.scan_commit_set(&self.storage, &nodes)?;
+        stats.recovered_commits = self.fault_manager.scan_commit_set(&self.io, &nodes)?;
         if self.config.local_gc_enabled {
             for node in &nodes {
                 let outcome = node.run_local_gc(&self.config.local_gc);
@@ -257,9 +272,9 @@ impl Cluster {
             }
         }
         if self.config.global_gc_enabled {
-            stats.global_gc =
-                self.global_gc
-                    .run_round(&self.fault_manager, &nodes, &self.storage)?;
+            stats.global_gc = self
+                .global_gc
+                .run_round(&self.fault_manager, &nodes, &self.io)?;
         }
         Ok(stats)
     }

@@ -21,9 +21,9 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use aft_core::bootstrap::fetch_commit_records;
 use aft_core::{AftNode, MetadataCache};
-use aft_storage::SharedStorage;
-use aft_types::codec::decode_commit_record;
+use aft_storage::io::{IoEngine, StorageRequest};
 use aft_types::{AftResult, TransactionRecord};
 
 /// The fault manager's view of the cluster's committed transactions.
@@ -73,28 +73,25 @@ impl FaultManager {
     /// Scans the Transaction Commit Set for records the manager has not seen
     /// and notifies every active node of them (§4.2). Returns how many
     /// missing commits were found in this scan.
-    pub fn scan_commit_set(
-        &self,
-        storage: &SharedStorage,
-        nodes: &[Arc<AftNode>],
-    ) -> AftResult<usize> {
-        let keys = storage.list_prefix(&TransactionRecord::storage_prefix())?;
+    ///
+    /// The scan goes through the pipelined I/O engine: one list round trip,
+    /// then the unseen records are fetched in overlapped waves instead of one
+    /// storage round trip per record — the scan is off the critical path, but
+    /// its wall-clock time bounds how stale a recovered commit can be.
+    pub fn scan_commit_set(&self, io: &IoEngine, nodes: &[Arc<AftNode>]) -> AftResult<usize> {
+        let keys = io
+            .execute(StorageRequest::List(TransactionRecord::storage_prefix()))
+            .result?
+            .into_keys();
+        let missing: Vec<String> = keys
+            .into_iter()
+            .filter(|key| match TransactionRecord::id_from_storage_key(key) {
+                Ok(id) => !self.metadata.is_committed(&id),
+                Err(_) => false,
+            })
+            .collect();
         let mut found = 0;
-        for key in keys {
-            let id = match TransactionRecord::id_from_storage_key(&key) {
-                Ok(id) => id,
-                Err(_) => continue,
-            };
-            if self.metadata.is_committed(&id) {
-                continue;
-            }
-            let Some(blob) = storage.get(&key)? else {
-                // Deleted by the global GC between the listing and the read.
-                continue;
-            };
-            let Ok(record) = decode_commit_record(&blob) else {
-                continue;
-            };
+        fetch_commit_records(io, &missing, |record| {
             let record = Arc::new(record);
             self.metadata.insert(Arc::clone(&record));
             self.recovered_commits.fetch_add(1, Ordering::Relaxed);
@@ -102,7 +99,7 @@ impl FaultManager {
             for node in nodes {
                 node.receive_peer_commits([Arc::clone(&record)]);
             }
-        }
+        })?;
         Ok(found)
     }
 }
@@ -111,10 +108,15 @@ impl FaultManager {
 mod tests {
     use super::*;
     use aft_core::NodeConfig;
-    use aft_storage::InMemoryStore;
+    use aft_storage::io::IoConfig;
+    use aft_storage::{InMemoryStore, SharedStorage};
     use aft_types::clock::TickingClock;
     use aft_types::Key;
     use bytes::Bytes;
+
+    fn engine_over(storage: &SharedStorage) -> IoEngine {
+        IoEngine::new(storage.clone(), IoConfig::pipelined())
+    }
 
     fn cluster_of(n: usize) -> (Vec<Arc<AftNode>>, SharedStorage) {
         let storage: SharedStorage = InMemoryStore::shared();
@@ -160,8 +162,9 @@ mod tests {
         assert!(!nodes[1].metadata().is_committed(&id));
 
         let fm = FaultManager::new();
+        let io = engine_over(&storage);
         let survivors = vec![Arc::clone(&nodes[1]), Arc::clone(&nodes[2])];
-        let found = fm.scan_commit_set(&storage, &survivors).unwrap();
+        let found = fm.scan_commit_set(&io, &survivors).unwrap();
         assert_eq!(found, 1);
         assert_eq!(fm.recovered_commits(), 1);
         assert!(nodes[1].metadata().is_committed(&id));
@@ -175,7 +178,7 @@ mod tests {
         );
 
         // A second scan finds nothing new.
-        assert_eq!(fm.scan_commit_set(&storage, &survivors).unwrap(), 0);
+        assert_eq!(fm.scan_commit_set(&io, &survivors).unwrap(), 0);
     }
 
     #[test]
@@ -190,7 +193,10 @@ mod tests {
         let fm = FaultManager::new();
         // The broadcast reached the fault manager normally.
         fm.observe_commits(nodes[0].drain_recent_commits());
-        assert_eq!(fm.scan_commit_set(&storage, &nodes).unwrap(), 0);
+        assert_eq!(
+            fm.scan_commit_set(&engine_over(&storage), &nodes).unwrap(),
+            0
+        );
         assert_eq!(fm.recovered_commits(), 0);
     }
 
@@ -198,6 +204,37 @@ mod tests {
     fn empty_storage_scan_is_harmless() {
         let (nodes, storage) = cluster_of(1);
         let fm = FaultManager::new();
-        assert_eq!(fm.scan_commit_set(&storage, &nodes).unwrap(), 0);
+        assert_eq!(
+            fm.scan_commit_set(&engine_over(&storage), &nodes).unwrap(),
+            0
+        );
+    }
+
+    #[test]
+    fn large_scan_recovers_every_orphan_across_waves() {
+        // More orphaned commits than one 256-request wave: the overlapped
+        // scan must still recover all of them.
+        let (nodes, storage) = cluster_of(2);
+        for i in 0..300 {
+            let t = nodes[0].start_transaction();
+            nodes[0]
+                .put(
+                    &t,
+                    Key::new(format!("orphan/{i}")),
+                    Bytes::from_static(b"v"),
+                )
+                .unwrap();
+            nodes[0].commit(&t).unwrap();
+        }
+        // Node 0 "fails" before any broadcast; node 1 learns via the scan.
+        let fm = FaultManager::new();
+        let survivors = vec![Arc::clone(&nodes[1])];
+        let found = fm
+            .scan_commit_set(&engine_over(&storage), &survivors)
+            .unwrap();
+        assert_eq!(found, 300);
+        assert_eq!(fm.recovered_commits(), 300);
+        let t = nodes[1].start_transaction();
+        assert!(nodes[1].get(&t, &Key::new("orphan/299")).unwrap().is_some());
     }
 }

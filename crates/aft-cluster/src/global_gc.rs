@@ -22,7 +22,7 @@
 use std::sync::Arc;
 
 use aft_core::{is_superseded, AftNode};
-use aft_storage::SharedStorage;
+use aft_storage::io::IoEngine;
 use aft_types::{AftResult, TransactionRecord};
 
 use crate::fault_manager::FaultManager;
@@ -74,19 +74,27 @@ impl GlobalGc {
     }
 
     /// Runs one GC round against the fault manager's commit view.
+    ///
+    /// Candidate selection (Algorithm 2 plus the all-nodes-agree check) runs
+    /// first, in memory; then every agreed transaction's deletion — one
+    /// batched delete covering its key versions and its commit record — is
+    /// submitted to the pipelined I/O engine and the round barriers on all
+    /// of them, so N transactions' delete round trips overlap instead of
+    /// summing (the paper dedicates cores to deletion for the same reason).
     pub fn run_round(
         &self,
         fault_manager: &FaultManager,
         nodes: &[Arc<AftNode>],
-        storage: &SharedStorage,
+        io: &IoEngine,
     ) -> AftResult<GlobalGcOutcome> {
         let mut outcome = GlobalGcOutcome::default();
         let metadata = fault_manager.metadata();
 
         // Oldest first (§5.2.1): the oldest superseded data is the least
         // likely to still be needed by a running transaction.
+        let mut deletable: Vec<Arc<TransactionRecord>> = Vec::new();
         for record in metadata.records_oldest_first() {
-            if outcome.deleted >= self.config.max_deletions_per_round {
+            if deletable.len() >= self.config.max_deletions_per_round {
                 break;
             }
             if !is_superseded(&record, metadata) {
@@ -106,27 +114,47 @@ impl GlobalGc {
                 outcome.awaiting_nodes += 1;
                 continue;
             }
-
-            self.delete_transaction(&record, storage, &mut outcome)?;
-            metadata.remove(&record.id);
-            for node in nodes {
-                node.forget_deleted(&[record.id]);
-            }
-            outcome.deleted += 1;
+            deletable.push(record);
         }
-        Ok(outcome)
-    }
 
-    fn delete_transaction(
-        &self,
-        record: &TransactionRecord,
-        storage: &SharedStorage,
-        outcome: &mut GlobalGcOutcome,
-    ) -> AftResult<()> {
-        let mut keys: Vec<String> = record.key_versions().map(|kv| kv.storage_key()).collect();
-        keys.push(record.storage_key());
-        outcome.storage_keys_deleted += keys.len();
-        storage.delete_batch(&keys)
+        // One overlapped barrier of batched deletes for the whole round.
+        let groups: Vec<Vec<String>> = deletable
+            .iter()
+            .map(|record| {
+                let mut keys: Vec<String> =
+                    record.key_versions().map(|kv| kv.storage_key()).collect();
+                keys.push(record.storage_key());
+                keys
+            })
+            .collect();
+        let batch = io
+            .submit_all(
+                groups
+                    .iter()
+                    .map(|keys| aft_storage::io::StorageRequest::DeleteBatch(keys.clone())),
+            )
+            .wait_all();
+
+        let mut first_error = None;
+        for ((record, keys), result) in deletable.iter().zip(&groups).zip(batch.results) {
+            match result {
+                Ok(_) => {
+                    outcome.storage_keys_deleted += keys.len();
+                    metadata.remove(&record.id);
+                    for node in nodes {
+                        node.forget_deleted(&[record.id]);
+                    }
+                    outcome.deleted += 1;
+                }
+                Err(e) => first_error = first_error.or(Some(e)),
+            }
+        }
+        match first_error {
+            // A failed delete leaves the transaction's tombstones in place;
+            // the next round retries it.
+            Some(e) => Err(e),
+            None => Ok(outcome),
+        }
     }
 }
 
@@ -135,7 +163,8 @@ mod tests {
     use super::*;
     use crate::broadcast::broadcast_round;
     use aft_core::{LocalGcConfig, NodeConfig};
-    use aft_storage::{InMemoryStore, StorageEngine};
+    use aft_storage::io::IoConfig;
+    use aft_storage::{InMemoryStore, SharedStorage, StorageEngine};
     use aft_types::clock::TickingClock;
     use aft_types::Key;
     use bytes::Bytes;
@@ -159,6 +188,10 @@ mod tests {
         (nodes, raw, storage)
     }
 
+    fn engine_over(storage: &SharedStorage) -> IoEngine {
+        IoEngine::new(storage.clone(), IoConfig::pipelined())
+    }
+
     fn commit_on(node: &Arc<AftNode>, key: &str, value: &str) -> aft_types::TransactionId {
         let t = node.start_transaction();
         node.put(&t, Key::new(key), Bytes::copy_from_slice(value.as_bytes()))
@@ -169,6 +202,7 @@ mod tests {
     #[test]
     fn superseded_data_is_deleted_once_all_nodes_agree() {
         let (nodes, raw, storage) = cluster_of(2);
+        let io = engine_over(&storage);
         let fm = FaultManager::new();
         let gc = GlobalGc::default();
 
@@ -183,7 +217,7 @@ mod tests {
         assert!(fm.metadata().is_committed(&old));
 
         // Before local GC on all nodes, the global GC must not delete.
-        let outcome = gc.run_round(&fm, &nodes, &storage).unwrap();
+        let outcome = gc.run_round(&fm, &nodes, &io).unwrap();
         assert_eq!(outcome.deleted, 0);
         assert!(outcome.awaiting_nodes >= 1);
         assert_eq!(raw.list_prefix("data/hot/").unwrap().len(), 3);
@@ -192,7 +226,7 @@ mod tests {
         for node in &nodes {
             node.run_local_gc(&LocalGcConfig::aggressive());
         }
-        let outcome = gc.run_round(&fm, &nodes, &storage).unwrap();
+        let outcome = gc.run_round(&fm, &nodes, &io).unwrap();
         assert_eq!(outcome.deleted, 2, "two superseded versions removed");
         assert!(
             outcome.storage_keys_deleted >= 4,
@@ -212,13 +246,14 @@ mod tests {
         assert!(fm.metadata().is_committed(&newest));
 
         // Tombstones were cleared, so a second round does nothing.
-        let outcome = gc.run_round(&fm, &nodes, &storage).unwrap();
+        let outcome = gc.run_round(&fm, &nodes, &io).unwrap();
         assert_eq!(outcome.deleted, 0);
     }
 
     #[test]
     fn non_superseded_transactions_are_never_candidates() {
         let (nodes, raw, storage) = cluster_of(2);
+        let io = engine_over(&storage);
         let fm = FaultManager::new();
         let gc = GlobalGc::default();
 
@@ -227,7 +262,7 @@ mod tests {
         for node in &nodes {
             node.run_local_gc(&LocalGcConfig::aggressive());
         }
-        let outcome = gc.run_round(&fm, &nodes, &storage).unwrap();
+        let outcome = gc.run_round(&fm, &nodes, &io).unwrap();
         assert_eq!(outcome.candidates, 0);
         assert_eq!(outcome.deleted, 0);
         assert_eq!(raw.list_prefix("data/").unwrap().len(), 1);
@@ -236,6 +271,7 @@ mod tests {
     #[test]
     fn deletion_budget_is_respected() {
         let (nodes, _raw, storage) = cluster_of(1);
+        let io = engine_over(&storage);
         let fm = FaultManager::new();
         let gc = GlobalGc::new(GlobalGcConfig {
             max_deletions_per_round: 2,
@@ -247,11 +283,11 @@ mod tests {
         broadcast_round(&nodes, Some(&fm));
         nodes[0].run_local_gc(&LocalGcConfig::aggressive());
 
-        let outcome = gc.run_round(&fm, &nodes, &storage).unwrap();
+        let outcome = gc.run_round(&fm, &nodes, &io).unwrap();
         assert_eq!(outcome.deleted, 2);
-        let outcome = gc.run_round(&fm, &nodes, &storage).unwrap();
+        let outcome = gc.run_round(&fm, &nodes, &io).unwrap();
         assert_eq!(outcome.deleted, 2);
-        let outcome = gc.run_round(&fm, &nodes, &storage).unwrap();
+        let outcome = gc.run_round(&fm, &nodes, &io).unwrap();
         assert_eq!(outcome.deleted, 1, "five superseded versions in total");
     }
 }

@@ -9,6 +9,12 @@
 //! into a single storage flush — one multi-put covering every transaction's
 //! data items followed by one append covering every commit record.
 //!
+//! Flushes run through the pipelined I/O engine
+//! ([`aft_storage::io::IoEngine`]): the batch's data items are submitted
+//! concurrently, the flush barriers on their completions, and only then are
+//! the records appended — so an 8-key commit overlaps its data round trips
+//! instead of paying them one after another.
+//!
 //! The protocol's write ordering is preserved for every member of a batch:
 //! all data items are durable before any commit record is written, and a
 //! transaction only becomes visible (in the caller, after `submit` returns)
@@ -31,7 +37,7 @@
 
 use std::time::{Duration, Instant};
 
-use aft_storage::SharedStorage;
+use aft_storage::io::{IoEngine, StorageRequest};
 use aft_types::{AftResult, Value};
 use parking_lot::{Condvar, Mutex};
 
@@ -112,8 +118,9 @@ struct Entry {
 struct State {
     queue: Vec<Entry>,
     /// Results of flushed entries, keyed by sequence number, awaiting pickup
-    /// by their submitting threads.
-    completed: std::collections::HashMap<u64, AftResult<()>>,
+    /// by their submitting threads. A successful flush reports the simulated
+    /// storage latency it charged (data barrier + record append).
+    completed: std::collections::HashMap<u64, AftResult<Duration>>,
     /// Whether some thread currently holds the flush token.
     flushing: bool,
     next_seq: u64,
@@ -151,17 +158,17 @@ impl CommitBatcher {
     }
 
     /// Durably writes one transaction's `data` items and then its commit
-    /// record, possibly coalesced with concurrently submitted commits.
-    /// Returns once this transaction's commit record is durable in
-    /// `storage`; on a storage error every member of the failed flush gets
-    /// the error.
+    /// record, possibly coalesced with concurrently submitted commits, all
+    /// through the pipelined I/O engine. Returns the flush's charged storage
+    /// latency once this transaction's commit record is durable; on a
+    /// storage error every member of the failed flush gets the error.
     pub fn submit(
         &self,
-        storage: &SharedStorage,
+        io: &IoEngine,
         data: Vec<(String, Value)>,
         record_key: String,
         record_value: Value,
-    ) -> AftResult<()> {
+    ) -> AftResult<Duration> {
         let mut state = self.state.lock();
         let seq = state.next_seq;
         state.next_seq += 1;
@@ -209,7 +216,7 @@ impl CommitBatcher {
             state.stats.largest_batch = state.stats.largest_batch.max(batch.len() as u64);
             drop(state);
 
-            let result = Self::flush(storage, &batch);
+            let result = Self::flush(io, &batch);
 
             state = self.state.lock();
             for entry in batch {
@@ -222,26 +229,33 @@ impl CommitBatcher {
         }
     }
 
-    /// One coalesced storage flush: all data items first (§3.3's write
-    /// ordering), then all commit records as one metadata append.
-    fn flush(storage: &SharedStorage, batch: &[Entry]) -> AftResult<()> {
+    /// One coalesced storage flush through the I/O engine: every member's
+    /// data items are submitted concurrently, the flush **barriers** on all
+    /// their completions (§3.3's write ordering — all data durable first),
+    /// and only then are the commit records appended. Returns the flush's
+    /// charged storage latency: the data barrier's overlapped cost plus the
+    /// record append's.
+    fn flush(io: &IoEngine, batch: &[Entry]) -> AftResult<Duration> {
         let data: Vec<(String, Value)> =
             batch.iter().flat_map(|e| e.data.iter().cloned()).collect();
+        let mut cost = Duration::ZERO;
         if !data.is_empty() {
-            storage.put_batch(data)?;
+            cost += io.put_all(data)?;
         }
         let records: Vec<(String, Value)> = batch
             .iter()
             .map(|e| (e.record_key.clone(), e.record_value.clone()))
             .collect();
-        // A single record keeps the cheaper single-put path; backends without
-        // a batch API degrade to sequential puts inside put_batch anyway.
-        if records.len() == 1 {
+        // A single record keeps the cheaper single-put path; multi-record
+        // appends overlap like any other batch.
+        cost += if records.len() == 1 {
             let (key, value) = records.into_iter().next().expect("len checked");
-            storage.put(&key, value)
+            let outcome = io.execute(StorageRequest::Put(key, value));
+            outcome.result.map(|_| outcome.cost)?
         } else {
-            storage.put_batch(records)
-        }
+            io.put_all(records)?
+        };
+        Ok(cost)
     }
 }
 
@@ -256,7 +270,8 @@ impl std::fmt::Debug for CommitBatcher {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use aft_storage::{InMemoryStore, OpKind, StorageEngine};
+    use aft_storage::io::IoConfig;
+    use aft_storage::{InMemoryStore, OpKind, SharedStorage, StorageEngine};
     use bytes::Bytes;
     use std::sync::Arc;
 
@@ -264,20 +279,25 @@ mod tests {
         Bytes::copy_from_slice(s.as_bytes())
     }
 
+    fn engine_over(store: &Arc<InMemoryStore>) -> IoEngine {
+        IoEngine::new(store.clone() as SharedStorage, IoConfig::pipelined())
+    }
+
     #[test]
     fn single_commit_flushes_immediately() {
-        let storage: SharedStorage = InMemoryStore::shared();
+        let store = InMemoryStore::shared();
+        let io = engine_over(&store);
         let batcher = CommitBatcher::new(BatchConfig::default());
         batcher
             .submit(
-                &storage,
+                &io,
                 vec![("data/k/1".into(), val("v"))],
                 "commit/1".into(),
                 val("r"),
             )
             .unwrap();
-        assert!(storage.get("data/k/1").unwrap().is_some());
-        assert!(storage.get("commit/1").unwrap().is_some());
+        assert!(store.get("data/k/1").unwrap().is_some());
+        assert!(store.get("commit/1").unwrap().is_some());
         let stats = batcher.stats();
         assert_eq!(stats.submitted, 1);
         assert_eq!(stats.flushes, 1);
@@ -287,10 +307,10 @@ mod tests {
     #[test]
     fn read_only_commits_write_only_the_record() {
         let store = InMemoryStore::shared();
-        let storage: SharedStorage = store.clone();
+        let io = engine_over(&store);
         let batcher = CommitBatcher::new(BatchConfig::default());
         batcher
-            .submit(&storage, Vec::new(), "commit/ro".into(), val("r"))
+            .submit(&io, Vec::new(), "commit/ro".into(), val("r"))
             .unwrap();
         assert_eq!(store.stats().calls(OpKind::BatchPut), 0);
         assert_eq!(store.stats().calls(OpKind::Put), 1);
@@ -299,7 +319,7 @@ mod tests {
     #[test]
     fn window_coalesces_concurrent_commits() {
         let store = InMemoryStore::shared();
-        let storage: SharedStorage = store.clone();
+        let io = engine_over(&store);
         let batcher = Arc::new(CommitBatcher::new(
             BatchConfig::default()
                 .with_max_batch(8)
@@ -309,11 +329,11 @@ mod tests {
         std::thread::scope(|scope| {
             for t in 0..threads {
                 let batcher = Arc::clone(&batcher);
-                let storage = storage.clone();
+                let io = &io;
                 scope.spawn(move || {
                     batcher
                         .submit(
-                            &storage,
+                            io,
                             vec![(format!("data/k/{t}"), val("v"))],
                             format!("commit/{t}"),
                             val("r"),
@@ -333,21 +353,22 @@ mod tests {
         assert!(stats.largest_batch >= 2);
         // Every commit is durable regardless of which flush carried it.
         for t in 0..threads {
-            assert!(storage.get(&format!("commit/{t}")).unwrap().is_some());
+            assert!(store.get(&format!("commit/{t}")).unwrap().is_some());
         }
     }
 
     #[test]
     fn max_batch_one_never_coalesces() {
-        let storage: SharedStorage = InMemoryStore::shared();
+        let store = InMemoryStore::shared();
+        let io = engine_over(&store);
         let batcher = Arc::new(CommitBatcher::new(BatchConfig::disabled()));
         std::thread::scope(|scope| {
             for t in 0..4 {
                 let batcher = Arc::clone(&batcher);
-                let storage = storage.clone();
+                let io = &io;
                 scope.spawn(move || {
                     batcher
-                        .submit(&storage, Vec::new(), format!("commit/{t}"), val("r"))
+                        .submit(io, Vec::new(), format!("commit/{t}"), val("r"))
                         .unwrap();
                 });
             }
@@ -361,18 +382,20 @@ mod tests {
     #[test]
     fn data_is_written_before_records() {
         // After any successful submit, observing a commit record implies the
-        // data it references is present (the §3.3 write ordering).
+        // data it references is present (the §3.3 write ordering) — the data
+        // barrier fires before the record append is even submitted.
         let store = InMemoryStore::shared();
-        let storage: SharedStorage = store.clone();
+        let io = engine_over(&store);
         let batcher = Arc::new(CommitBatcher::new(BatchConfig::default().with_max_batch(4)));
         std::thread::scope(|scope| {
             for t in 0..16 {
                 let batcher = Arc::clone(&batcher);
-                let storage = storage.clone();
+                let io = &io;
+                let store = store.clone();
                 scope.spawn(move || {
                     batcher
                         .submit(
-                            &storage,
+                            io,
                             vec![(format!("data/k/{t}"), val("v"))],
                             format!("commit/{t}"),
                             val("r"),
@@ -380,11 +403,38 @@ mod tests {
                         .unwrap();
                     // Immediately after our commit returns, our data must be
                     // readable.
-                    assert!(storage.get(&format!("data/k/{t}")).unwrap().is_some());
+                    assert!(store.get(&format!("data/k/{t}")).unwrap().is_some());
                 });
             }
         });
         assert_eq!(store.len(), 32);
+    }
+
+    #[test]
+    fn flush_reports_its_charged_storage_latency() {
+        use aft_storage::latency::LatencyProfile;
+        use aft_storage::{LatencyMode, LatencyModel, ServiceProfile, SimS3};
+        // A fixed 20ms write latency (no variance) makes the accounting
+        // exact: an 8-key commit charges one overlapped data round trip plus
+        // the record append — 40ms — where sequential charging would be
+        // 9 × 20ms.
+        let profile = ServiceProfile {
+            write: LatencyProfile::new(20_000.0, 20_000.0),
+            ..ServiceProfile::zero()
+        };
+        let storage: SharedStorage =
+            SimS3::with_profile(profile, LatencyModel::new(LatencyMode::Virtual, 1.0), 5);
+        let io = IoEngine::new(storage, IoConfig::pipelined());
+        let batcher = CommitBatcher::new(BatchConfig::disabled());
+        let data: Vec<(String, Value)> =
+            (0..8).map(|i| (format!("data/k/{i}"), val("v"))).collect();
+        let cost = batcher
+            .submit(&io, data, "commit/1".into(), val("r"))
+            .unwrap();
+        assert!(
+            cost >= Duration::from_millis(39) && cost <= Duration::from_millis(42),
+            "barrier(max of 8 × 20ms) + record(20ms) ≈ 40ms, got {cost:?}"
+        );
     }
 
     #[test]

@@ -44,6 +44,6 @@ pub use gc::{GcOutcome, LocalGcConfig};
 pub use metadata::MetadataCache;
 pub use node::{AftNode, NodeConfig, TransactionHandle};
 pub use read::{select_version, ReadSet};
-pub use stats::{NodeStats, NodeStatsSnapshot};
+pub use stats::{LatencyRecorder, NodeStats, NodeStatsSnapshot};
 pub use supersede::is_superseded;
 pub use write_buffer::{ActiveTransaction, WriteBuffer};

@@ -6,6 +6,7 @@ use std::collections::HashSet;
 use std::sync::Arc;
 use std::time::Duration;
 
+use aft_storage::io::{IoConfig, IoEngine, StorageRequest};
 use aft_storage::latency::{LatencyMode, LatencyModel, LatencyProfile};
 use aft_storage::SharedStorage;
 use aft_types::codec::encode_commit_record;
@@ -17,7 +18,6 @@ use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crate::bootstrap::warm_metadata_cache;
 use crate::commit_batcher::{BatchConfig, CommitBatcher};
 use crate::data_cache::DataCache;
 use crate::gc::{GcOutcome, LocalGcConfig};
@@ -61,6 +61,10 @@ pub struct NodeConfig {
     /// coalesced into one storage flush, and how long a flush may wait for
     /// company. The default adds no latency for uncontended clients.
     pub commit_batch: BatchConfig,
+    /// Tuning of the node's pipelined storage I/O engine (worker count,
+    /// in-flight window, timer-wheel resolution). `IoConfig::sequential()`
+    /// reproduces the historical one-round-trip-at-a-time behaviour.
+    pub io: IoConfig,
 }
 
 impl Default for NodeConfig {
@@ -77,6 +81,7 @@ impl Default for NodeConfig {
             latency_scale: 0.0,
             rng_seed: 0xAF71,
             commit_batch: BatchConfig::default(),
+            io: IoConfig::pipelined(),
         }
     }
 }
@@ -113,6 +118,12 @@ impl NodeConfig {
         self
     }
 
+    /// Sets the I/O engine tuning.
+    pub fn with_io(mut self, io: IoConfig) -> Self {
+        self.io = io;
+        self
+    }
+
     /// Configures the simulated client→shim RPC hop used by the benchmark
     /// harness (median/p99 in microseconds at full scale).
     pub fn with_rpc_latency(
@@ -135,6 +146,9 @@ impl NodeConfig {
 pub struct AftNode {
     config: NodeConfig,
     storage: SharedStorage,
+    /// The pipelined submission/completion engine every storage access on
+    /// this node goes through (commit flushes, read fetches, spills).
+    io: IoEngine,
     clock: SharedClock,
     buffer: WriteBuffer,
     batcher: CommitBatcher,
@@ -162,9 +176,14 @@ impl AftNode {
         storage: SharedStorage,
         clock: SharedClock,
     ) -> AftResult<Arc<Self>> {
+        let io = IoEngine::new(storage.clone(), config.io);
         let metadata = MetadataCache::new();
         if config.bootstrap {
-            warm_metadata_cache(&storage, &metadata, config.bootstrap_limit)?;
+            crate::bootstrap::warm_metadata_cache_pipelined(
+                &io,
+                &metadata,
+                config.bootstrap_limit,
+            )?;
         }
         let rpc_latency = LatencyModel::new(config.latency_mode, config.latency_scale);
         Ok(Arc::new(AftNode {
@@ -177,6 +196,7 @@ impl AftNode {
             locally_deleted: Mutex::new(HashSet::new()),
             rpc_latency,
             metadata,
+            io,
             storage,
             clock,
             config,
@@ -196,6 +216,11 @@ impl AftNode {
     /// The storage engine this node commits to.
     pub fn storage(&self) -> &SharedStorage {
         &self.storage
+    }
+
+    /// The node's pipelined storage I/O engine.
+    pub fn io(&self) -> &IoEngine {
+        &self.io
     }
 
     /// The node's committed-transaction metadata cache.
@@ -309,36 +334,133 @@ impl AftNode {
             VersionChoice::Version(tid) => tid,
         };
 
-        // Fetch the payload: data cache first, then storage.
+        // Fetch the payload: data cache first, then storage (through the I/O
+        // engine, so the charged latency is observable in virtual mode).
         let storage_key = KeyVersion::new(key.clone(), target).storage_key();
         let value = match self.data_cache.get(&storage_key) {
             Some(value) => {
                 self.stats.record_read_from_data_cache();
                 value
             }
-            None => match self.storage.get(&storage_key)? {
-                Some(value) => {
-                    self.stats.record_read_from_storage();
-                    self.data_cache.insert(&storage_key, value.clone());
-                    value
+            None => {
+                let outcome = self.io.execute(StorageRequest::Get(storage_key.clone()));
+                self.stats.read_storage_latency().record(outcome.cost);
+                match outcome.result?.into_value() {
+                    Some(value) => {
+                        self.stats.record_read_from_storage();
+                        self.data_cache.insert(&storage_key, value.clone());
+                        value
+                    }
+                    None => {
+                        // The version's data was deleted underneath us (global
+                        // GC racing a long transaction, §5.2.1). Treat it like
+                        // a missing valid version so the client retries.
+                        self.stats.record_no_valid_version();
+                        return Err(AftError::NoValidVersion {
+                            key: key.clone(),
+                            txn: *txid,
+                        });
+                    }
                 }
-                None => {
-                    // The version's data was deleted underneath us (global GC
-                    // racing a long transaction, §5.2.1). Treat it like a
-                    // missing valid version so the client retries.
-                    self.stats.record_no_valid_version();
-                    return Err(AftError::NoValidVersion {
-                        key: key.clone(),
-                        txn: *txid,
-                    });
-                }
-            },
+            }
         };
 
         // Extend the read set only after the read has definitely succeeded.
         self.buffer
             .with_txn(txid, |txn| txn.reads.record(key.clone(), target))?;
         Ok(Some((value, Some(target))))
+    }
+
+    /// Reads several keys in one request, overlapping the storage fetches.
+    ///
+    /// Algorithm 1 itself stays sequential — each key's version selection
+    /// must see the versions already chosen for the keys before it, so the
+    /// combined read set remains an Atomic Readset — but it is pure
+    /// in-memory work. The expensive part, fetching the chosen versions'
+    /// payloads on data-cache misses, is submitted as one batch to the I/O
+    /// engine and barriered: the fallback round trips overlap instead of
+    /// summing.
+    ///
+    /// Chosen versions are recorded into the read set at selection time
+    /// (before the payload fetch). If a fetch then fails (global GC racing a
+    /// long transaction, §5.2.1) the whole call returns
+    /// [`AftError::NoValidVersion`] and the client aborts; until then the
+    /// extra read-set entries only make later selections *more*
+    /// conservative, never unsound.
+    pub fn get_all(&self, txid: &TransactionId, keys: &[Key]) -> AftResult<Vec<Option<Value>>> {
+        self.rpc();
+        let mut out: Vec<Option<Value>> = vec![None; keys.len()];
+        // (output index, storage key) pairs that need a storage fetch.
+        let mut fetches: Vec<(usize, String)> = Vec::new();
+        for (i, key) in keys.iter().enumerate() {
+            self.stats.record_read();
+
+            // Read-your-writes (§3.5): buffered writes bypass Algorithm 1.
+            let buffered = self.buffer.with_txn(txid, |txn| txn.buffered_value(key))?;
+            if let Some(value) = buffered {
+                self.stats.record_read_from_write_buffer();
+                out[i] = Some(value);
+                continue;
+            }
+
+            let choice = self
+                .buffer
+                .with_txn(txid, |txn| select_version(key, &txn.reads, &self.metadata))?;
+            let target = match choice {
+                VersionChoice::NotFound => {
+                    self.stats.record_null_read();
+                    continue;
+                }
+                VersionChoice::NoValidVersion => {
+                    self.stats.record_no_valid_version();
+                    return Err(AftError::NoValidVersion {
+                        key: key.clone(),
+                        txn: *txid,
+                    });
+                }
+                VersionChoice::Version(tid) => tid,
+            };
+            // Record the choice now so the next key's selection sees it.
+            self.buffer
+                .with_txn(txid, |txn| txn.reads.record(key.clone(), target))?;
+
+            let storage_key = KeyVersion::new(key.clone(), target).storage_key();
+            if let Some(value) = self.data_cache.get(&storage_key) {
+                self.stats.record_read_from_data_cache();
+                out[i] = Some(value);
+            } else {
+                fetches.push((i, storage_key));
+            }
+        }
+
+        if fetches.is_empty() {
+            return Ok(out);
+        }
+
+        // One overlapped fetch barrier for every cache miss.
+        let set = self
+            .io
+            .get_all(fetches.iter().map(|(_, skey)| skey.clone()));
+        let outcome = set.wait_all();
+        self.stats.read_storage_latency().record(outcome.cost);
+        for ((i, storage_key), result) in fetches.into_iter().zip(outcome.results) {
+            match result?.into_value() {
+                Some(value) => {
+                    self.stats.record_read_from_storage();
+                    self.data_cache.insert(&storage_key, value.clone());
+                    out[i] = Some(value);
+                }
+                None => {
+                    // Deleted underneath us (§5.2.1): retry like a single get.
+                    self.stats.record_no_valid_version();
+                    return Err(AftError::NoValidVersion {
+                        key: keys[i].clone(),
+                        txn: *txid,
+                    });
+                }
+            }
+        }
+        Ok(out)
     }
 
     /// `Put(txid, key, value)`: buffers an update for transaction `txid`.
@@ -355,9 +477,10 @@ impl AftNode {
         })?;
         // A saturated write buffer proactively writes intermediary data; the
         // data stays invisible because no commit record references it yet
-        // (§3.3). Performed outside the buffer lock.
+        // (§3.3). Performed outside the buffer lock, with the round trips
+        // overlapped by the I/O engine.
         if let Some(items) = spill {
-            self.storage.put_batch(items)?;
+            self.io.put_all(items)?;
         }
         Ok(())
     }
@@ -382,7 +505,7 @@ impl AftNode {
             }
         })?;
         if let Some(items) = spill {
-            self.storage.put_batch(items)?;
+            self.io.put_all(items)?;
         }
         Ok(())
     }
@@ -419,18 +542,20 @@ impl AftNode {
         let cached_values: Vec<(String, Value)> = items.clone();
 
         // 2. Persist the data and then the commit record, possibly coalesced
-        //    with concurrently arriving commits (group commit): one backend
-        //    multi-put for every member's data, one metadata append for every
-        //    member's record. The batcher preserves the data-before-record
-        //    ordering for every member and returns only once *this*
-        //    transaction's record is durable.
+        //    with concurrently arriving commits (group commit), through the
+        //    pipelined I/O engine: every member's data puts are submitted
+        //    concurrently, the flush barriers on their completions (§3.3's
+        //    data-before-record ordering), then the records are appended.
+        //    The batcher returns only once *this* transaction's record is
+        //    durable, reporting the flush's charged storage latency.
         let record = TransactionRecord::new(final_id, write_set);
-        self.batcher.submit(
-            &self.storage,
+        let flush_cost = self.batcher.submit(
+            &self.io,
             items,
             record.storage_key(),
             encode_commit_record(&record),
         )?;
+        self.stats.commit_storage_latency().record(flush_cost);
 
         // 3. Only now make the transaction visible to other requests.
         let record = Arc::new(record);
@@ -451,7 +576,9 @@ impl AftNode {
         let txn = self.buffer.take(txid)?;
         let spilled = txn.spilled_storage_keys();
         if !spilled.is_empty() {
-            self.storage.delete_batch(&spilled)?;
+            self.io
+                .execute(StorageRequest::DeleteBatch(spilled))
+                .result?;
         }
         self.stats.record_aborted();
         Ok(())
@@ -589,6 +716,12 @@ impl TransactionHandle {
     /// Reads `key` within this transaction.
     pub fn get(&self, key: impl Into<Key>) -> AftResult<Option<Value>> {
         self.node.get(&self.id, &key.into())
+    }
+
+    /// Reads several keys within this transaction, overlapping the storage
+    /// fetches (see [`AftNode::get_all`]).
+    pub fn get_all(&self, keys: &[Key]) -> AftResult<Vec<Option<Value>>> {
+        self.node.get_all(&self.id, keys)
     }
 
     /// Writes `key` within this transaction.
@@ -1032,6 +1165,75 @@ mod tests {
         assert_eq!(node.in_flight(), 1);
         node.put(&t, Key::new("k"), val("v")).unwrap();
         node.commit(&t).unwrap();
+    }
+
+    #[test]
+    fn get_all_overlaps_fetches_and_respects_buffered_writes() {
+        let storage: SharedStorage = InMemoryStore::shared();
+        // No data cache: every committed read must hit storage.
+        let node = AftNode::with_clock(
+            NodeConfig::test_without_cache(),
+            storage,
+            aft_types::clock::TickingClock::shared(1_000, 1),
+        )
+        .unwrap();
+        let writer = node.start_transaction();
+        for i in 0..6 {
+            node.put(&writer, Key::new(format!("k{i}")), val(&format!("v{i}")))
+                .unwrap();
+        }
+        node.commit(&writer).unwrap();
+
+        let reader = node.start_transaction();
+        node.put(&reader, Key::new("own"), val("mine")).unwrap();
+        let keys: Vec<Key> = (0..6)
+            .map(|i| Key::new(format!("k{i}")))
+            .chain([Key::new("own"), Key::new("missing")])
+            .collect();
+        let values = node.get_all(&reader, &keys).unwrap();
+        for i in 0..6 {
+            assert_eq!(values[i].as_ref().unwrap(), &val(&format!("v{i}")));
+        }
+        assert_eq!(
+            values[6].as_ref().unwrap(),
+            &val("mine"),
+            "read-your-writes"
+        );
+        assert!(values[7].is_none(), "missing key reads NULL");
+        // The six committed keys were fetched from storage in one overlapped
+        // barrier and recorded as one latency sample.
+        assert_eq!(node.stats().reads_from_storage(), 6);
+        assert_eq!(node.stats().read_storage_latency().len(), 1);
+        // Every fetched version entered the read set.
+        let repeat = node.get_all(&reader, &keys[..6]).unwrap();
+        assert_eq!(repeat.len(), 6);
+        node.commit(&reader).unwrap();
+    }
+
+    #[test]
+    fn get_all_never_fractures_across_cowritten_keys() {
+        // T1 writes {l}; T2 writes {k, l}. A get_all of [k, l] must return
+        // the cowritten pair — the sequential version selection inside
+        // get_all records k's choice before selecting l.
+        let node = test_node();
+        let t1 = node.start_transaction();
+        node.put(&t1, Key::new("l"), val("l1")).unwrap();
+        node.commit(&t1).unwrap();
+        let t2 = node.start_transaction();
+        node.put(&t2, Key::new("k"), val("k2")).unwrap();
+        node.put(&t2, Key::new("l"), val("l2")).unwrap();
+        node.commit(&t2).unwrap();
+
+        let reader = node.start_transaction();
+        let values = node
+            .get_all(&reader, &[Key::new("k"), Key::new("l")])
+            .unwrap();
+        assert_eq!(values[0].as_ref().unwrap(), &val("k2"));
+        assert_eq!(
+            values[1].as_ref().unwrap(),
+            &val("l2"),
+            "returning l1 next to k2 would be a fractured read"
+        );
     }
 
     #[test]

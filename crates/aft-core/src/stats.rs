@@ -6,6 +6,103 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+/// Upper bound on retained latency samples per recorder stripe; beyond it,
+/// new samples are dropped (the percentiles of the first samples are
+/// representative, and experiments reset nodes between points anyway).
+const MAX_LATENCY_SAMPLES_PER_STRIPE: usize = 1 << 16;
+
+/// Lock stripes per recorder: recording threads spread across stripes so the
+/// hot path never funnels through one mutex (matching the striping of every
+/// other per-node structure).
+const LATENCY_RECORDER_STRIPES: usize = 16;
+
+/// A bounded, lock-striped reservoir of simulated-latency samples with
+/// percentile queries.
+///
+/// Records the storage latency charged per commit flush / per read fetch so
+/// experiments can report p50/p99 even in `LatencyMode::Virtual`, where no
+/// wall-clock time passes and the charge is the only observable cost.
+/// Writers pick a stripe from their thread identity, so concurrent clients
+/// record without contending; queries merge all stripes.
+#[derive(Debug)]
+pub struct LatencyRecorder {
+    stripes: Box<[Mutex<Vec<u64>>]>,
+}
+
+impl Default for LatencyRecorder {
+    fn default() -> Self {
+        LatencyRecorder {
+            stripes: (0..LATENCY_RECORDER_STRIPES)
+                .map(|_| Mutex::new(Vec::new()))
+                .collect(),
+        }
+    }
+}
+
+impl LatencyRecorder {
+    fn stripe(&self) -> &Mutex<Vec<u64>> {
+        use std::sync::atomic::AtomicUsize;
+        // Each thread gets a stable stripe index once; round-robin assignment
+        // spreads any set of recording threads evenly.
+        static NEXT_THREAD: AtomicUsize = AtomicUsize::new(0);
+        thread_local! {
+            static MY_STRIPE: usize = NEXT_THREAD.fetch_add(1, Ordering::Relaxed);
+        }
+        let index = MY_STRIPE.with(|s| *s);
+        &self.stripes[index % self.stripes.len()]
+    }
+
+    /// Records one sample.
+    pub fn record(&self, latency: Duration) {
+        let mut samples = self.stripe().lock();
+        if samples.len() < MAX_LATENCY_SAMPLES_PER_STRIPE {
+            samples.push(latency.as_nanos() as u64);
+        }
+    }
+
+    /// Number of samples recorded.
+    pub fn len(&self) -> usize {
+        self.stripes.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// Returns true if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.stripes.iter().all(|s| s.lock().is_empty())
+    }
+
+    fn merged(&self) -> Vec<u64> {
+        let mut all = Vec::with_capacity(self.len());
+        for stripe in &self.stripes {
+            all.extend_from_slice(&stripe.lock());
+        }
+        all
+    }
+
+    /// The `p`-th percentile (`0.0..=1.0`) in milliseconds, or `None` with no
+    /// samples.
+    pub fn percentile_ms(&self, p: f64) -> Option<f64> {
+        let mut samples = self.merged();
+        if samples.is_empty() {
+            return None;
+        }
+        samples.sort_unstable();
+        let rank = ((samples.len() as f64 - 1.0) * p.clamp(0.0, 1.0)).round() as usize;
+        Some(samples[rank] as f64 / 1_000_000.0)
+    }
+
+    /// The mean sample in milliseconds, or `None` with no samples.
+    pub fn mean_ms(&self) -> Option<f64> {
+        let samples = self.merged();
+        if samples.is_empty() {
+            return None;
+        }
+        Some(samples.iter().sum::<u64>() as f64 / samples.len() as f64 / 1_000_000.0)
+    }
+}
 
 /// Counters describing one AFT node's activity.
 #[derive(Debug, Default)]
@@ -22,6 +119,12 @@ pub struct NodeStats {
     no_valid_version_aborts: AtomicU64,
     gc_transactions_deleted: AtomicU64,
     commits_received_from_peers: AtomicU64,
+    /// Simulated storage latency charged per commit flush (data barrier +
+    /// record append), as observed by this node's commits.
+    commit_storage_latency: LatencyRecorder,
+    /// Simulated storage latency charged per read that fetched payloads from
+    /// storage (single fetch or an overlapped multi-fetch barrier).
+    read_storage_latency: LatencyRecorder,
 }
 
 macro_rules! counter_methods {
@@ -59,6 +162,16 @@ impl NodeStats {
         record_no_valid_version, no_valid_version_aborts => no_valid_version_aborts;
         record_gc_deleted, gc_deleted => gc_transactions_deleted;
         record_peer_commit, peer_commits => commits_received_from_peers;
+    }
+
+    /// The per-commit storage latency recorder.
+    pub fn commit_storage_latency(&self) -> &LatencyRecorder {
+        &self.commit_storage_latency
+    }
+
+    /// The per-read storage latency recorder.
+    pub fn read_storage_latency(&self) -> &LatencyRecorder {
+        &self.read_storage_latency
     }
 
     /// Takes a point-in-time snapshot of every counter.
@@ -147,5 +260,23 @@ mod tests {
     #[test]
     fn hit_rate_with_no_reads_is_zero() {
         assert_eq!(NodeStatsSnapshot::default().cache_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn latency_recorder_percentiles() {
+        let recorder = LatencyRecorder::default();
+        assert!(recorder.is_empty());
+        assert_eq!(recorder.percentile_ms(0.5), None);
+        assert_eq!(recorder.mean_ms(), None);
+        for ms in 1..=100u64 {
+            recorder.record(Duration::from_millis(ms));
+        }
+        assert_eq!(recorder.len(), 100);
+        let p50 = recorder.percentile_ms(0.5).unwrap();
+        assert!((p50 - 50.0).abs() <= 1.0, "p50 = {p50}");
+        let p99 = recorder.percentile_ms(0.99).unwrap();
+        assert!((p99 - 99.0).abs() <= 1.0, "p99 = {p99}");
+        let mean = recorder.mean_ms().unwrap();
+        assert!((mean - 50.5).abs() < 0.01, "mean = {mean}");
     }
 }

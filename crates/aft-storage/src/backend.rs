@@ -13,6 +13,7 @@ use crate::latency::{LatencyMode, LatencyModel};
 use crate::memory::InMemoryStore;
 use crate::redis::SimRedis;
 use crate::s3::SimS3;
+use crate::service::SimShardedService;
 
 /// The storage services the reproduction can run over.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -25,6 +26,10 @@ pub enum BackendKind {
     DynamoDb,
     /// Simulated Redis cluster (AWS ElastiCache).
     Redis,
+    /// Simulated sharded storage *service* with per-stripe single-threaded
+    /// request lanes (Redis-like per-op cost); the backend the throughput
+    /// scaling experiments bottleneck on. See [`SimShardedService`].
+    ShardedService,
 }
 
 impl BackendKind {
@@ -39,6 +44,7 @@ impl BackendKind {
             BackendKind::S3 => "S3",
             BackendKind::DynamoDb => "DynamoDB",
             BackendKind::Redis => "Redis",
+            BackendKind::ShardedService => "ShardedService",
         }
     }
 }
@@ -130,6 +136,12 @@ pub fn make_backend(config: BackendConfig) -> SharedStorage {
             latency,
             config.seed,
         ),
+        BackendKind::ShardedService => SimShardedService::with_stripes(
+            crate::profiles::ServiceProfile::redis(),
+            latency,
+            config.seed,
+            config.stripes,
+        ),
     }
 }
 
@@ -145,6 +157,7 @@ mod tests {
             BackendKind::S3,
             BackendKind::DynamoDb,
             BackendKind::Redis,
+            BackendKind::ShardedService,
         ] {
             let store = make_backend(BackendConfig::test(kind));
             store.put("k", Bytes::from_static(b"v")).unwrap();
@@ -165,6 +178,20 @@ mod tests {
         assert!(dynamo.supports_batch_put());
         assert!(!redis.supports_batch_put());
         assert!(!s3.supports_batch_put());
+    }
+
+    #[test]
+    fn sharded_service_is_selected_through_the_shared_path() {
+        let svc = make_backend(BackendConfig::test(BackendKind::ShardedService).with_stripes(8));
+        assert_eq!(svc.name(), "sharded-service");
+        assert!(svc.supports_batch_put());
+        assert!(!svc.supports_deferred_latency(), "lanes must stay blocking");
+        for i in 0..16 {
+            svc.put(&format!("k{i}"), Bytes::from_static(b"v")).unwrap();
+        }
+        let counts = svc.stats().stripe_counts();
+        assert_eq!(counts.len(), 8, "stripes knob reaches the service lanes");
+        assert_eq!(counts.iter().sum::<u64>(), 16);
     }
 
     #[test]

@@ -241,6 +241,11 @@ impl StorageEngine for SimDynamo {
         true
     }
 
+    fn supports_deferred_latency(&self) -> bool {
+        // Client-observed network latency; safe to defer to a completion.
+        true
+    }
+
     fn stats(&self) -> Arc<StorageStats> {
         Arc::clone(&self.stats)
     }

@@ -54,6 +54,19 @@ pub trait StorageEngine: Send + Sync {
     /// Whether the backend can write several keys in one API call.
     fn supports_batch_put(&self) -> bool;
 
+    /// Whether this backend's simulated latency may be *deferred*: executed
+    /// inside [`crate::latency::capture_deferred`] so the sampled delay is
+    /// applied as a timer-wheel completion instead of blocking the calling
+    /// thread. True for the client-observed-latency simulators (S3, DynamoDB,
+    /// Redis, memory), whose sleep only models a network round trip. False
+    /// for backends that model *service-side occupancy* — e.g.
+    /// [`crate::SimShardedService`], whose request lanes must stay busy for
+    /// the service time — and false by default so unknown engines keep exact
+    /// blocking semantics.
+    fn supports_deferred_latency(&self) -> bool {
+        false
+    }
+
     /// Operation statistics for this backend instance.
     fn stats(&self) -> Arc<StorageStats>;
 }

@@ -17,6 +17,7 @@
 //! preserving every ratio; `LatencyMode::Virtual` disables sleeping entirely
 //! for deterministic unit tests and records the would-have-slept time instead.
 
+use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -25,6 +26,69 @@ use rand::Rng;
 
 /// Standard normal quantile for p99 (Φ⁻¹(0.99)).
 const Z_P99: f64 = 2.326_347_874;
+
+thread_local! {
+    /// Simulated latency charged by the current thread since the innermost
+    /// [`measure_cost`] scope began. Every [`LatencyModel::finish`] adds to
+    /// it, so a caller can learn exactly how much simulated time one storage
+    /// operation cost — in `Virtual` mode this is the *only* way to observe
+    /// an operation's latency.
+    static OP_CHARGE_NS: Cell<u64> = const { Cell::new(0) };
+    /// Sleep time suppressed inside the innermost [`capture_deferred`] scope:
+    /// durations that `Sleep` mode would have slept but instead handed to the
+    /// caller to apply later (the I/O engine's timer wheel).
+    static DEFERRED_NS: Cell<u64> = const { Cell::new(0) };
+    /// Whether a [`capture_deferred`] scope is active on this thread.
+    static DEFER_ACTIVE: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Runs `f` and returns the simulated latency it charged on this thread.
+///
+/// Works in both modes: in `Sleep` mode the charge equals the time slept
+/// (before overhead calibration), in `Virtual` mode it is the recorded
+/// would-have-slept time. Nested scopes compose — an outer scope sees the
+/// inner scope's charge too.
+pub fn measure_cost<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let saved = OP_CHARGE_NS.with(|c| c.replace(0));
+    let out = f();
+    let charged = OP_CHARGE_NS.with(|c| c.replace(saved.saturating_add(c.get())));
+    (out, Duration::from_nanos(charged))
+}
+
+/// Runs `f` with sleeping suppressed: any latency that `Sleep` mode would
+/// have slept is instead returned as the *deferred* duration, for the caller
+/// to apply asynchronously (the I/O engine schedules the operation's
+/// completion that far in the future on its timer wheel). The charged
+/// duration is returned as well, exactly as [`measure_cost`] would.
+///
+/// In `Virtual` mode nothing sleeps anyway, so the deferred duration is zero
+/// and completions are immediate; the charge still reports the sampled cost.
+pub fn capture_deferred<T>(f: impl FnOnce() -> T) -> (T, DeferredCost) {
+    let saved_charge = OP_CHARGE_NS.with(|c| c.replace(0));
+    let saved_deferred = DEFERRED_NS.with(|c| c.replace(0));
+    let was_active = DEFER_ACTIVE.with(|a| a.replace(true));
+    let out = f();
+    DEFER_ACTIVE.with(|a| a.set(was_active));
+    let charged = OP_CHARGE_NS.with(|c| c.replace(saved_charge.saturating_add(c.get())));
+    let deferred = DEFERRED_NS.with(|c| c.replace(saved_deferred));
+    (
+        out,
+        DeferredCost {
+            charged: Duration::from_nanos(charged),
+            deferred: Duration::from_nanos(deferred),
+        },
+    )
+}
+
+/// The cost of one operation run under [`capture_deferred`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeferredCost {
+    /// Total simulated latency the operation sampled (both modes).
+    pub charged: Duration,
+    /// The part of `charged` whose sleep was suppressed and must be applied
+    /// by the caller (zero in `Virtual` mode).
+    pub deferred: Duration,
+}
 
 /// How sampled latencies are applied.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -170,9 +234,18 @@ impl LatencyModel {
 
     /// Records a previously sampled duration and, in `Sleep` mode, sleeps for
     /// it. Returns the duration.
+    ///
+    /// Inside a [`capture_deferred`] scope the sleep is suppressed and the
+    /// duration is handed to the scope instead, so an I/O engine worker can
+    /// apply the latency as a deferred completion rather than by blocking.
     pub fn finish(&self, duration: Duration) -> Duration {
         self.injected_ns
             .fetch_add(duration.as_nanos() as u64, Ordering::Relaxed);
+        OP_CHARGE_NS.with(|c| c.set(c.get().saturating_add(duration.as_nanos() as u64)));
+        if self.mode == LatencyMode::Sleep && !duration.is_zero() && DEFER_ACTIVE.with(Cell::get) {
+            DEFERRED_NS.with(|c| c.set(c.get().saturating_add(duration.as_nanos() as u64)));
+            return duration;
+        }
         if self.mode == LatencyMode::Sleep && !duration.is_zero() {
             // Plain `thread::sleep` is used rather than spinning: the
             // simulations run hundreds of client threads, frequently on
@@ -188,6 +261,19 @@ impl LatencyModel {
             }
         }
         duration
+    }
+
+    /// Applies a *batch* of previously sampled durations as one overlapped
+    /// round trip: the charged (and, in `Sleep` mode, slept) time is the
+    /// **maximum** of the samples, not their sum, because the requests were
+    /// issued concurrently and the caller waits for the slowest one. This is
+    /// the per-batch overlap accounting the virtual clock needs: N in-flight
+    /// requests against a backend overlap their sampled latencies.
+    ///
+    /// Returns the applied (max) duration.
+    pub fn finish_batch(&self, durations: &[Duration]) -> Duration {
+        let max = durations.iter().copied().max().unwrap_or(Duration::ZERO);
+        self.finish(max)
     }
 
     /// Samples from `profile` using an RNG behind a mutex, holding the lock
@@ -252,11 +338,22 @@ impl StripedSampler {
     /// sample), then records/sleeps outside the lock. Returns the applied
     /// duration.
     pub fn apply(&self, profile: &LatencyProfile, stripe: usize, payload_bytes: usize) -> Duration {
-        let duration = {
-            let mut rng = self.rngs[stripe % self.rngs.len()].lock();
-            self.model.sample(profile, &mut *rng, payload_bytes)
-        };
+        let duration = self.sample(profile, stripe, payload_bytes);
         self.model.finish(duration)
+    }
+
+    /// Samples from `profile` on the RNG of `stripe` *without* applying the
+    /// latency. Backends that issue several requests concurrently (a
+    /// pipelined client's multi-key write) sample each request here and then
+    /// apply the batch once via [`LatencyModel::finish_batch`].
+    pub fn sample(
+        &self,
+        profile: &LatencyProfile,
+        stripe: usize,
+        payload_bytes: usize,
+    ) -> Duration {
+        let mut rng = self.rngs[stripe % self.rngs.len()].lock();
+        self.model.sample(profile, &mut *rng, payload_bytes)
     }
 }
 
@@ -384,5 +481,67 @@ mod tests {
         let sampler = StripedSampler::new(LatencyModel::disabled(), 1, 0);
         assert_eq!(sampler.stripes(), 1);
         sampler.apply(&LatencyProfile::ZERO, 5, 0);
+    }
+
+    #[test]
+    fn measure_cost_reports_charged_latency_and_nests() {
+        let model = LatencyModel::new(LatencyMode::Virtual, 1.0);
+        let profile = LatencyProfile::new(1_000.0, 1_000.0);
+        let ((), outer) = measure_cost(|| {
+            let mut rng = StdRng::seed_from_u64(1);
+            model.apply(&profile, &mut rng, 0);
+            let ((), inner) = measure_cost(|| {
+                let mut rng = StdRng::seed_from_u64(2);
+                model.apply(&profile, &mut rng, 0);
+            });
+            assert!(inner >= Duration::from_micros(900));
+        });
+        // The outer scope sees both applications.
+        assert!(outer >= Duration::from_micros(1_800), "outer = {outer:?}");
+    }
+
+    #[test]
+    fn capture_deferred_suppresses_sleep_and_reports_it() {
+        let model = LatencyModel::new(LatencyMode::Sleep, 1.0);
+        let profile = LatencyProfile::new(20_000.0, 20_000.0);
+        let start = std::time::Instant::now();
+        let ((), cost) = capture_deferred(|| {
+            let mut rng = StdRng::seed_from_u64(1);
+            model.apply(&profile, &mut rng, 0);
+        });
+        assert!(
+            start.elapsed() < Duration::from_millis(10),
+            "the 20ms sleep must be deferred, not taken"
+        );
+        assert!(cost.deferred >= Duration::from_millis(18));
+        assert_eq!(cost.charged, cost.deferred, "all sleep time was deferred");
+    }
+
+    #[test]
+    fn capture_deferred_in_virtual_mode_defers_nothing() {
+        let model = LatencyModel::new(LatencyMode::Virtual, 1.0);
+        let profile = LatencyProfile::new(5_000.0, 5_000.0);
+        let ((), cost) = capture_deferred(|| {
+            let mut rng = StdRng::seed_from_u64(1);
+            model.apply(&profile, &mut rng, 0);
+        });
+        assert_eq!(cost.deferred, Duration::ZERO);
+        assert!(cost.charged >= Duration::from_millis(4));
+    }
+
+    #[test]
+    fn finish_batch_charges_the_max_not_the_sum() {
+        let model = LatencyModel::new(LatencyMode::Virtual, 1.0);
+        let durations = [
+            Duration::from_millis(3),
+            Duration::from_millis(9),
+            Duration::from_millis(5),
+        ];
+        let ((), charged) = measure_cost(|| {
+            model.finish_batch(&durations);
+        });
+        assert_eq!(charged, Duration::from_millis(9));
+        assert_eq!(model.injected(), Duration::from_millis(9));
+        assert_eq!(model.finish_batch(&[]), Duration::ZERO);
     }
 }

@@ -22,11 +22,17 @@
 //! * [`sharded`] — N-way lock striping for the backends' shared data plane,
 //!   so multi-client experiments measure the protocol rather than contention
 //!   on a single map lock. Per-stripe counters roll up into [`counters`].
+//! * [`io`] — the pipelined I/O layer: a submission/completion engine
+//!   ([`IoEngine`]) with a worker pool and a timer wheel, so N in-flight
+//!   requests overlap their sampled latencies instead of summing them (and
+//!   the virtual clock charges a concurrent batch the max, not the sum).
+//!   [`SequentialEngine`] is the explicitly-sequential baseline wrapper.
 
 pub mod backend;
 pub mod counters;
 pub mod dynamo;
 pub mod engine;
+pub mod io;
 pub mod latency;
 pub mod memory;
 pub mod profiles;
@@ -39,6 +45,10 @@ pub use backend::{make_backend, BackendConfig, BackendKind};
 pub use counters::{OpKind, StorageStats, StorageStatsSnapshot, StripeCounters};
 pub use dynamo::{DynamoTransactionMode, SimDynamo};
 pub use engine::{SharedStorage, StorageEngine};
+pub use io::{
+    BatchOutcome, CompletionSet, IoConfig, IoEngine, IoOutcome, IoStatsSnapshot, IoTicket,
+    SequentialEngine, StorageRequest, StorageResponse,
+};
 pub use latency::{LatencyMode, LatencyModel, LatencyProfile};
 pub use memory::InMemoryStore;
 pub use profiles::ServiceProfile;

@@ -187,6 +187,11 @@ impl StorageEngine for InMemoryStore {
         true
     }
 
+    fn supports_deferred_latency(&self) -> bool {
+        // Zero latency: nothing to defer, but deferral is trivially safe.
+        true
+    }
+
     fn stats(&self) -> Arc<StorageStats> {
         Arc::clone(&self.stats)
     }

@@ -166,10 +166,20 @@ impl StorageEngine for SimRedis {
     fn put_batch(&self, items: Vec<(String, Value)>) -> AftResult<()> {
         // Arbitrary write sets are not guaranteed to land in one shard, so —
         // like the paper's implementation — AFT over Redis issues one SET per
-        // key instead of relying on MSET (§6.1.2).
+        // key instead of relying on MSET (§6.1.2). A pipelined cluster client
+        // flushes those SETs concurrently, so the charged latency is the max
+        // of the samples, not their sum; the per-key SET call counts are
+        // unchanged. Sequential full-RTT charging survives only in
+        // [`crate::io::SequentialEngine`].
+        let mut durations = Vec::with_capacity(items.len());
         for (k, v) in items {
-            self.put(&k, v)?;
+            self.stats.record_call(OpKind::Put);
+            self.stats.record_written_bytes(v.len());
+            let shard = self.touch(&k);
+            durations.push(self.sampler.sample(&self.profile.write, shard, v.len()));
+            self.shards[shard].data.lock().insert(k, v);
         }
+        self.sampler.model().finish_batch(&durations);
         Ok(())
     }
 
@@ -182,9 +192,16 @@ impl StorageEngine for SimRedis {
     }
 
     fn delete_batch(&self, keys: &[String]) -> AftResult<()> {
+        // One DEL per key (no cross-shard batching), issued concurrently by
+        // the pipelined client like put_batch above.
+        let mut durations = Vec::with_capacity(keys.len());
         for k in keys {
-            self.delete(k)?;
+            self.stats.record_call(OpKind::Delete);
+            let shard = self.touch(k);
+            durations.push(self.sampler.sample(&self.profile.delete, shard, 0));
+            self.shards[shard].data.lock().remove(k);
         }
+        self.sampler.model().finish_batch(&durations);
         Ok(())
     }
 
@@ -208,6 +225,11 @@ impl StorageEngine for SimRedis {
     fn supports_batch_put(&self) -> bool {
         // Cross-shard batching is not available; see put_batch.
         false
+    }
+
+    fn supports_deferred_latency(&self) -> bool {
+        // Client-observed network latency; safe to defer to a completion.
+        true
     }
 
     fn stats(&self) -> Arc<StorageStats> {

@@ -102,10 +102,21 @@ impl StorageEngine for SimS3 {
     }
 
     fn put_batch(&self, items: Vec<(String, Value)>) -> AftResult<()> {
-        // No batch API: every object is a separate PUT request.
+        // No batch API: every object is still a separate PUT request (the
+        // per-key call counts below are what S3 bills). But a pipelined
+        // client issues those PUTs concurrently and waits for the slowest
+        // one, so the charged latency is the max of the samples, not their
+        // sum. Sequential full-RTT charging survives only in the
+        // explicitly-sequential wrapper ([`crate::io::SequentialEngine`]).
+        let mut durations = Vec::with_capacity(items.len());
         for (k, v) in items {
-            self.put(&k, v)?;
+            self.stats.record_call(OpKind::Put);
+            self.stats.record_written_bytes(v.len());
+            let stripe = stripe_of(&k, self.sampler.stripes());
+            durations.push(self.sampler.sample(&self.profile.write, stripe, v.len()));
+            self.map.put(&k, v);
         }
+        self.sampler.model().finish_batch(&durations);
         Ok(())
     }
 
@@ -139,6 +150,12 @@ impl StorageEngine for SimS3 {
 
     fn supports_batch_put(&self) -> bool {
         false
+    }
+
+    fn supports_deferred_latency(&self) -> bool {
+        // The sampled latency models the client-observed network round trip,
+        // so an I/O engine may apply it as a deferred completion.
+        true
     }
 
     fn stats(&self) -> Arc<StorageStats> {
@@ -177,6 +194,27 @@ mod tests {
         assert_eq!(s3.stats().calls(OpKind::Put), 2);
         assert_eq!(s3.stats().calls(OpKind::BatchPut), 0);
         assert!(!s3.supports_batch_put());
+    }
+
+    #[test]
+    fn batch_put_charges_overlapped_latency_not_the_sum() {
+        use crate::latency::{measure_cost, LatencyMode};
+        use std::time::Duration;
+        let model = LatencyModel::new(LatencyMode::Virtual, 1.0);
+        let s3 = SimS3::with_profile(ServiceProfile::s3(), Arc::clone(&model), 11);
+        let items: Vec<(String, Value)> = (0..8).map(|i| (format!("k{i}"), val("v"))).collect();
+        let ((), batch_cost) = measure_cost(|| s3.put_batch(items).unwrap());
+        // Per-key charging still counts eight PUT API calls...
+        assert_eq!(s3.stats().calls(OpKind::Put), 8);
+        // ...but a pipelined client pays the slowest sample, not the sum: the
+        // batch must cost far less than eight median S3 writes.
+        let sum_floor = Duration::from_micros((8.0 * 28_000.0 * 0.6) as u64);
+        assert!(
+            batch_cost < sum_floor,
+            "batch cost {batch_cost:?} looks like sequential sum charging"
+        );
+        assert!(batch_cost >= Duration::from_millis(5), "one RTT at least");
+        assert!(s3.supports_deferred_latency());
     }
 
     #[test]

@@ -5,6 +5,7 @@ use std::sync::Arc;
 
 use aft::cluster::{broadcast_round, Cluster, ClusterConfig, FaultManager, GlobalGc};
 use aft::core::{AftNode, LocalGcConfig, NodeConfig};
+use aft::storage::io::{IoConfig, IoEngine};
 use aft::storage::{BackendConfig, BackendKind, InMemoryStore, SharedStorage};
 use aft::types::clock::TickingClock;
 use aft::types::{AftError, Key};
@@ -108,8 +109,9 @@ fn fault_manager_recovers_commits_lost_before_broadcast() {
     // Liveness (§4.2): the fault manager scans the commit set and tells the
     // survivors, so the acknowledged data becomes visible.
     let fm = FaultManager::new();
+    let io = IoEngine::new(storage.clone(), IoConfig::pipelined());
     let survivors = vec![Arc::clone(&survivor_a), Arc::clone(&survivor_b)];
-    let recovered = fm.scan_commit_set(&storage, &survivors).unwrap();
+    let recovered = fm.scan_commit_set(&io, &survivors).unwrap();
     assert_eq!(recovered, 1);
     for node in &survivors {
         let t = node.start_transaction();
@@ -154,7 +156,8 @@ fn global_gc_reclaims_superseded_versions_without_losing_the_latest() {
     for node in &nodes {
         node.run_local_gc(&LocalGcConfig::aggressive());
     }
-    let outcome = gc.run_round(&fm, &nodes, &storage).unwrap();
+    let io = IoEngine::new(storage.clone(), IoConfig::pipelined());
+    let outcome = gc.run_round(&fm, &nodes, &io).unwrap();
     assert!(
         outcome.deleted >= 40,
         "most superseded versions deleted, got {outcome:?}"
@@ -221,7 +224,8 @@ fn gc_racing_a_long_transaction_forces_retry_not_fracture() {
     // Local GC keeps T_a because the reader depends on it...
     let outcome = node.run_local_gc(&LocalGcConfig::aggressive());
     assert!(outcome.retained_for_readers >= 1);
-    let _ = gc.run_round(&fm, &nodes, &storage).unwrap();
+    let io = IoEngine::new(storage.clone(), IoConfig::pipelined());
+    let _ = gc.run_round(&fm, &nodes, &io).unwrap();
 
     // ...so the reader still gets an atomic (if stale) view of l, or a clean
     // retryable error — never a fractured read.
