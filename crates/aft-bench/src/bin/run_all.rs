@@ -2,7 +2,8 @@
 //! Table 2, and the repo's own throughput-scaling sweep) and prints each
 //! table. Set `AFT_BENCH_FAST=1` for a quick pass.
 
-use aft_bench::{experiments, scaling, BenchEnv, ScalingConfig};
+use aft_bench::recovery::RecoveryConfig;
+use aft_bench::{experiments, recovery, scaling, BenchEnv, ScalingConfig};
 
 fn main() {
     let env = BenchEnv::from_env();
@@ -21,6 +22,12 @@ fn main() {
     experiments::fig8_distributed(&env).print();
     experiments::fig9_gc(&env).print();
     experiments::fig10_fault_tolerance(&env).print();
+    let recovery_config = if env.fast {
+        RecoveryConfig::fast()
+    } else {
+        RecoveryConfig::standard()
+    };
+    recovery::fig10_recovery(&recovery_config).table().print();
     let scaling_config = if env.fast {
         ScalingConfig::fast()
     } else {

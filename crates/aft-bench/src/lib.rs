@@ -26,12 +26,14 @@
 pub mod experiments;
 pub mod json;
 pub mod pipelined;
+pub mod recovery;
 pub mod report;
 pub mod scaling;
 pub mod setup;
 
 pub use json::Json;
 pub use pipelined::{fig2_pipelined, PipelineConfig, PipelineReport};
+pub use recovery::{fig10_recovery, FaultMode, RecoveryConfig, RecoveryReport};
 pub use report::Table;
 pub use scaling::{fig7_throughput_scaling, ScalingConfig, ThroughputReport};
 pub use setup::BenchEnv;

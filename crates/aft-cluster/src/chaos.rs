@@ -1,0 +1,332 @@
+//! Cluster-level chaos: killing nodes mid-commit and measuring recovery.
+//!
+//! [`ChaosController`] turns the commit-phase crash hooks of
+//! [`aft_core::CommitProbe`] into cluster scenarios: it arms a kill on one
+//! node at a precise [`CommitPhase`] (each phase is a distinct scenario of
+//! the paper's fault model — see the phase docs), marks the node failed in
+//! the registry the instant the crash fires, and then drives the recovery
+//! machinery — fault-manager commit-set scans (§4.2) and standby replacement
+//! (§6.7) — until the cluster converges, reporting time-to-recovery.
+//!
+//! Everything is deterministic modulo thread scheduling: the kill fires on
+//! the N-th commit reaching the armed phase on the target node, so a seeded
+//! workload reproduces the same crash point run after run.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use aft_core::{AftNode, CommitPhase, CommitProbe};
+use aft_types::{AftError, AftResult, TransactionId};
+use parking_lot::Mutex;
+
+use crate::cluster::Cluster;
+use crate::membership::{NodeRegistry, NodeState};
+
+/// One planned node kill: crash `node_id` at `phase` once `after_commits`
+/// commits have passed that phase on the node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KillSpec {
+    /// The node to crash.
+    pub node_id: String,
+    /// The commit-protocol point to crash at.
+    pub phase: CommitPhase,
+    /// How many commits pass the phase unharmed before the crash fires.
+    pub after_commits: u64,
+}
+
+impl KillSpec {
+    /// A kill of `node_id` at `phase` on its very next commit.
+    pub fn immediate(node_id: impl Into<String>, phase: CommitPhase) -> Self {
+        KillSpec {
+            node_id: node_id.into(),
+            phase,
+            after_commits: 0,
+        }
+    }
+
+    /// Delays the kill until `after_commits` commits have passed the phase.
+    pub fn after_commits(mut self, after_commits: u64) -> Self {
+        self.after_commits = after_commits;
+        self
+    }
+}
+
+/// What one [`ChaosController::drive_recovery`] call observed.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RecoveryOutcome {
+    /// Maintenance rounds driven (including the quiet confirmation rounds).
+    pub rounds: usize,
+    /// Commits the fault manager recovered from storage during the drive —
+    /// commits whose broadcast died with a node.
+    pub recovered_commits: u64,
+    /// Failed nodes replaced with fresh standbys during the drive.
+    pub replaced_nodes: usize,
+    /// Maintenance rounds that failed outright (chaos faults surviving the
+    /// I/O retry budget) and were retried.
+    pub failed_rounds: usize,
+    /// Wall-clock time from the armed kill's firing (or, if no kill fired,
+    /// from the start of the drive) to convergence — i.e. time-to-recovery
+    /// *from the failure*, which includes however long the workload kept
+    /// running before the recovery machinery was driven.
+    pub elapsed: Duration,
+    /// Whether the cluster converged (two consecutive quiet rounds with no
+    /// failed nodes) within the round budget.
+    pub converged: bool,
+}
+
+/// The probe a [`ChaosController`] installs on its target node.
+struct KillProbe {
+    registry: Arc<NodeRegistry>,
+    phase: CommitPhase,
+    after_commits: u64,
+    commits_seen: AtomicU64,
+    fired: AtomicBool,
+    killed_at: Mutex<Option<Instant>>,
+}
+
+impl CommitProbe for KillProbe {
+    fn before_phase(
+        &self,
+        node_id: &str,
+        _txid: &TransactionId,
+        phase: CommitPhase,
+    ) -> AftResult<()> {
+        // A dead node stays dead: every commit after the crash fails too
+        // (stragglers that routed here before the registry update).
+        if self.fired.load(Ordering::Acquire) {
+            return Err(AftError::Unavailable(format!(
+                "chaos: node {node_id} is down"
+            )));
+        }
+        if phase != self.phase {
+            return Ok(());
+        }
+        let seen = self.commits_seen.fetch_add(1, Ordering::AcqRel);
+        if seen < self.after_commits {
+            return Ok(());
+        }
+        if !self.fired.swap(true, Ordering::AcqRel) {
+            self.registry.set_state(node_id, NodeState::Failed);
+            *self.killed_at.lock() = Some(Instant::now());
+        }
+        Err(AftError::Unavailable(format!(
+            "chaos: node {node_id} crashed {}",
+            phase.label()
+        )))
+    }
+}
+
+/// Arms node kills and drives the cluster's recovery machinery.
+pub struct ChaosController {
+    cluster: Arc<Cluster>,
+    kill: Mutex<Option<Arc<KillProbe>>>,
+}
+
+impl ChaosController {
+    /// A controller over `cluster`.
+    pub fn new(cluster: Arc<Cluster>) -> Self {
+        ChaosController {
+            cluster,
+            kill: Mutex::new(None),
+        }
+    }
+
+    /// The controlled cluster.
+    pub fn cluster(&self) -> &Arc<Cluster> {
+        &self.cluster
+    }
+
+    /// Arms `spec`: installs a crash probe on the target node. Fails if the
+    /// node is not registered. Re-arming replaces the previous kill.
+    pub fn arm_kill(&self, spec: KillSpec) -> AftResult<Arc<AftNode>> {
+        let node = self.cluster.registry().get(&spec.node_id).ok_or_else(|| {
+            AftError::InvalidRequest(format!("chaos: unknown node {:?}", spec.node_id))
+        })?;
+        let probe = Arc::new(KillProbe {
+            registry: Arc::clone(self.cluster.registry()),
+            phase: spec.phase,
+            after_commits: spec.after_commits,
+            commits_seen: AtomicU64::new(0),
+            fired: AtomicBool::new(false),
+            killed_at: Mutex::new(None),
+        });
+        node.install_commit_probe(Arc::clone(&probe) as Arc<dyn CommitProbe>);
+        *self.kill.lock() = Some(probe);
+        Ok(node)
+    }
+
+    /// Whether the armed kill has fired.
+    pub fn kill_fired(&self) -> bool {
+        self.kill
+            .lock()
+            .as_ref()
+            .is_some_and(|p| p.fired.load(Ordering::Acquire))
+    }
+
+    /// When the armed kill fired, if it has.
+    pub fn killed_at(&self) -> Option<Instant> {
+        self.kill.lock().as_ref().and_then(|p| *p.killed_at.lock())
+    }
+
+    /// Drives replacement and maintenance rounds until the cluster
+    /// converges: no failed nodes remain and two consecutive rounds recover
+    /// nothing new from storage. Rounds that fail outright (chaos faults
+    /// outliving the I/O retry budget, a replacement bootstrap dying) are
+    /// counted and retried — recovery must be *live* under the same fault
+    /// injection that caused the damage.
+    pub fn drive_recovery(&self, max_rounds: usize) -> RecoveryOutcome {
+        let start = self.killed_at().unwrap_or_else(Instant::now);
+        let fault_manager = self.cluster.fault_manager();
+        let recovered_before = fault_manager.recovered_commits();
+        let mut outcome = RecoveryOutcome::default();
+        let mut quiet_rounds = 0;
+        while outcome.rounds < max_rounds {
+            outcome.rounds += 1;
+            match self.cluster.replace_failed_nodes() {
+                Ok(replaced) => outcome.replaced_nodes += replaced,
+                Err(_) => {
+                    outcome.failed_rounds += 1;
+                    continue;
+                }
+            }
+            match self.cluster.run_maintenance_round() {
+                Ok(stats) => {
+                    let nothing_new = stats.recovered_commits == 0;
+                    let all_up = self.cluster.registry().failed_node_ids().is_empty();
+                    if nothing_new && all_up {
+                        quiet_rounds += 1;
+                        if quiet_rounds >= 2 {
+                            outcome.converged = true;
+                            break;
+                        }
+                    } else {
+                        quiet_rounds = 0;
+                    }
+                }
+                Err(_) => {
+                    outcome.failed_rounds += 1;
+                    quiet_rounds = 0;
+                }
+            }
+        }
+        outcome.recovered_commits = fault_manager.recovered_commits() - recovered_before;
+        outcome.elapsed = start.elapsed();
+        outcome
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::ClusterConfig;
+    use aft_storage::InMemoryStore;
+    use aft_types::Key;
+    use bytes::Bytes;
+
+    fn test_cluster(nodes: usize) -> Arc<Cluster> {
+        Cluster::with_clock(
+            ClusterConfig::test(nodes),
+            InMemoryStore::shared(),
+            aft_types::clock::TickingClock::shared(1, 1),
+        )
+        .unwrap()
+    }
+
+    fn commit_on(node: &Arc<AftNode>, key: &str, value: &str) -> AftResult<TransactionId> {
+        let t = node.start_transaction();
+        node.put(&t, Key::new(key), Bytes::copy_from_slice(value.as_bytes()))?;
+        node.commit(&t)
+    }
+
+    #[test]
+    fn arming_an_unknown_node_is_an_error() {
+        let controller = ChaosController::new(test_cluster(1));
+        match controller.arm_kill(KillSpec::immediate("ghost", CommitPhase::BeforeBroadcast)) {
+            Err(AftError::InvalidRequest(msg)) => assert!(msg.contains("ghost")),
+            Err(other) => panic!("expected InvalidRequest, got {other:?}"),
+            Ok(_) => panic!("arming a ghost node must fail"),
+        }
+        assert!(!controller.kill_fired());
+        assert!(controller.killed_at().is_none());
+    }
+
+    #[test]
+    fn kill_fires_on_the_configured_commit_and_stays_down() {
+        let cluster = test_cluster(2);
+        let controller = ChaosController::new(Arc::clone(&cluster));
+        let victim = controller
+            .arm_kill(
+                KillSpec::immediate("aft-node-0", CommitPhase::BeforeDataPut).after_commits(2),
+            )
+            .unwrap();
+
+        // Two commits pass unharmed, the third crashes.
+        commit_on(&victim, "a", "1").unwrap();
+        commit_on(&victim, "b", "2").unwrap();
+        assert!(!controller.kill_fired());
+        let err = commit_on(&victim, "c", "3").unwrap_err();
+        assert!(matches!(err, AftError::Unavailable(_)));
+        assert!(controller.kill_fired());
+        assert!(controller.killed_at().is_some());
+        assert_eq!(
+            cluster.registry().state_of("aft-node-0"),
+            Some(NodeState::Failed)
+        );
+        // Nothing of the crashed commit reached storage (BeforeDataPut).
+        assert!(cluster.storage().list_prefix("data/c/").unwrap().is_empty());
+        // A straggler commit on the dead node also fails.
+        assert!(matches!(
+            commit_on(&victim, "d", "4").unwrap_err(),
+            AftError::Unavailable(_)
+        ));
+    }
+
+    #[test]
+    fn silent_commit_is_recovered_and_node_replaced() {
+        let cluster = test_cluster(3);
+        let controller = ChaosController::new(Arc::clone(&cluster));
+        let victim = controller
+            .arm_kill(KillSpec::immediate(
+                "aft-node-1",
+                CommitPhase::BeforeBroadcast,
+            ))
+            .unwrap();
+
+        // The victim's commit is durable but unacknowledged and never
+        // broadcast (§4.2's lost-broadcast window).
+        let err = commit_on(&victim, "silent", "payload").unwrap_err();
+        assert!(matches!(err, AftError::Unavailable(_)));
+        assert_eq!(cluster.storage().list_prefix("commit/").unwrap().len(), 1);
+
+        let outcome = controller.drive_recovery(20);
+        assert!(outcome.converged, "recovery must converge: {outcome:?}");
+        assert_eq!(outcome.recovered_commits, 1, "the silent commit is found");
+        assert_eq!(outcome.replaced_nodes, 1);
+        assert_eq!(outcome.failed_rounds, 0);
+        assert_eq!(cluster.registry().active_count(), 3);
+
+        // Every active node (including the fresh replacement) now serves the
+        // recovered commit.
+        for node in cluster.active_nodes() {
+            let t = node.start_transaction();
+            assert_eq!(
+                node.get(&t, &Key::new("silent")).unwrap().unwrap(),
+                Bytes::from_static(b"payload"),
+                "node {} must see the recovered commit",
+                node.node_id()
+            );
+        }
+    }
+
+    #[test]
+    fn recovery_converges_quickly_when_nothing_is_wrong() {
+        let cluster = test_cluster(2);
+        let controller = ChaosController::new(Arc::clone(&cluster));
+        let outcome = controller.drive_recovery(10);
+        assert!(outcome.converged);
+        assert_eq!(outcome.recovered_commits, 0);
+        assert_eq!(outcome.replaced_nodes, 0);
+        assert!(outcome.rounds <= 3, "quiet cluster converges in 2 rounds");
+    }
+}

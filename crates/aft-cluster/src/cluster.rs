@@ -215,15 +215,31 @@ impl Cluster {
 
     /// Detects failed nodes and brings up replacements, blocking for the
     /// configured replacement delay (container download + cache warm-up).
-    /// Returns the number of nodes replaced.
+    /// Returns the number of nodes replaced. Replacements are independent:
+    /// one failed construction (a chaos-injected bootstrap fault) does not
+    /// block the others, and the call only errors when *nothing* could be
+    /// replaced — partial progress reports the true count so recovery
+    /// statistics never undercount brought-up standbys.
     pub fn replace_failed_nodes(&self) -> AftResult<usize> {
         let failed = self.registry.failed_node_ids();
         let mut replaced = 0;
+        let mut first_error = None;
         for node_id in failed {
+            // Build the replacement *before* deregistering the failed entry:
+            // node construction can fail transiently, and the failed node
+            // must stay listed so the next detection round retries it.
+            let replacement = match self.make_node() {
+                Ok(node) => node,
+                Err(e) => {
+                    if first_error.is_none() {
+                        first_error = Some(e);
+                    }
+                    continue;
+                }
+            };
             self.registry.deregister(&node_id);
             // The replacement starts out warming up; it only serves requests
             // once activation completes.
-            let replacement = self.make_node()?;
             self.registry
                 .register(Arc::clone(&replacement), NodeState::Starting);
             if !self.config.replacement_delay.is_zero() {
@@ -233,7 +249,10 @@ impl Cluster {
                 .set_state(replacement.node_id(), NodeState::Active);
             replaced += 1;
         }
-        Ok(replaced)
+        match first_error {
+            Some(e) if replaced == 0 => Err(e),
+            _ => Ok(replaced),
+        }
     }
 
     /// Sum of transactions committed across all currently registered nodes.

@@ -21,8 +21,13 @@
 //!   only after *every* node has locally deleted its metadata.
 //! * [`cluster`] — the orchestrator that wires all of the above together and
 //!   optionally drives it with background threads.
+//! * [`chaos`] — deterministic node-kill injection: [`ChaosController`] arms
+//!   crashes at precise commit phases (the §4.2 lost-broadcast window among
+//!   them) and drives scan → standby replacement, reporting
+//!   time-to-recovery.
 
 pub mod broadcast;
+pub mod chaos;
 pub mod cluster;
 pub mod fault_manager;
 pub mod global_gc;
@@ -30,6 +35,7 @@ pub mod membership;
 pub mod router;
 
 pub use broadcast::{broadcast_round, BroadcastStats};
+pub use chaos::{ChaosController, KillSpec, RecoveryOutcome};
 pub use cluster::{Cluster, ClusterConfig};
 pub use fault_manager::FaultManager;
 pub use global_gc::{GlobalGc, GlobalGcConfig, GlobalGcOutcome};

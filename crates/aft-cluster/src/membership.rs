@@ -73,6 +73,14 @@ impl NodeRegistry {
         self.members.read().get(node_id).map(|m| m.state)
     }
 
+    /// The node registered under `node_id`, regardless of state.
+    pub fn get(&self, node_id: &str) -> Option<Arc<AftNode>> {
+        self.members
+            .read()
+            .get(node_id)
+            .map(|m| Arc::clone(&m.node))
+    }
+
     /// All nodes currently in the `Active` state, sorted by node id for
     /// deterministic iteration.
     pub fn active_nodes(&self) -> Vec<Arc<AftNode>> {

@@ -27,6 +27,71 @@ use crate::stats::NodeStats;
 use crate::supersede::is_superseded;
 use crate::write_buffer::WriteBuffer;
 
+/// The points in the write-ordering commit protocol (§3.3) where a node can
+/// crash with *observably different* consequences — each is a distinct
+/// scenario of the paper's fault model:
+///
+/// * [`BeforeDataPut`](CommitPhase::BeforeDataPut): nothing reached storage.
+///   The commit never happened; the client retries the whole request
+///   (§3.3.1).
+/// * [`BeforeRecordAppend`](CommitPhase::BeforeRecordAppend): the
+///   transaction's key versions are durable but no commit record references
+///   them. The data is permanently invisible (no dirty reads, §3.2) and the
+///   commit never happened — orphaned versions are storage garbage, not an
+///   anomaly.
+/// * [`BeforeBroadcast`](CommitPhase::BeforeBroadcast): the commit record is
+///   durable — the transaction *is* committed — but the node dies before
+///   acknowledging it or multicasting it to peers. This is exactly the §4.2
+///   liveness hole the fault manager's commit-set scan exists to close.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CommitPhase {
+    /// Before any of the transaction's data writes are issued.
+    BeforeDataPut,
+    /// After every data write is durable, before the commit record append.
+    BeforeRecordAppend,
+    /// After the commit record is durable, before local visibility and the
+    /// commit-set multicast.
+    BeforeBroadcast,
+}
+
+impl CommitPhase {
+    /// Every phase, in protocol order.
+    pub const ALL: [CommitPhase; 3] = [
+        CommitPhase::BeforeDataPut,
+        CommitPhase::BeforeRecordAppend,
+        CommitPhase::BeforeBroadcast,
+    ];
+
+    /// A short label for reports ("before_data_put", ...).
+    pub fn label(&self) -> &'static str {
+        match self {
+            CommitPhase::BeforeDataPut => "before_data_put",
+            CommitPhase::BeforeRecordAppend => "before_record_append",
+            CommitPhase::BeforeBroadcast => "before_broadcast",
+        }
+    }
+}
+
+/// A hook called at every [`CommitPhase`] of every commit on a node.
+///
+/// Returning an error simulates the node crashing at that instant: the
+/// commit call fails with the probe's error, the transaction's in-memory
+/// state is already gone (a real crash loses the write buffer), and
+/// whatever reached storage before the phase stays there — which is the
+/// whole point. Chaos controllers install these via
+/// [`AftNode::install_commit_probe`] to kill nodes mid-commit at precise,
+/// reproducible points.
+pub trait CommitProbe: Send + Sync {
+    /// Called immediately before `phase` executes for transaction `txid` on
+    /// `node_id`. `Ok(())` lets the commit proceed; `Err` crashes it.
+    fn before_phase(
+        &self,
+        node_id: &str,
+        txid: &TransactionId,
+        phase: CommitPhase,
+    ) -> AftResult<()>;
+}
+
 /// Configuration of a single AFT node.
 #[derive(Debug, Clone)]
 pub struct NodeConfig {
@@ -162,6 +227,9 @@ pub struct AftNode {
     /// Transactions whose metadata this node has locally garbage collected;
     /// reported to the global GC (§5.2).
     locally_deleted: Mutex<HashSet<TransactionId>>,
+    /// Chaos hook: when installed, every commit runs the unbatched protocol
+    /// with a probe call before each [`CommitPhase`].
+    commit_probe: Mutex<Option<Arc<dyn CommitProbe>>>,
 }
 
 impl AftNode {
@@ -194,6 +262,7 @@ impl AftNode {
             rng: Mutex::new(StdRng::seed_from_u64(config.rng_seed)),
             recent_commits: Mutex::new(Vec::new()),
             locally_deleted: Mutex::new(HashSet::new()),
+            commit_probe: Mutex::new(None),
             rpc_latency,
             metadata,
             io,
@@ -242,6 +311,19 @@ impl AftNode {
     /// and the largest coalesced batch.
     pub fn commit_batch_stats(&self) -> crate::commit_batcher::BatchStats {
         self.batcher.stats()
+    }
+
+    /// Installs a commit-phase probe (replacing any present). While a probe
+    /// is installed, commits bypass the group-commit batcher and run the
+    /// unbatched protocol so every phase boundary is a precise, per-
+    /// transaction injection point.
+    pub fn install_commit_probe(&self, probe: Arc<dyn CommitProbe>) {
+        *self.commit_probe.lock() = Some(probe);
+    }
+
+    /// Removes the commit-phase probe, restoring the batched commit path.
+    pub fn clear_commit_probe(&self) {
+        *self.commit_probe.lock() = None;
     }
 
     fn rpc(&self) {
@@ -548,13 +630,19 @@ impl AftNode {
         //    data-before-record ordering), then the records are appended.
         //    The batcher returns only once *this* transaction's record is
         //    durable, reporting the flush's charged storage latency.
+        //    An installed commit probe instead takes the unbatched path so a
+        //    chaos controller can crash this node at exact phase boundaries.
         let record = TransactionRecord::new(final_id, write_set);
-        let flush_cost = self.batcher.submit(
-            &self.io,
-            items,
-            record.storage_key(),
-            encode_commit_record(&record),
-        )?;
+        let probe = self.commit_probe.lock().clone();
+        let flush_cost = match probe {
+            Some(probe) => self.commit_probed(&probe, &final_id, items, &record)?,
+            None => self.batcher.submit(
+                &self.io,
+                items,
+                record.storage_key(),
+                encode_commit_record(&record),
+            )?,
+        };
         self.stats.commit_storage_latency().record(flush_cost);
 
         // 3. Only now make the transaction visible to other requests.
@@ -566,6 +654,33 @@ impl AftNode {
         self.recent_commits.lock().push(record);
         self.stats.record_committed();
         Ok(final_id)
+    }
+
+    /// The unbatched commit flush with a probe call before every phase: the
+    /// data barrier, the record append, and visibility (§3.3's ordering is
+    /// identical to the batched path; only coalescing is given up). A probe
+    /// error at any phase propagates as the node's "crash", leaving exactly
+    /// the storage state the protocol had reached by that point.
+    fn commit_probed(
+        &self,
+        probe: &Arc<dyn CommitProbe>,
+        final_id: &TransactionId,
+        items: Vec<(String, Value)>,
+        record: &TransactionRecord,
+    ) -> AftResult<Duration> {
+        probe.before_phase(self.node_id(), final_id, CommitPhase::BeforeDataPut)?;
+        let mut cost = Duration::ZERO;
+        if !items.is_empty() {
+            cost += self.io.put_all(items)?;
+        }
+        probe.before_phase(self.node_id(), final_id, CommitPhase::BeforeRecordAppend)?;
+        let outcome = self.io.execute(StorageRequest::Put(
+            record.storage_key(),
+            encode_commit_record(record),
+        ));
+        cost += outcome.result.map(|_| outcome.cost)?;
+        probe.before_phase(self.node_id(), final_id, CommitPhase::BeforeBroadcast)?;
+        Ok(cost)
     }
 
     /// `AbortTransaction(txid)`: discards the transaction's buffered updates.
@@ -1233,6 +1348,148 @@ mod tests {
             values[1].as_ref().unwrap(),
             &val("l2"),
             "returning l1 next to k2 would be a fractured read"
+        );
+    }
+
+    /// A probe that crashes the node at one phase, recording every phase it
+    /// observed first.
+    struct CrashAt {
+        phase: CommitPhase,
+        seen: Mutex<Vec<CommitPhase>>,
+    }
+
+    impl CrashAt {
+        fn new(phase: CommitPhase) -> Arc<Self> {
+            Arc::new(CrashAt {
+                phase,
+                seen: Mutex::new(Vec::new()),
+            })
+        }
+    }
+
+    impl CommitProbe for CrashAt {
+        fn before_phase(
+            &self,
+            node_id: &str,
+            _txid: &TransactionId,
+            phase: CommitPhase,
+        ) -> AftResult<()> {
+            self.seen.lock().push(phase);
+            if phase == self.phase {
+                Err(AftError::Unavailable(format!(
+                    "chaos: {node_id} crashed {}",
+                    phase.label()
+                )))
+            } else {
+                Ok(())
+            }
+        }
+    }
+
+    /// A probe that never crashes (observes phases only).
+    struct Observe(Mutex<Vec<CommitPhase>>);
+
+    impl CommitProbe for Observe {
+        fn before_phase(
+            &self,
+            _node_id: &str,
+            _txid: &TransactionId,
+            phase: CommitPhase,
+        ) -> AftResult<()> {
+            self.0.lock().push(phase);
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn commit_probe_observes_every_phase_in_protocol_order() {
+        let node = test_node();
+        let probe = Arc::new(Observe(Mutex::new(Vec::new())));
+        node.install_commit_probe(Arc::clone(&probe) as Arc<dyn CommitProbe>);
+        let t = node.start_transaction();
+        node.put(&t, Key::new("k"), val("v")).unwrap();
+        node.commit(&t).unwrap();
+        assert_eq!(probe.0.lock().as_slice(), &CommitPhase::ALL);
+        // The probed path still commits durably and visibly.
+        let t2 = node.start_transaction();
+        assert_eq!(node.get(&t2, &Key::new("k")).unwrap().unwrap(), val("v"));
+        // Clearing the probe restores the batched path.
+        node.clear_commit_probe();
+        let t3 = node.start_transaction();
+        node.put(&t3, Key::new("k2"), val("v2")).unwrap();
+        node.commit(&t3).unwrap();
+        assert_eq!(probe.0.lock().len(), 3, "no phases after clearing");
+    }
+
+    #[test]
+    fn crash_before_data_put_leaves_storage_untouched() {
+        let storage = InMemoryStore::shared();
+        let node = AftNode::with_clock(
+            NodeConfig::test(),
+            storage.clone() as SharedStorage,
+            MockClock::starting_at(1).shared(),
+        )
+        .unwrap();
+        node.install_commit_probe(CrashAt::new(CommitPhase::BeforeDataPut));
+        let t = node.start_transaction();
+        node.put(&t, Key::new("k"), val("v")).unwrap();
+        let err = node.commit(&t).unwrap_err();
+        assert!(matches!(err, AftError::Unavailable(_)));
+        assert!(storage.list_prefix("data/").unwrap().is_empty());
+        assert!(storage.list_prefix("commit/").unwrap().is_empty());
+        // The crash lost the in-memory transaction (write buffer gone).
+        assert_eq!(node.in_flight(), 0);
+    }
+
+    #[test]
+    fn crash_before_record_append_orphans_invisible_data() {
+        let storage = InMemoryStore::shared();
+        let node = AftNode::with_clock(
+            NodeConfig::test(),
+            storage.clone() as SharedStorage,
+            MockClock::starting_at(1).shared(),
+        )
+        .unwrap();
+        node.install_commit_probe(CrashAt::new(CommitPhase::BeforeRecordAppend));
+        let t = node.start_transaction();
+        node.put(&t, Key::new("k"), val("v")).unwrap();
+        assert!(node.commit(&t).is_err());
+        // Data is durable but unreferenced: no commit record, so no reader
+        // can ever observe it (no dirty reads even across the crash).
+        assert_eq!(storage.list_prefix("data/").unwrap().len(), 1);
+        assert!(storage.list_prefix("commit/").unwrap().is_empty());
+        let reader = node.start_transaction();
+        assert!(node.get(&reader, &Key::new("k")).unwrap().is_none());
+    }
+
+    #[test]
+    fn crash_before_broadcast_commits_durably_but_silently() {
+        let storage = InMemoryStore::shared();
+        let clock = MockClock::starting_at(1);
+        let node = AftNode::with_clock(
+            NodeConfig::test(),
+            storage.clone() as SharedStorage,
+            clock.shared(),
+        )
+        .unwrap();
+        node.install_commit_probe(CrashAt::new(CommitPhase::BeforeBroadcast));
+        let t = node.start_transaction();
+        node.put(&t, Key::new("k"), val("v")).unwrap();
+        assert!(node.commit(&t).is_err(), "the ack was lost with the node");
+        // The §4.2 scenario: record durable, but the crashed node never made
+        // it visible or multicast it.
+        assert_eq!(storage.list_prefix("commit/").unwrap().len(), 1);
+        assert!(node.drain_recent_commits().is_empty());
+        let reader = node.start_transaction();
+        assert!(node.get(&reader, &Key::new("k")).unwrap().is_none());
+        // A bootstrapping replacement recovers the commit from storage.
+        let replacement =
+            AftNode::with_clock(NodeConfig::test(), storage as SharedStorage, clock.shared())
+                .unwrap();
+        let t2 = replacement.start_transaction();
+        assert_eq!(
+            replacement.get(&t2, &Key::new("k")).unwrap().unwrap(),
+            val("v")
         );
     }
 

@@ -24,6 +24,17 @@ const CLIENTS: usize = 8;
 const TXNS_PER_CLIENT: usize = 50;
 const KEYS: usize = 16;
 
+/// CI's seed-matrix leg sets `AFT_TEST_SEED` so the same stress runs under
+/// several deterministic seeds — "passes once" cannot hide a seed-dependent
+/// interleaving. Locally, re-run a failing leg with the seed from the CI
+/// job name: `AFT_TEST_SEED=2 cargo test --test stress_pipelined`.
+fn test_seed() -> u64 {
+    std::env::var("AFT_TEST_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
 fn key(i: usize) -> Key {
     Key::new(format!("hot/{i:02}"))
 }
@@ -40,7 +51,7 @@ fn pipelined_s3_node() -> Arc<AftNode> {
         kind: BackendKind::S3,
         mode: LatencyMode::Virtual,
         scale: 1.0,
-        seed: 0x57E55,
+        seed: 0x57E55 ^ test_seed().wrapping_mul(0x9E37),
         redis_shards: 2,
         stripes: 16,
     });
@@ -49,6 +60,7 @@ fn pipelined_s3_node() -> Arc<AftNode> {
         data_cache_bytes: 0,
         commit_batch: BatchConfig::default().with_max_batch(16),
         io: IoConfig::pipelined(),
+        rng_seed: 0xAF71 ^ test_seed().wrapping_mul(0xC2B2),
         ..NodeConfig::test()
     };
     AftNode::new(config, storage).expect("node over the S3 sim")

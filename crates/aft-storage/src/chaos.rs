@@ -1,0 +1,609 @@
+//! Deterministic storage fault injection.
+//!
+//! The paper's guarantees are only interesting *through* failures: §4.2's
+//! fault manager exists because a node can die between acknowledging a commit
+//! and broadcasting it, and §3.1's only storage assumption (durable once
+//! acknowledged) leaves the store free to drop, delay, or throttle any
+//! individual request. Formal treatments of serverless semantics make the
+//! same point — the behaviors worth testing are exactly the crash / retry /
+//! duplicate interleavings — so they must be first-class, seeded, and
+//! reproducible rather than left to chance.
+//!
+//! This module provides:
+//!
+//! * [`FailurePlan`] — a pure, seeded schedule mapping an operation index
+//!   (and the operation's primary key) to a [`FaultKind`]. Identical seeds
+//!   produce identical index→fault schedules, so single-threaded histories
+//!   replay bit-exactly. Under concurrency the *schedule* is still
+//!   identical, but which logical operation draws which index depends on
+//!   thread interleaving — re-running a seed reproduces the same fault
+//!   pressure and mix, not necessarily the same fault-to-operation pairing.
+//! * [`FaultyBackend`] — a [`StorageEngine`] wrapper that consults the plan
+//!   on every operation and injects three fault modes:
+//!   * **transient errors** ([`AftError::StorageTransient`]): the request is
+//!     dropped. Half of the injected errors are *applied-but-unacknowledged*
+//!     — the write lands and then the acknowledgement is lost — which is the
+//!     duplicate-on-retry interleaving AFT's idempotent storage keys (§3.1)
+//!     are designed to absorb;
+//!   * **timeouts**: the full timeout latency is charged (slept in `Sleep`
+//!     mode, recorded in `Virtual` mode) and then the same transient error
+//!     surfaces — the shape of a client-side deadline expiring;
+//!   * **slow-stripe "gray failure"**: every operation whose primary key
+//!     hashes to one designated stripe pays a fixed extra latency. The
+//!     backend never errors, it is just persistently slow for a slice of the
+//!     keyspace — the degradation that health checks miss.
+//!
+//! Injected latency goes through the shared [`LatencyModel`], so it obeys
+//! the ambient mode exactly like the simulators' own latency: it defers onto
+//! the I/O engine's timer wheel inside `capture_deferred` scopes, and in
+//! `Virtual` mode it is charged to the operation's cost without sleeping —
+//! the overlap accounting of the pipelined engine keeps working unchanged.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use aft_types::{AftError, AftResult, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::counters::StorageStats;
+use crate::engine::{SharedStorage, StorageEngine};
+use crate::latency::LatencyModel;
+use crate::sharded::stripe_of;
+
+/// Tuning for a [`FaultyBackend`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChaosConfig {
+    /// Seed of the fault schedule; identical seeds reproduce identical
+    /// schedules.
+    pub seed: u64,
+    /// Probability in `[0, 1]` that an operation fails with a transient
+    /// error (half of these apply the operation before losing the ack).
+    pub error_rate: f64,
+    /// Probability in `[0, 1]` that an operation times out: the timeout
+    /// latency is charged, then a transient error surfaces.
+    pub timeout_rate: f64,
+    /// The charged latency of one timeout, in microseconds before global
+    /// scaling (modeled on a client-side request deadline).
+    pub timeout_us: f64,
+    /// The gray-failure stripe: operations whose primary key hashes to this
+    /// stripe (out of [`ChaosConfig::stripes`]) pay
+    /// [`ChaosConfig::slow_extra_us`] of extra latency. `None` disables the
+    /// mode.
+    pub slow_stripe: Option<usize>,
+    /// Extra latency per slow-stripe operation, in microseconds before
+    /// global scaling.
+    pub slow_extra_us: f64,
+    /// Stripe count the gray-failure mode hashes keys into.
+    pub stripes: usize,
+}
+
+impl ChaosConfig {
+    /// A schedule that never injects anything (useful as a baseline leg).
+    pub fn quiet(seed: u64) -> Self {
+        ChaosConfig {
+            seed,
+            error_rate: 0.0,
+            timeout_rate: 0.0,
+            timeout_us: 0.0,
+            slow_stripe: None,
+            slow_extra_us: 0.0,
+            stripes: crate::sharded::DEFAULT_STRIPES,
+        }
+    }
+
+    /// Transient-error mode: `rate` of operations fail with a retryable
+    /// error (half applied-then-dropped-ack, half dropped outright).
+    pub fn transient_errors(seed: u64, rate: f64) -> Self {
+        ChaosConfig {
+            error_rate: rate.clamp(0.0, 1.0),
+            ..ChaosConfig::quiet(seed)
+        }
+    }
+
+    /// Timeout mode: `rate` of operations charge `timeout_us` and then fail
+    /// with a retryable error.
+    pub fn timeouts(seed: u64, rate: f64, timeout_us: f64) -> Self {
+        ChaosConfig {
+            timeout_rate: rate.clamp(0.0, 1.0),
+            timeout_us: timeout_us.max(0.0),
+            ..ChaosConfig::quiet(seed)
+        }
+    }
+
+    /// Gray-failure mode: every operation on keys of `stripe` (out of
+    /// `stripes`) pays `slow_extra_us` of extra latency; nothing errors.
+    pub fn slow_stripe(seed: u64, stripe: usize, stripes: usize, slow_extra_us: f64) -> Self {
+        let stripes = stripes.max(1);
+        ChaosConfig {
+            slow_stripe: Some(stripe % stripes),
+            slow_extra_us: slow_extra_us.max(0.0),
+            stripes,
+            ..ChaosConfig::quiet(seed)
+        }
+    }
+}
+
+/// What the plan injects into one operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The operation executes normally.
+    None,
+    /// The operation fails with [`AftError::StorageTransient`]. When
+    /// `applied` is true the operation's effect lands *before* the failure
+    /// (an acknowledgement lost in flight); a retry then duplicates the
+    /// request, which idempotent storage keys must absorb.
+    TransientError {
+        /// Whether the operation was applied before the ack was lost.
+        applied: bool,
+    },
+    /// The operation charges the configured timeout latency and then fails
+    /// with [`AftError::StorageTransient`] without being applied.
+    Timeout,
+    /// The operation succeeds but pays the gray-failure latency penalty.
+    Slow,
+}
+
+/// A pure, seeded fault schedule: operation index (plus the operation's
+/// primary key, for the stripe-targeted gray-failure mode) → [`FaultKind`].
+#[derive(Debug, Clone, Copy)]
+pub struct FailurePlan {
+    config: ChaosConfig,
+}
+
+impl FailurePlan {
+    /// Builds the plan for `config`.
+    pub fn new(config: ChaosConfig) -> Self {
+        FailurePlan { config }
+    }
+
+    /// The plan's tuning.
+    pub fn config(&self) -> ChaosConfig {
+        self.config
+    }
+
+    /// The fault injected into operation number `op_index` on `key`.
+    ///
+    /// Deterministic in `(seed, op_index, key)` and independent of call
+    /// order: each decision draws from its own RNG keyed by the pair, so
+    /// concurrent callers racing for indices still reproduce the same
+    /// schedule for the same index sequence.
+    pub fn decide(&self, op_index: u64, key: &str) -> FaultKind {
+        let c = &self.config;
+        // The gray failure is keyed by data placement, not by chance: a
+        // degraded stripe is slow for *every* request that hashes to it.
+        if let Some(slow) = c.slow_stripe {
+            if stripe_of(key, c.stripes) == slow {
+                return FaultKind::Slow;
+            }
+        }
+        if c.error_rate <= 0.0 && c.timeout_rate <= 0.0 {
+            return FaultKind::None;
+        }
+        // SplitMix-style per-op stream: cheap, stateless, order-independent.
+        let stream = c
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(op_index.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+        let mut rng = StdRng::seed_from_u64(stream);
+        let draw: f64 = rng.gen_range(0.0..1.0);
+        if draw < c.error_rate {
+            FaultKind::TransientError {
+                applied: rng.gen_bool(0.5),
+            }
+        } else if draw < c.error_rate + c.timeout_rate {
+            FaultKind::Timeout
+        } else {
+            FaultKind::None
+        }
+    }
+
+    /// The first `n` decisions for a fixed key — the materialised schedule,
+    /// used by determinism tests and for replaying a failure report.
+    pub fn schedule(&self, n: u64, key: &str) -> Vec<FaultKind> {
+        (0..n).map(|i| self.decide(i, key)).collect()
+    }
+}
+
+/// Point-in-time counters of a [`FaultyBackend`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChaosStatsSnapshot {
+    /// Operations that executed cleanly.
+    pub passed: u64,
+    /// Injected transient errors (dropped requests).
+    pub errors_dropped: u64,
+    /// Injected transient errors where the operation applied before the ack
+    /// was lost.
+    pub errors_applied: u64,
+    /// Injected timeouts.
+    pub timeouts: u64,
+    /// Operations slowed by the gray-failure stripe.
+    pub slowed: u64,
+}
+
+impl ChaosStatsSnapshot {
+    /// Every fault injected, of any kind.
+    pub fn total_faults(&self) -> u64 {
+        self.errors_dropped + self.errors_applied + self.timeouts
+    }
+}
+
+#[derive(Debug, Default)]
+struct ChaosCounters {
+    passed: AtomicU64,
+    errors_dropped: AtomicU64,
+    errors_applied: AtomicU64,
+    timeouts: AtomicU64,
+    slowed: AtomicU64,
+}
+
+/// A [`StorageEngine`] wrapper injecting the faults of a [`FailurePlan`].
+///
+/// The wrapper is transparent when no fault fires: every operation, counter,
+/// and capability of the inner backend passes through, including deferred
+/// latency, so a chaos leg measures the same system as the clean leg plus
+/// the injected faults.
+pub struct FaultyBackend {
+    inner: SharedStorage,
+    plan: FailurePlan,
+    latency: Arc<LatencyModel>,
+    /// While false, every operation passes straight through without
+    /// consuming a schedule index — verification phases read ground truth
+    /// without racing the injector, and re-enabling resumes the schedule
+    /// where it left off.
+    enabled: AtomicBool,
+    op_counter: AtomicU64,
+    counters: ChaosCounters,
+}
+
+impl FaultyBackend {
+    /// Wraps `inner`, injecting faults per `config`; injected latency obeys
+    /// `latency`'s mode and scale (share the inner backend's model so chaos
+    /// latency scales with everything else).
+    pub fn new(inner: SharedStorage, config: ChaosConfig, latency: Arc<LatencyModel>) -> Arc<Self> {
+        Arc::new(FaultyBackend {
+            inner,
+            plan: FailurePlan::new(config),
+            latency,
+            enabled: AtomicBool::new(true),
+            op_counter: AtomicU64::new(0),
+            counters: ChaosCounters::default(),
+        })
+    }
+
+    /// Pauses (`false`) or resumes (`true`) fault injection. Paused
+    /// operations bypass the schedule entirely.
+    pub fn set_enabled(&self, enabled: bool) {
+        self.enabled.store(enabled, Ordering::Release);
+    }
+
+    /// The fault schedule.
+    pub fn plan(&self) -> &FailurePlan {
+        &self.plan
+    }
+
+    /// The wrapped backend.
+    pub fn inner(&self) -> &SharedStorage {
+        &self.inner
+    }
+
+    /// Injection counters so far.
+    pub fn chaos_stats(&self) -> ChaosStatsSnapshot {
+        ChaosStatsSnapshot {
+            passed: self.counters.passed.load(Ordering::Relaxed),
+            errors_dropped: self.counters.errors_dropped.load(Ordering::Relaxed),
+            errors_applied: self.counters.errors_applied.load(Ordering::Relaxed),
+            timeouts: self.counters.timeouts.load(Ordering::Relaxed),
+            slowed: self.counters.slowed.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Operations that have passed through the wrapper (fault or not).
+    pub fn ops_seen(&self) -> u64 {
+        self.op_counter.load(Ordering::Relaxed)
+    }
+
+    fn charge_us(&self, us: f64) {
+        let scaled = us * self.latency.scale();
+        self.latency
+            .finish(Duration::from_nanos((scaled * 1000.0) as u64));
+    }
+
+    /// Runs one operation under the plan. `op` names the operation for the
+    /// error message; `apply` performs it against the inner backend.
+    fn run<T>(&self, op: &str, key: &str, apply: impl FnOnce() -> AftResult<T>) -> AftResult<T> {
+        if !self.enabled.load(Ordering::Acquire) {
+            return apply();
+        }
+        let index = self.op_counter.fetch_add(1, Ordering::Relaxed);
+        match self.plan.decide(index, key) {
+            FaultKind::None => {
+                self.counters.passed.fetch_add(1, Ordering::Relaxed);
+                apply()
+            }
+            FaultKind::Slow => {
+                self.counters.slowed.fetch_add(1, Ordering::Relaxed);
+                self.charge_us(self.plan.config().slow_extra_us);
+                apply()
+            }
+            FaultKind::Timeout => {
+                self.counters.timeouts.fetch_add(1, Ordering::Relaxed);
+                self.charge_us(self.plan.config().timeout_us);
+                Err(AftError::StorageTransient(format!(
+                    "chaos: {op} of {key:?} timed out (op #{index})"
+                )))
+            }
+            FaultKind::TransientError { applied } => {
+                if applied {
+                    // The store applied the write and the ack was lost: the
+                    // caller will retry and duplicate the request.
+                    self.counters.errors_applied.fetch_add(1, Ordering::Relaxed);
+                    apply()?;
+                } else {
+                    self.counters.errors_dropped.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(AftError::StorageTransient(format!(
+                    "chaos: {op} of {key:?} failed transiently (op #{index}, applied={applied})"
+                )))
+            }
+        }
+    }
+}
+
+impl StorageEngine for FaultyBackend {
+    fn name(&self) -> &'static str {
+        "chaos"
+    }
+
+    fn get(&self, key: &str) -> AftResult<Option<Value>> {
+        self.run("get", key, || self.inner.get(key))
+    }
+
+    fn put(&self, key: &str, value: Value) -> AftResult<()> {
+        self.run("put", key, || self.inner.put(key, value))
+    }
+
+    fn put_batch(&self, items: Vec<(String, Value)>) -> AftResult<()> {
+        // One decision per batch, keyed by its first item: a batch API call
+        // fails or lands as a unit.
+        let key = items.first().map(|(k, _)| k.clone()).unwrap_or_default();
+        self.run("put_batch", &key, || self.inner.put_batch(items))
+    }
+
+    fn delete(&self, key: &str) -> AftResult<()> {
+        self.run("delete", key, || self.inner.delete(key))
+    }
+
+    fn delete_batch(&self, keys: &[String]) -> AftResult<()> {
+        let key = keys.first().cloned().unwrap_or_default();
+        self.run("delete_batch", &key, || self.inner.delete_batch(keys))
+    }
+
+    fn list_prefix(&self, prefix: &str) -> AftResult<Vec<String>> {
+        self.run("list", prefix, || self.inner.list_prefix(prefix))
+    }
+
+    fn supports_batch_put(&self) -> bool {
+        self.inner.supports_batch_put()
+    }
+
+    fn supports_deferred_latency(&self) -> bool {
+        self.inner.supports_deferred_latency()
+    }
+
+    fn stats(&self) -> Arc<StorageStats> {
+        self.inner.stats()
+    }
+}
+
+impl std::fmt::Debug for FaultyBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaultyBackend")
+            .field("plan", &self.plan)
+            .field("ops_seen", &self.ops_seen())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::latency::{measure_cost, LatencyMode};
+    use crate::memory::InMemoryStore;
+    use bytes::Bytes;
+
+    fn val(s: &str) -> Value {
+        Bytes::copy_from_slice(s.as_bytes())
+    }
+
+    fn faulty(config: ChaosConfig) -> Arc<FaultyBackend> {
+        FaultyBackend::new(
+            InMemoryStore::shared(),
+            config,
+            LatencyModel::new(LatencyMode::Virtual, 1.0),
+        )
+    }
+
+    #[test]
+    fn identical_seeds_produce_identical_schedules() {
+        let a = FailurePlan::new(ChaosConfig {
+            error_rate: 0.2,
+            timeout_rate: 0.1,
+            ..ChaosConfig::quiet(42)
+        });
+        let b = FailurePlan::new(ChaosConfig {
+            error_rate: 0.2,
+            timeout_rate: 0.1,
+            ..ChaosConfig::quiet(42)
+        });
+        assert_eq!(a.schedule(500, "k"), b.schedule(500, "k"));
+        // And the schedule is not degenerate: both faults and passes occur.
+        let schedule = a.schedule(500, "k");
+        assert!(schedule.contains(&FaultKind::None));
+        assert!(schedule
+            .iter()
+            .any(|f| matches!(f, FaultKind::TransientError { .. })));
+        assert!(schedule.contains(&FaultKind::Timeout));
+    }
+
+    #[test]
+    fn different_seeds_produce_different_schedules() {
+        let mk = |seed| {
+            FailurePlan::new(ChaosConfig {
+                error_rate: 0.3,
+                ..ChaosConfig::quiet(seed)
+            })
+            .schedule(200, "k")
+        };
+        assert_ne!(mk(1), mk(2), "seeds must steer the schedule");
+    }
+
+    #[test]
+    fn decisions_are_order_independent() {
+        let plan = FailurePlan::new(ChaosConfig {
+            error_rate: 0.25,
+            timeout_rate: 0.25,
+            ..ChaosConfig::quiet(7)
+        });
+        // Querying indices out of order or repeatedly never changes answers.
+        let forward: Vec<FaultKind> = (0..100).map(|i| plan.decide(i, "k")).collect();
+        let backward: Vec<FaultKind> = (0..100).rev().map(|i| plan.decide(i, "k")).collect();
+        assert_eq!(forward, backward.into_iter().rev().collect::<Vec<_>>());
+        assert_eq!(plan.decide(63, "k"), plan.decide(63, "k"));
+    }
+
+    #[test]
+    fn injected_error_rate_tracks_the_configured_rate() {
+        let plan = FailurePlan::new(ChaosConfig {
+            error_rate: 0.2,
+            ..ChaosConfig::quiet(11)
+        });
+        let faults = plan
+            .schedule(2_000, "k")
+            .into_iter()
+            .filter(|f| matches!(f, FaultKind::TransientError { .. }))
+            .count();
+        let rate = faults as f64 / 2_000.0;
+        assert!(
+            (rate - 0.2).abs() < 0.05,
+            "injected rate {rate} should be near 0.2"
+        );
+    }
+
+    #[test]
+    fn transient_errors_surface_typed_not_panic() {
+        // error_rate 1.0: every operation fails with the typed error.
+        let backend = faulty(ChaosConfig::transient_errors(3, 1.0));
+        match backend.put("k", val("v")) {
+            Err(AftError::StorageTransient(msg)) => {
+                assert!(msg.contains("chaos"), "message names the injector: {msg}")
+            }
+            other => panic!("expected StorageTransient, got {other:?}"),
+        }
+        assert!(backend.get("k").is_err());
+        let stats = backend.chaos_stats();
+        assert_eq!(stats.total_faults(), 2);
+        assert_eq!(stats.passed, 0);
+    }
+
+    #[test]
+    fn applied_but_unacked_writes_land_before_the_error() {
+        // With error_rate 1.0 roughly half the failures apply first; find
+        // one and verify the write is durable despite the error.
+        let backend = faulty(ChaosConfig::transient_errors(9, 1.0));
+        let mut applied_seen = false;
+        for i in 0..64 {
+            let key = format!("k{i}");
+            let _ = backend.put(&key, val("v"));
+            if backend.inner().get(&key).unwrap().is_some() {
+                applied_seen = true;
+                break;
+            }
+        }
+        assert!(applied_seen, "some injected errors must apply first");
+        assert!(backend.chaos_stats().errors_applied >= 1);
+    }
+
+    #[test]
+    fn timeouts_charge_latency_then_fail() {
+        let backend = faulty(ChaosConfig::timeouts(5, 1.0, 25_000.0));
+        let (result, cost) = measure_cost(|| backend.put("k", val("v")));
+        assert!(matches!(result, Err(AftError::StorageTransient(_))));
+        assert!(
+            cost >= Duration::from_millis(24),
+            "the 25ms timeout must be charged, got {cost:?}"
+        );
+        assert!(
+            backend.inner().get("k").unwrap().is_none(),
+            "timeouts are never applied"
+        );
+        assert_eq!(backend.chaos_stats().timeouts, 1);
+    }
+
+    #[test]
+    fn slow_stripe_charges_only_its_stripe_and_never_errors() {
+        let stripes = 8;
+        let slow = stripe_of("victim", stripes);
+        let backend = faulty(ChaosConfig::slow_stripe(1, slow, stripes, 10_000.0));
+        let (result, cost) = measure_cost(|| backend.put("victim", val("v")));
+        result.unwrap();
+        assert!(
+            cost >= Duration::from_millis(9),
+            "gray stripe pays: {cost:?}"
+        );
+
+        // A key on another stripe is full speed.
+        let other = (0..64)
+            .map(|i| format!("other{i}"))
+            .find(|k| stripe_of(k, stripes) != slow)
+            .expect("some key lands elsewhere");
+        let (result, cost) = measure_cost(|| backend.put(&other, val("v")));
+        result.unwrap();
+        assert!(cost < Duration::from_millis(1), "healthy stripe: {cost:?}");
+        let stats = backend.chaos_stats();
+        assert_eq!(stats.slowed, 1);
+        assert_eq!(stats.passed, 1);
+        assert_eq!(stats.total_faults(), 0);
+    }
+
+    #[test]
+    fn disabling_pauses_injection_without_consuming_the_schedule() {
+        let backend = faulty(ChaosConfig::transient_errors(3, 1.0));
+        backend.set_enabled(false);
+        for i in 0..8 {
+            backend.put(&format!("k{i}"), val("v")).unwrap();
+        }
+        assert_eq!(backend.ops_seen(), 0, "paused ops consume no indices");
+        assert_eq!(backend.chaos_stats().total_faults(), 0);
+        backend.set_enabled(true);
+        assert!(backend.put("k", val("v")).is_err(), "schedule resumes");
+        assert_eq!(backend.ops_seen(), 1);
+    }
+
+    #[test]
+    fn quiet_plan_is_fully_transparent() {
+        let backend = faulty(ChaosConfig::quiet(1));
+        backend.put("k", val("v")).unwrap();
+        assert_eq!(backend.get("k").unwrap().unwrap(), val("v"));
+        backend
+            .put_batch(vec![("a".into(), val("1")), ("b".into(), val("2"))])
+            .unwrap();
+        assert_eq!(backend.list_prefix("").unwrap().len(), 3);
+        backend.delete("a").unwrap();
+        backend.delete_batch(&["b".into()]).unwrap();
+        assert_eq!(backend.list_prefix("").unwrap(), vec!["k"]);
+        let stats = backend.chaos_stats();
+        assert_eq!(stats.total_faults(), 0);
+        assert_eq!(stats.passed, 7);
+        // Capabilities pass through the wrapper untouched.
+        assert_eq!(
+            backend.supports_batch_put(),
+            backend.inner().supports_batch_put()
+        );
+        assert_eq!(
+            backend.supports_deferred_latency(),
+            backend.inner().supports_deferred_latency()
+        );
+    }
+}

@@ -57,6 +57,64 @@ use parking_lot::{Condvar, Mutex};
 use crate::engine::{SharedStorage, StorageEngine};
 use crate::latency::{capture_deferred, measure_cost};
 
+/// Op-level retry policy for transient storage faults.
+///
+/// Cloud stores drop, throttle, and time out individual requests as a matter
+/// of course; AFT's storage writes are idempotent (every key version lands
+/// at a unique storage key, §3.1), so the right place to absorb those faults
+/// is the submission path itself. A request that fails with
+/// [`aft_types::AftError::is_transient_storage`] is re-issued up to
+/// `max_attempts` times with exponential backoff; the backoff is *charged to
+/// the operation's simulated cost* (and, for deferred completions, added to
+/// the completion delay), so the PR 3 overlap accounting sees retries as
+/// what they are — a slower operation — without any thread sleeping through
+/// a virtual-clock experiment. Only exhaustion surfaces the typed
+/// [`aft_types::AftError::StorageTransient`] error to the caller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryConfig {
+    /// Total attempts per request (1 = no retry).
+    pub max_attempts: u32,
+    /// Backoff before attempt `n+1` is `base_backoff << (n-1)`, capped at
+    /// [`RetryConfig::max_backoff`].
+    pub base_backoff: Duration,
+    /// Upper bound of a single backoff step.
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryConfig {
+    fn default() -> Self {
+        RetryConfig {
+            max_attempts: 4,
+            base_backoff: Duration::from_micros(500),
+            max_backoff: Duration::from_millis(20),
+        }
+    }
+}
+
+impl RetryConfig {
+    /// No retries: transient faults propagate on the first failure.
+    pub fn disabled() -> Self {
+        RetryConfig {
+            max_attempts: 1,
+            ..RetryConfig::default()
+        }
+    }
+
+    /// Overrides the attempt budget (clamped to ≥ 1).
+    pub fn with_max_attempts(mut self, max_attempts: u32) -> Self {
+        self.max_attempts = max_attempts.max(1);
+        self
+    }
+
+    /// The backoff charged before retrying after attempt `attempt` (1-based)
+    /// failed.
+    pub fn backoff_for(&self, attempt: u32) -> Duration {
+        let shift = attempt.saturating_sub(1).min(16);
+        let stepped = self.base_backoff.saturating_mul(1u32 << shift);
+        stepped.min(self.max_backoff)
+    }
+}
+
 /// Tuning for an [`IoEngine`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct IoConfig {
@@ -71,6 +129,8 @@ pub struct IoConfig {
     pub wheel_tick: Duration,
     /// Slot count of the timer wheel.
     pub wheel_slots: usize,
+    /// Op-level retry policy for transient storage faults.
+    pub retry: RetryConfig,
 }
 
 impl Default for IoConfig {
@@ -88,6 +148,7 @@ impl IoConfig {
             max_in_flight: 256,
             wheel_tick: Duration::from_micros(100),
             wheel_slots: 128,
+            retry: RetryConfig::default(),
         }
     }
 
@@ -99,6 +160,7 @@ impl IoConfig {
             max_in_flight: 1,
             wheel_tick: Duration::from_micros(100),
             wheel_slots: 1,
+            retry: RetryConfig::default(),
         }
     }
 
@@ -111,6 +173,12 @@ impl IoConfig {
     /// Overrides the in-flight window (clamped to ≥ 1).
     pub fn with_max_in_flight(mut self, max_in_flight: usize) -> Self {
         self.max_in_flight = max_in_flight.max(1);
+        self
+    }
+
+    /// Overrides the transient-fault retry policy.
+    pub fn with_retry(mut self, retry: RetryConfig) -> Self {
+        self.retry = retry;
         self
     }
 }
@@ -309,6 +377,11 @@ pub struct IoStatsSnapshot {
     pub inline: u64,
     /// Highest in-flight depth observed.
     pub peak_in_flight: u64,
+    /// Transient-fault retries performed by the submission path.
+    pub retries: u64,
+    /// Requests whose retry budget was exhausted (the typed transient error
+    /// propagated to the caller).
+    pub retry_exhausted: u64,
 }
 
 #[derive(Debug, Default)]
@@ -318,6 +391,8 @@ struct IoStatsInner {
     deferred: AtomicU64,
     inline: AtomicU64,
     peak_in_flight: AtomicU64,
+    retries: AtomicU64,
+    retry_exhausted: AtomicU64,
 }
 
 struct Job {
@@ -364,6 +439,34 @@ impl Inner {
         }
     }
 
+    /// Executes `request`, absorbing transient storage faults per the retry
+    /// policy. Returns the final result plus the total backoff charged; the
+    /// failed attempts' own sampled latency accumulates in the ambient
+    /// [`measure_cost`]/[`capture_deferred`] scope like any other charge.
+    fn execute_with_retry(
+        &self,
+        request: StorageRequest,
+    ) -> (AftResult<StorageResponse>, Duration) {
+        let retry = self.config.retry;
+        let mut backoff_total = Duration::ZERO;
+        let mut attempt = 1u32;
+        loop {
+            let result = self.execute_request(request.clone());
+            match &result {
+                Err(e) if e.is_transient_storage() && attempt < retry.max_attempts => {
+                    self.stats.retries.fetch_add(1, Ordering::Relaxed);
+                    backoff_total += retry.backoff_for(attempt);
+                    attempt += 1;
+                }
+                Err(e) if e.is_transient_storage() => {
+                    self.stats.retry_exhausted.fetch_add(1, Ordering::Relaxed);
+                    return (result, backoff_total);
+                }
+                _ => return (result, backoff_total),
+            }
+        }
+    }
+
     /// Fires a completion and releases its in-flight slot.
     fn finish(&self, completion: &Completion, result: AftResult<StorageResponse>, cost: Duration) {
         completion.fire(result, cost);
@@ -377,28 +480,33 @@ impl Inner {
     /// One worker's execution of one job.
     fn run_job(self: &Arc<Self>, job: Job) {
         if self.deferrable {
-            let (result, cost) = capture_deferred(|| self.execute_request(job.request));
+            let ((result, backoff), cost) =
+                capture_deferred(|| self.execute_with_retry(job.request));
+            // Retry backoff is part of the operation's simulated duration:
+            // charge it, and push the deferred completion out by it too.
+            let charged = cost.charged + backoff;
             if cost.deferred.is_zero() {
-                self.finish(&job.completion, result, cost.charged);
+                self.finish(&job.completion, result, charged);
             } else {
                 // The sampled network delay was suppressed; deliver the
                 // completion when it would really have arrived.
                 self.stats.deferred.fetch_add(1, Ordering::Relaxed);
                 self.wheel.schedule(
-                    cost.deferred,
+                    cost.deferred + backoff,
                     Fired {
                         inner: Arc::clone(self),
                         completion: job.completion,
                         result,
-                        cost: cost.charged,
+                        cost: charged,
                     },
                 );
             }
         } else {
             // Service-occupancy backends keep exact blocking semantics; the
             // worker is busy for the whole service time.
-            let (result, charged) = measure_cost(|| self.execute_request(job.request));
-            self.finish(&job.completion, result, charged);
+            let ((result, backoff), charged) =
+                measure_cost(|| self.execute_with_retry(job.request));
+            self.finish(&job.completion, result, charged + backoff);
         }
     }
 
@@ -660,6 +768,8 @@ impl IoEngine {
             deferred: s.deferred.load(Ordering::Relaxed),
             inline: s.inline.load(Ordering::Relaxed),
             peak_in_flight: s.peak_in_flight.load(Ordering::Relaxed),
+            retries: s.retries.load(Ordering::Relaxed),
+            retry_exhausted: s.retry_exhausted.load(Ordering::Relaxed),
         }
     }
 
@@ -670,10 +780,11 @@ impl IoEngine {
         let completion = Completion::new();
         if self.workers.is_empty() {
             // Sequential path: execute inline, charging the full round trip
-            // on the calling thread.
+            // (and any retry backoff) on the calling thread.
             self.inner.stats.inline.fetch_add(1, Ordering::Relaxed);
-            let (result, charged) = measure_cost(|| self.inner.execute_request(request));
-            completion.fire(result, charged);
+            let ((result, backoff), charged) =
+                measure_cost(|| self.inner.execute_with_retry(request));
+            completion.fire(result, charged + backoff);
             self.inner.stats.completed.fetch_add(1, Ordering::Relaxed);
             return IoTicket { completion };
         }
@@ -1038,6 +1149,95 @@ mod tests {
         assert_eq!(stats.calls(OpKind::Delete), 2);
         assert_eq!(stats.calls(OpKind::BatchPut), 0);
         assert_eq!(stats.calls(OpKind::BatchDelete), 0);
+    }
+
+    #[test]
+    fn transient_faults_are_absorbed_by_retry() {
+        use crate::chaos::{ChaosConfig, FaultyBackend};
+        use crate::latency::LatencyModel;
+        // ~30% transient errors: with 4 attempts per op the chance of any of
+        // 32 puts exhausting is ~0.8%^… negligible for a fixed seed; verify
+        // the workload completes, retries were actually performed, and the
+        // final state is intact.
+        let backend: SharedStorage = FaultyBackend::new(
+            InMemoryStore::shared(),
+            ChaosConfig::transient_errors(0xC4A05, 0.3),
+            LatencyModel::new(LatencyMode::Virtual, 1.0),
+        );
+        let engine = IoEngine::new(backend, IoConfig::pipelined());
+        let outcome = engine
+            .submit_all((0..32).map(|i| StorageRequest::Put(format!("k{i}"), val("v"))))
+            .wait_all();
+        outcome.ok().expect("retries must absorb transient faults");
+        let listed = engine.execute(StorageRequest::List("k".into()));
+        assert_eq!(listed.result.unwrap().into_keys().len(), 32);
+        let stats = engine.stats();
+        assert!(stats.retries > 0, "a 30% fault rate must trigger retries");
+        assert_eq!(stats.retry_exhausted, 0);
+    }
+
+    #[test]
+    fn retry_exhaustion_surfaces_the_typed_error() {
+        use crate::chaos::{ChaosConfig, FaultyBackend};
+        use crate::latency::LatencyModel;
+        use aft_types::AftError;
+        // Every operation fails: the budget exhausts and the typed error
+        // propagates — no panic, no untyped failure.
+        let backend: SharedStorage = FaultyBackend::new(
+            InMemoryStore::shared(),
+            ChaosConfig::transient_errors(7, 1.0),
+            LatencyModel::new(LatencyMode::Virtual, 1.0),
+        );
+        let engine = IoEngine::new(
+            backend,
+            IoConfig::pipelined().with_retry(RetryConfig::default().with_max_attempts(3)),
+        );
+        let outcome = engine.execute(StorageRequest::Put("k".into(), val("v")));
+        match outcome.result {
+            Err(AftError::StorageTransient(_)) => {}
+            other => panic!("expected StorageTransient after exhaustion, got {other:?}"),
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.retries, 2, "3 attempts = 2 retries");
+        assert_eq!(stats.retry_exhausted, 1);
+    }
+
+    #[test]
+    fn retry_backoff_is_charged_to_the_operation_cost() {
+        use crate::chaos::{ChaosConfig, FaultyBackend};
+        use crate::latency::LatencyModel;
+        // Zero-latency inner store, 100% fault rate, 4 attempts: the only
+        // cost is the three backoff steps (0.5 + 1 + 2 ms with the default
+        // policy).
+        let backend: SharedStorage = FaultyBackend::new(
+            InMemoryStore::shared(),
+            ChaosConfig::transient_errors(7, 1.0),
+            LatencyModel::new(LatencyMode::Virtual, 1.0),
+        );
+        let engine = IoEngine::new(backend, IoConfig::sequential());
+        let outcome = engine.execute(StorageRequest::Get("k".into()));
+        assert!(outcome.result.is_err());
+        assert!(
+            outcome.cost >= Duration::from_micros(3_400)
+                && outcome.cost <= Duration::from_micros(3_600),
+            "0.5+1+2 ms of backoff expected, got {:?}",
+            outcome.cost
+        );
+    }
+
+    #[test]
+    fn backoff_schedule_grows_and_caps() {
+        let retry = RetryConfig::default();
+        assert_eq!(retry.backoff_for(1), Duration::from_micros(500));
+        assert_eq!(retry.backoff_for(2), Duration::from_millis(1));
+        assert_eq!(retry.backoff_for(3), Duration::from_millis(2));
+        assert_eq!(retry.backoff_for(10), Duration::from_millis(20), "capped");
+        assert_eq!(RetryConfig::disabled().max_attempts, 1);
+        assert_eq!(
+            RetryConfig::default().with_max_attempts(0).max_attempts,
+            1,
+            "clamped"
+        );
     }
 
     #[test]

@@ -27,8 +27,13 @@
 //!   requests overlap their sampled latencies instead of summing them (and
 //!   the virtual clock charges a concurrent batch the max, not the sum).
 //!   [`SequentialEngine`] is the explicitly-sequential baseline wrapper.
+//! * [`chaos`] — deterministic fault injection: [`FaultyBackend`] wraps any
+//!   engine with a seeded [`FailurePlan`] (transient errors, timeouts, and a
+//!   slow-stripe gray failure), and the I/O engine's submission path absorbs
+//!   the transient faults with retry-and-backoff ([`RetryConfig`]).
 
 pub mod backend;
+pub mod chaos;
 pub mod counters;
 pub mod dynamo;
 pub mod engine;
@@ -42,12 +47,13 @@ pub mod service;
 pub mod sharded;
 
 pub use backend::{make_backend, BackendConfig, BackendKind};
+pub use chaos::{ChaosConfig, ChaosStatsSnapshot, FailurePlan, FaultKind, FaultyBackend};
 pub use counters::{OpKind, StorageStats, StorageStatsSnapshot, StripeCounters};
 pub use dynamo::{DynamoTransactionMode, SimDynamo};
 pub use engine::{SharedStorage, StorageEngine};
 pub use io::{
     BatchOutcome, CompletionSet, IoConfig, IoEngine, IoOutcome, IoStatsSnapshot, IoTicket,
-    SequentialEngine, StorageRequest, StorageResponse,
+    RetryConfig, SequentialEngine, StorageRequest, StorageResponse,
 };
 pub use latency::{LatencyMode, LatencyModel, LatencyProfile};
 pub use memory::InMemoryStore;

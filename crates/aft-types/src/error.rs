@@ -36,6 +36,13 @@ pub enum AftError {
     /// The storage engine failed or rejected the request.
     Storage(String),
 
+    /// A *transient* storage fault: a dropped request, an internal timeout,
+    /// or a throttled call — the kinds of failures cloud stores surface
+    /// routinely and clients are expected to absorb by retrying the single
+    /// operation. The I/O engine's submission path retries these with
+    /// backoff; only retry exhaustion propagates this error to callers.
+    StorageTransient(String),
+
     /// A storage-level transactional operation (DynamoDB transaction mode)
     /// aborted because of a conflict with a concurrent transaction; the
     /// caller retries.
@@ -68,6 +75,7 @@ impl fmt::Display for AftError {
             ),
             AftError::KeyNotFound(key) => write!(f, "key {key} not found"),
             AftError::Storage(msg) => write!(f, "storage error: {msg}"),
+            AftError::StorageTransient(msg) => write!(f, "transient storage fault: {msg}"),
             AftError::StorageConflict(msg) => write!(f, "storage transaction conflict: {msg}"),
             AftError::Unavailable(msg) => write!(f, "service unavailable: {msg}"),
             AftError::FunctionFailed(msg) => write!(f, "function invocation failed: {msg}"),
@@ -88,10 +96,21 @@ impl AftError {
             self,
             AftError::NoValidVersion { .. }
                 | AftError::StorageConflict(_)
+                | AftError::StorageTransient(_)
                 | AftError::Unavailable(_)
                 | AftError::TransactionAborted(_)
                 | AftError::FunctionFailed(_)
         )
+    }
+
+    /// Returns true if the failure is a transient fault of a *single storage
+    /// operation* that the I/O layer may absorb by re-issuing the same
+    /// request (as opposed to [`is_retryable`](AftError::is_retryable), which
+    /// classifies whole-logical-request retries). Storage writes in AFT are
+    /// idempotent — every key version lands at a unique storage key (§3.1) —
+    /// so op-level retries are always safe.
+    pub fn is_transient_storage(&self) -> bool {
+        matches!(self, AftError::StorageTransient(_))
     }
 }
 
@@ -110,8 +129,17 @@ mod tests {
         .is_retryable());
         assert!(AftError::StorageConflict("c".into()).is_retryable());
         assert!(AftError::Unavailable("down".into()).is_retryable());
+        assert!(AftError::StorageTransient("drop".into()).is_retryable());
         assert!(!AftError::Codec("bad".into()).is_retryable());
         assert!(!AftError::UnknownTransaction(id).is_retryable());
+    }
+
+    #[test]
+    fn transient_storage_classification() {
+        assert!(AftError::StorageTransient("timeout".into()).is_transient_storage());
+        // A permanent storage error must NOT be absorbed by op-level retry.
+        assert!(!AftError::Storage("denied".into()).is_transient_storage());
+        assert!(!AftError::Unavailable("down".into()).is_transient_storage());
     }
 
     #[test]
