@@ -1,0 +1,76 @@
+//! Runs the `fig8_service` networked-service sweep over real loopback
+//! sockets (throughput/latency per client count, plus a connection-chaos
+//! leg), prints the table, writes `BENCH_service.json`, and gates on the
+//! service invariants: zero read-atomicity anomalies, zero lost
+//! acknowledged commits, zero clean-leg failures, working `Ping`/`Stats`.
+//!
+//! Usage:
+//!
+//! ```text
+//! fig8_service [--out PATH]
+//! ```
+//!
+//! * `--out PATH` — where to write the report JSON (default
+//!   `BENCH_service.json`).
+//! * `AFT_BENCH_FAST=1` — run the sub-minute CI sweep instead of the full
+//!   one.
+
+use aft_bench::service::{fig8_service, ServiceConfig};
+
+fn main() {
+    let mut out_path = "BENCH_service.json".to_owned();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                i += 1;
+                out_path = args
+                    .get(i)
+                    .unwrap_or_else(|| {
+                        eprintln!("missing value for --out");
+                        std::process::exit(2);
+                    })
+                    .clone();
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let fast = std::env::var("AFT_BENCH_FAST").is_ok();
+    let config = if fast {
+        ServiceConfig::fast()
+    } else {
+        ServiceConfig::standard()
+    };
+    println!(
+        "fig8_service (fast={fast}): {} nodes, {} workers, clients {:?}, \
+         {} requests/client, chaos reset rate {:.0}%\n",
+        config.nodes,
+        config.workers,
+        config.client_counts,
+        config.requests_per_client,
+        config.reset_rate * 100.0
+    );
+
+    let report = fig8_service(&config);
+    report.table().print();
+
+    if let Err(e) = std::fs::write(&out_path, report.to_json().render()) {
+        eprintln!("failed to write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out_path}");
+
+    match report.check_gate() {
+        Ok(message) => println!("service gate OK: {message}"),
+        Err(message) => {
+            eprintln!("service gate FAILED: {message}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,39 +1,114 @@
 //! Runs every experiment in the evaluation back to back (Figures 2-10,
-//! Table 2, and the repo's own throughput-scaling sweep) and prints each
-//! table. Set `AFT_BENCH_FAST=1` for a quick pass.
+//! Table 2, the throughput-scaling sweep, and the networked-service sweep),
+//! prints each table, and finishes by aggregating every `BENCH_*.json` in
+//! the working directory into `BENCH_summary.json` — the machine-readable
+//! per-PR bench trajectory.
+//!
+//! Usage:
+//!
+//! ```text
+//! run_all [--summary-only] [--dir PATH]
+//! ```
+//!
+//! * `--summary-only` — skip the experiments and only (re)build
+//!   `BENCH_summary.json` from whatever reports already exist.
+//! * `--dir PATH` — where to look for and write the reports (default: the
+//!   current directory).
+//! * `AFT_BENCH_FAST=1` — quick pass.
+
+use std::path::PathBuf;
 
 use aft_bench::recovery::RecoveryConfig;
-use aft_bench::{experiments, recovery, scaling, BenchEnv, ScalingConfig};
+use aft_bench::service::ServiceConfig;
+use aft_bench::{experiments, recovery, scaling, service, summary, BenchEnv, ScalingConfig};
 
 fn main() {
-    let env = BenchEnv::from_env();
-    println!(
-        "AFT reproduction — full evaluation (scale={}, fast={})\n",
-        env.scale, env.fast
-    );
-    experiments::fig2_io_latency(&env).print();
-    let (fig3, table2) = experiments::fig3_and_table2(&env);
-    fig3.print();
-    table2.print();
-    experiments::fig4_caching_skew(&env).print();
-    experiments::fig5_rw_ratio(&env).print();
-    experiments::fig6_txn_length(&env).print();
-    experiments::fig7_single_node(&env).print();
-    experiments::fig8_distributed(&env).print();
-    experiments::fig9_gc(&env).print();
-    experiments::fig10_fault_tolerance(&env).print();
-    let recovery_config = if env.fast {
-        RecoveryConfig::fast()
-    } else {
-        RecoveryConfig::standard()
-    };
-    recovery::fig10_recovery(&recovery_config).table().print();
-    let scaling_config = if env.fast {
-        ScalingConfig::fast()
-    } else {
-        ScalingConfig::standard()
-    };
-    scaling::fig7_throughput_scaling(&scaling_config)
-        .table()
-        .print();
+    let mut summary_only = false;
+    let mut dir = PathBuf::from(".");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--summary-only" => summary_only = true,
+            "--dir" => {
+                i += 1;
+                dir = PathBuf::from(args.get(i).unwrap_or_else(|| {
+                    eprintln!("missing value for --dir");
+                    std::process::exit(2);
+                }));
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    if !summary_only {
+        let env = BenchEnv::from_env();
+        println!(
+            "AFT reproduction — full evaluation (scale={}, fast={})\n",
+            env.scale, env.fast
+        );
+        experiments::fig2_io_latency(&env).print();
+        let (fig3, table2) = experiments::fig3_and_table2(&env);
+        fig3.print();
+        table2.print();
+        experiments::fig4_caching_skew(&env).print();
+        experiments::fig5_rw_ratio(&env).print();
+        experiments::fig6_txn_length(&env).print();
+        experiments::fig7_single_node(&env).print();
+        experiments::fig8_distributed(&env).print();
+        experiments::fig9_gc(&env).print();
+        experiments::fig10_fault_tolerance(&env).print();
+        let recovery_config = if env.fast {
+            RecoveryConfig::fast()
+        } else {
+            RecoveryConfig::standard()
+        };
+        let recovery_report = recovery::fig10_recovery(&recovery_config);
+        recovery_report.table().print();
+        let scaling_config = if env.fast {
+            ScalingConfig::fast()
+        } else {
+            ScalingConfig::standard()
+        };
+        let scaling_report = scaling::fig7_throughput_scaling(&scaling_config);
+        scaling_report.table().print();
+        let service_config = if env.fast {
+            ServiceConfig::fast()
+        } else {
+            ServiceConfig::standard()
+        };
+        let service_report = service::fig8_service(&service_config);
+        service_report.table().print();
+
+        // Persist the machine-readable reports so the summary below (and
+        // any later --summary-only run) sees this run's numbers.
+        for (name, json) in [
+            ("BENCH_recovery.json", recovery_report.to_json()),
+            ("BENCH_throughput.json", scaling_report.to_json()),
+            ("BENCH_service.json", service_report.to_json()),
+        ] {
+            if let Err(e) = std::fs::write(dir.join(name), json.render()) {
+                eprintln!("failed to write {name}: {e}");
+            }
+        }
+    }
+
+    match summary::aggregate_bench_reports(&dir) {
+        Ok(sources) => {
+            summary::trajectory_table(&sources).print();
+            println!(
+                "wrote {} ({} reports aggregated)",
+                dir.join("BENCH_summary.json").display(),
+                sources.len()
+            );
+        }
+        Err(e) => {
+            eprintln!("failed to aggregate bench reports: {e}");
+            std::process::exit(1);
+        }
+    }
 }

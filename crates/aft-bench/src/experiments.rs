@@ -12,12 +12,12 @@ use aft_core::LocalGcConfig;
 use aft_storage::BackendKind;
 use aft_types::{payload_of_size, Key};
 use aft_workload::{
-    run_closed_loop, AftDriver, LatencyRecorder, RequestDriver, RunConfig, RunResult,
+    run_closed_loop, AftDriver, ClientMode, LatencyRecorder, RequestDriver, RunConfig, RunResult,
     WorkloadConfig,
 };
 
 use crate::report::{ms, Table};
-use crate::setup::BenchEnv;
+use crate::setup::{BenchEnv, NetEnvConfig};
 
 fn latency_row(table: &mut Table, config: &str, detail: &str, result: &RunResult) {
     table.add_row(vec![
@@ -473,14 +473,22 @@ pub fn fig8_distributed(env: &BenchEnv) -> Table {
     let requests = env.sized(40, 10);
     let workload = WorkloadConfig::standard().with_zipf(1.5);
 
+    // In-process by default; AFT_CLIENT_MODE=net runs the same sweep
+    // through the aft-net service layer over loopback sockets.
+    let mode = ClientMode::from_env();
     for kind in [BackendKind::DynamoDb, BackendKind::Redis] {
         let mut single_node_tps = 0.0f64;
         for &nodes in &node_counts {
             let storage = env.storage(kind, 0xF8_01 + nodes as u64);
             let cluster = env.cluster(storage, nodes, true);
             cluster.start_background();
-            let driver = AftDriver::clustered(Arc::clone(&cluster), env.platform(), env.retry())
-                .with_label(format!("AFT ({})", kind.label()));
+            let (driver, service) = env.cluster_driver(&cluster, mode, &NetEnvConfig::default());
+            let driver = match mode {
+                ClientMode::InProcess => driver.with_label(format!("AFT ({})", kind.label())),
+                ClientMode::Networked => {
+                    driver.with_label(format!("AFT ({}, networked)", kind.label()))
+                }
+            };
             let result = run_closed_loop(
                 &driver,
                 &RunConfig::new(workload.clone())
@@ -489,6 +497,7 @@ pub fn fig8_distributed(env: &BenchEnv) -> Table {
                     .with_seed(0xF8_02),
             )
             .expect("experiment run");
+            drop(service);
             cluster.shutdown();
 
             let tps = result.throughput_tps();

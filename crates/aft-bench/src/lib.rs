@@ -29,11 +29,15 @@ pub mod pipelined;
 pub mod recovery;
 pub mod report;
 pub mod scaling;
+pub mod service;
 pub mod setup;
+pub mod summary;
 
 pub use json::Json;
 pub use pipelined::{fig2_pipelined, PipelineConfig, PipelineReport};
 pub use recovery::{fig10_recovery, FaultMode, RecoveryConfig, RecoveryReport};
 pub use report::Table;
 pub use scaling::{fig7_throughput_scaling, ScalingConfig, ThroughputReport};
+pub use service::{fig8_service, ServiceConfig, ServiceReport};
 pub use setup::BenchEnv;
+pub use summary::aggregate_bench_reports;

@@ -3,8 +3,9 @@
 //!
 //! The paper's Figure 10 shows throughput across one node failure; this
 //! experiment asks the stronger question its guarantees imply: for every
-//! combination of **storage fault mode** (seeded transient errors, timeouts,
-//! a slow-stripe gray failure), **node-kill point** (the three commit-phase
+//! combination of **fault mode** (seeded transient storage errors, storage
+//! timeouts, a slow-stripe gray failure, or aft-net connection faults over
+//! real loopback sockets), **node-kill point** (the three commit-phase
 //! crashes of [`CommitPhase`]), and **backend profile**, does the cluster
 //!
 //! * serve only Atomic Readsets (zero fractured reads / read-your-writes
@@ -42,7 +43,8 @@ use aft_types::{AftError, Key, TransactionId, TransactionRecord, Value};
 use crate::json::Json;
 use crate::report::Table;
 
-/// The storage fault modes of the matrix.
+/// The fault modes of the matrix: three storage-side modes and one
+/// network-side mode (added with the aft-net subsystem).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FaultMode {
     /// Seeded transient errors: requests dropped, half of them applied
@@ -54,14 +56,21 @@ pub enum FaultMode {
     /// Gray failure: one stripe of the keyspace is persistently slow;
     /// nothing errors.
     SlowStripe,
+    /// Network faults: clients reach the cluster through the aft-net
+    /// service layer over real loopback sockets, with seeded connection
+    /// resets (before send, and after send in the lost-ack window) and
+    /// delayed acknowledgements injected at the SDK. Storage stays clean;
+    /// the node kill still fires mid-commit.
+    Network,
 }
 
 impl FaultMode {
     /// Every mode, in report order.
-    pub const ALL: [FaultMode; 3] = [
+    pub const ALL: [FaultMode; 4] = [
         FaultMode::Transient,
         FaultMode::Timeout,
         FaultMode::SlowStripe,
+        FaultMode::Network,
     ];
 
     /// A short label for reports.
@@ -70,6 +79,7 @@ impl FaultMode {
             FaultMode::Transient => "transient_errors",
             FaultMode::Timeout => "timeouts",
             FaultMode::SlowStripe => "slow_stripe",
+            FaultMode::Network => "network_resets",
         }
     }
 
@@ -89,6 +99,8 @@ impl FaultMode {
                 DEFAULT_STRIPES,
                 20_000.0,
             ),
+            // Network mode injects at the connection, not at storage.
+            FaultMode::Network => ChaosConfig::quiet(seed),
         }
     }
 }
@@ -96,7 +108,7 @@ impl FaultMode {
 /// Configuration of the recovery matrix.
 #[derive(Debug, Clone)]
 pub struct RecoveryConfig {
-    /// Storage fault modes (matrix axis 1).
+    /// Fault modes (matrix axis 1): storage-side and/or network-side.
     pub fault_modes: Vec<FaultMode>,
     /// Commit-phase kill points (matrix axis 2).
     pub kill_points: Vec<CommitPhase>,
@@ -115,8 +127,8 @@ pub struct RecoveryConfig {
 }
 
 impl RecoveryConfig {
-    /// The full matrix: 3 fault modes × 3 kill points × the 3 evaluated
-    /// backends = 27 cells, 3 trials each.
+    /// The full matrix: 4 fault modes (3 storage + network) × 3 kill
+    /// points × the 3 evaluated backends = 36 cells, 3 trials each.
     pub fn standard() -> Self {
         RecoveryConfig {
             fault_modes: FaultMode::ALL.to_vec(),
@@ -130,7 +142,7 @@ impl RecoveryConfig {
         }
     }
 
-    /// The CI configuration: the same ≥ 9-cell guarantee (3 fault modes × 3
+    /// The CI configuration: the same ≥ 9-cell guarantee (4 fault modes × 3
     /// kill points) with one backend per fault mode and fewer trials, so the
     /// chaos gate stays well under a minute.
     pub fn fast() -> Self {
@@ -531,6 +543,221 @@ fn attempt_request(
     node.commit(&txid).map(Some)
 }
 
+/// One logical client request through the networked SDK: same shape as
+/// [`run_logical_request`], but every operation crosses a real socket and
+/// the read-atomicity verdict comes back in the commit acknowledgement
+/// (the metadata lives server-side).
+fn run_network_request(
+    api: &Arc<aft_net::AftClient>,
+    anomalies: &AtomicU64,
+    client_retries: &AtomicU64,
+    client: usize,
+    request: usize,
+) {
+    use aft_core::api::AftApi;
+    const KEYS: usize = 16;
+    const MAX_ATTEMPTS: usize = 64;
+    let key_at = |slot: usize| -> Key {
+        Key::new(format!(
+            "chaos/k{:02}",
+            (client * 5 + request * 3 + slot * 7) % KEYS
+        ))
+    };
+    for attempt in 0..MAX_ATTEMPTS {
+        let result: Result<(), AftError> = (|| {
+            let txid = api.begin()?;
+            let mut reads: Vec<(Key, TransactionId)> = Vec::new();
+            for slot in 0..2 {
+                let key = key_at(slot);
+                match api.get_versioned(&txid, &key) {
+                    Ok(Some((_, Some(version)))) => reads.push((key, version)),
+                    Ok(_) => {}
+                    Err(e) => {
+                        let _ = api.abort(&txid);
+                        return Err(e);
+                    }
+                }
+            }
+            let value: Value = Value::from(format!("c{client}-r{request}-a{attempt}"));
+            for slot in 2..4 {
+                if let Err(e) = api.put(&txid, key_at(slot), value.clone()) {
+                    let _ = api.abort(&txid);
+                    return Err(e);
+                }
+            }
+            // Read-your-writes must hold bytewise through the SDK's buffer.
+            match api.get_versioned(&txid, &key_at(2)) {
+                Ok(Some((observed, _))) if observed == value => {}
+                Ok(_) => {
+                    anomalies.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(e) => {
+                    let _ = api.abort(&txid);
+                    return Err(e);
+                }
+            }
+            let outcome = api.commit(&txid, &reads)?;
+            if !outcome.atomic {
+                anomalies.fetch_add(1, Ordering::Relaxed);
+            }
+            Ok(())
+        })();
+        match result {
+            Ok(()) => return,
+            Err(e) if e.is_retryable() => {
+                client_retries.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(e) => panic!("non-retryable failure in network chaos workload: {e:?}"),
+        }
+    }
+    panic!("client {client} request {request}: retry budget exhausted — the fault rates are tuned so this cannot happen");
+}
+
+/// The network-fault trial: the same cluster, kill, and invariants as the
+/// storage trials, but clients reach the cluster through an [`aft_net`]
+/// server over loopback while a seeded [`aft_net::ConnChaos`] resets
+/// connections (including in the lost-ack window) and delays acks. Storage
+/// injection stays off, so the durable commit set is complete ground truth.
+fn run_network_trial(
+    backend: BackendKind,
+    kill_point: CommitPhase,
+    trial_seed: u64,
+    config: &RecoveryConfig,
+) -> TrialResult {
+    use crate::setup::{serve_cluster, NetEnvConfig};
+
+    let storage = aft_storage::make_backend(BackendConfig {
+        kind: backend,
+        mode: LatencyMode::Virtual,
+        scale: 1.0,
+        seed: trial_seed,
+        redis_shards: 2,
+        stripes: DEFAULT_STRIPES,
+    });
+    let cluster_config = ClusterConfig {
+        initial_nodes: config.nodes,
+        node_template: NodeConfig {
+            data_cache_bytes: 0,
+            rng_seed: trial_seed,
+            ..NodeConfig::default()
+        },
+        local_gc_enabled: false,
+        global_gc_enabled: false,
+        replacement_delay: Duration::ZERO,
+        ..ClusterConfig::default()
+    };
+    let cluster = Cluster::with_clock(cluster_config, storage, TickingClock::shared(1_000, 1))
+        .expect("fault-free construction: storage injection is off in network mode");
+    let handle = serve_cluster(
+        &cluster,
+        &NetEnvConfig {
+            workers: 4,
+            pool_size: config.clients.max(2),
+            retry: aft_storage::io::RetryConfig {
+                max_attempts: 6,
+                base_backoff: Duration::from_micros(200),
+                max_backoff: Duration::from_millis(2),
+            },
+            chaos: Some(aft_net::NetChaosConfig::resets_and_delays(
+                trial_seed,
+                0.06,
+                0.03,
+                Duration::from_millis(1),
+            )),
+            seed: trial_seed ^ 0x5DC,
+        },
+    )
+    .expect("serve on loopback");
+
+    let controller = ChaosController::new(Arc::clone(&cluster));
+    let victim_id = "aft-node-1";
+    controller
+        .arm_kill(
+            KillSpec::immediate(victim_id, kill_point)
+                .after_commits((config.requests_per_trial / (config.nodes * 4)) as u64),
+        )
+        .expect("victim is registered");
+
+    let anomalies = AtomicU64::new(0);
+    let client_retries = AtomicU64::new(0);
+    let requests_per_client = config.requests_per_trial.div_ceil(config.clients);
+    let barrier = Barrier::new(config.clients + 1);
+    let finished_clients = AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        for client in 0..config.clients {
+            let api = &handle.client;
+            let anomalies = &anomalies;
+            let client_retries = &client_retries;
+            let barrier = &barrier;
+            let finished_clients = &finished_clients;
+            scope.spawn(move || {
+                let _done = CountOnDrop(finished_clients);
+                barrier.wait();
+                for request in 0..requests_per_client {
+                    run_network_request(api, anomalies, client_retries, client, request);
+                }
+            });
+        }
+        barrier.wait();
+        while finished_clients.load(Ordering::Acquire) < config.clients as u64 {
+            let _ = cluster.run_maintenance_round();
+            std::thread::sleep(Duration::from_micros(200));
+        }
+    });
+
+    let outcome = controller.drive_recovery(200);
+
+    // Ground truth straight from storage (no injection to pause: the chaos
+    // lives at the connections, and the verifier reads in-process).
+    let acknowledged = handle.client.acked_commits();
+    let chaos_stats = handle.client.chaos_stats().unwrap_or_default();
+    let record_keys = cluster
+        .storage()
+        .list_prefix(&TransactionRecord::storage_prefix())
+        .expect("storage is clean in network mode");
+    let mut records = Vec::new();
+    fetch_commit_records(cluster.io(), &record_keys, |r| records.push(Arc::new(r)))
+        .expect("storage is clean in network mode");
+    let durable: std::collections::HashSet<TransactionId> = records.iter().map(|r| r.id).collect();
+    let lost_acks = acknowledged
+        .iter()
+        .filter(|id| !durable.contains(id))
+        .count();
+    let active = cluster.active_nodes();
+    let unrecovered: usize = records
+        .iter()
+        .map(|record| {
+            active
+                .iter()
+                .filter(|n| {
+                    !n.metadata().is_committed(&record.id) && !is_superseded(record, n.metadata())
+                })
+                .count()
+        })
+        .sum();
+    let io_retries =
+        active.iter().map(|n| n.io().stats().retries).sum::<u64>() + cluster.io().stats().retries;
+
+    let result = TrialResult {
+        acknowledged: acknowledged.len(),
+        durable_commits: durable.len(),
+        recovered_commits: cluster.fault_manager().recovered_commits(),
+        replaced_nodes: outcome.replaced_nodes,
+        anomalies: anomalies.load(Ordering::Relaxed),
+        lost_acks,
+        unrecovered,
+        converged: outcome.converged,
+        recovery_ms: outcome.elapsed.as_secs_f64() * 1_000.0,
+        rounds: outcome.rounds,
+        io_retries,
+        client_retries: client_retries.load(Ordering::Relaxed),
+        // For the network mode, "faults injected" counts connection faults.
+        faults_injected: chaos_stats.total(),
+    };
+    drop(handle);
+    result
+}
+
 /// Runs one trial of one cell and verifies its invariants.
 fn run_trial(
     backend: BackendKind,
@@ -539,6 +766,9 @@ fn run_trial(
     trial_seed: u64,
     config: &RecoveryConfig,
 ) -> TrialResult {
+    if fault_mode == FaultMode::Network {
+        return run_network_trial(backend, kill_point, trial_seed, config);
+    }
     // Chaos-wrapped backend on the virtual clock at full scale: injected
     // latency is charged, never slept, so the whole matrix runs in seconds.
     let raw = aft_storage::make_backend(BackendConfig {
@@ -736,12 +966,13 @@ mod tests {
 
     #[test]
     fn full_tiny_matrix_is_clean() {
-        // The acceptance shape: 3 fault modes x 3 kill points (one backend),
-        // zero anomalies, zero lost commits, full recovery, convergence.
+        // The acceptance shape: 4 fault modes (3 storage + network) x 3
+        // kill points (one backend), zero anomalies, zero lost commits,
+        // full recovery, convergence.
         let report = fig10_recovery(&tiny());
-        assert_eq!(report.cells.len(), 9);
+        assert_eq!(report.cells.len(), 12);
         let summary = report.check_gate().expect("gate must pass");
-        assert!(summary.contains("9 cells"), "{summary}");
+        assert!(summary.contains("12 cells"), "{summary}");
         assert_eq!(report.total_anomalies(), 0);
         assert_eq!(report.total_lost(), 0);
         assert_eq!(report.total_unrecovered(), 0);

@@ -1,0 +1,578 @@
+//! `fig8_service`: the networked-service throughput sweep plus the
+//! connection-chaos verification leg.
+//!
+//! The paper's Figure 8 drives a cluster with 40 closed-loop clients per
+//! node — but in-process. This experiment asks the same question across a
+//! *real service boundary*: N client threads share an aft-net SDK over
+//! loopback TCP to a served 3-node cluster and measure requests per second
+//! and p50/p99 latency per client count. Then a **chaos leg** repeats the
+//! run with seeded connection faults (resets before/after send, delayed
+//! acks) and verifies the two invariants the wire protocol must add on top
+//! of the paper's:
+//!
+//! * **zero read-atomicity anomalies** — fractured reads and
+//!   read-your-writes violations stay impossible across the socket;
+//! * **zero lost acknowledged commits** — every commit acknowledgement the
+//!   SDK ever received corresponds to a durable commit record, even though
+//!   acks were being dropped mid-flight (the §4.2 window, closed by the
+//!   server's dedup ledger).
+//!
+//! Results land in `BENCH_service.json`; [`ServiceReport::check_gate`]
+//! fails on any anomaly, lost ack, clean-leg failure, or `Ping`/`Stats`
+//! error — which CI's `service-gate` job enforces.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use aft_cluster::{Cluster, ClusterConfig};
+use aft_core::api::AftApi;
+use aft_faas::{FaasPlatform, PlatformConfig, RetryPolicy};
+use aft_net::NetChaosConfig;
+use aft_storage::io::RetryConfig;
+use aft_storage::{BackendConfig, BackendKind};
+use aft_types::{TransactionRecord, WireStats};
+use aft_workload::{run_closed_loop, AftDriver, RunConfig, WorkloadConfig};
+
+use crate::json::Json;
+use crate::report::Table;
+use crate::setup::{serve_cluster, NetEnvConfig, ServiceHandle};
+
+/// Configuration of the service sweep.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Concurrent client threads per point of the sweep.
+    pub client_counts: Vec<usize>,
+    /// Requests each client issues per point.
+    pub requests_per_client: usize,
+    /// AFT nodes behind the server.
+    pub nodes: usize,
+    /// Server worker-pool size.
+    pub workers: usize,
+    /// Client connection-pool size.
+    pub pool_size: usize,
+    /// Clients in the chaos leg.
+    pub chaos_clients: usize,
+    /// Requests per client in the chaos leg.
+    pub chaos_requests: usize,
+    /// Connection-reset rate of the chaos leg.
+    pub reset_rate: f64,
+    /// Delayed-ack rate of the chaos leg.
+    pub delay_rate: f64,
+    /// Base seed.
+    pub seed: u64,
+}
+
+impl ServiceConfig {
+    /// The full sweep: 1→16 clients, 150 requests each.
+    pub fn standard() -> Self {
+        ServiceConfig {
+            client_counts: vec![1, 2, 4, 8, 16],
+            requests_per_client: 150,
+            nodes: 3,
+            workers: 8,
+            pool_size: 4,
+            chaos_clients: 8,
+            chaos_requests: 60,
+            reset_rate: 0.08,
+            delay_rate: 0.04,
+            seed: 0xF8_5E7,
+        }
+    }
+
+    /// The CI sweep: same invariants, sub-minute runtime.
+    pub fn fast() -> Self {
+        ServiceConfig {
+            client_counts: vec![1, 4, 8],
+            requests_per_client: 40,
+            chaos_requests: 25,
+            ..ServiceConfig::standard()
+        }
+    }
+}
+
+/// One point of the clean sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct ServicePoint {
+    /// Concurrent closed-loop clients.
+    pub clients: usize,
+    /// Requests per second over the measured phase.
+    pub rps: f64,
+    /// Median request latency, milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile request latency, milliseconds.
+    pub p99_ms: f64,
+    /// Requests completed.
+    pub completed: u64,
+    /// Requests that exhausted their retries.
+    pub failed: u64,
+    /// Read-atomicity anomalies observed (must be zero).
+    pub anomalies: u64,
+}
+
+/// What the chaos leg observed.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ChaosLegReport {
+    /// Requests completed under injection.
+    pub completed: u64,
+    /// Requests that exhausted retries under injection.
+    pub failed: u64,
+    /// Read-atomicity anomalies (must be zero).
+    pub anomalies: u64,
+    /// Connections reset before the request was sent.
+    pub resets_before_send: u64,
+    /// Connections reset in the lost-ack window.
+    pub resets_after_send: u64,
+    /// Acknowledgements delivered late.
+    pub delayed_acks: u64,
+    /// Commit acknowledgements the SDK received.
+    pub acked_commits: u64,
+    /// Acked commits with no durable record (must be zero).
+    pub lost_acked_commits: u64,
+    /// Acks served from the server's dedup ledger.
+    pub duplicate_acks: u64,
+    /// Transport-level retries the SDK performed.
+    pub transport_retries: u64,
+}
+
+/// The whole experiment's results.
+#[derive(Debug, Clone)]
+pub struct ServiceReport {
+    /// Clean-sweep points, in client-count order.
+    pub points: Vec<ServicePoint>,
+    /// The chaos leg.
+    pub chaos: ChaosLegReport,
+    /// `Ping` round-trip time, milliseconds (None if it failed).
+    pub ping_ms: Option<f64>,
+    /// Server counters after the clean sweep's last point (None if the
+    /// `Stats` verb failed).
+    pub server_stats: Option<WireStats>,
+    /// Nodes behind the server.
+    pub nodes: usize,
+    /// Server worker-pool size.
+    pub workers: usize,
+}
+
+impl ServiceReport {
+    /// Total anomalies across every leg.
+    pub fn total_anomalies(&self) -> u64 {
+        self.points.iter().map(|p| p.anomalies).sum::<u64>() + self.chaos.anomalies
+    }
+
+    /// Peak clean-sweep throughput.
+    pub fn peak_rps(&self) -> f64 {
+        self.points.iter().map(|p| p.rps).fold(0.0, f64::max)
+    }
+
+    /// Fails on any violated invariant, in CI-gate style.
+    pub fn check_gate(&self) -> Result<String, String> {
+        if self.total_anomalies() > 0 {
+            return Err(format!(
+                "{} read-atomicity anomalies observed across the service boundary",
+                self.total_anomalies()
+            ));
+        }
+        if self.chaos.lost_acked_commits > 0 {
+            return Err(format!(
+                "{} acknowledged commits have no durable record (lost acks)",
+                self.chaos.lost_acked_commits
+            ));
+        }
+        if let Some(clean_failed) = self.points.iter().find(|p| p.failed > 0) {
+            return Err(format!(
+                "{} requests failed at {} clients with no fault injection",
+                clean_failed.failed, clean_failed.clients
+            ));
+        }
+        let Some(ping_ms) = self.ping_ms else {
+            return Err("Ping verb failed".to_owned());
+        };
+        let Some(stats) = self.server_stats else {
+            return Err("Stats verb failed".to_owned());
+        };
+        if self.chaos.resets_after_send == 0 {
+            return Err("chaos leg never exercised the lost-ack window".to_owned());
+        }
+        Ok(format!(
+            "{} points clean, peak {:.0} req/s; chaos leg: {} resets ({} in the lost-ack \
+             window), {} acked commits all durable, {} deduplicated; ping {:.2} ms, \
+             {} server requests",
+            self.points.len(),
+            self.peak_rps(),
+            self.chaos.resets_before_send + self.chaos.resets_after_send,
+            self.chaos.resets_after_send,
+            self.chaos.acked_commits,
+            self.chaos.duplicate_acks,
+            ping_ms,
+            stats.requests,
+        ))
+    }
+
+    /// Renders the sweep as an aligned text table.
+    pub fn table(&self) -> Table {
+        let mut table = Table::new(
+            "fig8_service — loopback service throughput (3-node cluster behind aft-net)",
+            &[
+                "clients",
+                "req/s",
+                "p50 (ms)",
+                "p99 (ms)",
+                "completed",
+                "failed",
+                "anomalies",
+            ],
+        );
+        for p in &self.points {
+            table.add_row(vec![
+                p.clients.to_string(),
+                format!("{:.0}", p.rps),
+                format!("{:.2}", p.p50_ms),
+                format!("{:.2}", p.p99_ms),
+                p.completed.to_string(),
+                p.failed.to_string(),
+                p.anomalies.to_string(),
+            ]);
+        }
+        table.add_row(vec![
+            format!("chaos ({})", self.chaos.completed),
+            "-".to_owned(),
+            "-".to_owned(),
+            "-".to_owned(),
+            format!("{} acked", self.chaos.acked_commits),
+            format!("{} lost", self.chaos.lost_acked_commits),
+            self.chaos.anomalies.to_string(),
+        ]);
+        table
+    }
+
+    /// Serialises the report as the `BENCH_service.json` document.
+    pub fn to_json(&self) -> Json {
+        let points = self
+            .points
+            .iter()
+            .map(|p| {
+                Json::obj(vec![
+                    ("clients", Json::Num(p.clients as f64)),
+                    ("rps", Json::Num(round2(p.rps))),
+                    ("p50_ms", Json::Num(round2(p.p50_ms))),
+                    ("p99_ms", Json::Num(round2(p.p99_ms))),
+                    ("completed", Json::Num(p.completed as f64)),
+                    ("failed", Json::Num(p.failed as f64)),
+                    ("anomalies", Json::Num(p.anomalies as f64)),
+                ])
+            })
+            .collect();
+        let chaos = Json::obj(vec![
+            ("completed", Json::Num(self.chaos.completed as f64)),
+            ("failed", Json::Num(self.chaos.failed as f64)),
+            ("anomalies", Json::Num(self.chaos.anomalies as f64)),
+            (
+                "resets_before_send",
+                Json::Num(self.chaos.resets_before_send as f64),
+            ),
+            (
+                "resets_after_send",
+                Json::Num(self.chaos.resets_after_send as f64),
+            ),
+            ("delayed_acks", Json::Num(self.chaos.delayed_acks as f64)),
+            ("acked_commits", Json::Num(self.chaos.acked_commits as f64)),
+            (
+                "lost_acked_commits",
+                Json::Num(self.chaos.lost_acked_commits as f64),
+            ),
+            (
+                "duplicate_acks",
+                Json::Num(self.chaos.duplicate_acks as f64),
+            ),
+            (
+                "transport_retries",
+                Json::Num(self.chaos.transport_retries as f64),
+            ),
+        ]);
+        let mut pairs = vec![
+            ("experiment", Json::str("fig8_service")),
+            ("nodes", Json::Num(self.nodes as f64)),
+            ("workers", Json::Num(self.workers as f64)),
+            ("peak_rps", Json::Num(round2(self.peak_rps()))),
+            ("anomalies", Json::Num(self.total_anomalies() as f64)),
+            (
+                "lost_acked_commits",
+                Json::Num(self.chaos.lost_acked_commits as f64),
+            ),
+            (
+                "ping_ms",
+                self.ping_ms.map_or(Json::Null, |v| Json::Num(round2(v))),
+            ),
+            ("points", Json::Arr(points)),
+            ("chaos", chaos),
+        ];
+        if let Some(stats) = self.server_stats {
+            pairs.push((
+                "server",
+                Json::obj(vec![
+                    (
+                        "connections_accepted",
+                        Json::Num(stats.connections_accepted as f64),
+                    ),
+                    ("requests", Json::Num(stats.requests as f64)),
+                    ("commits", Json::Num(stats.commits as f64)),
+                    (
+                        "duplicate_commits",
+                        Json::Num(stats.duplicate_commits as f64),
+                    ),
+                    ("errors", Json::Num(stats.errors as f64)),
+                ]),
+            ));
+        }
+        Json::obj(pairs)
+    }
+}
+
+fn round2(v: f64) -> f64 {
+    (v * 100.0).round() / 100.0
+}
+
+/// A fresh 3-node deployment served on loopback. Zero simulated latency:
+/// the experiment measures the service layer itself, not the storage sims.
+/// `keep_commit_set` disables garbage collection so the durable Transaction
+/// Commit Set stays the *complete* ground truth — required by the chaos
+/// leg's lost-ack verification, which would otherwise flag legitimately
+/// GC'd superseded records as lost.
+fn served_deployment(
+    config: &ServiceConfig,
+    net: &NetEnvConfig,
+    seed: u64,
+    keep_commit_set: bool,
+) -> (Arc<Cluster>, ServiceHandle) {
+    let storage = aft_storage::make_backend(BackendConfig::test(BackendKind::Memory));
+    let cluster_config = ClusterConfig {
+        broadcast_interval: Duration::from_millis(5),
+        replacement_delay: Duration::ZERO,
+        local_gc_enabled: !keep_commit_set,
+        global_gc_enabled: !keep_commit_set,
+        ..ClusterConfig::test(config.nodes)
+    };
+    let cluster = Cluster::new(cluster_config, storage).expect("cluster construction");
+    cluster.start_background();
+    let handle = serve_cluster(
+        &cluster,
+        &NetEnvConfig {
+            seed,
+            ..net.clone()
+        },
+    )
+    .expect("serve on loopback");
+    (cluster, handle)
+}
+
+fn service_workload() -> WorkloadConfig {
+    WorkloadConfig::standard()
+        .with_keys(200)
+        .with_value_size(256)
+}
+
+fn driver_for(handle: &ServiceHandle) -> AftDriver {
+    let api: Arc<dyn AftApi> = Arc::clone(&handle.client) as Arc<dyn AftApi>;
+    AftDriver::from_api(
+        api,
+        FaasPlatform::new(PlatformConfig::test()),
+        RetryPolicy::with_attempts(8),
+    )
+}
+
+/// Runs the sweep and the chaos leg.
+pub fn fig8_service(config: &ServiceConfig) -> ServiceReport {
+    let net = NetEnvConfig {
+        workers: config.workers,
+        pool_size: config.pool_size,
+        ..NetEnvConfig::default()
+    };
+
+    // Clean sweep: a fresh deployment per point, so points are independent.
+    let mut points = Vec::new();
+    let mut ping_ms = None;
+    let mut server_stats = None;
+    for (i, &clients) in config.client_counts.iter().enumerate() {
+        let (cluster, handle) = served_deployment(config, &net, config.seed + i as u64, false);
+        let driver = driver_for(&handle);
+        let result = run_closed_loop(
+            &driver,
+            &RunConfig::new(service_workload())
+                .with_clients(clients)
+                .with_requests(config.requests_per_client)
+                .with_seed(config.seed ^ (clients as u64) << 8),
+        )
+        .expect("closed-loop run");
+        points.push(ServicePoint {
+            clients,
+            rps: result.throughput_tps(),
+            p50_ms: result.latency.median_ms(),
+            p99_ms: result.latency.p99_ms(),
+            completed: result.completed,
+            failed: result.failed,
+            anomalies: result.anomalies.ryw_transactions + result.anomalies.fr_transactions,
+        });
+        // Operability verbs, checked on the last (largest) point.
+        if i + 1 == config.client_counts.len() {
+            ping_ms = handle.client.ping().ok().map(|d| d.as_secs_f64() * 1_000.0);
+            server_stats = handle.client.server_stats().ok();
+        }
+        drop(handle);
+        cluster.shutdown();
+    }
+
+    // Chaos leg: one deployment, seeded connection faults, then verify
+    // every acked commit against the durable commit set.
+    let chaos_net = NetEnvConfig {
+        chaos: Some(NetChaosConfig::resets_and_delays(
+            config.seed ^ 0xC4A05,
+            config.reset_rate,
+            config.delay_rate,
+            Duration::from_millis(1),
+        )),
+        retry: RetryConfig {
+            max_attempts: 6,
+            base_backoff: Duration::from_micros(200),
+            max_backoff: Duration::from_millis(2),
+        },
+        ..net
+    };
+    let (cluster, handle) = served_deployment(config, &chaos_net, config.seed ^ 0xC4A1, true);
+    let driver = driver_for(&handle);
+    let result = run_closed_loop(
+        &driver,
+        &RunConfig::new(service_workload())
+            .with_clients(config.chaos_clients)
+            .with_requests(config.chaos_requests)
+            .with_seed(config.seed ^ 0xC4A2),
+    )
+    .expect("chaos closed-loop run");
+
+    // Ground truth: every commit the SDK ever saw acknowledged must have a
+    // durable record. (Preload commits are included — they are acked too.)
+    let acked = handle.client.acked_commits();
+    let lost = acked
+        .iter()
+        .filter(|id| {
+            cluster
+                .storage()
+                .get(&TransactionRecord::storage_key_for(id))
+                .map_or(true, |v| v.is_none())
+        })
+        .count() as u64;
+    let injector = handle.client.chaos_stats().unwrap_or_default();
+    let client_stats = handle.client.stats();
+    let chaos = ChaosLegReport {
+        completed: result.completed,
+        failed: result.failed,
+        anomalies: result.anomalies.ryw_transactions + result.anomalies.fr_transactions,
+        resets_before_send: injector.resets_before_send,
+        resets_after_send: injector.resets_after_send,
+        delayed_acks: injector.delayed_acks,
+        acked_commits: acked.len() as u64,
+        lost_acked_commits: lost,
+        duplicate_acks: client_stats.duplicate_acks,
+        transport_retries: client_stats.transport_retries,
+    };
+    drop(handle);
+    cluster.shutdown();
+
+    ServiceReport {
+        points,
+        chaos,
+        ping_ms,
+        server_stats,
+        nodes: config.nodes,
+        workers: config.workers,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> ServiceConfig {
+        ServiceConfig {
+            client_counts: vec![1, 4],
+            requests_per_client: 8,
+            chaos_clients: 4,
+            chaos_requests: 12,
+            ..ServiceConfig::fast()
+        }
+    }
+
+    #[test]
+    fn sweep_runs_clean_over_real_sockets() {
+        let report = fig8_service(&tiny_config());
+        assert_eq!(report.points.len(), 2);
+        for point in &report.points {
+            assert_eq!(point.failed, 0);
+            assert_eq!(point.anomalies, 0);
+            assert!(point.rps > 0.0);
+            assert_eq!(
+                point.completed,
+                (point.clients * 8) as u64,
+                "every request completed"
+            );
+        }
+        assert!(report.ping_ms.is_some());
+        let stats = report.server_stats.expect("stats verb");
+        assert!(stats.commits > 0);
+        assert_eq!(report.chaos.lost_acked_commits, 0);
+        assert!(report.chaos.resets_after_send > 0, "chaos leg injected");
+        report.check_gate().expect("gate passes on a clean run");
+    }
+
+    #[test]
+    fn gate_fails_on_anomalies_or_lost_acks() {
+        let mut report = fig8_service(&ServiceConfig {
+            client_counts: vec![1],
+            requests_per_client: 4,
+            chaos_clients: 2,
+            chaos_requests: 8,
+            ..ServiceConfig::fast()
+        });
+        report.chaos.lost_acked_commits = 1;
+        assert!(report.check_gate().is_err());
+        report.chaos.lost_acked_commits = 0;
+        report.points[0].anomalies = 1;
+        assert!(report.check_gate().is_err());
+    }
+
+    #[test]
+    fn json_document_has_the_documented_schema() {
+        let report = ServiceReport {
+            points: vec![ServicePoint {
+                clients: 4,
+                rps: 1234.5,
+                p50_ms: 0.8,
+                p99_ms: 2.5,
+                completed: 600,
+                failed: 0,
+                anomalies: 0,
+            }],
+            chaos: ChaosLegReport {
+                completed: 100,
+                acked_commits: 110,
+                resets_after_send: 5,
+                ..ChaosLegReport::default()
+            },
+            ping_ms: Some(0.21),
+            server_stats: Some(WireStats {
+                requests: 1000,
+                commits: 600,
+                ..WireStats::default()
+            }),
+            nodes: 3,
+            workers: 8,
+        };
+        let rendered = report.to_json().render();
+        let parsed = Json::parse(&rendered).unwrap();
+        assert_eq!(
+            parsed.get("experiment").unwrap().as_str().unwrap(),
+            "fig8_service"
+        );
+        assert_eq!(parsed.get("points").unwrap().as_array().unwrap().len(), 1);
+        assert!(parsed.get("chaos").unwrap().get("acked_commits").is_some());
+        assert!(parsed.get("server").unwrap().get("commits").is_some());
+    }
+}

@@ -4,11 +4,15 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use aft_cluster::{Cluster, ClusterConfig};
+use aft_core::api::AftApi;
 use aft_core::{AftNode, NodeConfig};
 use aft_faas::{FaasPlatform, PlatformConfig, RetryPolicy};
+use aft_net::{AftClient, AftServer, ClientConfig, NetChaosConfig, ServerConfig};
+use aft_storage::io::RetryConfig;
 use aft_storage::latency::LatencyProfile;
 use aft_storage::{BackendConfig, BackendKind, LatencyMode, SharedStorage};
-use aft_workload::{AftDriver, DynamoTxnDriver, PlainDriver};
+use aft_types::AftResult;
+use aft_workload::{AftDriver, ClientMode, DynamoTxnDriver, PlainDriver};
 
 /// The client→AFT-shim RPC hop at full scale (microseconds): roughly one
 /// intra-AZ round trip plus request handling, the source of the ~6 ms fixed
@@ -163,6 +167,94 @@ impl BenchEnv {
             seed,
         );
         DynamoTxnDriver::new(table.transaction_mode(), self.platform(), self.retry())
+    }
+}
+
+/// Tuning of a networked (aft-net) endpoint for experiments that serve
+/// their cluster over loopback.
+#[derive(Debug, Clone)]
+pub struct NetEnvConfig {
+    /// Server worker-pool size.
+    pub workers: usize,
+    /// Client connection-pool size.
+    pub pool_size: usize,
+    /// Client transport retry/backoff budget.
+    pub retry: RetryConfig,
+    /// Optional seeded connection-fault injection.
+    pub chaos: Option<NetChaosConfig>,
+    /// Client UUID seed.
+    pub seed: u64,
+}
+
+impl Default for NetEnvConfig {
+    fn default() -> Self {
+        NetEnvConfig {
+            workers: 4,
+            pool_size: 4,
+            retry: RetryConfig::default(),
+            chaos: None,
+            seed: 0xAF7_11E7,
+        }
+    }
+}
+
+/// A served deployment kept alive behind a networked driver: dropping the
+/// handle shuts the server down.
+pub struct ServiceHandle {
+    /// The loopback server fronting the cluster.
+    pub server: AftServer,
+    /// The SDK client the driver runs through.
+    pub client: Arc<AftClient>,
+}
+
+/// Serves `cluster` on an ephemeral loopback port and connects a client —
+/// the shared construction used by `fig8_service`, the networked
+/// `fig8_distributed` variant, and the recovery matrix's network-fault
+/// trials.
+pub fn serve_cluster(cluster: &Arc<Cluster>, net: &NetEnvConfig) -> AftResult<ServiceHandle> {
+    let server = AftServer::serve(
+        Arc::clone(cluster),
+        "127.0.0.1:0",
+        ServerConfig::default().with_workers(net.workers),
+    )?;
+    let client = AftClient::connect(
+        server.local_addr(),
+        ClientConfig {
+            pool_size: net.pool_size,
+            retry: net.retry,
+            chaos: net.chaos,
+            rng_seed: net.seed,
+            // Experiments verify acks against the durable commit set.
+            record_acks: true,
+            ..ClientConfig::default()
+        },
+    )?;
+    Ok(ServiceHandle { server, client })
+}
+
+impl BenchEnv {
+    /// Builds the AFT driver for `cluster` in the given [`ClientMode`]:
+    /// in-process drivers call the router directly, networked drivers cross
+    /// a real loopback socket (the returned handle keeps the server alive).
+    pub fn cluster_driver(
+        &self,
+        cluster: &Arc<Cluster>,
+        mode: ClientMode,
+        net: &NetEnvConfig,
+    ) -> (AftDriver, Option<ServiceHandle>) {
+        match mode {
+            ClientMode::InProcess => (
+                AftDriver::clustered(Arc::clone(cluster), self.platform(), self.retry()),
+                None,
+            ),
+            ClientMode::Networked => {
+                let handle = serve_cluster(cluster, net)
+                    .expect("serving a cluster on loopback only fails when bind is refused");
+                let api: Arc<dyn AftApi> = Arc::clone(&handle.client) as Arc<dyn AftApi>;
+                let driver = AftDriver::from_api(api, self.platform(), self.retry());
+                (driver, Some(handle))
+            }
+        }
     }
 }
 

@@ -27,6 +27,7 @@
 //! collection — lives in the `aft-cluster` crate; this crate is strictly the
 //! single-node protocol stack plus the hooks the cluster layer drives.
 
+pub mod api;
 pub mod bootstrap;
 pub mod commit_batcher;
 pub mod data_cache;
@@ -38,6 +39,7 @@ pub mod stats;
 pub mod supersede;
 pub mod write_buffer;
 
+pub use api::{AftApi, CommitOutcome};
 pub use commit_batcher::{BatchConfig, BatchStats, CommitBatcher};
 pub use data_cache::DataCache;
 pub use gc::{GcOutcome, LocalGcConfig};

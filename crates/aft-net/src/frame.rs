@@ -1,0 +1,106 @@
+//! Length-prefixed framing: `[u32 LE payload length][payload]`.
+//!
+//! The functions work over any `Read`/`Write`, so unit tests can run them
+//! against in-memory buffers and the server/client run them against
+//! `TcpStream`s. The payload length is capped at
+//! [`MAX_FRAME_LEN`](aft_types::wire::MAX_FRAME_LEN) *before* allocating:
+//! a corrupted or hostile prefix must fail the connection, not the process.
+
+use std::io::{self, Read, Write};
+
+use aft_types::wire::MAX_FRAME_LEN;
+
+/// Writes one frame and flushes it.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    if payload.len() > MAX_FRAME_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {} bytes exceeds MAX_FRAME_LEN", payload.len()),
+        ));
+    }
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one frame.
+///
+/// Returns `Ok(None)` on a clean end of stream (the peer closed between
+/// frames); mid-frame truncation is an error, because it means a message was
+/// cut in half.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+    let mut len_buf = [0u8; 4];
+    // Distinguish "closed between frames" from "closed mid-frame": read the
+    // first length byte by hand.
+    let mut first = [0u8; 1];
+    loop {
+        match r.read(&mut first) {
+            Ok(0) => return Ok(None),
+            Ok(_) => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    len_buf[0] = first[0];
+    r.read_exact(&mut len_buf[1..])?;
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("incoming frame length {len} exceeds MAX_FRAME_LEN"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn frames_round_trip_back_to_back() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"first").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        write_frame(&mut buf, b"third frame").unwrap();
+
+        let mut cursor = Cursor::new(buf);
+        assert_eq!(read_frame(&mut cursor).unwrap().unwrap(), b"first");
+        assert_eq!(read_frame(&mut cursor).unwrap().unwrap(), b"");
+        assert_eq!(read_frame(&mut cursor).unwrap().unwrap(), b"third frame");
+        assert!(read_frame(&mut cursor).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn mid_frame_truncation_is_an_error_not_eof() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"payload").unwrap();
+        for cut in 1..buf.len() {
+            let mut cursor = Cursor::new(&buf[..cut]);
+            assert!(
+                read_frame(&mut cursor).is_err(),
+                "a frame cut at byte {cut} must error"
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_before_allocating() {
+        let mut buf = (u32::MAX).to_le_bytes().to_vec();
+        buf.extend_from_slice(b"junk");
+        let mut cursor = Cursor::new(buf);
+        let err = read_frame(&mut cursor).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn oversized_payload_is_refused_on_write() {
+        let huge = vec![0u8; MAX_FRAME_LEN + 1];
+        let mut out = Vec::new();
+        assert!(write_frame(&mut out, &huge).is_err());
+        assert!(out.is_empty(), "nothing partial was written");
+    }
+}

@@ -1,0 +1,701 @@
+//! The AFT wire-protocol server.
+//!
+//! [`AftServer`] fronts an `aft-cluster` [`Cluster`] with a `std::net` TCP
+//! listener. The threading model:
+//!
+//! * an **accept thread** takes connections and spawns one **reader
+//!   thread** per connection, which decodes frames and enqueues decoded
+//!   requests (per-connection demultiplexing);
+//! * a **sized worker pool** drains the shared queue, executes each request
+//!   against the cluster (routing through the existing round-robin router,
+//!   with per-transaction node affinity), and writes the response back on
+//!   the originating connection.
+//!
+//! Because workers are shared, two pipelined requests from one connection
+//! execute concurrently and their responses — which carry the client's
+//! request ids — may be written in either order; storage fetches inside a
+//! request additionally overlap via each node's `IoEngine`. Out-of-order
+//! completion is therefore the *normal* case under pipelining, not an edge
+//! case.
+//!
+//! ## Transaction affinity and the commit ledger
+//!
+//! The paper pins each logical request to one node for its lifetime (§6);
+//! the server reproduces that per *transaction*: the first verb naming a
+//! transaction routes it and later verbs stick to the chosen node, so the
+//! server-side read set (Algorithm 1's state) accumulates in one place.
+//!
+//! `Commit` goes through a **dedup ledger** keyed by transaction UUID:
+//! completed commits record their outcome, and a retransmitted `Commit` —
+//! the client's connection died in §4.2's lost-ack window — is acknowledged
+//! from the ledger with the *original* final id, never applied twice
+//! (idempotence, §3.1, now end to end). Concurrent duplicates single-flight
+//! on the UUID: the second waits for the first's verdict instead of racing
+//! it.
+//!
+//! ## Shutdown
+//!
+//! [`AftServer::shutdown`] is graceful and idempotent: it stops accepting,
+//! closes every connection (readers exit), drains the workers, and joins
+//! all threads. Dropping the server shuts it down.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use aft_cluster::Cluster;
+use aft_core::read::is_atomic_readset;
+use aft_core::AftNode;
+use aft_types::wire::{decode_request, encode_response, WireRequest, WireResponse, WireStats};
+use aft_types::{AftError, AftResult, Key, TransactionId, Uuid, Value};
+use parking_lot::{Condvar, Mutex};
+
+use crate::frame::{read_frame, write_frame};
+use crate::stats::{ConnStats, ServiceStats};
+
+/// Tuning of an [`AftServer`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads executing requests (the pool is shared by every
+    /// connection).
+    pub workers: usize,
+    /// Completed commits remembered for duplicate detection; the oldest
+    /// entries are evicted beyond this. A duplicate arriving after its
+    /// entry was evicted would re-apply, so size this to comfortably cover
+    /// the client retry horizon.
+    pub dedup_capacity: usize,
+    /// Transaction→node affinity entries kept; beyond this the oldest are
+    /// dropped (their transactions re-route on next touch).
+    pub affinity_capacity: usize,
+    /// Decoded requests allowed to wait for a worker before readers stop
+    /// pulling from their sockets (backpressure): a client that pipelines
+    /// faster than the pool drains is throttled by TCP instead of growing
+    /// server memory without bound.
+    pub queue_capacity: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 4,
+            dedup_capacity: 65_536,
+            affinity_capacity: 65_536,
+            queue_capacity: 1_024,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// Overrides the worker-pool size (clamped to ≥ 1).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+}
+
+/// Decides the fate of each outgoing response — the server-side chaos/test
+/// hook. Returning `false` drops the response *and resets the connection*,
+/// reproducing a server that did the work and then died before the
+/// acknowledgement flushed (§4.2's window, from the server's side).
+pub trait ResponseFilter: Send + Sync {
+    /// Called with every response about to be written.
+    fn deliver(&self, request_id: u64, response: &WireResponse) -> bool;
+}
+
+/// One accepted connection. The writer half is mutex-guarded so any worker
+/// can respond on it; the reader half lives in the connection's reader
+/// thread.
+struct Connection {
+    writer: Mutex<TcpStream>,
+    /// Handle used to reset the socket from any thread (shutdown, filter).
+    control: TcpStream,
+    open: AtomicBool,
+    stats: ConnStats,
+}
+
+impl Connection {
+    /// Hard-closes the connection; both halves observe it.
+    fn close(&self) {
+        if self.open.swap(false, Ordering::AcqRel) {
+            let _ = self.control.shutdown(Shutdown::Both);
+        }
+    }
+
+    /// Writes one frame; on failure the connection is closed.
+    fn send(&self, payload: &[u8]) -> bool {
+        let mut writer = self.writer.lock();
+        match write_frame(&mut *writer, payload) {
+            Ok(()) => true,
+            Err(_) => {
+                drop(writer);
+                self.close();
+                false
+            }
+        }
+    }
+}
+
+/// A decoded request awaiting a worker.
+struct Job {
+    conn: Arc<Connection>,
+    request_id: u64,
+    request: WireRequest,
+}
+
+/// Completed-commit memory plus the single-flight set for in-progress ones.
+struct CommitLedger {
+    done: HashMap<Uuid, (TransactionId, bool)>,
+    order: VecDeque<Uuid>,
+    in_progress: HashSet<Uuid>,
+    capacity: usize,
+}
+
+impl CommitLedger {
+    fn new(capacity: usize) -> Self {
+        CommitLedger {
+            done: HashMap::new(),
+            order: VecDeque::new(),
+            in_progress: HashSet::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    fn record(&mut self, uuid: Uuid, final_id: TransactionId, atomic: bool) {
+        if self.done.insert(uuid, (final_id, atomic)).is_none() {
+            self.order.push_back(uuid);
+            while self.order.len() > self.capacity {
+                if let Some(old) = self.order.pop_front() {
+                    self.done.remove(&old);
+                }
+            }
+        }
+    }
+}
+
+/// Transaction→node pinning with FIFO eviction.
+struct AffinityMap {
+    map: HashMap<Uuid, Arc<AftNode>>,
+    order: VecDeque<Uuid>,
+    capacity: usize,
+}
+
+impl AffinityMap {
+    fn new(capacity: usize) -> Self {
+        AffinityMap {
+            map: HashMap::new(),
+            order: VecDeque::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    fn insert(&mut self, uuid: Uuid, node: Arc<AftNode>) {
+        if self.map.insert(uuid, node).is_none() {
+            self.order.push_back(uuid);
+            // Trim on `order`'s length, not `map`'s: commits and aborts
+            // remove from the map but leave their uuid in `order`, so the
+            // deque is what actually grows in steady state. Popped entries
+            // are almost always those stale uuids; a popped *live*
+            // transaction simply re-routes on its next touch.
+            while self.order.len() > self.capacity {
+                match self.order.pop_front() {
+                    Some(old) => {
+                        self.map.remove(&old);
+                    }
+                    None => break,
+                }
+            }
+        }
+    }
+}
+
+struct ServerShared {
+    cluster: Arc<Cluster>,
+    stats: Arc<ServiceStats>,
+    config: ServerConfig,
+    queue: Mutex<VecDeque<Job>>,
+    queue_cv: Condvar,
+    queue_space_cv: Condvar,
+    ledger: Mutex<CommitLedger>,
+    ledger_cv: Condvar,
+    affinity: Mutex<AffinityMap>,
+    filter: Mutex<Option<Arc<dyn ResponseFilter>>>,
+    conns: Mutex<Vec<Arc<Connection>>>,
+    reader_handles: Mutex<Vec<JoinHandle<()>>>,
+    shutdown: AtomicBool,
+}
+
+impl ServerShared {
+    /// The node pinned to `txid`, routing and pinning on first touch.
+    fn node_for(&self, txid: &TransactionId) -> AftResult<Arc<AftNode>> {
+        let mut affinity = self.affinity.lock();
+        if let Some(node) = affinity.map.get(&txid.uuid) {
+            return Ok(Arc::clone(node));
+        }
+        let node = self.cluster.route()?;
+        affinity.insert(txid.uuid, Arc::clone(&node));
+        Ok(node)
+    }
+
+    fn forget_txn(&self, uuid: &Uuid) -> Option<Arc<AftNode>> {
+        self.affinity.lock().map.remove(uuid)
+    }
+
+    fn execute(&self, request: &WireRequest) -> WireResponse {
+        self.stats.record_request();
+        match request {
+            WireRequest::Ping => WireResponse::Pong,
+            WireRequest::Stats => WireResponse::Stats(
+                self.stats
+                    .snapshot(self.cluster.registry().active_count() as u64),
+            ),
+            WireRequest::Get { txid, key } => {
+                let result = self.node_for(txid).and_then(|node| {
+                    node.ensure_transaction(*txid);
+                    node.get_versioned(txid, key)
+                });
+                match result {
+                    Ok(found) => WireResponse::Value(
+                        // The server-side buffer holds no writes before
+                        // commit (they live client-side), so the version is
+                        // always a real committed id; NULL is defensive.
+                        found.map(|(value, version)| {
+                            (value, version.unwrap_or(TransactionId::NULL))
+                        }),
+                    ),
+                    Err(e) => WireResponse::Error(e),
+                }
+            }
+            WireRequest::GetAll { txid, keys } => {
+                let result = self.node_for(txid).and_then(|node| {
+                    node.ensure_transaction(*txid);
+                    node.get_all(txid, keys)
+                });
+                match result {
+                    Ok(values) => WireResponse::Values(values),
+                    Err(e) => WireResponse::Error(e),
+                }
+            }
+            WireRequest::Commit {
+                txid,
+                writes,
+                reads,
+            } => self.commit(txid, writes, reads),
+            WireRequest::Abort { txid } => {
+                // Idempotent by design: aborting a transaction the server
+                // never saw (or already dropped) acknowledges cleanly.
+                let node = self.forget_txn(&txid.uuid);
+                if let Some(node) = node {
+                    match node.abort(txid) {
+                        Ok(()) | Err(AftError::UnknownTransaction(_)) => {}
+                        Err(e) => return WireResponse::Error(e),
+                    }
+                }
+                WireResponse::Aborted
+            }
+        }
+    }
+
+    fn commit(
+        &self,
+        txid: &TransactionId,
+        writes: &[(Key, Value)],
+        reads: &[(Key, TransactionId)],
+    ) -> WireResponse {
+        // Dedup + single-flight on the transaction UUID.
+        {
+            let mut ledger = self.ledger.lock();
+            loop {
+                if let Some((final_id, atomic)) = ledger.done.get(&txid.uuid) {
+                    self.stats.record_duplicate_commit();
+                    return WireResponse::Committed {
+                        txid: *final_id,
+                        atomic: *atomic,
+                        duplicate: true,
+                    };
+                }
+                if !ledger.in_progress.contains(&txid.uuid) {
+                    ledger.in_progress.insert(txid.uuid);
+                    break;
+                }
+                // A pipelined duplicate is being applied right now on
+                // another worker; wait for its verdict rather than racing.
+                if self.shutdown.load(Ordering::Acquire) {
+                    return WireResponse::Error(AftError::Unavailable(
+                        "server is shutting down".to_owned(),
+                    ));
+                }
+                let _ = self
+                    .ledger_cv
+                    .wait_for(&mut ledger, Duration::from_millis(20));
+            }
+        }
+
+        let result = self.node_for(txid).and_then(|node| {
+            node.ensure_transaction(*txid);
+            node.put_all(txid, writes.iter().cloned())?;
+            let final_id = AftNode::commit(&node, txid)?;
+            let atomic = is_atomic_readset(reads, node.metadata());
+            Ok((final_id, atomic))
+        });
+
+        let mut ledger = self.ledger.lock();
+        ledger.in_progress.remove(&txid.uuid);
+        let response = match result {
+            Ok((final_id, atomic)) => {
+                ledger.record(txid.uuid, final_id, atomic);
+                self.stats.record_commit();
+                self.forget_txn(&txid.uuid);
+                WireResponse::Committed {
+                    txid: final_id,
+                    atomic,
+                    duplicate: false,
+                }
+            }
+            Err(e) => WireResponse::Error(e),
+        };
+        self.ledger_cv.notify_all();
+        response
+    }
+}
+
+fn worker_loop(shared: Arc<ServerShared>) {
+    loop {
+        let job = {
+            let mut queue = shared.queue.lock();
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    shared.queue_space_cv.notify_one();
+                    break job;
+                }
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                shared.queue_cv.wait(&mut queue);
+            }
+        };
+        let response = shared.execute(&job.request);
+        if matches!(response, WireResponse::Error(_)) {
+            shared.stats.record_error();
+        }
+        let deliver = {
+            let filter = shared.filter.lock().clone();
+            filter.is_none_or(|f| f.deliver(job.request_id, &response))
+        };
+        if !deliver {
+            // The chaos hook ate the ack: the work (if any) is done and
+            // durable, the client never hears about it, and the connection
+            // resets — exactly the crash-after-commit interleaving.
+            shared.stats.record_dropped_ack();
+            job.conn.close();
+            continue;
+        }
+        let payload = encode_response(job.request_id, &response);
+        if job.conn.send(&payload) {
+            job.conn.stats.responses.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+fn reader_loop(shared: &Arc<ServerShared>, conn: Arc<Connection>, mut stream: TcpStream) {
+    while let Ok(Some(payload)) = read_frame(&mut stream) {
+        if shared.shutdown.load(Ordering::Acquire) {
+            break;
+        }
+        match decode_request(&payload) {
+            Ok((request_id, request)) => {
+                conn.stats.requests.fetch_add(1, Ordering::Relaxed);
+                let mut queue = shared.queue.lock();
+                // Backpressure: stop pulling from this socket while the
+                // pool is saturated, so pipelined floods are bounded by
+                // queue_capacity frames plus kernel socket buffers.
+                while queue.len() >= shared.config.queue_capacity.max(1) {
+                    if shared.shutdown.load(Ordering::Acquire) {
+                        return finish_reader(shared, &conn);
+                    }
+                    let _ = shared
+                        .queue_space_cv
+                        .wait_for(&mut queue, Duration::from_millis(50));
+                }
+                queue.push_back(Job {
+                    conn: Arc::clone(&conn),
+                    request_id,
+                    request,
+                });
+                shared.queue_cv.notify_one();
+            }
+            Err(e) => {
+                // A peer speaking garbage gets one error frame and the door:
+                // framing is already lost, so the connection cannot recover.
+                shared.stats.record_error();
+                let payload = encode_response(0, &WireResponse::Error(e));
+                let _ = conn.send(&payload);
+                break;
+            }
+        }
+    }
+    finish_reader(shared, &conn)
+}
+
+fn finish_reader(shared: &Arc<ServerShared>, conn: &Arc<Connection>) {
+    conn.close();
+    shared.stats.record_close();
+}
+
+fn accept_loop(shared: Arc<ServerShared>, listener: TcpListener) {
+    for incoming in listener.incoming() {
+        if shared.shutdown.load(Ordering::Acquire) {
+            break;
+        }
+        let Ok(stream) = incoming else { continue };
+        let _ = stream.set_nodelay(true);
+        let (writer, control) = match (stream.try_clone(), stream.try_clone()) {
+            (Ok(writer), Ok(control)) => (writer, control),
+            _ => continue,
+        };
+        let conn = Arc::new(Connection {
+            writer: Mutex::new(writer),
+            control,
+            open: AtomicBool::new(true),
+            stats: ConnStats::default(),
+        });
+        shared.stats.record_accept();
+        {
+            let mut conns = shared.conns.lock();
+            conns.retain(|c| c.open.load(Ordering::Acquire));
+            conns.push(Arc::clone(&conn));
+        }
+        let reader_shared = Arc::clone(&shared);
+        let handle = std::thread::spawn(move || reader_loop(&reader_shared, conn, stream));
+        {
+            // Join readers whose connections already ended, so handle
+            // bookkeeping stays proportional to *live* connections under
+            // churn rather than growing per connection ever accepted.
+            let mut handles = shared.reader_handles.lock();
+            let mut i = 0;
+            while i < handles.len() {
+                if handles[i].is_finished() {
+                    let _ = handles.swap_remove(i).join();
+                } else {
+                    i += 1;
+                }
+            }
+            handles.push(handle);
+        }
+    }
+}
+
+/// A running AFT service endpoint. See the module docs for the threading
+/// model.
+pub struct AftServer {
+    shared: Arc<ServerShared>,
+    addr: SocketAddr,
+    accept: Mutex<Option<JoinHandle<()>>>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl AftServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and starts
+    /// serving `cluster`.
+    pub fn serve(cluster: Arc<Cluster>, addr: &str, config: ServerConfig) -> AftResult<AftServer> {
+        let listener = TcpListener::bind(addr)
+            .map_err(|e| AftError::Unavailable(format!("bind {addr}: {e}")))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| AftError::Unavailable(format!("local_addr: {e}")))?;
+        let shared = Arc::new(ServerShared {
+            cluster,
+            stats: Arc::new(ServiceStats::default()),
+            queue: Mutex::new(VecDeque::new()),
+            queue_cv: Condvar::new(),
+            queue_space_cv: Condvar::new(),
+            ledger: Mutex::new(CommitLedger::new(config.dedup_capacity)),
+            ledger_cv: Condvar::new(),
+            affinity: Mutex::new(AffinityMap::new(config.affinity_capacity)),
+            filter: Mutex::new(None),
+            conns: Mutex::new(Vec::new()),
+            reader_handles: Mutex::new(Vec::new()),
+            shutdown: AtomicBool::new(false),
+            config,
+        });
+        let mut workers = Vec::new();
+        for _ in 0..shared.config.workers.max(1) {
+            let worker_shared = Arc::clone(&shared);
+            workers.push(std::thread::spawn(move || worker_loop(worker_shared)));
+        }
+        let accept = {
+            let accept_shared = Arc::clone(&shared);
+            std::thread::spawn(move || accept_loop(accept_shared, listener))
+        };
+        Ok(AftServer {
+            shared,
+            addr,
+            accept: Mutex::new(Some(accept)),
+            workers: Mutex::new(workers),
+        })
+    }
+
+    /// The bound address (with the real port when `:0` was requested).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The cluster being served.
+    pub fn cluster(&self) -> &Arc<Cluster> {
+        &self.shared.cluster
+    }
+
+    /// Point-in-time service counters.
+    pub fn stats(&self) -> WireStats {
+        self.shared
+            .stats
+            .snapshot(self.shared.cluster.registry().active_count() as u64)
+    }
+
+    /// The raw counters (for tests asserting single fields).
+    pub fn service_stats(&self) -> &Arc<ServiceStats> {
+        &self.shared.stats
+    }
+
+    /// Installs the response filter (chaos/test hook); replaces any prior
+    /// one.
+    pub fn install_response_filter(&self, filter: Arc<dyn ResponseFilter>) {
+        *self.shared.filter.lock() = Some(filter);
+    }
+
+    /// Removes the response filter.
+    pub fn clear_response_filter(&self) {
+        *self.shared.filter.lock() = None;
+    }
+
+    /// Gracefully stops the server: no new connections, existing ones
+    /// closed, all threads joined. Idempotent.
+    pub fn shutdown(&self) {
+        if self.shared.shutdown.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        // Join the accept thread FIRST (woken by a throwaway connection):
+        // once it exits, no new connection can register, so the drains
+        // below cannot race a late accept into a leaked reader thread.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept.lock().take() {
+            let _ = handle.join();
+        }
+        // Close every connection (unblocks reader reads and worker writes),
+        // wake anything parked on the queue or the commit ledger, then join.
+        for conn in self.shared.conns.lock().drain(..) {
+            conn.close();
+        }
+        self.shared.queue_cv.notify_all();
+        self.shared.queue_space_cv.notify_all();
+        self.shared.ledger_cv.notify_all();
+        for handle in self.shared.reader_handles.lock().drain(..) {
+            let _ = handle.join();
+        }
+        for handle in self.workers.lock().drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for AftServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl std::fmt::Debug for AftServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AftServer")
+            .field("addr", &self.addr)
+            .field("workers", &self.shared.config.workers)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aft_cluster::ClusterConfig;
+    use aft_storage::InMemoryStore;
+    use aft_types::clock::TickingClock;
+
+    fn served_cluster(nodes: usize) -> AftServer {
+        let cluster = Cluster::with_clock(
+            ClusterConfig::test(nodes),
+            InMemoryStore::shared(),
+            TickingClock::shared(1, 1),
+        )
+        .unwrap();
+        AftServer::serve(cluster, "127.0.0.1:0", ServerConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn serves_on_an_ephemeral_port_and_shuts_down() {
+        let server = served_cluster(2);
+        assert_ne!(server.local_addr().port(), 0);
+        server.shutdown();
+        server.shutdown(); // idempotent
+    }
+
+    #[test]
+    fn raw_socket_ping_round_trips() {
+        use aft_types::wire::{decode_response, encode_request};
+        let server = served_cluster(1);
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        write_frame(&mut stream, &encode_request(42, &WireRequest::Ping)).unwrap();
+        let payload = read_frame(&mut stream).unwrap().unwrap();
+        let (id, response) = decode_response(&payload).unwrap();
+        assert_eq!(id, 42);
+        assert_eq!(response, WireResponse::Pong);
+        let stats = server.stats();
+        assert_eq!(stats.connections_accepted, 1);
+        assert_eq!(stats.requests, 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn garbage_frames_close_the_connection_with_an_error() {
+        use aft_types::wire::decode_response;
+        let server = served_cluster(1);
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        write_frame(&mut stream, b"definitely not a request").unwrap();
+        let payload = read_frame(&mut stream).unwrap().unwrap();
+        let (_, response) = decode_response(&payload).unwrap();
+        assert!(matches!(response, WireResponse::Error(AftError::Codec(_))));
+        // The server hangs up after the error frame.
+        assert!(read_frame(&mut stream).unwrap().is_none());
+        server.shutdown();
+    }
+
+    #[test]
+    fn ledger_evicts_oldest_beyond_capacity() {
+        let mut ledger = CommitLedger::new(2);
+        let tid = |n: u128| TransactionId::new(n as u64, Uuid::from_u128(n));
+        ledger.record(Uuid::from_u128(1), tid(1), true);
+        ledger.record(Uuid::from_u128(2), tid(2), true);
+        ledger.record(Uuid::from_u128(3), tid(3), true);
+        assert!(!ledger.done.contains_key(&Uuid::from_u128(1)));
+        assert!(ledger.done.contains_key(&Uuid::from_u128(2)));
+        assert!(ledger.done.contains_key(&Uuid::from_u128(3)));
+    }
+
+    #[test]
+    fn affinity_map_evicts_oldest_beyond_capacity() {
+        let cluster = Cluster::with_clock(
+            ClusterConfig::test(1),
+            InMemoryStore::shared(),
+            TickingClock::shared(1, 1),
+        )
+        .unwrap();
+        let node = cluster.route().unwrap();
+        let mut affinity = AffinityMap::new(2);
+        for i in 1..=3u128 {
+            affinity.insert(Uuid::from_u128(i), Arc::clone(&node));
+        }
+        assert_eq!(affinity.map.len(), 2);
+        assert!(!affinity.map.contains_key(&Uuid::from_u128(1)));
+    }
+}

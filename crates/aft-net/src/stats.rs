@@ -1,0 +1,115 @@
+//! Server and per-connection counters, in the `NodeStats` atomic style.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use aft_types::wire::WireStats;
+
+/// Monotonic counters of one serving endpoint. Cheap to bump from any
+/// thread; snapshotted into a [`WireStats`] for the `Stats` verb.
+#[derive(Debug, Default)]
+pub struct ServiceStats {
+    connections_accepted: AtomicU64,
+    connections_active: AtomicU64,
+    requests: AtomicU64,
+    commits: AtomicU64,
+    duplicate_commits: AtomicU64,
+    errors: AtomicU64,
+    dropped_acks: AtomicU64,
+}
+
+impl ServiceStats {
+    /// Records an accepted connection.
+    pub fn record_accept(&self) {
+        self.connections_accepted.fetch_add(1, Ordering::Relaxed);
+        self.connections_active.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a connection teardown.
+    pub fn record_close(&self) {
+        self.connections_active.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Records one executed request.
+    pub fn record_request(&self) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records an applied (non-duplicate) commit.
+    pub fn record_commit(&self) {
+        self.commits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a duplicate commit acknowledged from the dedup ledger.
+    pub fn record_duplicate_commit(&self) {
+        self.duplicate_commits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records an error response.
+    pub fn record_error(&self) {
+        self.errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records an acknowledgement dropped by a response filter.
+    pub fn record_dropped_ack(&self) {
+        self.dropped_acks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Duplicate commits acknowledged so far.
+    pub fn duplicate_commits(&self) -> u64 {
+        self.duplicate_commits.load(Ordering::Relaxed)
+    }
+
+    /// Point-in-time snapshot; `active_nodes` comes from the cluster
+    /// registry, which the stats object does not own.
+    pub fn snapshot(&self, active_nodes: u64) -> WireStats {
+        WireStats {
+            connections_accepted: self.connections_accepted.load(Ordering::Relaxed),
+            connections_active: self.connections_active.load(Ordering::Relaxed),
+            requests: self.requests.load(Ordering::Relaxed),
+            commits: self.commits.load(Ordering::Relaxed),
+            duplicate_commits: self.duplicate_commits.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            dropped_acks: self.dropped_acks.load(Ordering::Relaxed),
+            active_nodes,
+        }
+    }
+}
+
+/// Per-connection counters.
+#[derive(Debug, Default)]
+pub struct ConnStats {
+    /// Requests decoded on this connection.
+    pub requests: AtomicU64,
+    /// Responses written to this connection.
+    pub responses: AtomicU64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_recorded_events() {
+        let stats = ServiceStats::default();
+        stats.record_accept();
+        stats.record_accept();
+        stats.record_close();
+        for _ in 0..5 {
+            stats.record_request();
+        }
+        stats.record_commit();
+        stats.record_duplicate_commit();
+        stats.record_error();
+        stats.record_dropped_ack();
+
+        let snap = stats.snapshot(3);
+        assert_eq!(snap.connections_accepted, 2);
+        assert_eq!(snap.connections_active, 1);
+        assert_eq!(snap.requests, 5);
+        assert_eq!(snap.commits, 1);
+        assert_eq!(snap.duplicate_commits, 1);
+        assert_eq!(snap.errors, 1);
+        assert_eq!(snap.dropped_acks, 1);
+        assert_eq!(snap.active_nodes, 3);
+    }
+}

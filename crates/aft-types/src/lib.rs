@@ -18,6 +18,9 @@
 //!   and tagged values into the opaque blobs the storage layer persists. AFT
 //!   only relies on the storage engine for durability, so everything it stores
 //!   is just bytes.
+//! * [`wire`] — the aft-net service protocol: versioned, length-prefixed
+//!   request/response frames with client-chosen request ids, so AFT can be
+//!   served over a socket and pipelined clients can complete out of order.
 //! * [`clock`] — the clock abstraction. AFT does not rely on clock
 //!   synchronisation for correctness; timestamps only provide relative
 //!   freshness, and ties are broken by UUID.
@@ -31,6 +34,7 @@ pub mod record;
 pub mod txid;
 pub mod uuid;
 pub mod value;
+pub mod wire;
 
 pub use clock::{Clock, MockClock, SharedClock, SystemClock};
 pub use error::{AftError, AftResult};
@@ -39,6 +43,7 @@ pub use record::{TransactionRecord, TransactionStatus, WriteSet};
 pub use txid::{Timestamp, TransactionId};
 pub use uuid::Uuid;
 pub use value::{payload_of_size, TaggedValue, Value};
+pub use wire::{WireRequest, WireResponse, WireStats};
 
 /// Storage key prefix under which AFT stores key-version data blobs.
 pub const DATA_PREFIX: &str = "data";

@@ -62,6 +62,41 @@ proptest! {
     }
 
     #[test]
+    fn truncated_commit_records_are_rejected(record in arb_record()) {
+        let encoded = encode_commit_record(&record);
+        for cut in 0..encoded.len() {
+            prop_assert!(
+                decode_commit_record(&encoded[..cut]).is_err(),
+                "a {}-byte prefix must not decode", cut
+            );
+        }
+    }
+
+    #[test]
+    fn truncated_tagged_values_are_rejected(tv in arb_tagged_value()) {
+        let encoded = encode_tagged_value(&tv);
+        for cut in 0..encoded.len() {
+            prop_assert!(decode_tagged_value(&encoded[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn bad_record_versions_are_rejected(record in arb_record(), version in any::<u8>()) {
+        prop_assume!(version != 1);
+        let mut raw = encode_commit_record(&record).to_vec();
+        raw[0] = version;
+        prop_assert!(decode_commit_record(&raw).is_err());
+    }
+
+    #[test]
+    fn bad_tagged_value_versions_are_rejected(tv in arb_tagged_value(), version in any::<u8>()) {
+        prop_assume!(version != 1);
+        let mut raw = encode_tagged_value(&tv).to_vec();
+        raw[0] = version;
+        prop_assert!(decode_tagged_value(&raw).is_err());
+    }
+
+    #[test]
     fn transaction_id_order_matches_storage_suffix_order(a in arb_tid(), b in arb_tid()) {
         let (sa, sb) = (a.storage_suffix(), b.storage_suffix());
         prop_assert_eq!(a.cmp(&b), sa.cmp(&sb));

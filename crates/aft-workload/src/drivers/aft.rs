@@ -1,17 +1,20 @@
 //! The AFT-backed request driver.
 //!
-//! Each logical request is routed to one AFT node (directly, or through a
-//! cluster's round-robin router), executes its functions through the FaaS
-//! platform sharing a single AFT transaction, and commits in the last
-//! function. On retryable failures — injected function crashes, a routed
-//! node that has since been killed, or a read with no valid version (§3.6) —
-//! the whole request restarts from scratch with a fresh transaction, which is
-//! exactly the retry model the paper assumes.
+//! Each logical request runs against an [`AftApi`] implementation — a single
+//! node, a cluster's round-robin router, or (via `aft-net`) a client SDK
+//! speaking the wire protocol to a served deployment; the driver is
+//! transport-agnostic, so the same workloads measure all three. Requests
+//! execute their functions through the FaaS platform sharing a single AFT
+//! transaction and commit in the last function. On retryable failures —
+//! injected function crashes, a routed node that has since been killed, a
+//! dropped connection, or a read with no valid version (§3.6) — the whole
+//! request restarts from scratch with a fresh transaction, which is exactly
+//! the retry model the paper assumes.
 
 use std::sync::Arc;
 
 use aft_cluster::Cluster;
-use aft_core::read::is_atomic_readset;
+use aft_core::api::{AftApi, CommitOutcome};
 use aft_core::AftNode;
 use aft_faas::{Composition, FaasPlatform, RetryPolicy};
 use aft_types::{payload_of_size, AftError, AftResult, Key, TransactionId, Value};
@@ -20,22 +23,57 @@ use crate::anomaly::AnomalyFlags;
 use crate::drivers::RequestDriver;
 use crate::generator::TransactionPlan;
 
-/// Routes each request to an AFT node.
-type NodeSelector = Arc<dyn Fn() -> AftResult<Arc<AftNode>> + Send + Sync>;
+/// Selects the API endpoint each request attempt runs against.
+type ApiSelector = Arc<dyn Fn() -> AftResult<Arc<dyn AftApi>> + Send + Sync>;
+
+/// Selects between the two ways a driver can reach AFT, so experiment
+/// configuration (rather than code) decides whether a run is in-process or
+/// crosses the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ClientMode {
+    /// Calls go straight into the `AftNode`/`Cluster` objects in-process.
+    #[default]
+    InProcess,
+    /// Calls go through an `aft-net` client over a socket to a served
+    /// cluster.
+    Networked,
+}
+
+impl ClientMode {
+    /// Reads `AFT_CLIENT_MODE` (`net`/`networked` vs `local`/`inprocess`;
+    /// unset means in-process).
+    pub fn from_env() -> Self {
+        match std::env::var("AFT_CLIENT_MODE").ok().as_deref() {
+            Some("net") | Some("networked") => ClientMode::Networked,
+            _ => ClientMode::InProcess,
+        }
+    }
+
+    /// A short label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ClientMode::InProcess => "in-process",
+            ClientMode::Networked => "networked",
+        }
+    }
+}
 
 /// Executes logical requests through the AFT shim.
 pub struct AftDriver {
     platform: Arc<FaasPlatform>,
-    select_node: NodeSelector,
+    select_api: ApiSelector,
     retry: RetryPolicy,
     label: String,
 }
 
 /// Per-attempt request state carried across the functions of one composition.
 struct AftRequestCtx {
-    node: Option<Arc<AftNode>>,
+    api: Option<Arc<dyn AftApi>>,
     txid: Option<TransactionId>,
     committed: bool,
+    /// The commit's verdict (read-atomicity check runs where the metadata
+    /// lives — in-process or server-side).
+    outcome: Option<CommitOutcome>,
     /// True versions observed for reads served from committed data.
     reads: Vec<(Key, TransactionId)>,
     /// Values this request wrote, for read-your-writes verification.
@@ -48,8 +86,8 @@ impl Drop for AftRequestCtx {
         // A failed attempt leaves a dangling transaction; abort it eagerly
         // rather than waiting for the node's timeout sweep.
         if !self.committed {
-            if let (Some(node), Some(txid)) = (&self.node, &self.txid) {
-                let _ = node.abort(txid);
+            if let (Some(api), Some(txid)) = (&self.api, &self.txid) {
+                let _ = api.abort(txid);
             }
         }
     }
@@ -62,12 +100,8 @@ impl AftDriver {
         platform: Arc<FaasPlatform>,
         retry: RetryPolicy,
     ) -> Self {
-        AftDriver {
-            platform,
-            select_node: Arc::new(move || Ok(Arc::clone(&node))),
-            retry,
-            label: "AFT".to_owned(),
-        }
+        let api: Arc<dyn AftApi> = node;
+        Self::from_api(api, platform, retry).with_label("AFT")
     }
 
     /// A driver that routes each request through a cluster's load balancer.
@@ -78,9 +112,22 @@ impl AftDriver {
     ) -> Self {
         AftDriver {
             platform,
-            select_node: Arc::new(move || cluster.route()),
+            select_api: Arc::new(move || cluster.route().map(|node| node as Arc<dyn AftApi>)),
             retry,
             label: "AFT (clustered)".to_owned(),
+        }
+    }
+
+    /// A driver over any [`AftApi`] endpoint — the constructor the networked
+    /// client uses (the endpoint itself routes server-side), and the common
+    /// base of the other two.
+    pub fn from_api(api: Arc<dyn AftApi>, platform: Arc<FaasPlatform>, retry: RetryPolicy) -> Self {
+        let label = format!("AFT ({})", api.api_label());
+        AftDriver {
+            platform,
+            select_api: Arc::new(move || Ok(Arc::clone(&api))),
+            retry,
+            label,
         }
     }
 
@@ -101,17 +148,17 @@ impl AftDriver {
             "aft-request",
             plan.functions.len(),
             move |ctx: &mut AftRequestCtx, info| {
-                let node = ctx
-                    .node
+                let api = ctx
+                    .api
                     .clone()
-                    .ok_or_else(|| AftError::Unavailable("no AFT node available".to_owned()))?;
+                    .ok_or_else(|| AftError::Unavailable("no AFT endpoint available".to_owned()))?;
                 let txid = ctx.txid.ok_or_else(|| {
                     AftError::Unavailable("transaction was not started".to_owned())
                 })?;
                 let function = &plan.functions[info.step_index];
 
                 for key in &function.reads {
-                    match node.get_versioned(&txid, key)? {
+                    match api.get_versioned(&txid, key)? {
                         Some((value, Some(version))) => {
                             ctx.reads.push((key.clone(), version));
                             let _ = value;
@@ -127,7 +174,7 @@ impl AftDriver {
                 }
                 for key in &function.writes {
                     let value = payload_of_size(plan.value_size);
-                    node.put(&txid, key.clone(), value.clone())?;
+                    api.put(&txid, key.clone(), value.clone())?;
                     ctx.written.insert(key.clone(), value);
                     // The §1 hazard: a crash between two writes of the same
                     // request. AFT's write buffer keeps the partial update
@@ -139,8 +186,9 @@ impl AftDriver {
                     }
                 }
                 if info.step_index + 1 == info.total_steps {
-                    node.commit(&txid)?;
+                    let outcome = api.commit(&txid, &ctx.reads)?;
                     ctx.committed = true;
+                    ctx.outcome = Some(outcome);
                 }
                 Ok(())
             },
@@ -156,17 +204,18 @@ impl RequestDriver for AftDriver {
     fn execute(&self, plan: &TransactionPlan) -> AftResult<AnomalyFlags> {
         let plan = Arc::new(plan.clone());
         let composition = self.build_composition(Arc::clone(&plan));
-        let select_node = Arc::clone(&self.select_node);
+        let select_api = Arc::clone(&self.select_api);
 
         let (ctx, outcome) = self.platform.run_request(
             &composition,
             move |_attempt| {
-                let node = select_node().ok();
-                let txid = node.as_ref().map(|n| n.start_transaction());
+                let api = select_api().ok();
+                let txid = api.as_ref().and_then(|a| a.begin().ok());
                 AftRequestCtx {
-                    node,
+                    api,
                     txid,
                     committed: false,
+                    outcome: None,
                     reads: Vec::new(),
                     written: std::collections::HashMap::new(),
                     ryw_violation: false,
@@ -177,11 +226,10 @@ impl RequestDriver for AftDriver {
 
         match ctx {
             Some(ctx) => {
-                let node = ctx.node.as_ref().expect("successful request had a node");
-                let fractured = !is_atomic_readset(&ctx.reads, node.metadata());
+                let atomic = ctx.outcome.as_ref().is_none_or(|o| o.atomic);
                 Ok(AnomalyFlags {
                     read_your_writes: ctx.ryw_violation,
-                    fractured_read: fractured,
+                    fractured_read: !atomic,
                 })
             }
             None => Err(outcome
@@ -191,18 +239,8 @@ impl RequestDriver for AftDriver {
     }
 
     fn preload(&self, keys: &[Key], value_size: usize) -> AftResult<()> {
-        let node = (self.select_node)()?;
-        for chunk in keys.chunks(500) {
-            let txid = node.start_transaction();
-            node.put_all(
-                &txid,
-                chunk
-                    .iter()
-                    .map(|key| (key.clone(), payload_of_size(value_size))),
-            )?;
-            node.commit(&txid)?;
-        }
-        Ok(())
+        let api = (self.select_api)()?;
+        aft_core::api::preload_keys(&api, keys, |_| payload_of_size(value_size))
     }
 }
 
@@ -282,5 +320,12 @@ mod tests {
         for key in &keys {
             assert!(node.get(&t, key).unwrap().is_some());
         }
+    }
+
+    #[test]
+    fn client_mode_parses_from_env_labels() {
+        assert_eq!(ClientMode::default(), ClientMode::InProcess);
+        assert_eq!(ClientMode::InProcess.label(), "in-process");
+        assert_eq!(ClientMode::Networked.label(), "networked");
     }
 }

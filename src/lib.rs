@@ -15,6 +15,10 @@
 //! * [`cluster`] (`aft-cluster`) — multi-node deployments: routing, commit
 //!   multicast with pruning, the fault manager, and global garbage
 //!   collection.
+//! * [`net`] (`aft-net`) — the service layer: a TCP wire-protocol server
+//!   fronting a cluster, and the pooled, pipelined client SDK that speaks
+//!   it (with seeded connection-fault injection), so AFT runs as a real
+//!   networked service rather than only as a library.
 //! * [`faas`] (`aft-faas`) — the simulated FaaS platform (function
 //!   compositions, retries, failure injection, concurrency limits).
 //! * [`workload`] (`aft-workload`) — workload generation, baseline drivers,
@@ -52,6 +56,7 @@
 pub use aft_cluster as cluster;
 pub use aft_core as core;
 pub use aft_faas as faas;
+pub use aft_net as net;
 pub use aft_storage as storage;
 pub use aft_types as types;
 pub use aft_workload as workload;

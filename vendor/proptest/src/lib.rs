@@ -20,6 +20,7 @@
 
 pub mod arbitrary;
 pub mod collection;
+pub mod option;
 pub mod sample;
 pub mod strategy;
 pub mod string;
@@ -28,7 +29,7 @@ pub mod test_runner;
 /// Path-compatibility alias so `prop::sample::Index` etc. resolve as they do
 /// with the real crate's prelude.
 pub mod prop {
-    pub use crate::{arbitrary, collection, sample, strategy, string};
+    pub use crate::{arbitrary, collection, option, sample, strategy, string};
 }
 
 /// The glob-import surface test files use: `use proptest::prelude::*;`.
@@ -37,7 +38,24 @@ pub mod prelude {
     pub use crate::prop;
     pub use crate::strategy::{BoxedStrategy, Just, Strategy};
     pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult, TestRunner};
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Skips the current case when its precondition does not hold.
+///
+/// Upstream proptest rejects the case and draws a replacement (with a global
+/// reject budget); the stub simply treats the case as passing, which keeps
+/// determinism and is indistinguishable for the assume-rarely patterns the
+/// workspace uses (e.g. "any version byte except the current one").
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Ok(());
+        }
+    };
 }
 
 /// Asserts a condition inside a `proptest!` body, failing the current case

@@ -1,0 +1,35 @@
+//! The `proptest::option` module subset: [`of`].
+
+use std::fmt::Debug;
+
+use rand::Rng;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// A strategy for `Option<V>`, produced by [`of`].
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S>
+where
+    S::Value: Debug,
+{
+    type Value = Option<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        // Matches upstream's default `None` probability of 1 in 4.
+        if rng.gen_range(0..4u32) == 0 {
+            None
+        } else {
+            Some(self.inner.generate(rng))
+        }
+    }
+}
+
+/// Yields `None` a quarter of the time and `Some(inner)` otherwise, like
+/// upstream `proptest::option::of` with its default probability.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
