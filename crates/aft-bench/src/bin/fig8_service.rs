@@ -14,6 +14,8 @@
 //!   `BENCH_service.json`).
 //! * `AFT_BENCH_FAST=1` — run the sub-minute CI sweep instead of the full
 //!   one.
+//! * `AFT_SERVICE_CONNS=256,1024` — override the connection-scale leg's
+//!   resident-connection counts (comma-separated).
 
 use aft_bench::service::{fig8_service, ServiceConfig};
 
@@ -42,23 +44,39 @@ fn main() {
     }
 
     let fast = std::env::var("AFT_BENCH_FAST").is_ok();
-    let config = if fast {
+    let mut config = if fast {
         ServiceConfig::fast()
     } else {
         ServiceConfig::standard()
     };
+    if let Ok(conns) = std::env::var("AFT_SERVICE_CONNS") {
+        let counts: Vec<usize> = conns
+            .split(',')
+            .map(|c| {
+                c.trim().parse().unwrap_or_else(|_| {
+                    eprintln!("AFT_SERVICE_CONNS: {c:?} is not a connection count");
+                    std::process::exit(2);
+                })
+            })
+            .collect();
+        if !counts.is_empty() {
+            config.conn_counts = counts;
+        }
+    }
     println!(
         "fig8_service (fast={fast}): {} nodes, {} workers, clients {:?}, \
-         {} requests/client, chaos reset rate {:.0}%\n",
+         {} requests/client, chaos reset rate {:.0}%, connection scale {:?}\n",
         config.nodes,
         config.workers,
         config.client_counts,
         config.requests_per_client,
-        config.reset_rate * 100.0
+        config.reset_rate * 100.0,
+        config.conn_counts,
     );
 
     let report = fig8_service(&config);
     report.table().print();
+    report.conn_table().print();
 
     if let Err(e) = std::fs::write(&out_path, report.to_json().render()) {
         eprintln!("failed to write {out_path}: {e}");

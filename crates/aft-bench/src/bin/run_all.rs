@@ -83,6 +83,7 @@ fn main() {
         };
         let service_report = service::fig8_service(&service_config);
         service_report.table().print();
+        service_report.conn_table().print();
 
         // Persist the machine-readable reports so the summary below (and
         // any later --summary-only run) sees this run's numbers.

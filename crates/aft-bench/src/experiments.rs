@@ -17,7 +17,7 @@ use aft_workload::{
 };
 
 use crate::report::{ms, Table};
-use crate::setup::{BenchEnv, NetEnvConfig};
+use crate::setup::{BenchEnv, ServeOptions};
 
 fn latency_row(table: &mut Table, config: &str, detail: &str, result: &RunResult) {
     table.add_row(vec![
@@ -482,7 +482,7 @@ pub fn fig8_distributed(env: &BenchEnv) -> Table {
             let storage = env.storage(kind, 0xF8_01 + nodes as u64);
             let cluster = env.cluster(storage, nodes, true);
             cluster.start_background();
-            let (driver, service) = env.cluster_driver(&cluster, mode, &NetEnvConfig::default());
+            let (driver, service) = env.cluster_driver(&cluster, mode, &ServeOptions::default());
             let driver = match mode {
                 ClientMode::InProcess => driver.with_label(format!("AFT ({})", kind.label())),
                 ClientMode::Networked => {

@@ -624,7 +624,7 @@ fn run_network_trial(
     trial_seed: u64,
     config: &RecoveryConfig,
 ) -> TrialResult {
-    use crate::setup::{serve_cluster, NetEnvConfig};
+    use crate::setup::{serve_cluster, ServeOptions};
 
     let storage = aft_storage::make_backend(BackendConfig {
         kind: backend,
@@ -650,7 +650,7 @@ fn run_network_trial(
         .expect("fault-free construction: storage injection is off in network mode");
     let handle = serve_cluster(
         &cluster,
-        &NetEnvConfig {
+        &ServeOptions {
             workers: 4,
             pool_size: config.clients.max(2),
             retry: aft_storage::io::RetryConfig {
@@ -665,6 +665,7 @@ fn run_network_trial(
                 Duration::from_millis(1),
             )),
             seed: trial_seed ^ 0x5DC,
+            ..ServeOptions::default()
         },
     )
     .expect("serve on loopback");

@@ -7,7 +7,7 @@ use aft_cluster::{Cluster, ClusterConfig};
 use aft_core::api::AftApi;
 use aft_core::{AftNode, NodeConfig};
 use aft_faas::{FaasPlatform, PlatformConfig, RetryPolicy};
-use aft_net::{AftClient, AftServer, ClientConfig, NetChaosConfig, ServerConfig};
+use aft_net::{AftClient, AftServer, NetChaosConfig};
 use aft_storage::io::RetryConfig;
 use aft_storage::latency::LatencyProfile;
 use aft_storage::{BackendConfig, BackendKind, LatencyMode, SharedStorage};
@@ -170,31 +170,67 @@ impl BenchEnv {
     }
 }
 
-/// Tuning of a networked (aft-net) endpoint for experiments that serve
-/// their cluster over loopback.
+/// The one way experiments stand a cluster up as a networked service:
+/// every knob of the loopback endpoint — server thread model and worker
+/// pool, client pool/retry/chaos — in a single options struct, so
+/// `fig8_service`, `fig10_recovery`, and future benches configure the
+/// service identically (`ServeOptions { workers: 8, ..Default::default() }`
+/// style).
 #[derive(Debug, Clone)]
-pub struct NetEnvConfig {
+pub struct ServeOptions {
     /// Server worker-pool size.
     pub workers: usize,
+    /// Server thread model: the readiness-driven event loop (default) or
+    /// the thread-per-connection baseline.
+    pub event_driven: bool,
+    /// Connection slots preallocated in the event loop's slab (sizing hint
+    /// for high-connection sweeps; the slab grows beyond it).
+    pub slab_capacity: usize,
     /// Client connection-pool size.
     pub pool_size: usize,
     /// Client transport retry/backoff budget.
     pub retry: RetryConfig,
-    /// Optional seeded connection-fault injection.
+    /// Optional seeded connection-fault injection (client side).
     pub chaos: Option<NetChaosConfig>,
     /// Client UUID seed.
     pub seed: u64,
+    /// Keep the client-side ack log (experiments verify acks against the
+    /// durable commit set).
+    pub record_acks: bool,
 }
 
-impl Default for NetEnvConfig {
+impl Default for ServeOptions {
     fn default() -> Self {
-        NetEnvConfig {
+        ServeOptions {
             workers: 4,
+            event_driven: true,
+            slab_capacity: 1_024,
             pool_size: 4,
             retry: RetryConfig::default(),
             chaos: None,
             seed: 0xAF7_11E7,
+            record_acks: true,
         }
+    }
+}
+
+impl ServeOptions {
+    /// Overrides the server worker-pool size.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Overrides the client connection-pool size.
+    pub fn pool_size(mut self, pool_size: usize) -> Self {
+        self.pool_size = pool_size;
+        self
+    }
+
+    /// Overrides the client UUID seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
     }
 }
 
@@ -211,24 +247,21 @@ pub struct ServiceHandle {
 /// the shared construction used by `fig8_service`, the networked
 /// `fig8_distributed` variant, and the recovery matrix's network-fault
 /// trials.
-pub fn serve_cluster(cluster: &Arc<Cluster>, net: &NetEnvConfig) -> AftResult<ServiceHandle> {
-    let server = AftServer::serve(
-        Arc::clone(cluster),
-        "127.0.0.1:0",
-        ServerConfig::default().with_workers(net.workers),
-    )?;
-    let client = AftClient::connect(
-        server.local_addr(),
-        ClientConfig {
-            pool_size: net.pool_size,
-            retry: net.retry,
-            chaos: net.chaos,
-            rng_seed: net.seed,
-            // Experiments verify acks against the durable commit set.
-            record_acks: true,
-            ..ClientConfig::default()
-        },
-    )?;
+pub fn serve_cluster(cluster: &Arc<Cluster>, options: &ServeOptions) -> AftResult<ServiceHandle> {
+    let server = AftServer::builder()
+        .workers(options.workers)
+        .event_driven(options.event_driven)
+        .slab_capacity(options.slab_capacity)
+        .serve(Arc::clone(cluster), "127.0.0.1:0")?;
+    let mut client = AftClient::builder()
+        .pool_size(options.pool_size)
+        .retry(options.retry)
+        .rng_seed(options.seed)
+        .record_acks(options.record_acks);
+    if let Some(chaos) = options.chaos {
+        client = client.chaos(chaos);
+    }
+    let client = client.connect(server.local_addr())?;
     Ok(ServiceHandle { server, client })
 }
 
@@ -240,7 +273,7 @@ impl BenchEnv {
         &self,
         cluster: &Arc<Cluster>,
         mode: ClientMode,
-        net: &NetEnvConfig,
+        options: &ServeOptions,
     ) -> (AftDriver, Option<ServiceHandle>) {
         match mode {
             ClientMode::InProcess => (
@@ -248,7 +281,7 @@ impl BenchEnv {
                 None,
             ),
             ClientMode::Networked => {
-                let handle = serve_cluster(cluster, net)
+                let handle = serve_cluster(cluster, options)
                     .expect("serving a cluster on loopback only fails when bind is refused");
                 let api: Arc<dyn AftApi> = Arc::clone(&handle.client) as Arc<dyn AftApi>;
                 let driver = AftDriver::from_api(api, self.platform(), self.retry());

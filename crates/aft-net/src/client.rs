@@ -42,27 +42,15 @@ use rand::SeedableRng;
 use crate::chaos::{ConnChaos, NetChaosConfig, NetChaosStats, NetFault};
 use crate::frame::{read_frame, write_frame};
 
-/// Tuning of an [`AftClient`].
+/// Tuning of an [`AftClient`]; built with [`AftClient::builder`].
 #[derive(Debug, Clone)]
 pub struct ClientConfig {
-    /// Connections in the pool; transactions round-robin across them.
-    pub pool_size: usize,
-    /// Transport retry budget and backoff, mirroring the I/O engine's
-    /// semantics (attempt `n` waits `base_backoff << (n-1)`, capped).
-    pub retry: RetryConfig,
-    /// How long one request may await its response before the connection is
-    /// declared dead and the request retried.
-    pub request_timeout: Duration,
-    /// Optional seeded connection-fault injection.
-    pub chaos: Option<NetChaosConfig>,
-    /// Seed for transaction UUIDs (distinct clients should use distinct
-    /// seeds).
-    pub rng_seed: u64,
-    /// When true, every commit acknowledgement's final id is appended to an
-    /// unbounded in-memory log ([`AftClient::acked_commits`]) so chaos
-    /// verifiers can compare acks against the durable commit set. Off by
-    /// default: a long-lived production client must not grow per commit.
-    pub record_acks: bool,
+    pub(crate) pool_size: usize,
+    pub(crate) retry: RetryConfig,
+    pub(crate) request_timeout: Duration,
+    pub(crate) chaos: Option<NetChaosConfig>,
+    pub(crate) rng_seed: u64,
+    pub(crate) record_acks: bool,
 }
 
 impl Default for ClientConfig {
@@ -79,28 +67,78 @@ impl Default for ClientConfig {
 }
 
 impl ClientConfig {
-    /// Overrides the pool size (clamped to ≥ 1).
-    pub fn with_pool_size(mut self, pool_size: usize) -> Self {
-        self.pool_size = pool_size.max(1);
+    /// Starts a builder from the defaults (same as [`AftClient::builder`]).
+    pub fn builder() -> ClientBuilder {
+        ClientBuilder {
+            config: ClientConfig::default(),
+        }
+    }
+
+    /// Connections in the pool.
+    pub fn pool_size(&self) -> usize {
+        self.pool_size
+    }
+}
+
+/// Fluent configuration for [`AftClient`]. `AftClient::builder().build()`
+/// is identical to `ClientConfig::default()`.
+#[derive(Debug, Clone)]
+pub struct ClientBuilder {
+    config: ClientConfig,
+}
+
+impl ClientBuilder {
+    /// Connections in the pool (clamped to ≥ 1); transactions round-robin
+    /// across them.
+    pub fn pool_size(mut self, pool_size: usize) -> Self {
+        self.config.pool_size = pool_size.max(1);
         self
     }
 
-    /// Installs a chaos injector.
-    pub fn with_chaos(mut self, chaos: NetChaosConfig) -> Self {
-        self.chaos = Some(chaos);
+    /// Transport retry budget and backoff, mirroring the I/O engine's
+    /// semantics (attempt `n` waits `base_backoff << (n-1)`, capped).
+    pub fn retry(mut self, retry: RetryConfig) -> Self {
+        self.config.retry = retry;
         self
     }
 
-    /// Overrides the UUID seed.
-    pub fn with_seed(mut self, rng_seed: u64) -> Self {
-        self.rng_seed = rng_seed;
+    /// How long one request may await its response before the connection is
+    /// declared dead and the request retried.
+    pub fn request_timeout(mut self, timeout: Duration) -> Self {
+        self.config.request_timeout = timeout;
         self
     }
 
-    /// Enables the acked-commit log (bench/chaos verification).
-    pub fn with_ack_log(mut self) -> Self {
-        self.record_acks = true;
+    /// Installs seeded connection-fault injection.
+    pub fn chaos(mut self, chaos: NetChaosConfig) -> Self {
+        self.config.chaos = Some(chaos);
         self
+    }
+
+    /// Seed for transaction UUIDs (distinct clients should use distinct
+    /// seeds).
+    pub fn rng_seed(mut self, rng_seed: u64) -> Self {
+        self.config.rng_seed = rng_seed;
+        self
+    }
+
+    /// When `true`, every commit acknowledgement's final id is appended to
+    /// an unbounded in-memory log ([`AftClient::acked_commits`]) so chaos
+    /// verifiers can compare acks against the durable commit set. Off by
+    /// default: a long-lived production client must not grow per commit.
+    pub fn record_acks(mut self, record_acks: bool) -> Self {
+        self.config.record_acks = record_acks;
+        self
+    }
+
+    /// Finishes into a [`ClientConfig`].
+    pub fn build(self) -> ClientConfig {
+        self.config
+    }
+
+    /// Builds and immediately connects to `addr`.
+    pub fn connect(self, addr: impl ToSocketAddrs) -> AftResult<Arc<AftClient>> {
+        AftClient::connect(addr, self.build())
     }
 }
 
@@ -260,6 +298,11 @@ pub struct AftClient {
 }
 
 impl AftClient {
+    /// Starts configuring a client; `.connect(addr)` launches it.
+    pub fn builder() -> ClientBuilder {
+        ClientConfig::builder()
+    }
+
     /// Connects to `addr` (anything `ToSocketAddrs`, e.g.
     /// `"127.0.0.1:4400"`). Eagerly opens the first pooled connection so
     /// misconfiguration fails here, not mid-workload.
@@ -634,6 +677,31 @@ mod tests {
         };
         let result = AftClient::connect(("127.0.0.1", port), ClientConfig::default());
         assert!(matches!(result, Err(AftError::Unavailable(_))));
+    }
+
+    #[test]
+    fn builder_defaults_match_default_config() {
+        let built = AftClient::builder().build();
+        let defaults = ClientConfig::default();
+        assert_eq!(built.pool_size, defaults.pool_size);
+        assert_eq!(built.request_timeout, defaults.request_timeout);
+        assert_eq!(built.rng_seed, defaults.rng_seed);
+        assert_eq!(built.record_acks, defaults.record_acks);
+        assert!(built.chaos.is_none());
+    }
+
+    #[test]
+    fn builder_knobs_are_applied_and_clamped() {
+        let config = AftClient::builder()
+            .pool_size(0)
+            .rng_seed(42)
+            .record_acks(true)
+            .request_timeout(Duration::from_secs(3))
+            .build();
+        assert_eq!(config.pool_size, 1, "clamped to >= 1");
+        assert_eq!(config.rng_seed, 42);
+        assert!(config.record_acks);
+        assert_eq!(config.request_timeout, Duration::from_secs(3));
     }
 
     #[test]

@@ -8,13 +8,16 @@
 //! * [`frame`] — length-prefixed framing over any `Read`/`Write` stream,
 //!   with a hard size cap so hostile lengths cannot OOM either peer.
 //! * [`server`] — [`server::AftServer`]: a `std::net` TCP listener fronting
-//!   an `aft-cluster` [`Cluster`](aft_cluster::Cluster). One reader thread
-//!   per connection demultiplexes pipelined requests into a sized worker
-//!   pool; responses carry the client's request id and may complete out of
-//!   order. `Commit` is deduplicated on the transaction UUID, which closes
-//!   §4.2's lost-acknowledgement window *end to end*: a client that
-//!   resends a commit whose ack died with the connection gets the original
-//!   outcome, never a second apply.
+//!   an `aft-cluster` [`Cluster`](aft_cluster::Cluster). By default a
+//!   single readiness-driven event-loop thread (see [`event_loop`]) owns
+//!   every socket — nonblocking reads through incremental frame decoders,
+//!   vectored batched writes — and demultiplexes pipelined requests into a
+//!   sized worker pool, so connections scale to thousands while thread
+//!   count stays O(workers). Responses carry the client's request id and
+//!   may complete out of order. `Commit` is deduplicated on the transaction
+//!   UUID, which closes §4.2's lost-acknowledgement window *end to end*: a
+//!   client that resends a commit whose ack died with the connection gets
+//!   the original outcome, never a second apply.
 //! * [`client`] — [`client::AftClient`]: the SDK. A connection pool with
 //!   per-connection pipelining, a client-side Atomic Write Buffer (writes
 //!   ship inside `Commit`, making it idempotently resendable), and
@@ -29,13 +32,18 @@
 //! * [`stats`] — server/connection counters in the `NodeStats` style,
 //!   snapshotted over the wire via the `Stats` verb.
 
+mod buffer;
 pub mod chaos;
 pub mod client;
+pub mod event_loop;
 pub mod frame;
 pub mod server;
 pub mod stats;
 
 pub use chaos::{ConnChaos, NetChaosConfig, NetChaosStats, NetFault};
-pub use client::{AftClient, ClientConfig, ClientStatsSnapshot};
-pub use server::{AftServer, ResponseFilter, ServerConfig};
+pub use client::{AftClient, ClientBuilder, ClientConfig, ClientStatsSnapshot};
+pub use event_loop::EventSnapshot;
+pub use server::{
+    AftServer, PollerBackend, ResponseFilter, ServerBuilder, ServerConfig, ThreadModel,
+};
 pub use stats::ServiceStats;

@@ -1,22 +1,29 @@
 //! The AFT wire-protocol server.
 //!
 //! [`AftServer`] fronts an `aft-cluster` [`Cluster`] with a `std::net` TCP
-//! listener. The threading model:
+//! listener. Two thread models exist, selected by
+//! [`ServerBuilder::event_driven`]:
 //!
-//! * an **accept thread** takes connections and spawns one **reader
-//!   thread** per connection, which decodes frames and enqueues decoded
-//!   requests (per-connection demultiplexing);
-//! * a **sized worker pool** drains the shared queue, executes each request
-//!   against the cluster (routing through the existing round-robin router,
-//!   with per-transaction node affinity), and writes the response back on
-//!   the originating connection.
+//! * **Event-driven** (the default): one readiness-driven I/O thread owns
+//!   every socket — accept, nonblocking reads into incremental frame
+//!   decoders, and vectored batched writes — behind the vendored `polling`
+//!   poller. Connections live in a slab of per-connection state machines,
+//!   so thread count is O(workers) while connections scale to thousands.
+//!   See [`crate::event_loop`] for the state-machine details.
+//! * **Thread-per-connection** (`.event_driven(false)`): the PR-5 model —
+//!   an accept thread spawns one reader thread per connection. Kept as a
+//!   debugging baseline; it burns a thread per socket.
+//!
+//! In both models a **sized worker pool** drains one shared queue, executes
+//! each request against the cluster (routing through the round-robin
+//! router, with per-transaction node affinity), and responds on the
+//! originating connection — directly in threaded mode, via a wakeable
+//! completion queue back to the I/O thread in event mode.
 //!
 //! Because workers are shared, two pipelined requests from one connection
 //! execute concurrently and their responses — which carry the client's
-//! request ids — may be written in either order; storage fetches inside a
-//! request additionally overlap via each node's `IoEngine`. Out-of-order
-//! completion is therefore the *normal* case under pipelining, not an edge
-//! case.
+//! request ids — may be written in either order; out-of-order completion is
+//! the *normal* case under pipelining, not an edge case.
 //!
 //! ## Transaction affinity and the commit ledger
 //!
@@ -36,8 +43,8 @@
 //! ## Shutdown
 //!
 //! [`AftServer::shutdown`] is graceful and idempotent: it stops accepting,
-//! closes every connection (readers exit), drains the workers, and joins
-//! all threads. Dropping the server shuts it down.
+//! closes every connection, drains the workers, and joins all threads.
+//! Dropping the server shuts it down.
 
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
@@ -52,29 +59,59 @@ use aft_core::AftNode;
 use aft_types::wire::{decode_request, encode_response, WireRequest, WireResponse, WireStats};
 use aft_types::{AftError, AftResult, Key, TransactionId, Uuid, Value};
 use parking_lot::{Condvar, Mutex};
+use polling::Poller;
 
+use crate::buffer::BufferPool;
+use crate::event_loop::{
+    Completion, CompletionAction, ConnHandle, EventLoop, EventSnapshot, EventStats,
+};
 use crate::frame::{read_frame, write_frame};
 use crate::stats::{ConnStats, ServiceStats};
 
-/// Tuning of an [`AftServer`].
+/// Which readiness backend the event loop asks the poller for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PollerBackend {
+    /// Platform default: epoll on Linux, poll(2) elsewhere.
+    #[default]
+    Auto,
+    /// Linux `epoll(7)`; serving fails on other platforms.
+    Epoll,
+    /// Portable `poll(2)`.
+    Poll,
+}
+
+impl PollerBackend {
+    pub(crate) fn to_polling(self) -> polling::Backend {
+        match self {
+            PollerBackend::Auto => polling::Backend::Auto,
+            PollerBackend::Epoll => polling::Backend::Epoll,
+            PollerBackend::Poll => polling::Backend::Poll,
+        }
+    }
+}
+
+/// The thread model a running server is using.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ThreadModel {
+    /// One I/O thread multiplexing all sockets (the default).
+    EventDriven,
+    /// One reader thread per connection (debugging baseline).
+    ThreadPerConnection,
+}
+
+/// Tuning of an [`AftServer`]; built with [`AftServer::builder`].
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
-    /// Worker threads executing requests (the pool is shared by every
-    /// connection).
-    pub workers: usize,
-    /// Completed commits remembered for duplicate detection; the oldest
-    /// entries are evicted beyond this. A duplicate arriving after its
-    /// entry was evicted would re-apply, so size this to comfortably cover
-    /// the client retry horizon.
-    pub dedup_capacity: usize,
-    /// Transaction→node affinity entries kept; beyond this the oldest are
-    /// dropped (their transactions re-route on next touch).
-    pub affinity_capacity: usize,
-    /// Decoded requests allowed to wait for a worker before readers stop
-    /// pulling from their sockets (backpressure): a client that pipelines
-    /// faster than the pool drains is throttled by TCP instead of growing
-    /// server memory without bound.
-    pub queue_capacity: usize,
+    pub(crate) workers: usize,
+    pub(crate) dedup_capacity: usize,
+    pub(crate) affinity_capacity: usize,
+    pub(crate) queue_capacity: usize,
+    pub(crate) event_driven: bool,
+    pub(crate) slab_capacity: usize,
+    pub(crate) read_chunk: usize,
+    pub(crate) write_batch: usize,
+    pub(crate) write_buffer_cap: usize,
+    pub(crate) poller_backend: PollerBackend,
 }
 
 impl Default for ServerConfig {
@@ -84,15 +121,127 @@ impl Default for ServerConfig {
             dedup_capacity: 65_536,
             affinity_capacity: 65_536,
             queue_capacity: 1_024,
+            event_driven: true,
+            slab_capacity: 1_024,
+            read_chunk: 16 * 1024,
+            write_batch: 64,
+            write_buffer_cap: 4 * 1024 * 1024,
+            poller_backend: PollerBackend::Auto,
         }
     }
 }
 
 impl ServerConfig {
-    /// Overrides the worker-pool size (clamped to ≥ 1).
-    pub fn with_workers(mut self, workers: usize) -> Self {
-        self.workers = workers.max(1);
+    /// Starts a builder from the defaults (same as [`AftServer::builder`]).
+    pub fn builder() -> ServerBuilder {
+        ServerBuilder {
+            config: ServerConfig::default(),
+        }
+    }
+
+    /// Worker threads executing requests.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Decoded requests allowed to wait for a worker before backpressure.
+    pub fn queue_capacity(&self) -> usize {
+        self.queue_capacity
+    }
+
+    /// Whether the event-driven I/O core is selected.
+    pub fn event_driven(&self) -> bool {
+        self.event_driven
+    }
+}
+
+/// Fluent configuration for [`AftServer`]. `AftServer::builder().build()`
+/// is identical to `ServerConfig::default()`.
+#[derive(Debug, Clone)]
+pub struct ServerBuilder {
+    config: ServerConfig,
+}
+
+impl ServerBuilder {
+    /// Worker threads executing requests (clamped to ≥ 1); the pool is
+    /// shared by every connection.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.config.workers = workers.max(1);
         self
+    }
+
+    /// Completed commits remembered for duplicate detection; the oldest
+    /// entries are evicted beyond this. A duplicate arriving after its
+    /// entry was evicted would re-apply, so size this to comfortably cover
+    /// the client retry horizon.
+    pub fn dedup_capacity(mut self, capacity: usize) -> Self {
+        self.config.dedup_capacity = capacity.max(1);
+        self
+    }
+
+    /// Transaction→node affinity entries kept; beyond this the oldest are
+    /// dropped (their transactions re-route on next touch).
+    pub fn affinity_capacity(mut self, capacity: usize) -> Self {
+        self.config.affinity_capacity = capacity.max(1);
+        self
+    }
+
+    /// Decoded requests allowed to wait for a worker before the server
+    /// stops pulling from sockets (backpressure): a client that pipelines
+    /// faster than the pool drains is throttled by TCP instead of growing
+    /// server memory without bound.
+    pub fn queue_capacity(mut self, capacity: usize) -> Self {
+        self.config.queue_capacity = capacity.max(1);
+        self
+    }
+
+    /// Selects the readiness-driven I/O core (default `true`); `false`
+    /// falls back to one reader thread per connection.
+    pub fn event_driven(mut self, event_driven: bool) -> Self {
+        self.config.event_driven = event_driven;
+        self
+    }
+
+    /// Connection slots preallocated in the event loop's slab (it grows
+    /// beyond this; the knob sizes the warm path).
+    pub fn slab_capacity(mut self, capacity: usize) -> Self {
+        self.config.slab_capacity = capacity.max(1);
+        self
+    }
+
+    /// Bytes read per socket syscall in the event loop.
+    pub fn read_chunk(mut self, bytes: usize) -> Self {
+        self.config.read_chunk = bytes.max(512);
+        self
+    }
+
+    /// Response frames coalesced into one vectored write syscall.
+    pub fn write_batch(mut self, frames: usize) -> Self {
+        self.config.write_batch = frames.max(1);
+        self
+    }
+
+    /// Unflushed response bytes a connection may buffer before the loop
+    /// stops reading more requests from it (per-connection write throttle).
+    pub fn write_buffer_cap(mut self, bytes: usize) -> Self {
+        self.config.write_buffer_cap = bytes.max(1024);
+        self
+    }
+
+    /// OS readiness API for the event loop.
+    pub fn poller_backend(mut self, backend: PollerBackend) -> Self {
+        self.config.poller_backend = backend;
+        self
+    }
+
+    /// Finishes into a [`ServerConfig`].
+    pub fn build(self) -> ServerConfig {
+        self.config
+    }
+
+    /// Builds and immediately serves `cluster` on `addr`.
+    pub fn serve(self, cluster: Arc<Cluster>, addr: &str) -> AftResult<AftServer> {
+        AftServer::serve(cluster, addr, self.build())
     }
 }
 
@@ -105,22 +254,29 @@ pub trait ResponseFilter: Send + Sync {
     fn deliver(&self, request_id: u64, response: &WireResponse) -> bool;
 }
 
-/// One accepted connection. The writer half is mutex-guarded so any worker
-/// can respond on it; the reader half lives in the connection's reader
-/// thread.
-struct Connection {
+/// One accepted connection in the thread-per-connection model. The writer
+/// half is mutex-guarded so any worker can respond on it; the reader half
+/// lives in the connection's reader thread.
+pub(crate) struct Connection {
     writer: Mutex<TcpStream>,
     /// Handle used to reset the socket from any thread (shutdown, filter).
     control: TcpStream,
     open: AtomicBool,
     stats: ConnStats,
+    /// Endpoint counters, owned here so the close transition can account
+    /// itself exactly once no matter which thread wins the race.
+    service_stats: Arc<ServiceStats>,
 }
 
 impl Connection {
-    /// Hard-closes the connection; both halves observe it.
+    /// Hard-closes the connection; both halves observe it. The guarded
+    /// `open` transition owns the `record_close`, so a worker reset, a
+    /// reader EOF, and a server shutdown can all call this without ever
+    /// double-counting the churn.
     fn close(&self) {
         if self.open.swap(false, Ordering::AcqRel) {
             let _ = self.control.shutdown(Shutdown::Both);
+            self.service_stats.record_close();
         }
     }
 
@@ -138,11 +294,19 @@ impl Connection {
     }
 }
 
+/// Where a finished request's response goes.
+pub(crate) enum Responder {
+    /// Written directly by the worker (thread-per-connection model).
+    Thread(Arc<Connection>),
+    /// Queued back to the event loop as a [`Completion`].
+    Event(Arc<ConnHandle>),
+}
+
 /// A decoded request awaiting a worker.
-struct Job {
-    conn: Arc<Connection>,
-    request_id: u64,
-    request: WireRequest,
+pub(crate) struct Job {
+    pub(crate) responder: Responder,
+    pub(crate) request_id: u64,
+    pub(crate) request: WireRequest,
 }
 
 /// Completed-commit memory plus the single-flight set for in-progress ones.
@@ -211,12 +375,12 @@ impl AffinityMap {
     }
 }
 
-struct ServerShared {
+pub(crate) struct ServerShared {
     cluster: Arc<Cluster>,
-    stats: Arc<ServiceStats>,
-    config: ServerConfig,
-    queue: Mutex<VecDeque<Job>>,
-    queue_cv: Condvar,
+    pub(crate) stats: Arc<ServiceStats>,
+    pub(crate) config: ServerConfig,
+    pub(crate) queue: Mutex<VecDeque<Job>>,
+    pub(crate) queue_cv: Condvar,
     queue_space_cv: Condvar,
     ledger: Mutex<CommitLedger>,
     ledger_cv: Condvar,
@@ -224,10 +388,35 @@ struct ServerShared {
     filter: Mutex<Option<Arc<dyn ResponseFilter>>>,
     conns: Mutex<Vec<Arc<Connection>>>,
     reader_handles: Mutex<Vec<JoinHandle<()>>>,
-    shutdown: AtomicBool,
+    /// Worker→event-loop completions, drained by the loop on each wake.
+    pub(crate) completions: Mutex<VecDeque<Completion>>,
+    /// The event loop's poller, for waking it from workers and shutdown.
+    io_waker: Mutex<Option<Arc<Poller>>>,
+    pub(crate) shutdown: AtomicBool,
 }
 
 impl ServerShared {
+    /// Wakes the event loop out of its poll wait (no-op in threaded mode).
+    pub(crate) fn wake_io(&self) {
+        if let Some(poller) = self.io_waker.lock().as_ref() {
+            let _ = poller.notify();
+        }
+    }
+
+    /// Queues a completion for the event loop, waking it on the
+    /// empty→non-empty transition (a pending wake byte covers the rest).
+    fn push_completion(&self, completion: Completion) {
+        let was_empty = {
+            let mut completions = self.completions.lock();
+            let was_empty = completions.is_empty();
+            completions.push_back(completion);
+            was_empty
+        };
+        if was_empty {
+            self.wake_io();
+        }
+    }
+
     /// The node pinned to `txid`, routing and pinning on first touch.
     fn node_for(&self, txid: &TransactionId) -> AftResult<Arc<AftNode>> {
         let mut affinity = self.affinity.lock();
@@ -362,12 +551,18 @@ impl ServerShared {
 }
 
 fn worker_loop(shared: Arc<ServerShared>) {
+    let capacity = shared.config.queue_capacity.max(1);
     loop {
         let job = {
             let mut queue = shared.queue.lock();
             loop {
                 if let Some(job) = queue.pop_front() {
                     shared.queue_space_cv.notify_one();
+                    if queue.len() + 1 >= capacity {
+                        // The queue just dropped below capacity: paused
+                        // event-loop connections may now have room.
+                        shared.wake_io();
+                    }
                     break job;
                 }
                 if shared.shutdown.load(Ordering::Acquire) {
@@ -384,17 +579,31 @@ fn worker_loop(shared: Arc<ServerShared>) {
             let filter = shared.filter.lock().clone();
             filter.is_none_or(|f| f.deliver(job.request_id, &response))
         };
-        if !deliver {
-            // The chaos hook ate the ack: the work (if any) is done and
-            // durable, the client never hears about it, and the connection
-            // resets — exactly the crash-after-commit interleaving.
-            shared.stats.record_dropped_ack();
-            job.conn.close();
-            continue;
-        }
-        let payload = encode_response(job.request_id, &response);
-        if job.conn.send(&payload) {
-            job.conn.stats.responses.fetch_add(1, Ordering::Relaxed);
+        match job.responder {
+            Responder::Thread(conn) => {
+                if !deliver {
+                    // The chaos hook ate the ack: the work (if any) is done
+                    // and durable, the client never hears about it, and the
+                    // connection resets — exactly the crash-after-commit
+                    // interleaving.
+                    shared.stats.record_dropped_ack();
+                    conn.close();
+                    continue;
+                }
+                let payload = encode_response(job.request_id, &response);
+                if conn.send(&payload) {
+                    conn.stats.responses.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            Responder::Event(handle) => {
+                let action = if deliver {
+                    CompletionAction::Respond(encode_response(job.request_id, &response).to_vec())
+                } else {
+                    shared.stats.record_dropped_ack();
+                    CompletionAction::Reset
+                };
+                shared.push_completion(Completion { handle, action });
+            }
         }
     }
 }
@@ -413,14 +622,14 @@ fn reader_loop(shared: &Arc<ServerShared>, conn: Arc<Connection>, mut stream: Tc
                 // queue_capacity frames plus kernel socket buffers.
                 while queue.len() >= shared.config.queue_capacity.max(1) {
                     if shared.shutdown.load(Ordering::Acquire) {
-                        return finish_reader(shared, &conn);
+                        return conn.close();
                     }
                     let _ = shared
                         .queue_space_cv
                         .wait_for(&mut queue, Duration::from_millis(50));
                 }
                 queue.push_back(Job {
-                    conn: Arc::clone(&conn),
+                    responder: Responder::Thread(Arc::clone(&conn)),
                     request_id,
                     request,
                 });
@@ -436,12 +645,7 @@ fn reader_loop(shared: &Arc<ServerShared>, conn: Arc<Connection>, mut stream: Tc
             }
         }
     }
-    finish_reader(shared, &conn)
-}
-
-fn finish_reader(shared: &Arc<ServerShared>, conn: &Arc<Connection>) {
     conn.close();
-    shared.stats.record_close();
 }
 
 fn accept_loop(shared: Arc<ServerShared>, listener: TcpListener) {
@@ -460,6 +664,7 @@ fn accept_loop(shared: Arc<ServerShared>, listener: TcpListener) {
             control,
             open: AtomicBool::new(true),
             stats: ConnStats::default(),
+            service_stats: Arc::clone(&shared.stats),
         });
         shared.stats.record_accept();
         {
@@ -468,7 +673,10 @@ fn accept_loop(shared: Arc<ServerShared>, listener: TcpListener) {
             conns.push(Arc::clone(&conn));
         }
         let reader_shared = Arc::clone(&shared);
-        let handle = std::thread::spawn(move || reader_loop(&reader_shared, conn, stream));
+        let handle = std::thread::Builder::new()
+            .name("aft-net-rd".to_owned())
+            .spawn(move || reader_loop(&reader_shared, conn, stream))
+            .expect("spawn reader thread");
         {
             // Join readers whose connections already ended, so handle
             // bookkeeping stays proportional to *live* connections under
@@ -492,11 +700,20 @@ fn accept_loop(shared: Arc<ServerShared>, listener: TcpListener) {
 pub struct AftServer {
     shared: Arc<ServerShared>,
     addr: SocketAddr,
+    mode: ThreadModel,
     accept: Mutex<Option<JoinHandle<()>>>,
+    io: Mutex<Option<JoinHandle<()>>>,
     workers: Mutex<Vec<JoinHandle<()>>>,
+    event_stats: Option<Arc<EventStats>>,
+    event_pool: Option<Arc<BufferPool>>,
 }
 
 impl AftServer {
+    /// Starts configuring a server; `.serve(cluster, addr)` launches it.
+    pub fn builder() -> ServerBuilder {
+        ServerConfig::builder()
+    }
+
     /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and starts
     /// serving `cluster`.
     pub fn serve(cluster: Arc<Cluster>, addr: &str, config: ServerConfig) -> AftResult<AftServer> {
@@ -517,29 +734,68 @@ impl AftServer {
             filter: Mutex::new(None),
             conns: Mutex::new(Vec::new()),
             reader_handles: Mutex::new(Vec::new()),
+            completions: Mutex::new(VecDeque::new()),
+            io_waker: Mutex::new(None),
             shutdown: AtomicBool::new(false),
             config,
         });
-        let mut workers = Vec::new();
-        for _ in 0..shared.config.workers.max(1) {
-            let worker_shared = Arc::clone(&shared);
-            workers.push(std::thread::spawn(move || worker_loop(worker_shared)));
-        }
-        let accept = {
+        let (mode, accept, io, event_stats, event_pool) = if shared.config.event_driven {
+            let event_loop = EventLoop::new(Arc::clone(&shared), listener)?;
+            *shared.io_waker.lock() = Some(event_loop.poller());
+            let stats = event_loop.stats();
+            let pool = event_loop.pool();
+            let io = event_loop.spawn();
+            (
+                ThreadModel::EventDriven,
+                None,
+                Some(io),
+                Some(stats),
+                Some(pool),
+            )
+        } else {
             let accept_shared = Arc::clone(&shared);
-            std::thread::spawn(move || accept_loop(accept_shared, listener))
+            let accept = std::thread::Builder::new()
+                .name("aft-net-accept".to_owned())
+                .spawn(move || accept_loop(accept_shared, listener))
+                .expect("spawn accept thread");
+            (
+                ThreadModel::ThreadPerConnection,
+                Some(accept),
+                None,
+                None,
+                None,
+            )
         };
+        let mut workers = Vec::new();
+        for i in 0..shared.config.workers.max(1) {
+            let worker_shared = Arc::clone(&shared);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("aft-net-wrk-{i}"))
+                    .spawn(move || worker_loop(worker_shared))
+                    .expect("spawn worker thread"),
+            );
+        }
         Ok(AftServer {
             shared,
             addr,
-            accept: Mutex::new(Some(accept)),
+            mode,
+            accept: Mutex::new(accept),
+            io: Mutex::new(io),
             workers: Mutex::new(workers),
+            event_stats,
+            event_pool,
         })
     }
 
     /// The bound address (with the real port when `:0` was requested).
     pub fn local_addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The thread model actually running.
+    pub fn thread_model(&self) -> ThreadModel {
+        self.mode
     }
 
     /// The cluster being served.
@@ -559,6 +815,15 @@ impl AftServer {
         &self.shared.stats
     }
 
+    /// The event loop's I/O counters (`None` in thread-per-connection
+    /// mode).
+    pub fn event_snapshot(&self) -> Option<EventSnapshot> {
+        match (&self.event_stats, &self.event_pool) {
+            (Some(stats), Some(pool)) => Some(stats.snapshot(pool)),
+            _ => None,
+        }
+    }
+
     /// Installs the response filter (chaos/test hook); replaces any prior
     /// one.
     pub fn install_response_filter(&self, filter: Arc<dyn ResponseFilter>) {
@@ -576,24 +841,39 @@ impl AftServer {
         if self.shared.shutdown.swap(true, Ordering::AcqRel) {
             return;
         }
-        // Join the accept thread FIRST (woken by a throwaway connection):
-        // once it exits, no new connection can register, so the drains
-        // below cannot race a late accept into a leaked reader thread.
-        let _ = TcpStream::connect(self.addr);
-        if let Some(handle) = self.accept.lock().take() {
-            let _ = handle.join();
+        match self.mode {
+            ThreadModel::EventDriven => {
+                // The poller wake makes the loop observe the flag; it tears
+                // down every connection and the listener before exiting.
+                self.shared.wake_io();
+                if let Some(handle) = self.io.lock().take() {
+                    let _ = handle.join();
+                }
+            }
+            ThreadModel::ThreadPerConnection => {
+                // Join the accept thread FIRST (woken by a throwaway
+                // connection): once it exits, no new connection can
+                // register, so the drains below cannot race a late accept
+                // into a leaked reader thread.
+                let _ = TcpStream::connect(self.addr);
+                if let Some(handle) = self.accept.lock().take() {
+                    let _ = handle.join();
+                }
+                // Close every connection (unblocks reader reads and worker
+                // writes) before joining the readers.
+                for conn in self.shared.conns.lock().drain(..) {
+                    conn.close();
+                }
+                for handle in self.shared.reader_handles.lock().drain(..) {
+                    let _ = handle.join();
+                }
+            }
         }
-        // Close every connection (unblocks reader reads and worker writes),
-        // wake anything parked on the queue or the commit ledger, then join.
-        for conn in self.shared.conns.lock().drain(..) {
-            conn.close();
-        }
+        // Wake anything parked on the queue or the commit ledger, then join
+        // the workers.
         self.shared.queue_cv.notify_all();
         self.shared.queue_space_cv.notify_all();
         self.shared.ledger_cv.notify_all();
-        for handle in self.shared.reader_handles.lock().drain(..) {
-            let _ = handle.join();
-        }
         for handle in self.workers.lock().drain(..) {
             let _ = handle.join();
         }
@@ -610,6 +890,7 @@ impl std::fmt::Debug for AftServer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("AftServer")
             .field("addr", &self.addr)
+            .field("mode", &self.mode)
             .field("workers", &self.shared.config.workers)
             .finish_non_exhaustive()
     }
@@ -622,19 +903,58 @@ mod tests {
     use aft_storage::InMemoryStore;
     use aft_types::clock::TickingClock;
 
-    fn served_cluster(nodes: usize) -> AftServer {
+    fn served_cluster_with(nodes: usize, config: ServerConfig) -> AftServer {
         let cluster = Cluster::with_clock(
             ClusterConfig::test(nodes),
             InMemoryStore::shared(),
             TickingClock::shared(1, 1),
         )
         .unwrap();
-        AftServer::serve(cluster, "127.0.0.1:0", ServerConfig::default()).unwrap()
+        AftServer::serve(cluster, "127.0.0.1:0", config).unwrap()
+    }
+
+    fn served_cluster(nodes: usize) -> AftServer {
+        served_cluster_with(nodes, ServerConfig::default())
+    }
+
+    #[test]
+    fn builder_defaults_match_default_config() {
+        let built = AftServer::builder().build();
+        let defaults = ServerConfig::default();
+        assert_eq!(built.workers, defaults.workers);
+        assert_eq!(built.dedup_capacity, defaults.dedup_capacity);
+        assert_eq!(built.affinity_capacity, defaults.affinity_capacity);
+        assert_eq!(built.queue_capacity, defaults.queue_capacity);
+        assert_eq!(built.event_driven, defaults.event_driven);
+        assert_eq!(built.slab_capacity, defaults.slab_capacity);
+        assert_eq!(built.read_chunk, defaults.read_chunk);
+        assert_eq!(built.write_batch, defaults.write_batch);
+        assert_eq!(built.write_buffer_cap, defaults.write_buffer_cap);
+        assert_eq!(built.poller_backend, defaults.poller_backend);
+    }
+
+    #[test]
+    fn builder_knobs_are_applied_and_clamped() {
+        let config = AftServer::builder()
+            .workers(0)
+            .queue_capacity(7)
+            .event_driven(false)
+            .slab_capacity(9)
+            .write_batch(0)
+            .poller_backend(PollerBackend::Poll)
+            .build();
+        assert_eq!(config.workers, 1, "clamped to >= 1");
+        assert_eq!(config.queue_capacity, 7);
+        assert!(!config.event_driven);
+        assert_eq!(config.slab_capacity, 9);
+        assert_eq!(config.write_batch, 1, "clamped to >= 1");
+        assert_eq!(config.poller_backend, PollerBackend::Poll);
     }
 
     #[test]
     fn serves_on_an_ephemeral_port_and_shuts_down() {
         let server = served_cluster(2);
+        assert_eq!(server.thread_model(), ThreadModel::EventDriven);
         assert_ne!(server.local_addr().port(), 0);
         server.shutdown();
         server.shutdown(); // idempotent
@@ -653,6 +973,28 @@ mod tests {
         let stats = server.stats();
         assert_eq!(stats.connections_accepted, 1);
         assert_eq!(stats.requests, 1);
+        let snapshot = server
+            .event_snapshot()
+            .expect("event mode exposes I/O stats");
+        assert_eq!(snapshot.frames_read, 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn threaded_mode_still_serves() {
+        use aft_types::wire::{decode_response, encode_request};
+        let server = served_cluster_with(
+            1,
+            AftServer::builder().event_driven(false).workers(2).build(),
+        );
+        assert_eq!(server.thread_model(), ThreadModel::ThreadPerConnection);
+        assert!(server.event_snapshot().is_none());
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        write_frame(&mut stream, &encode_request(7, &WireRequest::Ping)).unwrap();
+        let payload = read_frame(&mut stream).unwrap().unwrap();
+        let (id, response) = decode_response(&payload).unwrap();
+        assert_eq!(id, 7);
+        assert_eq!(response, WireResponse::Pong);
         server.shutdown();
     }
 

@@ -7,7 +7,7 @@ use std::time::Duration;
 
 use aft_cluster::{Cluster, ClusterConfig};
 use aft_core::api::AftApi;
-use aft_net::{AftClient, AftServer, ClientConfig, NetChaosConfig, ResponseFilter, ServerConfig};
+use aft_net::{AftClient, AftServer, ClientConfig, NetChaosConfig, ResponseFilter};
 use aft_storage::io::RetryConfig;
 use aft_storage::InMemoryStore;
 use aft_types::clock::TickingClock;
@@ -21,12 +21,10 @@ fn served_cluster(nodes: usize, workers: usize) -> (AftServer, Arc<Cluster>) {
         TickingClock::shared(1, 1),
     )
     .unwrap();
-    let server = AftServer::serve(
-        Arc::clone(&cluster),
-        "127.0.0.1:0",
-        ServerConfig::default().with_workers(workers),
-    )
-    .unwrap();
+    let server = AftServer::builder()
+        .workers(workers)
+        .serve(Arc::clone(&cluster), "127.0.0.1:0")
+        .unwrap();
     (server, cluster)
 }
 
@@ -98,7 +96,7 @@ fn pipelined_clients_share_connections_without_cross_talk() {
     let (server, _cluster) = served_cluster(3, 4);
     let client = client_for(
         &server,
-        ClientConfig::default().with_pool_size(2).with_ack_log(),
+        AftClient::builder().pool_size(2).record_acks(true).build(),
     );
 
     let threads = 8usize;
@@ -183,14 +181,13 @@ fn duplicate_commit_after_lost_ack_is_acked_idempotently() {
     }));
     let client = client_for(
         &server,
-        ClientConfig {
-            retry: RetryConfig {
+        AftClient::builder()
+            .retry(RetryConfig {
                 max_attempts: 5,
                 base_backoff: Duration::from_millis(1),
                 max_backoff: Duration::from_millis(5),
-            },
-            ..ClientConfig::default()
-        },
+            })
+            .build(),
     );
 
     let txid = client.begin().unwrap();
@@ -243,21 +240,20 @@ fn connection_resets_never_lose_acknowledged_commits() {
     // lost-ack window), 5% delayed acks.
     let client = client_for(
         &server,
-        ClientConfig {
-            retry: RetryConfig {
+        AftClient::builder()
+            .retry(RetryConfig {
                 max_attempts: 6,
                 base_backoff: Duration::from_micros(200),
                 max_backoff: Duration::from_millis(2),
-            },
-            chaos: Some(NetChaosConfig::resets_and_delays(
+            })
+            .chaos(NetChaosConfig::resets_and_delays(
                 0xC4A05,
                 0.12,
                 0.05,
                 Duration::from_millis(1),
-            )),
-            record_acks: true,
-            ..ClientConfig::default()
-        },
+            ))
+            .record_acks(true)
+            .build(),
     );
 
     let mut acked_values = Vec::new();
@@ -323,15 +319,14 @@ fn shutdown_fails_inflight_and_future_calls_cleanly() {
     let (server, _cluster) = served_cluster(1, 2);
     let client = client_for(
         &server,
-        ClientConfig {
-            retry: RetryConfig {
+        AftClient::builder()
+            .retry(RetryConfig {
                 max_attempts: 2,
                 base_backoff: Duration::from_micros(100),
                 max_backoff: Duration::from_micros(500),
-            },
-            request_timeout: Duration::from_millis(500),
-            ..ClientConfig::default()
-        },
+            })
+            .request_timeout(Duration::from_millis(500))
+            .build(),
     );
     assert!(client.ping().is_ok());
     server.shutdown();

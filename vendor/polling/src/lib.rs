@@ -1,0 +1,735 @@
+//! Offline, API-compatible subset of the [`polling`] crate.
+//!
+//! The build environment has no crates.io access, so this vendored stub maps
+//! the `polling` surface the workspace uses — [`Poller`], [`Event`], and
+//! [`Events`] with **oneshot** readiness semantics — onto raw OS readiness
+//! APIs: `epoll(7)` on Linux and `poll(2)` on other unixes. The syscalls are
+//! declared `extern "C"` against the libc that `std` already links, so the
+//! stub adds no dependency.
+//!
+//! Semantics mirror the real crate where the workspace relies on them:
+//!
+//! * **Oneshot delivery** — after an event for a key fires, that source is
+//!   disarmed until [`Poller::modify`] re-arms it (`EPOLLONESHOT` on Linux;
+//!   the poll backend clears the source's interest set on delivery).
+//! * **Cross-thread wakeups** — [`Poller::notify`] wakes a concurrent
+//!   [`Poller::wait`] from any thread; the wakeup is consumed internally and
+//!   never surfaces as an [`Event`]. (The real crate uses an eventfd; this
+//!   stub uses a loopback socket pair, which is portable and needs no extra
+//!   syscall declarations.)
+//! * **Error/hangup readiness** — `EPOLLERR`/`EPOLLHUP` (and the poll
+//!   equivalents) surface as "readable and writable", so a handler's next
+//!   read/write observes the failure, exactly as with the real crate.
+//!
+//! One deliberate deviation: the real crate's `add` is `unsafe fn` (the
+//! caller promises to `delete` the source before closing it). This stub
+//! keeps the same contract but exposes a safe signature — violating the
+//! contract gives a spurious or missed event, not memory unsafety, because
+//! everything is keyed by file descriptor.
+//!
+//! [`polling`]: https://docs.rs/polling
+
+#![cfg(unix)]
+
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::io::{AsRawFd, RawFd};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Which OS readiness API backs a [`Poller`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// The platform default: epoll on Linux, poll elsewhere.
+    Auto,
+    /// Linux `epoll(7)`. Construction fails on other platforms.
+    Epoll,
+    /// Portable `poll(2)`: the registered set is rebuilt on every wait, so
+    /// it scales worse than epoll but runs on any unix.
+    Poll,
+}
+
+/// Readiness interest in (or readiness of) one registered source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Caller-chosen key identifying the source.
+    pub key: usize,
+    /// Interested in (or observed) read readiness.
+    pub readable: bool,
+    /// Interested in (or observed) write readiness.
+    pub writable: bool,
+}
+
+impl Event {
+    /// Interest in read readiness only.
+    pub fn readable(key: usize) -> Event {
+        Event {
+            key,
+            readable: true,
+            writable: false,
+        }
+    }
+
+    /// Interest in write readiness only.
+    pub fn writable(key: usize) -> Event {
+        Event {
+            key,
+            readable: false,
+            writable: true,
+        }
+    }
+
+    /// Interest in both read and write readiness.
+    pub fn all(key: usize) -> Event {
+        Event {
+            key,
+            readable: true,
+            writable: true,
+        }
+    }
+
+    /// No interest (the source stays registered but disarmed).
+    pub fn none(key: usize) -> Event {
+        Event {
+            key,
+            readable: false,
+            writable: false,
+        }
+    }
+}
+
+/// A buffer of delivered [`Event`]s, reused across [`Poller::wait`] calls.
+#[derive(Debug, Default)]
+pub struct Events {
+    inner: Vec<Event>,
+}
+
+impl Events {
+    /// An empty event buffer.
+    pub fn new() -> Events {
+        Events::default()
+    }
+
+    /// Iterates the events delivered by the last wait.
+    pub fn iter(&self) -> impl Iterator<Item = Event> + '_ {
+        self.inner.iter().copied()
+    }
+
+    /// Number of delivered events.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Whether the last wait delivered nothing (timeout or pure wakeup).
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Clears the buffer (done automatically by [`Poller::wait`]).
+    pub fn clear(&mut self) {
+        self.inner.clear();
+    }
+}
+
+/// Key under which the internal wakeup socket is registered; never surfaced.
+const NOTIFY_KEY: usize = usize::MAX;
+
+/// Scratch capacity for one `epoll_wait` batch.
+const WAIT_BATCH: usize = 1024;
+
+/// A readiness poller over registered file descriptors.
+pub struct Poller {
+    imp: Imp,
+    notifier: Notifier,
+    /// Scratch buffer for raw kernel events (only `wait` locks it, and the
+    /// crate's users drive one poller from one loop thread).
+    scratch: Mutex<Vec<(usize, bool, bool)>>,
+}
+
+impl std::fmt::Debug for Poller {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Poller")
+            .field("backend", &self.backend())
+            .finish_non_exhaustive()
+    }
+}
+
+enum Imp {
+    #[cfg(target_os = "linux")]
+    Epoll(epoll::EpollBackend),
+    Poll(pollsys::PollBackend),
+}
+
+impl Poller {
+    /// Creates a poller on the platform-default backend.
+    pub fn new() -> io::Result<Poller> {
+        Poller::with_backend(Backend::Auto)
+    }
+
+    /// Creates a poller on an explicit backend (for tests and the server's
+    /// `poller_backend` knob).
+    pub fn with_backend(backend: Backend) -> io::Result<Poller> {
+        let imp = match backend {
+            #[cfg(target_os = "linux")]
+            Backend::Auto | Backend::Epoll => Imp::Epoll(epoll::EpollBackend::new()?),
+            #[cfg(not(target_os = "linux"))]
+            Backend::Epoll => {
+                return Err(io::Error::new(
+                    io::ErrorKind::Unsupported,
+                    "epoll is only available on Linux",
+                ))
+            }
+            #[cfg(not(target_os = "linux"))]
+            Backend::Auto => Imp::Poll(pollsys::PollBackend::new()),
+            Backend::Poll => Imp::Poll(pollsys::PollBackend::new()),
+        };
+        let notifier = Notifier::new()?;
+        let poller = Poller {
+            imp,
+            notifier,
+            scratch: Mutex::new(Vec::new()),
+        };
+        // The wakeup socket is a permanent, level-armed member of the set.
+        poller.register(
+            poller.notifier.rx_fd(),
+            Event::readable(NOTIFY_KEY),
+            /* oneshot */ false,
+        )?;
+        Ok(poller)
+    }
+
+    /// The backend this poller runs on.
+    pub fn backend(&self) -> Backend {
+        match self.imp {
+            #[cfg(target_os = "linux")]
+            Imp::Epoll(_) => Backend::Epoll,
+            Imp::Poll(_) => Backend::Poll,
+        }
+    }
+
+    /// Registers `source` under `interest.key`. The source must be
+    /// [`Poller::delete`]d before it is closed, and must not already be
+    /// registered. Delivery is oneshot: re-arm with [`Poller::modify`] after
+    /// each delivered event.
+    pub fn add(&self, source: &impl AsRawFd, interest: Event) -> io::Result<()> {
+        self.register(source.as_raw_fd(), interest, true)
+    }
+
+    /// Replaces the interest set of an already-registered source (also the
+    /// way to re-arm after a oneshot delivery).
+    pub fn modify(&self, source: &impl AsRawFd, interest: Event) -> io::Result<()> {
+        match &self.imp {
+            #[cfg(target_os = "linux")]
+            Imp::Epoll(e) => e.modify(source.as_raw_fd(), interest, true),
+            Imp::Poll(p) => p.modify(source.as_raw_fd(), interest),
+        }
+    }
+
+    /// Removes a source from the set.
+    pub fn delete(&self, source: &impl AsRawFd) -> io::Result<()> {
+        match &self.imp {
+            #[cfg(target_os = "linux")]
+            Imp::Epoll(e) => e.delete(source.as_raw_fd()),
+            Imp::Poll(p) => p.delete(source.as_raw_fd()),
+        }
+    }
+
+    fn register(&self, fd: RawFd, interest: Event, oneshot: bool) -> io::Result<()> {
+        match &self.imp {
+            #[cfg(target_os = "linux")]
+            Imp::Epoll(e) => e.add(fd, interest, oneshot),
+            Imp::Poll(p) => p.add(fd, interest, oneshot),
+        }
+    }
+
+    /// Blocks until at least one registered source is ready, `notify` is
+    /// called, or `timeout` elapses (`None` blocks indefinitely). Returns
+    /// the number of events delivered into `events`; a return of zero means
+    /// a timeout or a consumed wakeup.
+    pub fn wait(&self, events: &mut Events, timeout: Option<Duration>) -> io::Result<usize> {
+        events.clear();
+        let deadline = timeout.map(|t| Instant::now() + t);
+        let mut scratch = self
+            .scratch
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        loop {
+            scratch.clear();
+            let remaining = deadline.map(|d| d.saturating_duration_since(Instant::now()));
+            let result = match &self.imp {
+                #[cfg(target_os = "linux")]
+                Imp::Epoll(e) => e.wait(&mut scratch, remaining),
+                Imp::Poll(p) => p.wait(&mut scratch, remaining),
+            };
+            match result {
+                Ok(()) => {}
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {
+                    if deadline.is_some_and(|d| Instant::now() >= d) {
+                        return Ok(0);
+                    }
+                    continue;
+                }
+                Err(e) => return Err(e),
+            }
+            let mut woke = false;
+            for &(key, readable, writable) in scratch.iter() {
+                if key == NOTIFY_KEY {
+                    self.notifier.drain();
+                    woke = true;
+                } else {
+                    events.inner.push(Event {
+                        key,
+                        readable,
+                        writable,
+                    });
+                }
+            }
+            // A pure wakeup (or timeout) returns an empty set; spurious
+            // empty kernel returns retry until the deadline.
+            if !events.inner.is_empty() || woke || deadline.is_some_and(|d| Instant::now() >= d) {
+                return Ok(events.inner.len());
+            }
+        }
+    }
+
+    /// Wakes a concurrent [`Poller::wait`] from any thread. Wakeups
+    /// coalesce: many notifies may produce one empty wait return.
+    pub fn notify(&self) -> io::Result<()> {
+        self.notifier.notify()
+    }
+}
+
+/// Cross-thread wakeup channel: a connected nonblocking loopback socket
+/// pair. One byte written to `tx` makes `rx` readable; `drain` consumes
+/// every pending byte so coalesced wakeups cost one syscall.
+struct Notifier {
+    tx: TcpStream,
+    rx: TcpStream,
+}
+
+impl Notifier {
+    fn new() -> io::Result<Notifier> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let tx = TcpStream::connect(listener.local_addr()?)?;
+        let (rx, _) = listener.accept()?;
+        tx.set_nonblocking(true)?;
+        rx.set_nonblocking(true)?;
+        tx.set_nodelay(true)?;
+        Ok(Notifier { tx, rx })
+    }
+
+    fn rx_fd(&self) -> RawFd {
+        self.rx.as_raw_fd()
+    }
+
+    fn notify(&self) -> io::Result<()> {
+        match (&self.tx).write(&[1u8]) {
+            Ok(_) => Ok(()),
+            // A full socket buffer means wakeups are already pending — the
+            // waiter will drain them; nothing more to signal.
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn drain(&self) {
+        let mut buf = [0u8; 64];
+        while matches!((&self.rx).read(&mut buf), Ok(n) if n > 0) {}
+    }
+}
+
+#[cfg(target_os = "linux")]
+mod epoll {
+    //! The Linux `epoll(7)` backend.
+
+    use super::{Duration, Event, RawFd, WAIT_BATCH};
+    use std::io;
+    use std::os::raw::c_int;
+
+    const EPOLL_CLOEXEC: c_int = 0x80000;
+    const EPOLL_CTL_ADD: c_int = 1;
+    const EPOLL_CTL_DEL: c_int = 2;
+    const EPOLL_CTL_MOD: c_int = 3;
+    const EPOLLIN: u32 = 0x001;
+    const EPOLLOUT: u32 = 0x004;
+    const EPOLLERR: u32 = 0x008;
+    const EPOLLHUP: u32 = 0x010;
+    const EPOLLONESHOT: u32 = 1 << 30;
+
+    /// Mirror of the kernel's `struct epoll_event` (packed on x86_64).
+    #[repr(C)]
+    #[cfg_attr(target_arch = "x86_64", repr(packed))]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    extern "C" {
+        fn epoll_create1(flags: c_int) -> c_int;
+        fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+        fn epoll_wait(
+            epfd: c_int,
+            events: *mut EpollEvent,
+            maxevents: c_int,
+            timeout: c_int,
+        ) -> c_int;
+        fn close(fd: c_int) -> c_int;
+    }
+
+    pub(super) struct EpollBackend {
+        epfd: RawFd,
+    }
+
+    // The epoll fd is used from any thread; the kernel serialises access.
+    unsafe impl Send for EpollBackend {}
+    unsafe impl Sync for EpollBackend {}
+
+    impl EpollBackend {
+        pub(super) fn new() -> io::Result<EpollBackend> {
+            let epfd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+            if epfd < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(EpollBackend { epfd })
+        }
+
+        fn ctl(&self, op: c_int, fd: RawFd, interest: Event, oneshot: bool) -> io::Result<()> {
+            let mut mask = 0u32;
+            if interest.readable {
+                mask |= EPOLLIN;
+            }
+            if interest.writable {
+                mask |= EPOLLOUT;
+            }
+            if oneshot {
+                mask |= EPOLLONESHOT;
+            }
+            let mut ev = EpollEvent {
+                events: mask,
+                data: interest.key as u64,
+            };
+            let rc = unsafe { epoll_ctl(self.epfd, op, fd, &mut ev) };
+            if rc < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(())
+        }
+
+        pub(super) fn add(&self, fd: RawFd, interest: Event, oneshot: bool) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_ADD, fd, interest, oneshot)
+        }
+
+        pub(super) fn modify(&self, fd: RawFd, interest: Event, oneshot: bool) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_MOD, fd, interest, oneshot)
+        }
+
+        pub(super) fn delete(&self, fd: RawFd) -> io::Result<()> {
+            // The event argument is ignored for DEL but must be non-null on
+            // pre-2.6.9 kernels; passing one is free.
+            self.ctl(EPOLL_CTL_DEL, fd, Event::none(0), false)
+        }
+
+        pub(super) fn wait(
+            &self,
+            out: &mut Vec<(usize, bool, bool)>,
+            timeout: Option<Duration>,
+        ) -> io::Result<()> {
+            let timeout_ms: c_int = match timeout {
+                None => -1,
+                Some(t) => c_int::try_from(t.as_millis().min(i32::MAX as u128)).unwrap_or(i32::MAX),
+            };
+            let mut buf = [EpollEvent { events: 0, data: 0 }; WAIT_BATCH];
+            let n =
+                unsafe { epoll_wait(self.epfd, buf.as_mut_ptr(), WAIT_BATCH as c_int, timeout_ms) };
+            if n < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            for ev in buf.iter().take(n as usize) {
+                let bits = ev.events;
+                let errored = bits & (EPOLLERR | EPOLLHUP) != 0;
+                out.push((
+                    ev.data as usize,
+                    bits & EPOLLIN != 0 || errored,
+                    bits & EPOLLOUT != 0 || errored,
+                ));
+            }
+            Ok(())
+        }
+    }
+
+    impl Drop for EpollBackend {
+        fn drop(&mut self) {
+            unsafe {
+                close(self.epfd);
+            }
+        }
+    }
+}
+
+mod pollsys {
+    //! The portable `poll(2)` backend: the interest set lives in userspace
+    //! and the pollfd array is rebuilt on every wait.
+
+    use super::{Duration, Event, HashMap, Mutex, RawFd};
+    use std::io;
+    use std::os::raw::{c_int, c_ulong};
+
+    const POLLIN: i16 = 0x001;
+    const POLLOUT: i16 = 0x004;
+    const POLLERR: i16 = 0x008;
+    const POLLHUP: i16 = 0x010;
+    const POLLNVAL: i16 = 0x020;
+
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    struct PollFd {
+        fd: c_int,
+        events: i16,
+        revents: i16,
+    }
+
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: c_ulong, timeout: c_int) -> c_int;
+    }
+
+    #[derive(Clone, Copy)]
+    struct Registration {
+        key: usize,
+        readable: bool,
+        writable: bool,
+        oneshot: bool,
+    }
+
+    #[derive(Default)]
+    pub(super) struct PollBackend {
+        registered: Mutex<HashMap<RawFd, Registration>>,
+    }
+
+    impl PollBackend {
+        pub(super) fn new() -> PollBackend {
+            PollBackend::default()
+        }
+
+        pub(super) fn add(&self, fd: RawFd, interest: Event, oneshot: bool) -> io::Result<()> {
+            let mut map = lock(&self.registered);
+            if map.contains_key(&fd) {
+                return Err(io::Error::new(
+                    io::ErrorKind::AlreadyExists,
+                    "fd already registered",
+                ));
+            }
+            map.insert(
+                fd,
+                Registration {
+                    key: interest.key,
+                    readable: interest.readable,
+                    writable: interest.writable,
+                    oneshot,
+                },
+            );
+            Ok(())
+        }
+
+        pub(super) fn modify(&self, fd: RawFd, interest: Event) -> io::Result<()> {
+            let mut map = lock(&self.registered);
+            match map.get_mut(&fd) {
+                Some(reg) => {
+                    reg.key = interest.key;
+                    reg.readable = interest.readable;
+                    reg.writable = interest.writable;
+                    Ok(())
+                }
+                None => Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered")),
+            }
+        }
+
+        pub(super) fn delete(&self, fd: RawFd) -> io::Result<()> {
+            match lock(&self.registered).remove(&fd) {
+                Some(_) => Ok(()),
+                None => Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered")),
+            }
+        }
+
+        pub(super) fn wait(
+            &self,
+            out: &mut Vec<(usize, bool, bool)>,
+            timeout: Option<Duration>,
+        ) -> io::Result<()> {
+            let mut fds: Vec<PollFd> = lock(&self.registered)
+                .iter()
+                .filter(|(_, reg)| reg.readable || reg.writable)
+                .map(|(&fd, reg)| PollFd {
+                    fd,
+                    events: (if reg.readable { POLLIN } else { 0 })
+                        | (if reg.writable { POLLOUT } else { 0 }),
+                    revents: 0,
+                })
+                .collect();
+            let timeout_ms: c_int = match timeout {
+                None => -1,
+                Some(t) => c_int::try_from(t.as_millis().min(i32::MAX as u128)).unwrap_or(i32::MAX),
+            };
+            let n = unsafe { poll(fds.as_mut_ptr(), fds.len() as c_ulong, timeout_ms) };
+            if n < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            if n == 0 {
+                return Ok(());
+            }
+            let mut map = lock(&self.registered);
+            for pfd in &fds {
+                if pfd.revents == 0 {
+                    continue;
+                }
+                let Some(reg) = map.get_mut(&pfd.fd) else {
+                    continue;
+                };
+                let errored = pfd.revents & (POLLERR | POLLHUP | POLLNVAL) != 0;
+                out.push((
+                    reg.key,
+                    pfd.revents & POLLIN != 0 || errored,
+                    pfd.revents & POLLOUT != 0 || errored,
+                ));
+                if reg.oneshot {
+                    reg.readable = false;
+                    reg.writable = false;
+                }
+            }
+            Ok(())
+        }
+    }
+
+    fn lock(
+        m: &Mutex<HashMap<RawFd, Registration>>,
+    ) -> std::sync::MutexGuard<'_, HashMap<RawFd, Registration>> {
+        m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+
+    fn pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let a = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (b, _) = listener.accept().unwrap();
+        a.set_nonblocking(true).unwrap();
+        b.set_nonblocking(true).unwrap();
+        (a, b)
+    }
+
+    fn backends() -> Vec<Backend> {
+        if cfg!(target_os = "linux") {
+            vec![Backend::Epoll, Backend::Poll]
+        } else {
+            vec![Backend::Poll]
+        }
+    }
+
+    #[test]
+    fn readable_event_fires_once_until_rearmed() {
+        for backend in backends() {
+            let poller = Poller::with_backend(backend).unwrap();
+            let (a, b) = pair();
+            poller.add(&b, Event::readable(7)).unwrap();
+
+            (&a).write_all(b"x").unwrap();
+            let mut events = Events::new();
+            poller
+                .wait(&mut events, Some(Duration::from_secs(2)))
+                .unwrap();
+            let got: Vec<Event> = events.iter().collect();
+            assert_eq!(got.len(), 1, "{backend:?}");
+            assert_eq!(got[0].key, 7);
+            assert!(got[0].readable);
+
+            // Oneshot: without a re-arm, the still-unread byte fires nothing.
+            poller
+                .wait(&mut events, Some(Duration::from_millis(50)))
+                .unwrap();
+            assert!(events.is_empty(), "{backend:?} redelivered a oneshot");
+
+            // Re-armed, it fires again.
+            poller.modify(&b, Event::readable(7)).unwrap();
+            poller
+                .wait(&mut events, Some(Duration::from_secs(2)))
+                .unwrap();
+            assert_eq!(events.len(), 1, "{backend:?} re-arm");
+            poller.delete(&b).unwrap();
+        }
+    }
+
+    #[test]
+    fn writable_interest_fires_for_an_open_socket() {
+        for backend in backends() {
+            let poller = Poller::with_backend(backend).unwrap();
+            let (a, _b) = pair();
+            poller.add(&a, Event::writable(3)).unwrap();
+            let mut events = Events::new();
+            poller
+                .wait(&mut events, Some(Duration::from_secs(2)))
+                .unwrap();
+            let got: Vec<Event> = events.iter().collect();
+            assert_eq!(got.len(), 1);
+            assert!(got[0].writable, "{backend:?}");
+            poller.delete(&a).unwrap();
+        }
+    }
+
+    #[test]
+    fn notify_wakes_a_blocked_wait_from_another_thread() {
+        for backend in backends() {
+            let poller = std::sync::Arc::new(Poller::with_backend(backend).unwrap());
+            let waker = std::sync::Arc::clone(&poller);
+            let handle = std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(30));
+                waker.notify().unwrap();
+            });
+            let mut events = Events::new();
+            let started = Instant::now();
+            poller
+                .wait(&mut events, Some(Duration::from_secs(10)))
+                .unwrap();
+            assert!(
+                started.elapsed() < Duration::from_secs(5),
+                "{backend:?} wait did not wake on notify"
+            );
+            assert!(events.is_empty(), "wakeup is internal, not an event");
+            handle.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn timeout_returns_empty() {
+        for backend in backends() {
+            let poller = Poller::with_backend(backend).unwrap();
+            let mut events = Events::new();
+            let n = poller
+                .wait(&mut events, Some(Duration::from_millis(20)))
+                .unwrap();
+            assert_eq!(n, 0, "{backend:?}");
+        }
+    }
+
+    #[test]
+    fn hangup_surfaces_as_ready() {
+        for backend in backends() {
+            let poller = Poller::with_backend(backend).unwrap();
+            let (a, b) = pair();
+            poller.add(&b, Event::readable(9)).unwrap();
+            drop(a); // peer closes: EOF must wake the reader
+            let mut events = Events::new();
+            poller
+                .wait(&mut events, Some(Duration::from_secs(2)))
+                .unwrap();
+            let got: Vec<Event> = events.iter().collect();
+            assert_eq!(got.len(), 1, "{backend:?}");
+            assert!(got[0].readable);
+            poller.delete(&b).unwrap();
+        }
+    }
+}
