@@ -1,0 +1,114 @@
+//! Runs the `fig11_overload` sweep (offered load at 1×–8× measured
+//! capacity against the full overload-protection stack, plus a chaos leg
+//! at 4×), prints the result table, and writes machine-readable
+//! `BENCH_overload.json`.
+//!
+//! Usage:
+//!
+//! ```text
+//! fig11_overload [--out PATH] [--seed N] [--skip-gate]
+//! ```
+//!
+//! * `--out PATH` — where to write the report JSON (default
+//!   `BENCH_overload.json`).
+//! * `--seed N` — override the base seed (replay a failing CI run locally:
+//!   copy the seed the CI log prints). One seed drives the storage
+//!   latency draws, the per-point deployments, and the chaos leg's
+//!   connection faults.
+//! * `--skip-gate` — do not fail on anomalies / lost commits / goodput
+//!   collapse (exploration runs only; CI keeps the gate on).
+//! * `AFT_BENCH_FAST=1` — run the trimmed sweep (1× and 4× only, shorter
+//!   windows).
+//!
+//! Unlike the virtual-clock recovery matrix, this sweep runs on *real*
+//! worker-thread sleeps (`LatencyMode::Sleep`): saturation is only real
+//! when a request costs real worker time, so the standard run takes a few
+//! tens of seconds of wall clock.
+
+use aft_bench::overload::{fig11_overload, OverloadConfig};
+
+fn main() {
+    let mut out_path = "BENCH_overload.json".to_owned();
+    let mut gate = true;
+    let mut seed_override: Option<u64> = None;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                i += 1;
+                out_path = args
+                    .get(i)
+                    .unwrap_or_else(|| {
+                        eprintln!("missing value for --out");
+                        std::process::exit(2);
+                    })
+                    .clone();
+            }
+            "--seed" => {
+                i += 1;
+                seed_override =
+                    Some(args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                        eprintln!("missing or invalid value for --seed");
+                        std::process::exit(2);
+                    }));
+            }
+            "--skip-gate" => gate = false,
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let fast = std::env::var("AFT_BENCH_FAST").is_ok();
+    let mut config = if fast {
+        OverloadConfig::fast()
+    } else {
+        OverloadConfig::standard()
+    };
+    if let Some(seed) = seed_override {
+        config.seed = seed;
+    }
+    println!(
+        "fig11_overload (fast={fast}, seed={:#x}): multipliers {:?} over a \
+         {}-node / {}-worker deployment, admission limit {}, queue deadline \
+         {:?}, {:?} per point\n",
+        config.seed,
+        config.multipliers,
+        config.nodes,
+        config.workers,
+        config.admission_limit,
+        config.queue_deadline,
+        config.point_duration
+    );
+
+    let report = fig11_overload(&config);
+    report.table().print();
+
+    let rendered = report.to_json().render();
+    if let Err(e) = std::fs::write(&out_path, &rendered) {
+        eprintln!("failed to write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out_path}");
+
+    if gate {
+        match report.check_gate() {
+            Ok(message) => println!("gate OK: {message}"),
+            Err(message) => {
+                // Fast-mode detection is presence-based (`is_ok()`), so the
+                // full-sweep replay must leave the variable unset entirely.
+                let env_prefix = if fast { "AFT_BENCH_FAST=1 " } else { "" };
+                eprintln!(
+                    "gate FAILED: {message}\nreplay locally with: \
+                     {env_prefix}fig11_overload --seed {}",
+                    config.seed
+                );
+                std::process::exit(1);
+            }
+        }
+    }
+}

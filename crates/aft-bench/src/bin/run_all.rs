@@ -1,6 +1,7 @@
 //! Runs every experiment in the evaluation back to back (Figures 2-10,
-//! Table 2, the throughput-scaling sweep, and the networked-service sweep),
-//! prints each table, and finishes by aggregating every `BENCH_*.json` in
+//! Table 2, the throughput-scaling sweep, the networked-service sweep, and
+//! the overload sweep), prints each table, and finishes by aggregating
+//! every `BENCH_*.json` in
 //! the working directory into `BENCH_summary.json` — the machine-readable
 //! per-PR bench trajectory.
 //!
@@ -18,9 +19,12 @@
 
 use std::path::PathBuf;
 
+use aft_bench::overload::OverloadConfig;
 use aft_bench::recovery::RecoveryConfig;
 use aft_bench::service::ServiceConfig;
-use aft_bench::{experiments, recovery, scaling, service, summary, BenchEnv, ScalingConfig};
+use aft_bench::{
+    experiments, overload, recovery, scaling, service, summary, BenchEnv, ScalingConfig,
+};
 
 fn main() {
     let mut summary_only = false;
@@ -84,6 +88,13 @@ fn main() {
         let service_report = service::fig8_service(&service_config);
         service_report.table().print();
         service_report.conn_table().print();
+        let overload_config = if env.fast {
+            OverloadConfig::fast()
+        } else {
+            OverloadConfig::standard()
+        };
+        let overload_report = overload::fig11_overload(&overload_config);
+        overload_report.table().print();
 
         // Persist the machine-readable reports so the summary below (and
         // any later --summary-only run) sees this run's numbers.
@@ -91,6 +102,7 @@ fn main() {
             ("BENCH_recovery.json", recovery_report.to_json()),
             ("BENCH_throughput.json", scaling_report.to_json()),
             ("BENCH_service.json", service_report.to_json()),
+            ("BENCH_overload.json", overload_report.to_json()),
         ] {
             if let Err(e) = std::fs::write(dir.join(name), json.render()) {
                 eprintln!("failed to write {name}: {e}");

@@ -25,6 +25,7 @@
 
 pub mod experiments;
 pub mod json;
+pub mod overload;
 pub mod pipelined;
 pub mod recovery;
 pub mod report;
@@ -34,6 +35,7 @@ pub mod setup;
 pub mod summary;
 
 pub use json::Json;
+pub use overload::{fig11_overload, OverloadConfig, OverloadReport};
 pub use pipelined::{fig2_pipelined, PipelineConfig, PipelineReport};
 pub use recovery::{fig10_recovery, FaultMode, RecoveryConfig, RecoveryReport};
 pub use report::Table;

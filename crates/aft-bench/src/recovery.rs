@@ -4,9 +4,10 @@
 //! The paper's Figure 10 shows throughput across one node failure; this
 //! experiment asks the stronger question its guarantees imply: for every
 //! combination of **fault mode** (seeded transient storage errors, storage
-//! timeouts, a slow-stripe gray failure, or aft-net connection faults over
-//! real loopback sockets), **node-kill point** (the three commit-phase
-//! crashes of [`CommitPhase`]), and **backend profile**, does the cluster
+//! timeouts, a slow-stripe gray failure, aft-net connection faults over
+//! real loopback sockets, or *every layer at once*), **node-kill point**
+//! (the three commit-phase crashes of [`CommitPhase`]), and **backend
+//! profile**, does the cluster
 //!
 //! * serve only Atomic Readsets (zero fractured reads / read-your-writes
 //!   violations, §3.2) while the faults are firing,
@@ -21,6 +22,10 @@
 //! cluster through a [`FaultyBackend`] while a [`ChaosController`] kills one
 //! node mid-commit, then the controller drives recovery and the trial
 //! verifies the invariants against ground truth read straight from storage.
+//! Every layer's faults in a trial — storage, network, platform, and the
+//! kill itself — derive from one [`ChaosSpec`] seed, so
+//! `fig10_recovery --seed N` replays a failing trial bit-identically across
+//! all layers.
 //! Results land in `BENCH_recovery.json`; [`RecoveryReport::check_gate`]
 //! fails on any anomaly, lost commit, unrecovered commit, or
 //! non-convergence — which CI enforces on every PR.
@@ -29,11 +34,13 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Barrier, Mutex};
 use std::time::Duration;
 
-use aft_cluster::{ChaosController, Cluster, ClusterConfig, KillSpec};
+use aft_chaos::{ChaosSpec, FaasChaos, KillPlan, NetChaos, StorageChaos};
+use aft_cluster::{ChaosController, Cluster, ClusterConfig};
 use aft_core::bootstrap::fetch_commit_records;
 use aft_core::read::is_atomic_readset;
 use aft_core::{is_superseded, AftNode, CommitPhase, NodeConfig};
-use aft_storage::chaos::{ChaosConfig, FaultyBackend};
+use aft_faas::{FailureInjector, FailurePoint};
+use aft_storage::chaos::FaultyBackend;
 use aft_storage::{
     BackendConfig, BackendKind, LatencyMode, LatencyModel, SharedStorage, DEFAULT_STRIPES,
 };
@@ -43,8 +50,9 @@ use aft_types::{AftError, Key, TransactionId, TransactionRecord, Value};
 use crate::json::Json;
 use crate::report::Table;
 
-/// The fault modes of the matrix: three storage-side modes and one
-/// network-side mode (added with the aft-net subsystem).
+/// The fault modes of the matrix: three storage-side modes, one
+/// network-side mode, and one cross-layer mode that fires every layer of
+/// the unified [`ChaosSpec`] in the same trial.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FaultMode {
     /// Seeded transient errors: requests dropped, half of them applied
@@ -62,15 +70,24 @@ pub enum FaultMode {
     /// delayed acknowledgements injected at the SDK. Storage stays clean;
     /// the node kill still fires mid-commit.
     Network,
+    /// Every layer at once, from one seed: seeded transient storage errors
+    /// under the nodes, connection resets and delayed acks at the SDK, and
+    /// platform failure points around the request bodies (invocations dying
+    /// before their body, between their two writes — the §1 fractional
+    /// update — or after the body with the acknowledgement lost), plus the
+    /// node kill. The single-layer modes prove each injector alone; this
+    /// mode proves they compose, and that one `--seed` replays them all.
+    CrossLayer,
 }
 
 impl FaultMode {
     /// Every mode, in report order.
-    pub const ALL: [FaultMode; 4] = [
+    pub const ALL: [FaultMode; 5] = [
         FaultMode::Transient,
         FaultMode::Timeout,
         FaultMode::SlowStripe,
         FaultMode::Network,
+        FaultMode::CrossLayer,
     ];
 
     /// A short label for reports.
@@ -80,27 +97,49 @@ impl FaultMode {
             FaultMode::Timeout => "timeouts",
             FaultMode::SlowStripe => "slow_stripe",
             FaultMode::Network => "network_resets",
+            FaultMode::CrossLayer => "cross_layer",
         }
     }
 
-    /// The chaos tuning of this mode for one trial seed.
-    fn chaos_config(&self, seed: u64) -> ChaosConfig {
+    /// Parses a report label back into a mode (`--mode` on the binary).
+    pub fn from_label(label: &str) -> Option<FaultMode> {
+        FaultMode::ALL.iter().copied().find(|m| m.label() == label)
+    }
+
+    /// The unified fault schedule of this mode for one trial seed. Every
+    /// leg an injector consumes in the trial comes from this one spec, so
+    /// replaying the seed replays every layer.
+    fn chaos_spec(&self, seed: u64) -> ChaosSpec {
+        let spec = ChaosSpec::new(seed);
         match self {
             // 8% of ops fail transiently: heavy enough that every trial
             // exercises the retry path, light enough that the default
             // 4-attempt budget absorbs nearly all of it.
-            FaultMode::Transient => ChaosConfig::transient_errors(seed, 0.08),
+            FaultMode::Transient => spec.storage(StorageChaos::transient_errors(0.08)),
             // 5% of ops time out after a charged 30ms deadline.
-            FaultMode::Timeout => ChaosConfig::timeouts(seed, 0.05, 30_000.0),
+            FaultMode::Timeout => spec.storage(StorageChaos::timeouts(0.05, 30_000.0)),
             // One of 16 stripes pays +20ms per op.
-            FaultMode::SlowStripe => ChaosConfig::slow_stripe(
-                seed,
+            FaultMode::SlowStripe => spec.storage(StorageChaos::slow_stripe(
                 (seed % DEFAULT_STRIPES as u64) as usize,
                 DEFAULT_STRIPES,
                 20_000.0,
-            ),
+            )),
             // Network mode injects at the connection, not at storage.
-            FaultMode::Network => ChaosConfig::quiet(seed),
+            FaultMode::Network => spec.net(NetChaos::resets_and_delays(
+                0.06,
+                0.03,
+                Duration::from_millis(1),
+            )),
+            // All layers, each at roughly half its single-layer rate so the
+            // compounded retry pressure stays inside the budgets.
+            FaultMode::CrossLayer => spec
+                .storage(StorageChaos::transient_errors(0.04))
+                .net(NetChaos::resets_and_delays(
+                    0.04,
+                    0.02,
+                    Duration::from_millis(1),
+                ))
+                .faas(FaasChaos::uniform(0.06)),
         }
     }
 }
@@ -127,8 +166,9 @@ pub struct RecoveryConfig {
 }
 
 impl RecoveryConfig {
-    /// The full matrix: 4 fault modes (3 storage + network) × 3 kill
-    /// points × the 3 evaluated backends = 36 cells, 3 trials each.
+    /// The full matrix: 5 fault modes (3 storage + network + cross-layer)
+    /// × 3 kill points × the 3 evaluated backends = 45 cells, 3 trials
+    /// each.
     pub fn standard() -> Self {
         RecoveryConfig {
             fault_modes: FaultMode::ALL.to_vec(),
@@ -142,7 +182,7 @@ impl RecoveryConfig {
         }
     }
 
-    /// The CI configuration: the same ≥ 9-cell guarantee (4 fault modes × 3
+    /// The CI configuration: the same ≥ 9-cell guarantee (5 fault modes × 3
     /// kill points) with one backend per fault mode and fewer trials, so the
     /// chaos gate stays well under a minute.
     pub fn fast() -> Self {
@@ -304,6 +344,15 @@ impl RecoveryReport {
                 kill_points.len()
             ));
         }
+        self.check_gate_cells()
+    }
+
+    /// The per-cell half of [`Self::check_gate`]: every correctness
+    /// invariant (anomalies, lost acks, unrecovered commits, convergence)
+    /// without the matrix-coverage clause — for single-mode replays
+    /// (`fig10_recovery --mode ...`), whose restricted matrix can never
+    /// satisfy the coverage requirement by construction.
+    pub fn check_gate_cells(&self) -> Result<String, String> {
         for cell in &self.cells {
             let label = format!("{}/{}/{}", cell.backend, cell.fault_mode, cell.kill_point);
             if cell.sum(|t| t.anomalies) > 0 {
@@ -546,11 +595,17 @@ fn attempt_request(
 /// One logical client request through the networked SDK: same shape as
 /// [`run_logical_request`], but every operation crosses a real socket and
 /// the read-atomicity verdict comes back in the commit acknowledgement
-/// (the metadata lives server-side).
+/// (the metadata lives server-side). When the trial's spec arms the faas
+/// leg, `injector` plays the platform: the invocation can die before its
+/// body runs, between its two writes (the §1 fractional update — the abort
+/// stands in for the write buffer dying with the invocation), or after the
+/// body with the acknowledgement lost. Each forces a whole-request retry,
+/// at-least-once style (§3.3.1).
 fn run_network_request(
     api: &Arc<aft_net::AftClient>,
     anomalies: &AtomicU64,
     client_retries: &AtomicU64,
+    injector: Option<&FailureInjector>,
     client: usize,
     request: usize,
 ) {
@@ -564,7 +619,16 @@ fn run_network_request(
         ))
     };
     for attempt in 0..MAX_ATTEMPTS {
-        let result: Result<(), AftError> = (|| {
+        let failure = injector.and_then(|i| i.decide());
+        if failure == Some(FailurePoint::BeforeBody) {
+            client_retries.fetch_add(1, Ordering::Relaxed);
+            continue;
+        }
+        let crash_midway = failure == Some(FailurePoint::MidBody)
+            && injector.is_some_and(FailureInjector::should_crash_midway);
+        // Ok(true): committed and acked. Ok(false): the invocation died
+        // between its writes — nothing committed, the request retries.
+        let result: Result<bool, AftError> = (|| {
             let txid = api.begin()?;
             let mut reads: Vec<(Key, TransactionId)> = Vec::new();
             for slot in 0..2 {
@@ -579,11 +643,17 @@ fn run_network_request(
                 }
             }
             let value: Value = Value::from(format!("c{client}-r{request}-a{attempt}"));
-            for slot in 2..4 {
-                if let Err(e) = api.put(&txid, key_at(slot), value.clone()) {
-                    let _ = api.abort(&txid);
-                    return Err(e);
-                }
+            if let Err(e) = api.put(&txid, key_at(2), value.clone()) {
+                let _ = api.abort(&txid);
+                return Err(e);
+            }
+            if crash_midway {
+                let _ = api.abort(&txid);
+                return Ok(false);
+            }
+            if let Err(e) = api.put(&txid, key_at(3), value.clone()) {
+                let _ = api.abort(&txid);
+                return Err(e);
             }
             // Read-your-writes must hold bytewise through the SDK's buffer.
             match api.get_versioned(&txid, &key_at(2)) {
@@ -600,10 +670,23 @@ fn run_network_request(
             if !outcome.atomic {
                 anomalies.fetch_add(1, Ordering::Relaxed);
             }
-            Ok(())
+            Ok(true)
         })();
         match result {
-            Ok(()) => return,
+            Ok(true) => {
+                if failure == Some(FailurePoint::AfterBody) {
+                    // The body ran to completion — commit durable and acked
+                    // — but the invocation's response was lost, so the
+                    // client re-runs the whole request (§3.3.1). AFT's job
+                    // is to keep the duplicate harmless.
+                    client_retries.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+                return;
+            }
+            Ok(false) => {
+                client_retries.fetch_add(1, Ordering::Relaxed);
+            }
             Err(e) if e.is_retryable() => {
                 client_retries.fetch_add(1, Ordering::Relaxed);
             }
@@ -613,20 +696,31 @@ fn run_network_request(
     panic!("client {client} request {request}: retry budget exhausted — the fault rates are tuned so this cannot happen");
 }
 
-/// The network-fault trial: the same cluster, kill, and invariants as the
-/// storage trials, but clients reach the cluster through an [`aft_net`]
-/// server over loopback while a seeded [`aft_net::ConnChaos`] resets
-/// connections (including in the lost-ack window) and delays acks. Storage
-/// injection stays off, so the durable commit set is complete ground truth.
+/// The networked trial: the same invariants as the storage trials, but
+/// clients reach the cluster through an [`aft_net`] server over loopback
+/// while the trial's single [`ChaosSpec`] drives every armed layer — a
+/// seeded [`aft_net::ConnChaos`] resets connections (including in the
+/// lost-ack window) and delays acks on every run; in
+/// [`FaultMode::CrossLayer`] the same spec additionally wraps storage in a
+/// [`FaultyBackend`] under the nodes and plays platform failure points
+/// around the request bodies via a [`FailureInjector`]. The node kill is
+/// armed from the same spec via [`ChaosController::arm_spec`].
 fn run_network_trial(
     backend: BackendKind,
+    fault_mode: FaultMode,
     kill_point: CommitPhase,
     trial_seed: u64,
     config: &RecoveryConfig,
 ) -> TrialResult {
     use crate::setup::{serve_cluster, ServeOptions};
 
-    let storage = aft_storage::make_backend(BackendConfig {
+    let victim_id = "aft-node-1";
+    let spec = fault_mode.chaos_spec(trial_seed).kill(
+        KillPlan::immediate(victim_id, kill_point)
+            .after_commits((config.requests_per_trial / (config.nodes * 4)) as u64),
+    );
+
+    let raw = aft_storage::make_backend(BackendConfig {
         kind: backend,
         mode: LatencyMode::Virtual,
         scale: 1.0,
@@ -634,6 +728,22 @@ fn run_network_trial(
         redis_shards: 2,
         stripes: DEFAULT_STRIPES,
     });
+    // Cross-layer trials inject storage faults too. The wrapper starts
+    // paused so cluster construction is always fault-free, then injection
+    // switches on for the load and off again for verification.
+    let faulty = (!spec.storage.is_quiet()).then(|| {
+        let wrapped = FaultyBackend::from_spec(
+            Arc::clone(&raw),
+            &spec,
+            LatencyModel::new(LatencyMode::Virtual, 1.0),
+        );
+        wrapped.set_enabled(false);
+        wrapped
+    });
+    let storage: SharedStorage = match &faulty {
+        Some(wrapped) => Arc::clone(wrapped) as SharedStorage,
+        None => raw,
+    };
     let cluster_config = ClusterConfig {
         initial_nodes: config.nodes,
         node_template: NodeConfig {
@@ -647,7 +757,7 @@ fn run_network_trial(
         ..ClusterConfig::default()
     };
     let cluster = Cluster::with_clock(cluster_config, storage, TickingClock::shared(1_000, 1))
-        .expect("fault-free construction: storage injection is off in network mode");
+        .expect("fault-free construction: storage injection is paused until the load starts");
     let handle = serve_cluster(
         &cluster,
         &ServeOptions {
@@ -658,12 +768,7 @@ fn run_network_trial(
                 base_backoff: Duration::from_micros(200),
                 max_backoff: Duration::from_millis(2),
             },
-            chaos: Some(aft_net::NetChaosConfig::resets_and_delays(
-                trial_seed,
-                0.06,
-                0.03,
-                Duration::from_millis(1),
-            )),
+            chaos: Some(spec.clone()),
             seed: trial_seed ^ 0x5DC,
             ..ServeOptions::default()
         },
@@ -671,13 +776,11 @@ fn run_network_trial(
     .expect("serve on loopback");
 
     let controller = ChaosController::new(Arc::clone(&cluster));
-    let victim_id = "aft-node-1";
-    controller
-        .arm_kill(
-            KillSpec::immediate(victim_id, kill_point)
-                .after_commits((config.requests_per_trial / (config.nodes * 4)) as u64),
-        )
-        .expect("victim is registered");
+    controller.arm_spec(&spec).expect("victim is registered");
+    let injector = (!spec.faas.is_quiet()).then(|| FailureInjector::from_spec(&spec));
+    if let Some(wrapped) = &faulty {
+        wrapped.set_enabled(true);
+    }
 
     let anomalies = AtomicU64::new(0);
     let client_retries = AtomicU64::new(0);
@@ -689,13 +792,14 @@ fn run_network_trial(
             let api = &handle.client;
             let anomalies = &anomalies;
             let client_retries = &client_retries;
+            let injector = injector.as_ref();
             let barrier = &barrier;
             let finished_clients = &finished_clients;
             scope.spawn(move || {
                 let _done = CountOnDrop(finished_clients);
                 barrier.wait();
                 for request in 0..requests_per_client {
-                    run_network_request(api, anomalies, client_retries, client, request);
+                    run_network_request(api, anomalies, client_retries, injector, client, request);
                 }
             });
         }
@@ -708,17 +812,21 @@ fn run_network_trial(
 
     let outcome = controller.drive_recovery(200);
 
-    // Ground truth straight from storage (no injection to pause: the chaos
-    // lives at the connections, and the verifier reads in-process).
+    // Verification reads ground truth with storage injection (if any)
+    // paused; connection chaos only ever lived at the SDK, and the
+    // verifier reads in-process.
+    if let Some(wrapped) = &faulty {
+        wrapped.set_enabled(false);
+    }
     let acknowledged = handle.client.acked_commits();
     let chaos_stats = handle.client.chaos_stats().unwrap_or_default();
     let record_keys = cluster
         .storage()
         .list_prefix(&TransactionRecord::storage_prefix())
-        .expect("storage is clean in network mode");
+        .expect("injection is paused");
     let mut records = Vec::new();
     fetch_commit_records(cluster.io(), &record_keys, |r| records.push(Arc::new(r)))
-        .expect("storage is clean in network mode");
+        .expect("injection is paused");
     let durable: std::collections::HashSet<TransactionId> = records.iter().map(|r| r.id).collect();
     let lost_acks = acknowledged
         .iter()
@@ -752,8 +860,13 @@ fn run_network_trial(
         rounds: outcome.rounds,
         io_retries,
         client_retries: client_retries.load(Ordering::Relaxed),
-        // For the network mode, "faults injected" counts connection faults.
-        faults_injected: chaos_stats.total(),
+        // Every armed layer counts: connection faults always, plus storage
+        // faults and platform failure points when the spec arms them.
+        faults_injected: chaos_stats.total()
+            + faulty
+                .as_ref()
+                .map_or(0, |wrapped| wrapped.chaos_stats().total_faults())
+            + injector.as_ref().map_or(0, |i| i.injected()),
     };
     drop(handle);
     result
@@ -767,9 +880,16 @@ fn run_trial(
     trial_seed: u64,
     config: &RecoveryConfig,
 ) -> TrialResult {
-    if fault_mode == FaultMode::Network {
-        return run_network_trial(backend, kill_point, trial_seed, config);
+    if matches!(fault_mode, FaultMode::Network | FaultMode::CrossLayer) {
+        return run_network_trial(backend, fault_mode, kill_point, trial_seed, config);
     }
+    // One spec per trial: the storage leg feeds the FaultyBackend, the kill
+    // rides along and is armed below via the same spec.
+    let victim_id = "aft-node-1";
+    let spec = fault_mode.chaos_spec(trial_seed).kill(
+        KillPlan::immediate(victim_id, kill_point)
+            .after_commits((config.requests_per_trial / (config.nodes * 4)) as u64),
+    );
     // Chaos-wrapped backend on the virtual clock at full scale: injected
     // latency is charged, never slept, so the whole matrix runs in seconds.
     let raw = aft_storage::make_backend(BackendConfig {
@@ -780,11 +900,7 @@ fn run_trial(
         redis_shards: 2,
         stripes: DEFAULT_STRIPES,
     });
-    let faulty = FaultyBackend::new(
-        raw,
-        fault_mode.chaos_config(trial_seed),
-        LatencyModel::new(LatencyMode::Virtual, 1.0),
-    );
+    let faulty = FaultyBackend::from_spec(raw, &spec, LatencyModel::new(LatencyMode::Virtual, 1.0));
     let storage: SharedStorage = Arc::clone(&faulty) as SharedStorage;
 
     // GC stays off so the durable Transaction Commit Set remains the
@@ -812,13 +928,7 @@ fn run_trial(
 
     let controller = ChaosController::new(Arc::clone(&cluster));
     // The victim dies mid-commit partway through the load.
-    let victim_id = "aft-node-1";
-    controller
-        .arm_kill(
-            KillSpec::immediate(victim_id, kill_point)
-                .after_commits((config.requests_per_trial / (config.nodes * 4)) as u64),
-        )
-        .expect("victim is registered");
+    controller.arm_spec(&spec).expect("victim is registered");
 
     let shared = TrialShared {
         cluster: Arc::clone(&cluster),
@@ -967,13 +1077,13 @@ mod tests {
 
     #[test]
     fn full_tiny_matrix_is_clean() {
-        // The acceptance shape: 4 fault modes (3 storage + network) x 3
-        // kill points (one backend), zero anomalies, zero lost commits,
-        // full recovery, convergence.
+        // The acceptance shape: 5 fault modes (3 storage + network +
+        // cross-layer) x 3 kill points (one backend), zero anomalies, zero
+        // lost commits, full recovery, convergence.
         let report = fig10_recovery(&tiny());
-        assert_eq!(report.cells.len(), 12);
+        assert_eq!(report.cells.len(), 15);
         let summary = report.check_gate().expect("gate must pass");
-        assert!(summary.contains("12 cells"), "{summary}");
+        assert!(summary.contains("15 cells"), "{summary}");
         assert_eq!(report.total_anomalies(), 0);
         assert_eq!(report.total_lost(), 0);
         assert_eq!(report.total_unrecovered(), 0);
@@ -990,6 +1100,47 @@ mod tests {
             .map(|c| c.sum(|t| t.durable_commits as u64))
             .sum();
         assert!(durable > 0);
+    }
+
+    #[test]
+    fn cross_layer_mode_arms_every_layer_from_one_seed() {
+        let spec = FaultMode::CrossLayer.chaos_spec(0xF1610);
+        assert!(!spec.storage.is_quiet());
+        assert!(!spec.net.is_quiet());
+        assert!(!spec.faas.is_quiet());
+        // The schedule is a pure function of (seed, layer, op index, key):
+        // re-deriving it from the same seed replays every layer's decisions
+        // bit-identically — the property `--seed N` relies on.
+        use aft_chaos::Layer;
+        let a = spec.schedule();
+        let b = FaultMode::CrossLayer.chaos_spec(0xF1610).schedule();
+        for layer in [Layer::Storage, Layer::Net, Layer::Faas] {
+            assert_eq!(
+                a.materialize(layer, 64, "chaos/k00"),
+                b.materialize(layer, 64, "chaos/k00"),
+                "layer {layer:?} must replay identically"
+            );
+        }
+    }
+
+    #[test]
+    fn cross_layer_cells_inject_and_stay_clean() {
+        let config = RecoveryConfig {
+            kill_points: vec![CommitPhase::BeforeRecordAppend],
+            fault_modes: vec![FaultMode::CrossLayer],
+            ..tiny()
+        };
+        let report = fig10_recovery(&config);
+        assert_eq!(report.total_anomalies(), 0);
+        assert_eq!(report.total_lost(), 0);
+        assert_eq!(report.total_unrecovered(), 0);
+        assert!(report.cells.iter().all(CellReport::all_converged));
+        let faults: u64 = report
+            .cells
+            .iter()
+            .map(|c| c.sum(|t| t.faults_injected))
+            .sum();
+        assert!(faults > 0, "the cross-layer cell must inject faults");
     }
 
     #[test]

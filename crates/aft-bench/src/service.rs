@@ -34,11 +34,12 @@ use std::net::{SocketAddr, TcpStream};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use aft_chaos::{ChaosSpec, NetChaos};
 use aft_cluster::{Cluster, ClusterConfig};
 use aft_core::api::AftApi;
 use aft_faas::{FaasPlatform, PlatformConfig, RetryPolicy};
 use aft_net::frame::{read_frame, write_frame};
-use aft_net::{AftServer, NetChaosConfig};
+use aft_net::AftServer;
 use aft_storage::io::RetryConfig;
 use aft_storage::{BackendConfig, BackendKind};
 use aft_types::wire::{decode_response, encode_request, WireRequest, WireResponse};
@@ -748,12 +749,13 @@ pub fn fig8_service(config: &ServiceConfig) -> ServiceReport {
     // Chaos leg: one deployment, seeded connection faults, then verify
     // every acked commit against the durable commit set.
     let chaos_options = ServeOptions {
-        chaos: Some(NetChaosConfig::resets_and_delays(
-            config.seed ^ 0xC4A05,
-            config.reset_rate,
-            config.delay_rate,
-            Duration::from_millis(1),
-        )),
+        chaos: Some(
+            ChaosSpec::new(config.seed ^ 0xC4A05).net(NetChaos::resets_and_delays(
+                config.reset_rate,
+                config.delay_rate,
+                Duration::from_millis(1),
+            )),
+        ),
         retry: RetryConfig {
             max_attempts: 6,
             base_backoff: Duration::from_micros(200),

@@ -3,11 +3,12 @@
 use std::sync::Arc;
 use std::time::Duration;
 
+use aft_chaos::ChaosSpec;
 use aft_cluster::{Cluster, ClusterConfig};
 use aft_core::api::AftApi;
 use aft_core::{AftNode, NodeConfig};
 use aft_faas::{FaasPlatform, PlatformConfig, RetryPolicy};
-use aft_net::{AftClient, AftServer, NetChaosConfig};
+use aft_net::{AftClient, AftServer};
 use aft_storage::io::RetryConfig;
 use aft_storage::latency::LatencyProfile;
 use aft_storage::{BackendConfig, BackendKind, LatencyMode, SharedStorage};
@@ -186,12 +187,24 @@ pub struct ServeOptions {
     /// Connection slots preallocated in the event loop's slab (sizing hint
     /// for high-connection sweeps; the slab grows beyond it).
     pub slab_capacity: usize,
+    /// Server worker-queue capacity (per-socket backpressure threshold).
+    pub queue_capacity: usize,
+    /// Server admission limit: queue depth beyond which new requests get a
+    /// typed `Overloaded` rejection (`0` disables).
+    pub admission_limit: usize,
+    /// Server queue-age deadline beyond which requests are shed unexecuted
+    /// (`ZERO` disables).
+    pub queue_deadline: Duration,
+    /// Per-connection fair queuing on the server's worker queue.
+    pub fair_queuing: bool,
     /// Client connection-pool size.
     pub pool_size: usize,
     /// Client transport retry/backoff budget.
     pub retry: RetryConfig,
-    /// Optional seeded connection-fault injection (client side).
-    pub chaos: Option<NetChaosConfig>,
+    /// Optional unified fault schedule; the client-side connection layer
+    /// consumes its `net` leg (other legs are free for the experiment to
+    /// wire into storage/platform injectors from the same seed).
+    pub chaos: Option<ChaosSpec>,
     /// Client UUID seed.
     pub seed: u64,
     /// Keep the client-side ack log (experiments verify acks against the
@@ -205,6 +218,10 @@ impl Default for ServeOptions {
             workers: 4,
             event_driven: true,
             slab_capacity: 1_024,
+            queue_capacity: 1_024,
+            admission_limit: 0,
+            queue_deadline: Duration::ZERO,
+            fair_queuing: false,
             pool_size: 4,
             retry: RetryConfig::default(),
             chaos: None,
@@ -224,6 +241,16 @@ impl ServeOptions {
     /// Overrides the client connection-pool size.
     pub fn pool_size(mut self, pool_size: usize) -> Self {
         self.pool_size = pool_size;
+        self
+    }
+
+    /// Enables the full overload-protection stack: admission control at
+    /// `admission_limit`, shedding past `queue_deadline`, and per-client
+    /// fair queuing.
+    pub fn overload_protection(mut self, admission_limit: usize, queue_deadline: Duration) -> Self {
+        self.admission_limit = admission_limit;
+        self.queue_deadline = queue_deadline;
+        self.fair_queuing = true;
         self
     }
 
@@ -252,14 +279,18 @@ pub fn serve_cluster(cluster: &Arc<Cluster>, options: &ServeOptions) -> AftResul
         .workers(options.workers)
         .event_driven(options.event_driven)
         .slab_capacity(options.slab_capacity)
+        .queue_capacity(options.queue_capacity)
+        .admission_limit(options.admission_limit)
+        .queue_deadline(options.queue_deadline)
+        .fair_queuing(options.fair_queuing)
         .serve(Arc::clone(cluster), "127.0.0.1:0")?;
     let mut client = AftClient::builder()
         .pool_size(options.pool_size)
         .retry(options.retry)
         .rng_seed(options.seed)
         .record_acks(options.record_acks);
-    if let Some(chaos) = options.chaos {
-        client = client.chaos(chaos);
+    if let Some(chaos) = options.chaos.clone() {
+        client = client.chaos_spec(chaos);
     }
     let client = client.connect(server.local_addr())?;
     Ok(ServiceHandle { server, client })

@@ -1,0 +1,814 @@
+//! One fault-schedule API to drive every chaos layer.
+//!
+//! The repo injects faults at three layers — storage (dropped / duplicated /
+//! slow requests), network (connection resets, delayed acks), and platform
+//! (function crashes before / after / mid-body) — plus phase-exact node
+//! kills. Each layer grew its own seeded planner; this crate replaces the
+//! three copies with one substrate so a *single seed* reproduces an entire
+//! cross-layer trial: a gray-failing stripe *while* connections flap *while*
+//! functions retry *while* a node dies mid-commit.
+//!
+//! The pieces:
+//!
+//! * [`ChaosSpec`] — the one composable, fluent description of a trial's
+//!   fault pressure: `ChaosSpec::new(seed).storage(..).net(..).faas(..)
+//!   .kill(..)`. Layers left unset stay quiet, so every existing single-layer
+//!   scenario is a special case.
+//! * [`FaultSchedule`] — the pure schedule derived from a spec. Its
+//!   [`decide`](FaultSchedule::decide)`(layer, op_index, key)` is
+//!   deterministic in `(seed, layer, op_index, key)` and independent of call
+//!   order or of what other layers are asked: each decision draws from its
+//!   own RNG stream keyed by the triple, so concurrent layers racing for
+//!   their indices still replay bit-exactly from the seed.
+//! * [`LayerSchedule`] — a layer's stateful view: the schedule plus the
+//!   layer's own operation counter, which is all the per-layer adapters
+//!   ([`FaultyBackend`](https://docs.rs) in `aft-storage`, `ConnChaos` in
+//!   `aft-net`, `FailureInjector` in `aft-faas`) need to hold.
+//! * [`ChaosInjector`] — the adapter trait each layer's injector implements
+//!   so trials can interrogate any injector uniformly.
+//! * [`KillPlan`] — a phase-exact node kill, armed by the cluster layer's
+//!   `ChaosController` from [`ChaosSpec::kills`].
+//!
+//! Per-layer decisions use SplitMix-style per-operation streams (the same
+//! scheme the storage planner always had — the storage layer's schedule is
+//! bit-compatible with it), salted per [`Layer`] so layers sharing one seed
+//! draw decorrelated schedules.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use aft_types::CommitPhase;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Default stripe count the gray-failure mode hashes keys into (matches the
+/// storage layer's default lock striping).
+pub const DEFAULT_STRIPES: usize = 16;
+
+/// The stripe a key hashes to, out of `stripes`.
+///
+/// This is the canonical striping function: the sharded storage map places
+/// keys with it and the gray-failure fault mode targets stripes with it, so
+/// "slow stripe" degrades exactly the keys that share a placement shard.
+pub fn stripe_of(key: &str, stripes: usize) -> usize {
+    debug_assert!(stripes > 0, "stripe count must be positive");
+    let mut hasher = DefaultHasher::new();
+    key.hash(&mut hasher);
+    (hasher.finish() as usize) % stripes
+}
+
+/// The injection layers a [`FaultSchedule`] can be asked about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Layer {
+    /// Storage-engine operations (get/put/delete/list against the store).
+    Storage,
+    /// Wire operations of the client SDK (request/response over a socket).
+    Net,
+    /// Function invocations on the FaaS platform.
+    Faas,
+}
+
+impl Layer {
+    /// Every layer.
+    pub const ALL: [Layer; 3] = [Layer::Storage, Layer::Net, Layer::Faas];
+
+    /// A short label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Layer::Storage => "storage",
+            Layer::Net => "net",
+            Layer::Faas => "faas",
+        }
+    }
+
+    /// The per-layer salt mixed into the seed so layers sharing one seed
+    /// draw decorrelated streams. Storage's salt is zero on purpose: its
+    /// schedule stays bit-compatible with the original storage-only planner,
+    /// so seeds recorded by earlier chaos reports still replay.
+    fn salt(&self) -> u64 {
+        match self {
+            Layer::Storage => 0,
+            Layer::Net => 0x4E45_545F_4641_554C,
+            Layer::Faas => 0xFAA5_0000_F417_0001,
+        }
+    }
+}
+
+/// What the schedule injects into one operation of one layer.
+///
+/// The variants are the union of every layer's fault vocabulary; each layer
+/// maps the subset it can express (the net adapter turns `TransientError`
+/// into connection resets, the platform adapter turns it into
+/// before/after-body invocation failures, and so on).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The operation executes normally.
+    None,
+    /// The operation fails with a retryable error. When `applied` is true
+    /// the operation's effect lands *before* the failure (an acknowledgement
+    /// lost in flight); a retry then duplicates the request, which
+    /// idempotent storage keys (§3.1) and the commit-dedup ledger (§4.2)
+    /// must absorb. On the net layer this is a connection reset
+    /// before (`applied: false`) or after (`applied: true`) the send; on the
+    /// platform layer it is an invocation failure before or after the body.
+    TransientError {
+        /// Whether the operation was applied before the ack was lost.
+        applied: bool,
+    },
+    /// The operation charges the configured timeout/delay latency and then
+    /// fails (storage) or delivers its acknowledgement late (net).
+    Timeout,
+    /// The operation succeeds but pays the gray-failure latency penalty
+    /// (storage only).
+    Slow,
+    /// The function body is asked to crash at its next mid-body crash point,
+    /// between two writes — §1's fractional-update scenario (platform only).
+    MidCrash,
+}
+
+impl FaultKind {
+    /// True for every variant except [`FaultKind::None`].
+    pub fn is_fault(&self) -> bool {
+        !matches!(self, FaultKind::None)
+    }
+}
+
+/// Storage-layer fault pressure (rates per storage operation).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StorageChaos {
+    /// Probability in `[0, 1]` that an operation fails with a transient
+    /// error (half of these apply the operation before losing the ack).
+    pub error_rate: f64,
+    /// Probability in `[0, 1]` that an operation times out: the timeout
+    /// latency is charged, then a transient error surfaces.
+    pub timeout_rate: f64,
+    /// The charged latency of one timeout, in microseconds before global
+    /// scaling (modeled on a client-side request deadline).
+    pub timeout_us: f64,
+    /// The gray-failure stripe: operations whose primary key hashes to this
+    /// stripe (out of [`StorageChaos::stripes`]) pay
+    /// [`StorageChaos::slow_extra_us`] of extra latency. `None` disables the
+    /// mode.
+    pub slow_stripe: Option<usize>,
+    /// Extra latency per slow-stripe operation, in microseconds before
+    /// global scaling.
+    pub slow_extra_us: f64,
+    /// Stripe count the gray-failure mode hashes keys into.
+    pub stripes: usize,
+}
+
+impl StorageChaos {
+    /// No storage faults.
+    pub fn quiet() -> Self {
+        StorageChaos {
+            error_rate: 0.0,
+            timeout_rate: 0.0,
+            timeout_us: 0.0,
+            slow_stripe: None,
+            slow_extra_us: 0.0,
+            stripes: DEFAULT_STRIPES,
+        }
+    }
+
+    /// Transient-error mode: `rate` of operations fail with a retryable
+    /// error (half applied-then-dropped-ack, half dropped outright).
+    pub fn transient_errors(rate: f64) -> Self {
+        StorageChaos {
+            error_rate: rate.clamp(0.0, 1.0),
+            ..StorageChaos::quiet()
+        }
+    }
+
+    /// Timeout mode: `rate` of operations charge `timeout_us` and then fail
+    /// with a retryable error.
+    pub fn timeouts(rate: f64, timeout_us: f64) -> Self {
+        StorageChaos {
+            timeout_rate: rate.clamp(0.0, 1.0),
+            timeout_us: timeout_us.max(0.0),
+            ..StorageChaos::quiet()
+        }
+    }
+
+    /// Gray-failure mode: every operation on keys of `stripe` (out of
+    /// `stripes`) pays `slow_extra_us` of extra latency; nothing errors.
+    pub fn slow_stripe(stripe: usize, stripes: usize, slow_extra_us: f64) -> Self {
+        let stripes = stripes.max(1);
+        StorageChaos {
+            slow_stripe: Some(stripe % stripes),
+            slow_extra_us: slow_extra_us.max(0.0),
+            stripes,
+            ..StorageChaos::quiet()
+        }
+    }
+
+    /// True if this layer can never inject anything.
+    pub fn is_quiet(&self) -> bool {
+        self.error_rate <= 0.0 && self.timeout_rate <= 0.0 && self.slow_stripe.is_none()
+    }
+}
+
+impl Default for StorageChaos {
+    fn default() -> Self {
+        StorageChaos::quiet()
+    }
+}
+
+/// Net-layer fault pressure (rates per wire operation).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetChaos {
+    /// Probability in `[0, 1]` that a wire operation's connection is reset
+    /// (half before the send, half after — the lost-ack interleaving).
+    pub reset_rate: f64,
+    /// Probability in `[0, 1]` that an acknowledgement is delayed by
+    /// [`NetChaos::delay`].
+    pub delay_rate: f64,
+    /// How late a delayed acknowledgement arrives.
+    pub delay: Duration,
+}
+
+impl NetChaos {
+    /// No net faults.
+    pub fn quiet() -> Self {
+        NetChaos {
+            reset_rate: 0.0,
+            delay_rate: 0.0,
+            delay: Duration::ZERO,
+        }
+    }
+
+    /// Reset-only injection at `rate`.
+    pub fn resets(rate: f64) -> Self {
+        NetChaos {
+            reset_rate: rate.clamp(0.0, 1.0),
+            ..NetChaos::quiet()
+        }
+    }
+
+    /// Resets plus delayed acks.
+    pub fn resets_and_delays(reset_rate: f64, delay_rate: f64, delay: Duration) -> Self {
+        NetChaos {
+            reset_rate: reset_rate.clamp(0.0, 1.0),
+            delay_rate: delay_rate.clamp(0.0, 1.0),
+            delay,
+        }
+    }
+
+    /// True if this layer can never inject anything.
+    pub fn is_quiet(&self) -> bool {
+        self.reset_rate <= 0.0 && self.delay_rate <= 0.0
+    }
+}
+
+impl Default for NetChaos {
+    fn default() -> Self {
+        NetChaos::quiet()
+    }
+}
+
+/// Platform-layer fault pressure (independent probabilities per invocation).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FaasChaos {
+    /// Probability of failing before the body runs (no side effects).
+    pub before_body: f64,
+    /// Probability of failing after the body runs (side effects applied,
+    /// acknowledgement lost — retries must be idempotent).
+    pub after_body: f64,
+    /// Probability of a mid-body crash request (between two writes;
+    /// functions consume it at their crash points).
+    pub mid_body: f64,
+}
+
+impl FaasChaos {
+    /// No platform faults.
+    pub fn quiet() -> Self {
+        FaasChaos::default()
+    }
+
+    /// Fails each invocation with probability `p`, split evenly across the
+    /// three failure points.
+    pub fn uniform(p: f64) -> Self {
+        FaasChaos {
+            before_body: p / 3.0,
+            after_body: p / 3.0,
+            mid_body: p / 3.0,
+        }
+    }
+
+    /// True if this layer can never inject anything.
+    pub fn is_quiet(&self) -> bool {
+        self.before_body <= 0.0 && self.after_body <= 0.0 && self.mid_body <= 0.0
+    }
+}
+
+/// One planned node kill: crash `node_id` at `phase` once `after_commits`
+/// commits have passed that phase on the node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KillPlan {
+    /// The node to crash.
+    pub node_id: String,
+    /// The commit-protocol point to crash at.
+    pub phase: CommitPhase,
+    /// How many commits pass the phase unharmed before the crash fires.
+    pub after_commits: u64,
+}
+
+impl KillPlan {
+    /// A kill of `node_id` at `phase` on its very next commit.
+    pub fn immediate(node_id: impl Into<String>, phase: CommitPhase) -> Self {
+        KillPlan {
+            node_id: node_id.into(),
+            phase,
+            after_commits: 0,
+        }
+    }
+
+    /// Delays the kill until `after_commits` commits have passed the phase.
+    pub fn after_commits(mut self, after_commits: u64) -> Self {
+        self.after_commits = after_commits;
+        self
+    }
+}
+
+/// The composable, seeded description of a whole trial's fault pressure —
+/// the one chaos configuration surface.
+///
+/// ```
+/// use aft_chaos::{ChaosSpec, StorageChaos, NetChaos, FaasChaos, KillPlan};
+/// use aft_types::CommitPhase;
+/// use std::time::Duration;
+///
+/// let spec = ChaosSpec::new(0xF00D)
+///     .storage(StorageChaos::transient_errors(0.08))
+///     .net(NetChaos::resets_and_delays(0.06, 0.03, Duration::from_millis(1)))
+///     .faas(FaasChaos::uniform(0.1))
+///     .kill(KillPlan::immediate("aft-node-1", CommitPhase::BeforeBroadcast).after_commits(4));
+/// assert!(!spec.is_quiet());
+/// assert_eq!(spec.schedule().seed(), 0xF00D);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosSpec {
+    /// Seed of every layer's fault schedule; identical seeds reproduce
+    /// identical cross-layer schedules.
+    pub seed: u64,
+    /// Storage-layer pressure.
+    pub storage: StorageChaos,
+    /// Net-layer pressure.
+    pub net: NetChaos,
+    /// Platform-layer pressure.
+    pub faas: FaasChaos,
+    /// Phase-exact node kills to arm for the trial.
+    pub kills: Vec<KillPlan>,
+}
+
+impl ChaosSpec {
+    /// A spec with every layer quiet; compose pressure with the builder
+    /// methods.
+    pub fn new(seed: u64) -> Self {
+        ChaosSpec {
+            seed,
+            storage: StorageChaos::quiet(),
+            net: NetChaos::quiet(),
+            faas: FaasChaos::quiet(),
+            kills: Vec::new(),
+        }
+    }
+
+    /// Sets the storage-layer pressure.
+    pub fn storage(mut self, storage: StorageChaos) -> Self {
+        self.storage = storage;
+        self
+    }
+
+    /// Sets the net-layer pressure.
+    pub fn net(mut self, net: NetChaos) -> Self {
+        self.net = net;
+        self
+    }
+
+    /// Sets the platform-layer pressure.
+    pub fn faas(mut self, faas: FaasChaos) -> Self {
+        self.faas = faas;
+        self
+    }
+
+    /// Adds a planned node kill (may be called repeatedly).
+    pub fn kill(mut self, kill: KillPlan) -> Self {
+        self.kills.push(kill);
+        self
+    }
+
+    /// True when no layer injects and no kill is armed.
+    pub fn is_quiet(&self) -> bool {
+        self.storage.is_quiet()
+            && self.net.is_quiet()
+            && self.faas.is_quiet()
+            && self.kills.is_empty()
+    }
+
+    /// The pure fault schedule this spec describes (kills are armed
+    /// separately, by the cluster layer's `ChaosController`).
+    pub fn schedule(&self) -> FaultSchedule {
+        FaultSchedule {
+            seed: self.seed,
+            storage: self.storage,
+            net: self.net,
+            faas: self.faas,
+        }
+    }
+
+    /// A [`LayerSchedule`] over `layer` — the state a per-layer adapter
+    /// holds.
+    pub fn layer(&self, layer: Layer) -> LayerSchedule {
+        LayerSchedule::new(self.schedule(), layer)
+    }
+}
+
+/// The pure, seeded cross-layer fault schedule of a [`ChaosSpec`].
+///
+/// `decide` is a function of `(seed, layer, op_index, key)` only: querying
+/// layers in any interleaving, repeatedly, or concurrently never changes any
+/// answer, which is what makes one seed replay a whole cross-layer trial.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultSchedule {
+    seed: u64,
+    storage: StorageChaos,
+    net: NetChaos,
+    faas: FaasChaos,
+}
+
+impl FaultSchedule {
+    /// The schedule's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The storage-layer pressure.
+    pub fn storage_chaos(&self) -> StorageChaos {
+        self.storage
+    }
+
+    /// The net-layer pressure.
+    pub fn net_chaos(&self) -> NetChaos {
+        self.net
+    }
+
+    /// The platform-layer pressure.
+    pub fn faas_chaos(&self) -> FaasChaos {
+        self.faas
+    }
+
+    /// The fault injected into operation number `op_index` of `layer` on
+    /// `key` (the layer's primary key, verb, or function name — whatever
+    /// names the operation).
+    ///
+    /// Deterministic in `(seed, layer, op_index, key)` and independent of
+    /// call order across layers: each decision draws from its own RNG stream
+    /// keyed by the triple, so concurrent layers racing for their own
+    /// indices still reproduce the same per-layer schedules.
+    pub fn decide(&self, layer: Layer, op_index: u64, key: &str) -> FaultKind {
+        match layer {
+            Layer::Storage => self.decide_storage(op_index, key),
+            Layer::Net => self.decide_net(op_index, key),
+            Layer::Faas => self.decide_faas(op_index, key),
+        }
+    }
+
+    /// The first `n` decisions of one layer for a fixed key — the
+    /// materialised schedule, used by determinism tests and for replaying a
+    /// failure report.
+    pub fn materialize(&self, layer: Layer, n: u64, key: &str) -> Vec<FaultKind> {
+        (0..n).map(|i| self.decide(layer, i, key)).collect()
+    }
+
+    /// SplitMix-style per-op stream: cheap, stateless, order-independent.
+    /// The per-layer salt decorrelates layers sharing one seed.
+    fn stream(&self, layer: Layer, op_index: u64) -> StdRng {
+        let stream = (self.seed ^ layer.salt())
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(op_index.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+        StdRng::seed_from_u64(stream)
+    }
+
+    fn decide_storage(&self, op_index: u64, key: &str) -> FaultKind {
+        let c = &self.storage;
+        // The gray failure is keyed by data placement, not by chance: a
+        // degraded stripe is slow for *every* request that hashes to it.
+        if let Some(slow) = c.slow_stripe {
+            if stripe_of(key, c.stripes) == slow {
+                return FaultKind::Slow;
+            }
+        }
+        if c.error_rate <= 0.0 && c.timeout_rate <= 0.0 {
+            return FaultKind::None;
+        }
+        let mut rng = self.stream(Layer::Storage, op_index);
+        let draw: f64 = rng.gen_range(0.0..1.0);
+        if draw < c.error_rate {
+            FaultKind::TransientError {
+                applied: rng.gen_bool(0.5),
+            }
+        } else if draw < c.error_rate + c.timeout_rate {
+            FaultKind::Timeout
+        } else {
+            FaultKind::None
+        }
+    }
+
+    fn decide_net(&self, op_index: u64, _key: &str) -> FaultKind {
+        let c = &self.net;
+        if c.is_quiet() {
+            return FaultKind::None;
+        }
+        let mut rng = self.stream(Layer::Net, op_index);
+        let draw: f64 = rng.gen_range(0.0..1.0);
+        if draw < c.reset_rate {
+            FaultKind::TransientError {
+                applied: rng.gen_bool(0.5),
+            }
+        } else if draw < c.reset_rate + c.delay_rate {
+            FaultKind::Timeout
+        } else {
+            FaultKind::None
+        }
+    }
+
+    fn decide_faas(&self, op_index: u64, _key: &str) -> FaultKind {
+        let c = &self.faas;
+        if c.is_quiet() {
+            return FaultKind::None;
+        }
+        let mut rng = self.stream(Layer::Faas, op_index);
+        let draw: f64 = rng.gen_range(0.0..1.0);
+        if draw < c.before_body {
+            FaultKind::TransientError { applied: false }
+        } else if draw < c.before_body + c.after_body {
+            FaultKind::TransientError { applied: true }
+        } else if draw < c.before_body + c.after_body + c.mid_body {
+            FaultKind::MidCrash
+        } else {
+            FaultKind::None
+        }
+    }
+}
+
+/// One layer's stateful view of a schedule: the pure schedule plus the
+/// layer's operation counter. This is the whole state a per-layer adapter
+/// needs — the schedule stays pure, the adapter owns index consumption.
+#[derive(Debug)]
+pub struct LayerSchedule {
+    schedule: FaultSchedule,
+    layer: Layer,
+    ops: AtomicU64,
+}
+
+impl LayerSchedule {
+    /// A view of `schedule` for `layer`, starting at operation 0.
+    pub fn new(schedule: FaultSchedule, layer: Layer) -> Self {
+        LayerSchedule {
+            schedule,
+            layer,
+            ops: AtomicU64::new(0),
+        }
+    }
+
+    /// The layer this view consumes indices for.
+    pub fn layer(&self) -> Layer {
+        self.layer
+    }
+
+    /// The underlying pure schedule.
+    pub fn schedule(&self) -> &FaultSchedule {
+        &self.schedule
+    }
+
+    /// Consumes the next operation index and returns its fault.
+    pub fn decide_next(&self, key: &str) -> FaultKind {
+        let index = self.ops.fetch_add(1, Ordering::Relaxed);
+        self.schedule.decide(self.layer, index, key)
+    }
+
+    /// Consumes the next operation index and returns it with its fault
+    /// (for adapters that put the index into error messages).
+    pub fn decide_next_indexed(&self, key: &str) -> (u64, FaultKind) {
+        let index = self.ops.fetch_add(1, Ordering::Relaxed);
+        (index, self.schedule.decide(self.layer, index, key))
+    }
+
+    /// Operation indices consumed so far.
+    pub fn ops_seen(&self) -> u64 {
+        self.ops.load(Ordering::Relaxed)
+    }
+}
+
+/// Implemented by each layer's injector (the storage backend wrapper, the
+/// client SDK's connection injector, the platform's invocation injector) so
+/// a trial can interrogate every layer uniformly.
+pub trait ChaosInjector {
+    /// The layer this injector drives.
+    fn layer(&self) -> Layer;
+
+    /// Operations that have consumed a schedule index so far.
+    fn ops_seen(&self) -> u64;
+
+    /// Faults injected so far, of any kind.
+    fn faults_injected(&self) -> u64;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn busy_spec(seed: u64) -> ChaosSpec {
+        ChaosSpec::new(seed)
+            .storage(StorageChaos {
+                error_rate: 0.2,
+                timeout_rate: 0.1,
+                timeout_us: 5_000.0,
+                ..StorageChaos::quiet()
+            })
+            .net(NetChaos::resets_and_delays(
+                0.2,
+                0.1,
+                Duration::from_millis(1),
+            ))
+            .faas(FaasChaos::uniform(0.3))
+    }
+
+    #[test]
+    fn identical_seeds_produce_identical_cross_layer_schedules() {
+        let a = busy_spec(42).schedule();
+        let b = busy_spec(42).schedule();
+        for layer in Layer::ALL {
+            assert_eq!(
+                a.materialize(layer, 500, "k"),
+                b.materialize(layer, 500, "k"),
+                "layer {} must replay from the seed",
+                layer.label()
+            );
+        }
+    }
+
+    #[test]
+    fn different_seeds_and_different_layers_decorrelate() {
+        let a = busy_spec(1).schedule();
+        let b = busy_spec(2).schedule();
+        assert_ne!(
+            a.materialize(Layer::Storage, 200, "k"),
+            b.materialize(Layer::Storage, 200, "k"),
+            "seeds must steer the schedule"
+        );
+        // Layers sharing one seed draw different streams: the fault mix is
+        // the same shape but the sequences must not be identical.
+        let storage: Vec<bool> = a
+            .materialize(Layer::Storage, 200, "k")
+            .iter()
+            .map(FaultKind::is_fault)
+            .collect();
+        let net: Vec<bool> = a
+            .materialize(Layer::Net, 200, "k")
+            .iter()
+            .map(FaultKind::is_fault)
+            .collect();
+        assert_ne!(storage, net, "layer salts must decorrelate layers");
+    }
+
+    #[test]
+    fn decisions_are_order_independent_across_layers() {
+        let schedule = busy_spec(7).schedule();
+        // Materialise forward, then query in a scrambled cross-layer
+        // interleaving; every answer must match.
+        let expected: Vec<(Layer, u64, FaultKind)> = Layer::ALL
+            .iter()
+            .flat_map(|&layer| (0..100).map(move |i| (layer, i, schedule.decide(layer, i, "k"))))
+            .collect();
+        for &(layer, i, expected_kind) in expected.iter().rev() {
+            assert_eq!(schedule.decide(layer, i, "k"), expected_kind);
+        }
+        // Repeated queries never consume anything.
+        assert_eq!(
+            schedule.decide(Layer::Net, 63, "k"),
+            schedule.decide(Layer::Net, 63, "k")
+        );
+    }
+
+    #[test]
+    fn storage_schedule_is_bit_compatible_with_the_legacy_planner() {
+        // The storage layer's salt is zero, so a seed recorded by a PR 4
+        // chaos report replays the same storage schedule through the unified
+        // crate. This pins the legacy stream derivation.
+        let schedule = ChaosSpec::new(42)
+            .storage(StorageChaos {
+                error_rate: 0.2,
+                timeout_rate: 0.1,
+                ..StorageChaos::quiet()
+            })
+            .schedule();
+        let legacy = |op_index: u64| {
+            let stream = 42u64
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(op_index.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+            let mut rng = StdRng::seed_from_u64(stream);
+            let draw: f64 = rng.gen_range(0.0..1.0);
+            if draw < 0.2 {
+                FaultKind::TransientError {
+                    applied: rng.gen_bool(0.5),
+                }
+            } else if draw < 0.3 {
+                FaultKind::Timeout
+            } else {
+                FaultKind::None
+            }
+        };
+        for i in 0..500 {
+            assert_eq!(schedule.decide(Layer::Storage, i, "k"), legacy(i));
+        }
+    }
+
+    #[test]
+    fn faas_rates_map_to_the_right_fault_kinds() {
+        let schedule = ChaosSpec::new(3).faas(FaasChaos::uniform(0.9)).schedule();
+        let kinds = schedule.materialize(Layer::Faas, 600, "invoke");
+        assert!(kinds.contains(&FaultKind::TransientError { applied: false }));
+        assert!(kinds.contains(&FaultKind::TransientError { applied: true }));
+        assert!(kinds.contains(&FaultKind::MidCrash));
+        assert!(kinds.contains(&FaultKind::None));
+        assert!(!kinds.contains(&FaultKind::Timeout));
+        assert!(!kinds.contains(&FaultKind::Slow));
+    }
+
+    #[test]
+    fn injected_rates_track_the_configured_rates() {
+        let schedule = busy_spec(11).schedule();
+        let faults = schedule
+            .materialize(Layer::Net, 2_000, "commit")
+            .into_iter()
+            .filter(|f| f.is_fault())
+            .count();
+        let rate = faults as f64 / 2_000.0;
+        assert!(
+            (rate - 0.3).abs() < 0.05,
+            "injected net rate {rate} should be near 0.3"
+        );
+    }
+
+    #[test]
+    fn slow_stripe_targets_placement_not_chance() {
+        let stripes = 8;
+        let victim_stripe = stripe_of("victim", stripes);
+        let schedule = ChaosSpec::new(1)
+            .storage(StorageChaos::slow_stripe(victim_stripe, stripes, 10_000.0))
+            .schedule();
+        assert_eq!(
+            schedule.decide(Layer::Storage, 0, "victim"),
+            FaultKind::Slow
+        );
+        let other = (0..64)
+            .map(|i| format!("other{i}"))
+            .find(|k| stripe_of(k, stripes) != victim_stripe)
+            .expect("some key lands elsewhere");
+        assert_eq!(schedule.decide(Layer::Storage, 0, &other), FaultKind::None);
+        // And the slow stripe never bleeds into other layers.
+        assert_eq!(schedule.decide(Layer::Net, 0, "victim"), FaultKind::None);
+    }
+
+    #[test]
+    fn layer_schedule_consumes_indices() {
+        let spec = busy_spec(5);
+        let layer = spec.layer(Layer::Net);
+        let direct = spec.schedule().materialize(Layer::Net, 50, "get");
+        let consumed: Vec<FaultKind> = (0..50).map(|_| layer.decide_next("get")).collect();
+        assert_eq!(direct, consumed);
+        assert_eq!(layer.ops_seen(), 50);
+        let (index, _) = layer.decide_next_indexed("get");
+        assert_eq!(index, 50);
+    }
+
+    #[test]
+    fn quiet_spec_is_quiet_everywhere() {
+        let spec = ChaosSpec::new(9);
+        assert!(spec.is_quiet());
+        let schedule = spec.schedule();
+        for layer in Layer::ALL {
+            assert!(schedule
+                .materialize(layer, 200, "k")
+                .iter()
+                .all(|f| *f == FaultKind::None));
+        }
+    }
+
+    #[test]
+    fn kill_plans_compose_on_the_spec() {
+        let spec = ChaosSpec::new(1)
+            .kill(KillPlan::immediate(
+                "aft-node-0",
+                CommitPhase::BeforeDataPut,
+            ))
+            .kill(KillPlan::immediate("aft-node-1", CommitPhase::BeforeBroadcast).after_commits(3));
+        assert!(!spec.is_quiet());
+        assert_eq!(spec.kills.len(), 2);
+        assert_eq!(spec.kills[1].after_commits, 3);
+        assert_eq!(spec.kills[1].phase, CommitPhase::BeforeBroadcast);
+    }
+}

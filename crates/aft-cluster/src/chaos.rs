@@ -16,6 +16,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use aft_chaos::ChaosSpec;
 use aft_core::{AftNode, CommitPhase, CommitProbe};
 use aft_types::{AftError, AftResult, TransactionId};
 use parking_lot::Mutex;
@@ -23,34 +24,14 @@ use parking_lot::Mutex;
 use crate::cluster::Cluster;
 use crate::membership::{NodeRegistry, NodeState};
 
-/// One planned node kill: crash `node_id` at `phase` once `after_commits`
-/// commits have passed that phase on the node.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct KillSpec {
-    /// The node to crash.
-    pub node_id: String,
-    /// The commit-protocol point to crash at.
-    pub phase: CommitPhase,
-    /// How many commits pass the phase unharmed before the crash fires.
-    pub after_commits: u64,
-}
+// The kill vocabulary is canonical in `aft-chaos` (a kill is the fourth leg
+// of a cross-layer `ChaosSpec`); re-exported here because this is the layer
+// that executes it.
+pub use aft_chaos::KillPlan;
 
-impl KillSpec {
-    /// A kill of `node_id` at `phase` on its very next commit.
-    pub fn immediate(node_id: impl Into<String>, phase: CommitPhase) -> Self {
-        KillSpec {
-            node_id: node_id.into(),
-            phase,
-            after_commits: 0,
-        }
-    }
-
-    /// Delays the kill until `after_commits` commits have passed the phase.
-    pub fn after_commits(mut self, after_commits: u64) -> Self {
-        self.after_commits = after_commits;
-        self
-    }
-}
+/// Pre-unification name of [`KillPlan`], kept for one release.
+#[deprecated(note = "use aft_chaos::KillPlan (re-exported as aft_cluster::KillPlan)")]
+pub type KillSpec = KillPlan;
 
 /// What one [`ChaosController::drive_recovery`] call observed.
 #[derive(Debug, Clone, Copy, Default)]
@@ -120,7 +101,7 @@ impl CommitProbe for KillProbe {
 /// Arms node kills and drives the cluster's recovery machinery.
 pub struct ChaosController {
     cluster: Arc<Cluster>,
-    kill: Mutex<Option<Arc<KillProbe>>>,
+    kills: Mutex<Vec<Arc<KillProbe>>>,
 }
 
 impl ChaosController {
@@ -128,7 +109,7 @@ impl ChaosController {
     pub fn new(cluster: Arc<Cluster>) -> Self {
         ChaosController {
             cluster,
-            kill: Mutex::new(None),
+            kills: Mutex::new(Vec::new()),
         }
     }
 
@@ -137,36 +118,60 @@ impl ChaosController {
         &self.cluster
     }
 
-    /// Arms `spec`: installs a crash probe on the target node. Fails if the
-    /// node is not registered. Re-arming replaces the previous kill.
-    pub fn arm_kill(&self, spec: KillSpec) -> AftResult<Arc<AftNode>> {
-        let node = self.cluster.registry().get(&spec.node_id).ok_or_else(|| {
-            AftError::InvalidRequest(format!("chaos: unknown node {:?}", spec.node_id))
+    /// Arms `plan`: installs a crash probe on the target node. Fails if the
+    /// node is not registered. Arming again *adds* a kill — one trial may
+    /// crash several nodes.
+    pub fn arm_kill(&self, plan: KillPlan) -> AftResult<Arc<AftNode>> {
+        let node = self.cluster.registry().get(&plan.node_id).ok_or_else(|| {
+            AftError::InvalidRequest(format!("chaos: unknown node {:?}", plan.node_id))
         })?;
         let probe = Arc::new(KillProbe {
             registry: Arc::clone(self.cluster.registry()),
-            phase: spec.phase,
-            after_commits: spec.after_commits,
+            phase: plan.phase,
+            after_commits: plan.after_commits,
             commits_seen: AtomicU64::new(0),
             fired: AtomicBool::new(false),
             killed_at: Mutex::new(None),
         });
         node.install_commit_probe(Arc::clone(&probe) as Arc<dyn CommitProbe>);
-        *self.kill.lock() = Some(probe);
+        self.kills.lock().push(probe);
         Ok(node)
     }
 
-    /// Whether the armed kill has fired.
-    pub fn kill_fired(&self) -> bool {
-        self.kill
-            .lock()
-            .as_ref()
-            .is_some_and(|p| p.fired.load(Ordering::Acquire))
+    /// Arms every kill of a unified cross-layer `spec`, returning the target
+    /// nodes in spec order. Fails (arming nothing further) on the first
+    /// unknown node.
+    pub fn arm_spec(&self, spec: &ChaosSpec) -> AftResult<Vec<Arc<AftNode>>> {
+        spec.kills
+            .iter()
+            .map(|plan| self.arm_kill(plan.clone()))
+            .collect()
     }
 
-    /// When the armed kill fired, if it has.
+    /// Whether any armed kill has fired.
+    pub fn kill_fired(&self) -> bool {
+        self.kills
+            .lock()
+            .iter()
+            .any(|p| p.fired.load(Ordering::Acquire))
+    }
+
+    /// Number of armed kills that have fired.
+    pub fn kills_fired(&self) -> usize {
+        self.kills
+            .lock()
+            .iter()
+            .filter(|p| p.fired.load(Ordering::Acquire))
+            .count()
+    }
+
+    /// When the *first* armed kill fired, if any has.
     pub fn killed_at(&self) -> Option<Instant> {
-        self.kill.lock().as_ref().and_then(|p| *p.killed_at.lock())
+        self.kills
+            .lock()
+            .iter()
+            .filter_map(|p| *p.killed_at.lock())
+            .min()
     }
 
     /// Drives replacement and maintenance rounds until the cluster
@@ -242,7 +247,7 @@ mod tests {
     #[test]
     fn arming_an_unknown_node_is_an_error() {
         let controller = ChaosController::new(test_cluster(1));
-        match controller.arm_kill(KillSpec::immediate("ghost", CommitPhase::BeforeBroadcast)) {
+        match controller.arm_kill(KillPlan::immediate("ghost", CommitPhase::BeforeBroadcast)) {
             Err(AftError::InvalidRequest(msg)) => assert!(msg.contains("ghost")),
             Err(other) => panic!("expected InvalidRequest, got {other:?}"),
             Ok(_) => panic!("arming a ghost node must fail"),
@@ -257,7 +262,7 @@ mod tests {
         let controller = ChaosController::new(Arc::clone(&cluster));
         let victim = controller
             .arm_kill(
-                KillSpec::immediate("aft-node-0", CommitPhase::BeforeDataPut).after_commits(2),
+                KillPlan::immediate("aft-node-0", CommitPhase::BeforeDataPut).after_commits(2),
             )
             .unwrap();
 
@@ -287,7 +292,7 @@ mod tests {
         let cluster = test_cluster(3);
         let controller = ChaosController::new(Arc::clone(&cluster));
         let victim = controller
-            .arm_kill(KillSpec::immediate(
+            .arm_kill(KillPlan::immediate(
                 "aft-node-1",
                 CommitPhase::BeforeBroadcast,
             ))
@@ -317,6 +322,45 @@ mod tests {
                 node.node_id()
             );
         }
+    }
+
+    #[test]
+    fn arm_spec_arms_every_kill_of_a_cross_layer_spec() {
+        let cluster = test_cluster(3);
+        let controller = ChaosController::new(Arc::clone(&cluster));
+        let spec = ChaosSpec::new(0xC0FFEE)
+            .kill(KillPlan::immediate(
+                "aft-node-0",
+                CommitPhase::BeforeDataPut,
+            ))
+            .kill(KillPlan::immediate(
+                "aft-node-1",
+                CommitPhase::BeforeBroadcast,
+            ));
+        let victims = controller.arm_spec(&spec).unwrap();
+        assert_eq!(victims.len(), 2);
+        assert_eq!(controller.kills_fired(), 0);
+
+        assert!(commit_on(&victims[0], "a", "1").is_err());
+        assert_eq!(controller.kills_fired(), 1);
+        assert!(commit_on(&victims[1], "b", "2").is_err());
+        assert_eq!(controller.kills_fired(), 2);
+        assert!(controller.kill_fired());
+
+        let outcome = controller.drive_recovery(30);
+        assert!(outcome.converged, "recovery must converge: {outcome:?}");
+        assert_eq!(outcome.replaced_nodes, 2, "both victims are replaced");
+        assert_eq!(cluster.registry().active_count(), 3);
+    }
+
+    #[test]
+    fn arm_spec_rejects_unknown_nodes() {
+        let controller = ChaosController::new(test_cluster(1));
+        let spec = ChaosSpec::new(1).kill(KillPlan::immediate("ghost", CommitPhase::BeforeDataPut));
+        assert!(matches!(
+            controller.arm_spec(&spec),
+            Err(AftError::InvalidRequest(_))
+        ));
     }
 
     #[test]

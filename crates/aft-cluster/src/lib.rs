@@ -35,7 +35,9 @@ pub mod membership;
 pub mod router;
 
 pub use broadcast::{broadcast_round, BroadcastStats};
-pub use chaos::{ChaosController, KillSpec, RecoveryOutcome};
+#[allow(deprecated)]
+pub use chaos::KillSpec;
+pub use chaos::{ChaosController, KillPlan, RecoveryOutcome};
 pub use cluster::{Cluster, ClusterConfig};
 pub use fault_manager::FaultManager;
 pub use global_gc::{GlobalGc, GlobalGcConfig, GlobalGcOutcome};

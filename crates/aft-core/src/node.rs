@@ -27,50 +27,10 @@ use crate::stats::NodeStats;
 use crate::supersede::is_superseded;
 use crate::write_buffer::WriteBuffer;
 
-/// The points in the write-ordering commit protocol (§3.3) where a node can
-/// crash with *observably different* consequences — each is a distinct
-/// scenario of the paper's fault model:
-///
-/// * [`BeforeDataPut`](CommitPhase::BeforeDataPut): nothing reached storage.
-///   The commit never happened; the client retries the whole request
-///   (§3.3.1).
-/// * [`BeforeRecordAppend`](CommitPhase::BeforeRecordAppend): the
-///   transaction's key versions are durable but no commit record references
-///   them. The data is permanently invisible (no dirty reads, §3.2) and the
-///   commit never happened — orphaned versions are storage garbage, not an
-///   anomaly.
-/// * [`BeforeBroadcast`](CommitPhase::BeforeBroadcast): the commit record is
-///   durable — the transaction *is* committed — but the node dies before
-///   acknowledging it or multicasting it to peers. This is exactly the §4.2
-///   liveness hole the fault manager's commit-set scan exists to close.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum CommitPhase {
-    /// Before any of the transaction's data writes are issued.
-    BeforeDataPut,
-    /// After every data write is durable, before the commit record append.
-    BeforeRecordAppend,
-    /// After the commit record is durable, before local visibility and the
-    /// commit-set multicast.
-    BeforeBroadcast,
-}
-
-impl CommitPhase {
-    /// Every phase, in protocol order.
-    pub const ALL: [CommitPhase; 3] = [
-        CommitPhase::BeforeDataPut,
-        CommitPhase::BeforeRecordAppend,
-        CommitPhase::BeforeBroadcast,
-    ];
-
-    /// A short label for reports ("before_data_put", ...).
-    pub fn label(&self) -> &'static str {
-        match self {
-            CommitPhase::BeforeDataPut => "before_data_put",
-            CommitPhase::BeforeRecordAppend => "before_record_append",
-            CommitPhase::BeforeBroadcast => "before_broadcast",
-        }
-    }
-}
+// The commit-phase vocabulary moved to `aft-types` so the unified chaos
+// layer can plan node kills against the same phases the node's commit path
+// announces; re-exported here because this is where callers found it.
+pub use aft_types::CommitPhase;
 
 /// A hook called at every [`CommitPhase`] of every commit on a node.
 ///

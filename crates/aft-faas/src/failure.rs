@@ -1,4 +1,5 @@
-//! Failure injection.
+//! Failure injection — the platform-layer adapter of the unified
+//! [`aft_chaos`] fault schedule.
 //!
 //! The motivating example of §1 is a function that writes key `k`, fails, and
 //! never writes key `l` — exposing a fractional update to concurrent readers
@@ -7,12 +8,22 @@
 //! after they run (work done, acknowledgement lost — the idempotence case),
 //! or *mid-body* via an explicit crash point that workload functions consult
 //! between their writes.
+//!
+//! Decisions come from the faas layer of an [`aft_chaos::ChaosSpec`]
+//! schedule — the same pure, seeded, order-independent machinery as the
+//! storage and net layers — so one seed replays a whole cross-layer trial,
+//! platform failures included. The mapping from the unified [`FaultKind`]s:
+//!
+//! * `TransientError { applied: false }` → [`FailurePoint::BeforeBody`]
+//!   (the invocation dies with no side effects);
+//! * `TransientError { applied: true }` → [`FailurePoint::AfterBody`]
+//!   (side effects applied, acknowledgement lost);
+//! * `MidCrash` → [`FailurePoint::MidBody`] (the body crashes between two
+//!   writes — the fractional-update hazard itself).
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use parking_lot::Mutex;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use aft_chaos::{ChaosInjector, ChaosSpec, FaasChaos, FaultKind, Layer, LayerSchedule};
 
 /// Where, relative to the function body, an injected failure strikes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -29,8 +40,10 @@ pub enum FailurePoint {
     MidBody,
 }
 
-/// Probabilities of each failure point, evaluated independently per
-/// invocation.
+/// Probabilities of each failure point — the pre-unification configuration
+/// surface, kept for one release.
+#[deprecated(note = "compose an aft_chaos::ChaosSpec with FaasChaos instead; \
+            FailureInjector::from_spec and PlatformConfig::with_chaos consume it")]
 #[derive(Debug, Clone, Copy, Default)]
 pub struct FailurePlan {
     /// Probability of failing before the body runs.
@@ -41,6 +54,7 @@ pub struct FailurePlan {
     pub mid_body: f64,
 }
 
+#[allow(deprecated)]
 impl FailurePlan {
     /// A plan that never injects failures.
     pub const NONE: FailurePlan = FailurePlan {
@@ -63,13 +77,26 @@ impl FailurePlan {
     pub fn is_none(&self) -> bool {
         self.before_body <= 0.0 && self.after_body <= 0.0 && self.mid_body <= 0.0
     }
+
+    /// The equivalent unified faas-layer tuning.
+    pub fn to_chaos(&self) -> FaasChaos {
+        FaasChaos {
+            before_body: self.before_body,
+            after_body: self.after_body,
+            mid_body: self.mid_body,
+        }
+    }
+
+    /// The equivalent unified spec (faas layer only).
+    pub fn to_spec(&self, seed: u64) -> ChaosSpec {
+        ChaosSpec::new(seed).faas(self.to_chaos())
+    }
 }
 
 /// A seeded failure injector shared by all invocations of a platform.
 #[derive(Debug)]
 pub struct FailureInjector {
-    plan: FailurePlan,
-    rng: Mutex<StdRng>,
+    layer: LayerSchedule,
     /// Number of outstanding mid-body crash requests; workload functions
     /// consume them at their crash points.
     pending_mid_body: AtomicU64,
@@ -77,35 +104,34 @@ pub struct FailureInjector {
 }
 
 impl FailureInjector {
-    /// Creates an injector with the given plan and RNG seed.
-    pub fn new(plan: FailurePlan, seed: u64) -> Self {
+    /// Builds the injector over the faas layer of `spec`'s schedule.
+    pub fn from_spec(spec: &ChaosSpec) -> Self {
         FailureInjector {
-            plan,
-            rng: Mutex::new(StdRng::seed_from_u64(seed)),
+            layer: spec.layer(Layer::Faas),
             pending_mid_body: AtomicU64::new(0),
             injected: AtomicU64::new(0),
         }
     }
 
+    /// Creates an injector for a faas-only plan (pre-unification surface).
+    #[deprecated(note = "use FailureInjector::from_spec with an aft_chaos::ChaosSpec")]
+    #[allow(deprecated)]
+    pub fn new(plan: FailurePlan, seed: u64) -> Self {
+        Self::from_spec(&plan.to_spec(seed))
+    }
+
     /// An injector that never fails anything.
     pub fn disabled() -> Self {
-        Self::new(FailurePlan::NONE, 0)
+        Self::from_spec(&ChaosSpec::new(0))
     }
 
     /// Decides whether (and where) this invocation fails.
     pub fn decide(&self) -> Option<FailurePoint> {
-        if self.plan.is_none() {
-            return None;
-        }
-        let roll: f64 = self.rng.lock().gen();
-        let point = if roll < self.plan.before_body {
-            Some(FailurePoint::BeforeBody)
-        } else if roll < self.plan.before_body + self.plan.after_body {
-            Some(FailurePoint::AfterBody)
-        } else if roll < self.plan.before_body + self.plan.after_body + self.plan.mid_body {
-            Some(FailurePoint::MidBody)
-        } else {
-            None
+        let point = match self.layer.decide_next("invoke") {
+            FaultKind::None | FaultKind::Timeout | FaultKind::Slow => None,
+            FaultKind::TransientError { applied: false } => Some(FailurePoint::BeforeBody),
+            FaultKind::TransientError { applied: true } => Some(FailurePoint::AfterBody),
+            FaultKind::MidCrash => Some(FailurePoint::MidBody),
         };
         if point == Some(FailurePoint::MidBody) {
             self.pending_mid_body.fetch_add(1, Ordering::Relaxed);
@@ -130,15 +156,45 @@ impl FailureInjector {
         self.injected.load(Ordering::Relaxed)
     }
 
-    /// The configured plan.
+    /// The injector's faas-layer tuning.
+    pub fn chaos(&self) -> FaasChaos {
+        self.layer.schedule().faas_chaos()
+    }
+
+    /// The configured plan (pre-unification surface).
+    #[deprecated(note = "use FailureInjector::chaos")]
+    #[allow(deprecated)]
     pub fn plan(&self) -> FailurePlan {
-        self.plan
+        let chaos = self.chaos();
+        FailurePlan {
+            before_body: chaos.before_body,
+            after_body: chaos.after_body,
+            mid_body: chaos.mid_body,
+        }
+    }
+}
+
+impl ChaosInjector for FailureInjector {
+    fn layer(&self) -> Layer {
+        Layer::Faas
+    }
+
+    fn ops_seen(&self) -> u64 {
+        self.layer.ops_seen()
+    }
+
+    fn faults_injected(&self) -> u64 {
+        self.injected()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn uniform(seed: u64, p: f64) -> ChaosSpec {
+        ChaosSpec::new(seed).faas(FaasChaos::uniform(p))
+    }
 
     #[test]
     fn disabled_injector_never_fires() {
@@ -152,23 +208,22 @@ mod tests {
 
     #[test]
     fn always_fail_plan_fires_every_time() {
-        let injector = FailureInjector::new(
-            FailurePlan {
-                before_body: 1.0,
-                after_body: 0.0,
-                mid_body: 0.0,
-            },
-            1,
-        );
+        let injector = FailureInjector::from_spec(&ChaosSpec::new(1).faas(FaasChaos {
+            before_body: 1.0,
+            after_body: 0.0,
+            mid_body: 0.0,
+        }));
         for _ in 0..50 {
             assert_eq!(injector.decide(), Some(FailurePoint::BeforeBody));
         }
         assert_eq!(injector.injected(), 50);
+        assert_eq!(ChaosInjector::ops_seen(&injector), 50);
+        assert_eq!(ChaosInjector::faults_injected(&injector), 50);
     }
 
     #[test]
     fn uniform_plan_hits_roughly_the_requested_rate() {
-        let injector = FailureInjector::new(FailurePlan::uniform(0.3), 42);
+        let injector = FailureInjector::from_spec(&uniform(42, 0.3));
         let fired = (0..10_000).filter(|_| injector.decide().is_some()).count();
         assert!(
             (2_400..3_600).contains(&fired),
@@ -178,24 +233,31 @@ mod tests {
 
     #[test]
     fn mid_body_requests_are_consumed_once() {
-        let injector = FailureInjector::new(
-            FailurePlan {
-                before_body: 0.0,
-                after_body: 0.0,
-                mid_body: 1.0,
-            },
-            7,
-        );
+        let injector = FailureInjector::from_spec(&ChaosSpec::new(7).faas(FaasChaos {
+            before_body: 0.0,
+            after_body: 0.0,
+            mid_body: 1.0,
+        }));
         assert_eq!(injector.decide(), Some(FailurePoint::MidBody));
         assert!(injector.should_crash_midway());
         assert!(!injector.should_crash_midway(), "each request crashes once");
     }
 
+    /// The deprecated pre-unification surface still works and agrees with
+    /// the spec path.
     #[test]
-    fn plan_helpers() {
+    #[allow(deprecated)]
+    fn legacy_plan_shim_delegates_to_the_unified_schedule() {
         assert!(FailurePlan::NONE.is_none());
         assert!(!FailurePlan::uniform(0.5).is_none());
-        let p = FailurePlan::uniform(0.3);
-        assert!((p.before_body + p.after_body + p.mid_body - 0.3).abs() < 1e-9);
+        let plan = FailurePlan::uniform(0.3);
+        assert!((plan.before_body + plan.after_body + plan.mid_body - 0.3).abs() < 1e-9);
+
+        let legacy = FailureInjector::new(plan, 42);
+        let unified = FailureInjector::from_spec(&plan.to_spec(42));
+        let a: Vec<_> = (0..500).map(|_| legacy.decide()).collect();
+        let b: Vec<_> = (0..500).map(|_| unified.decide()).collect();
+        assert_eq!(a, b);
+        assert_eq!(legacy.plan().before_body, plan.before_body);
     }
 }

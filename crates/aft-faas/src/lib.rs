@@ -27,7 +27,9 @@ pub mod retry;
 pub mod stats;
 
 pub use composition::{Composition, InvocationInfo};
-pub use failure::{FailureInjector, FailurePlan, FailurePoint};
+#[allow(deprecated)]
+pub use failure::FailurePlan;
+pub use failure::{FailureInjector, FailurePoint};
 pub use platform::{FaasPlatform, PlatformConfig};
 pub use retry::{RequestOutcome, RetryPolicy};
 pub use stats::{PlatformStats, PlatformStatsSnapshot};

@@ -4,7 +4,7 @@
 //! request: each step is invoked with the platform's per-invocation overhead
 //! (and occasional cold start), subject to the platform-wide concurrency
 //! limit, with failures injected according to the configured
-//! [`FailurePlan`]. Failed requests are retried per the client's
+//! [`FaasChaos`] layer. Failed requests are retried per the client's
 //! [`RetryPolicy`], restarting the composition from the first function with a
 //! fresh context — the retry-from-scratch model of existing serverless
 //! platforms that AFT is designed around (§7).
@@ -18,8 +18,12 @@ use parking_lot::{Condvar, Mutex};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use aft_chaos::{ChaosSpec, FaasChaos};
+
 use crate::composition::{Composition, InvocationInfo};
-use crate::failure::{FailureInjector, FailurePlan, FailurePoint};
+#[allow(deprecated)]
+use crate::failure::FailurePlan;
+use crate::failure::{FailureInjector, FailurePoint};
 use crate::retry::{RequestOutcome, RetryPolicy};
 use crate::stats::PlatformStats;
 
@@ -40,8 +44,9 @@ pub struct PlatformConfig {
     pub latency_mode: LatencyMode,
     /// Global latency scale factor (shared with the storage simulators).
     pub latency_scale: f64,
-    /// Failure-injection plan applied to every invocation.
-    pub failure_plan: FailurePlan,
+    /// Faas-layer fault pressure applied to every invocation (the faas leg
+    /// of the unified [`aft_chaos::ChaosSpec`]).
+    pub chaos: FaasChaos,
     /// RNG seed.
     pub seed: u64,
 }
@@ -57,7 +62,7 @@ impl PlatformConfig {
             concurrency_limit: 0,
             latency_mode: LatencyMode::Virtual,
             latency_scale: 0.0,
-            failure_plan: FailurePlan::NONE,
+            chaos: FaasChaos::quiet(),
             seed: 0xFAA5,
         }
     }
@@ -72,15 +77,32 @@ impl PlatformConfig {
             concurrency_limit: 1_000,
             latency_mode: LatencyMode::Sleep,
             latency_scale: scale,
-            failure_plan: FailurePlan::NONE,
+            chaos: FaasChaos::quiet(),
             seed: 0xFAA5,
         }
     }
 
-    /// Sets the failure plan.
-    pub fn with_failures(mut self, plan: FailurePlan) -> Self {
-        self.failure_plan = plan;
+    /// Sets the faas-layer fault pressure.
+    pub fn with_chaos(mut self, chaos: FaasChaos) -> Self {
+        self.chaos = chaos;
         self
+    }
+
+    /// Adopts the faas layer *and* the seed of a unified cross-layer spec,
+    /// so the platform draws from the same schedule as every other layer of
+    /// the trial.
+    pub fn with_chaos_spec(mut self, spec: &ChaosSpec) -> Self {
+        self.chaos = spec.faas;
+        self.seed = spec.seed;
+        self
+    }
+
+    /// Sets the failure plan (pre-unification surface).
+    #[deprecated(note = "use PlatformConfig::with_chaos with an aft_chaos::FaasChaos")]
+    #[allow(deprecated)]
+    pub fn with_failures(self, plan: FailurePlan) -> Self {
+        let chaos = plan.to_chaos();
+        self.with_chaos(chaos)
     }
 
     /// Sets the concurrency limit.
@@ -114,7 +136,7 @@ impl FaasPlatform {
         Arc::new(FaasPlatform {
             latency: LatencyModel::new(config.latency_mode, config.latency_scale),
             rng: Mutex::new(StdRng::seed_from_u64(config.seed)),
-            injector: FailureInjector::new(config.failure_plan, config.seed ^ 0xF417),
+            injector: FailureInjector::from_spec(&ChaosSpec::new(config.seed).faas(config.chaos)),
             stats: PlatformStats::new_shared(),
             active: AtomicU64::new(0),
             slot_lock: Mutex::new(0),
@@ -386,7 +408,7 @@ mod tests {
 
     #[test]
     fn injected_before_body_failures_are_retried_transparently() {
-        let config = PlatformConfig::test().with_failures(FailurePlan {
+        let config = PlatformConfig::test().with_chaos(FaasChaos {
             before_body: 0.4,
             after_body: 0.0,
             mid_body: 0.0,
@@ -442,7 +464,7 @@ mod tests {
 
     #[test]
     fn after_body_failures_keep_side_effects() {
-        let config = PlatformConfig::test().with_failures(FailurePlan {
+        let config = PlatformConfig::test().with_chaos(FaasChaos {
             before_body: 0.0,
             after_body: 1.0,
             mid_body: 0.0,

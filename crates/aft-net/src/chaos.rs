@@ -1,15 +1,16 @@
-//! Seeded connection-fault injection for the client SDK.
+//! Seeded connection-fault injection for the client SDK — the net-layer
+//! adapter of the unified [`aft_chaos`] fault schedule.
 //!
-//! Storage chaos (PR 4) exercises the shim's *storage* assumptions; this
-//! module exercises its *service boundary*: connections that reset before a
+//! Storage chaos exercises the shim's *storage* assumptions; this module
+//! exercises its *service boundary*: connections that reset before a
 //! request is sent (the request is lost), connections that reset after the
 //! send but before the acknowledgement arrives (§4.2's lost-ack window,
 //! now end to end over a real socket), and acknowledgements that arrive
-//! late. The schedule is a [`FailurePlan`] — the same pure, seeded,
-//! order-independent machinery as storage chaos — so a failing run replays
-//! from its seed.
+//! late. The schedule is the net layer of an [`aft_chaos::ChaosSpec`] — the
+//! same pure, seeded, order-independent machinery as every other layer — so
+//! one seed replays a whole cross-layer trial, this layer included.
 //!
-//! The mapping from the plan's storage-flavoured [`FaultKind`]s:
+//! The mapping from the unified [`FaultKind`]s:
 //!
 //! * `TransientError { applied: false }` → [`NetFault::ResetBeforeSend`]
 //!   (the request never reaches the server);
@@ -22,9 +23,12 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
-use aft_storage::chaos::{ChaosConfig, FailurePlan, FaultKind};
+use aft_chaos::{ChaosInjector, ChaosSpec, FaultKind, Layer, LayerSchedule, NetChaos};
 
-/// Tuning for connection-fault injection.
+/// Tuning for connection-fault injection — the pre-unification
+/// configuration surface, kept for one release.
+#[deprecated(note = "compose an aft_chaos::ChaosSpec with NetChaos instead; \
+            ConnChaos::from_spec and ClientBuilder::chaos_spec consume it")]
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NetChaosConfig {
     /// Seed of the fault schedule; identical seeds reproduce identical
@@ -34,12 +38,13 @@ pub struct NetChaosConfig {
     /// (half before the send, half after — the lost-ack interleaving).
     pub reset_rate: f64,
     /// Probability in `[0, 1]` that an acknowledgement is delayed by
-    /// [`NetChaosConfig::delay`].
+    /// `delay`.
     pub delay_rate: f64,
     /// How late a delayed acknowledgement arrives.
     pub delay: Duration,
 }
 
+#[allow(deprecated)]
 impl NetChaosConfig {
     /// Reset-only injection at `rate`.
     pub fn resets(seed: u64, rate: f64) -> Self {
@@ -59,6 +64,15 @@ impl NetChaosConfig {
             delay_rate: delay_rate.clamp(0.0, 1.0),
             delay,
         }
+    }
+
+    /// The equivalent unified spec (net layer only).
+    pub fn to_spec(&self) -> ChaosSpec {
+        ChaosSpec::new(self.seed).net(NetChaos::resets_and_delays(
+            self.reset_rate,
+            self.delay_rate,
+            self.delay,
+        ))
     }
 }
 
@@ -97,44 +111,43 @@ impl NetChaosStats {
 /// A seeded connection-fault injector, shared by a client's whole pool.
 #[derive(Debug)]
 pub struct ConnChaos {
-    config: NetChaosConfig,
-    plan: FailurePlan,
-    ops: AtomicU64,
+    layer: LayerSchedule,
+    delay: Duration,
     resets_before_send: AtomicU64,
     resets_after_send: AtomicU64,
     delayed_acks: AtomicU64,
 }
 
 impl ConnChaos {
-    /// Builds the injector for `config`.
-    pub fn new(config: NetChaosConfig) -> Self {
-        let plan = FailurePlan::new(ChaosConfig {
-            error_rate: config.reset_rate,
-            timeout_rate: config.delay_rate,
-            timeout_us: config.delay.as_micros() as f64,
-            ..ChaosConfig::quiet(config.seed)
-        });
+    /// Builds the injector over the net layer of `spec`'s schedule.
+    pub fn from_spec(spec: &ChaosSpec) -> Self {
         ConnChaos {
-            config,
-            plan,
-            ops: AtomicU64::new(0),
+            layer: spec.layer(Layer::Net),
+            delay: spec.net.delay,
             resets_before_send: AtomicU64::new(0),
             resets_after_send: AtomicU64::new(0),
             delayed_acks: AtomicU64::new(0),
         }
     }
 
-    /// The injector's tuning.
-    pub fn config(&self) -> NetChaosConfig {
-        self.config
+    /// Builds the injector for a net-only configuration (pre-unification
+    /// surface).
+    #[deprecated(note = "use ConnChaos::from_spec with an aft_chaos::ChaosSpec")]
+    #[allow(deprecated)]
+    pub fn new(config: NetChaosConfig) -> Self {
+        Self::from_spec(&config.to_spec())
     }
 
-    /// Decides the fate of the next wire operation (`verb` feeds the plan's
-    /// key input, so schedules are stable per verb mix).
+    /// The injector's net-layer tuning.
+    pub fn net_chaos(&self) -> NetChaos {
+        self.layer.schedule().net_chaos()
+    }
+
+    /// Decides the fate of the next wire operation (`verb` feeds the
+    /// schedule's key input, so schedules are stable per verb mix).
     pub fn decide(&self, verb: &str) -> NetFault {
-        let index = self.ops.fetch_add(1, Ordering::Relaxed);
-        match self.plan.decide(index, verb) {
-            FaultKind::None | FaultKind::Slow => NetFault::None,
+        match self.layer.decide_next(verb) {
+            FaultKind::None | FaultKind::Slow | FaultKind::MidCrash => NetFault::None,
             FaultKind::TransientError { applied: false } => {
                 self.resets_before_send.fetch_add(1, Ordering::Relaxed);
                 NetFault::ResetBeforeSend
@@ -145,7 +158,7 @@ impl ConnChaos {
             }
             FaultKind::Timeout => {
                 self.delayed_acks.fetch_add(1, Ordering::Relaxed);
-                NetFault::DelayAck(self.config.delay)
+                NetFault::DelayAck(self.delay)
             }
         }
     }
@@ -160,19 +173,33 @@ impl ConnChaos {
     }
 }
 
+impl ChaosInjector for ConnChaos {
+    fn layer(&self) -> Layer {
+        Layer::Net
+    }
+
+    fn ops_seen(&self) -> u64 {
+        self.layer.ops_seen()
+    }
+
+    fn faults_injected(&self) -> u64 {
+        self.stats().total()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    fn resets_and_delays(seed: u64, reset: f64, delay_rate: f64, delay: Duration) -> ChaosSpec {
+        ChaosSpec::new(seed).net(NetChaos::resets_and_delays(reset, delay_rate, delay))
+    }
+
     #[test]
     fn identical_seeds_produce_identical_fault_sequences() {
         let mk = |seed| {
-            let chaos = ConnChaos::new(NetChaosConfig::resets_and_delays(
-                seed,
-                0.3,
-                0.2,
-                Duration::from_millis(2),
-            ));
+            let chaos =
+                ConnChaos::from_spec(&resets_and_delays(seed, 0.3, 0.2, Duration::from_millis(2)));
             (0..200).map(|_| chaos.decide("commit")).collect::<Vec<_>>()
         };
         assert_eq!(mk(7), mk(7));
@@ -181,12 +208,7 @@ mod tests {
 
     #[test]
     fn rates_map_to_the_right_fault_kinds() {
-        let chaos = ConnChaos::new(NetChaosConfig::resets_and_delays(
-            3,
-            0.5,
-            0.5,
-            Duration::from_millis(1),
-        ));
+        let chaos = ConnChaos::from_spec(&resets_and_delays(3, 0.5, 0.5, Duration::from_millis(1)));
         let faults: Vec<NetFault> = (0..400).map(|_| chaos.decide("get")).collect();
         let stats = chaos.stats();
         assert!(stats.resets_before_send > 0);
@@ -199,14 +221,29 @@ mod tests {
                 .filter(|f| !matches!(f, NetFault::None))
                 .count() as u64
         );
+        assert_eq!(ChaosInjector::ops_seen(&chaos), 400);
+        assert_eq!(ChaosInjector::faults_injected(&chaos), stats.total());
     }
 
     #[test]
     fn zero_rates_inject_nothing() {
-        let chaos = ConnChaos::new(NetChaosConfig::resets(1, 0.0));
+        let chaos = ConnChaos::from_spec(&ChaosSpec::new(1));
         for _ in 0..100 {
             assert_eq!(chaos.decide("ping"), NetFault::None);
         }
         assert_eq!(chaos.stats().total(), 0);
+    }
+
+    /// The deprecated pre-unification surface still works and agrees with
+    /// the spec path.
+    #[test]
+    #[allow(deprecated)]
+    fn legacy_config_shim_delegates_to_the_unified_schedule() {
+        let config = NetChaosConfig::resets_and_delays(7, 0.3, 0.2, Duration::from_millis(2));
+        let legacy = ConnChaos::new(config);
+        let unified = ConnChaos::from_spec(&config.to_spec());
+        let a: Vec<NetFault> = (0..200).map(|_| legacy.decide("commit")).collect();
+        let b: Vec<NetFault> = (0..200).map(|_| unified.decide("commit")).collect();
+        assert_eq!(a, b);
     }
 }

@@ -21,7 +21,12 @@
 //!   backs off `base_backoff << (n-1)` capped at `max_backoff`. Server-side
 //!   *errors* are returned to the caller unchanged — the wire preserves
 //!   their retryability classification, and whole-request retry policy
-//!   belongs to the caller (§3.3.1), not the transport.
+//!   belongs to the caller (§3.3.1), not the transport — with one
+//!   exception: a server [`AftError::Overloaded`] verdict is retried
+//!   in-transport under *decorrelated-jitter* backoff (see
+//!   [`ClientStatsSnapshot::overload_retries`]), because retrying it is
+//!   always safe (an overload rejection executed nothing) and jitter is
+//!   what keeps a saturated server's clients from retrying in lockstep.
 //! * **Chaos.** An optional [`ConnChaos`] injector resets or delays
 //!   operations from a seeded plan; see [`crate::chaos`].
 
@@ -37,9 +42,13 @@ use aft_types::wire::{decode_response, encode_request, WireRequest, WireResponse
 use aft_types::{AftError, AftResult, Key, SharedClock, SystemClock, TransactionId, Uuid, Value};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
-use crate::chaos::{ConnChaos, NetChaosConfig, NetChaosStats, NetFault};
+use aft_chaos::ChaosSpec;
+
+#[allow(deprecated)]
+use crate::chaos::NetChaosConfig;
+use crate::chaos::{ConnChaos, NetChaosStats, NetFault};
 use crate::frame::{read_frame, write_frame};
 
 /// Tuning of an [`AftClient`]; built with [`AftClient::builder`].
@@ -48,7 +57,7 @@ pub struct ClientConfig {
     pub(crate) pool_size: usize,
     pub(crate) retry: RetryConfig,
     pub(crate) request_timeout: Duration,
-    pub(crate) chaos: Option<NetChaosConfig>,
+    pub(crate) chaos: Option<ChaosSpec>,
     pub(crate) rng_seed: u64,
     pub(crate) record_acks: bool,
 }
@@ -109,10 +118,21 @@ impl ClientBuilder {
         self
     }
 
-    /// Installs seeded connection-fault injection.
-    pub fn chaos(mut self, chaos: NetChaosConfig) -> Self {
-        self.config.chaos = Some(chaos);
+    /// Installs seeded connection-fault injection from the net layer of a
+    /// unified chaos spec. The same spec (same seed) can drive the storage
+    /// and platform layers of a cross-layer trial; each layer draws from
+    /// its own decorrelated stream.
+    pub fn chaos_spec(mut self, spec: ChaosSpec) -> Self {
+        self.config.chaos = Some(spec);
         self
+    }
+
+    /// Installs seeded connection-fault injection (pre-unification
+    /// surface).
+    #[deprecated(note = "use ClientBuilder::chaos_spec with an aft_chaos::ChaosSpec")]
+    #[allow(deprecated)]
+    pub fn chaos(self, chaos: NetChaosConfig) -> Self {
+        self.chaos_spec(chaos.to_spec())
     }
 
     /// Seed for transaction UUIDs (distinct clients should use distinct
@@ -263,6 +283,11 @@ pub struct ClientStatsSnapshot {
     pub requests: u64,
     /// Transport-level retries (reconnect + resend).
     pub transport_retries: u64,
+    /// Retries of requests the server rejected with
+    /// [`AftError::Overloaded`], each after a decorrelated-jitter backoff.
+    /// Counted separately from `transport_retries` because the connection
+    /// stayed healthy — the server was just saturated.
+    pub overload_retries: u64,
     /// Fresh connections established (initial + reconnects).
     pub connects: u64,
     /// Commit acknowledgements received.
@@ -276,6 +301,7 @@ pub struct ClientStatsSnapshot {
 struct ClientStats {
     requests: AtomicU64,
     transport_retries: AtomicU64,
+    overload_retries: AtomicU64,
     connects: AtomicU64,
     commits_acked: AtomicU64,
     duplicate_acks: AtomicU64,
@@ -322,7 +348,7 @@ impl AftClient {
             clock: SystemClock::shared(),
             rng: Mutex::new(StdRng::seed_from_u64(config.rng_seed)),
             txns: Mutex::new(HashMap::new()),
-            chaos: config.chaos.map(ConnChaos::new),
+            chaos: config.chaos.as_ref().map(ConnChaos::from_spec),
             stats: ClientStats::default(),
             acked: Mutex::new(Vec::new()),
             config,
@@ -341,6 +367,7 @@ impl AftClient {
         ClientStatsSnapshot {
             requests: self.stats.requests.load(Ordering::Relaxed),
             transport_retries: self.stats.transport_retries.load(Ordering::Relaxed),
+            overload_retries: self.stats.overload_retries.load(Ordering::Relaxed),
             connects: self.stats.connects.load(Ordering::Relaxed),
             commits_acked: self.stats.commits_acked.load(Ordering::Relaxed),
             duplicate_acks: self.stats.duplicate_acks.load(Ordering::Relaxed),
@@ -456,12 +483,32 @@ impl AftClient {
     /// transport failure under the configured backoff. Safe for every verb:
     /// reads are naturally idempotent and `Commit` is deduplicated
     /// server-side.
+    ///
+    /// An [`AftError::Overloaded`] verdict is also retried here (an
+    /// overload rejection executed nothing, so resending is always safe),
+    /// but under a *different* backoff: decorrelated jitter instead of the
+    /// deterministic exponential used for connection failures. Overload is
+    /// a correlated event — every client of a saturated server hits it at
+    /// once, and deterministic backoff would march them all back in
+    /// lockstep, re-creating the very spike that caused the rejection.
     fn call(&self, slot: usize, request: &WireRequest) -> AftResult<WireResponse> {
         let max_attempts = self.config.retry.max_attempts.max(1);
         let mut attempt = 0u32;
+        let mut overload_prev = self.config.retry.base_backoff;
         loop {
             attempt += 1;
             match self.try_call(slot, request) {
+                Ok(WireResponse::Error(e)) if e.is_overloaded() => {
+                    if attempt >= max_attempts {
+                        // Out of budget: surface the server's verdict
+                        // unchanged so the caller sees a typed, retryable
+                        // `Overloaded` rather than a transport failure.
+                        return Ok(WireResponse::Error(e));
+                    }
+                    self.stats.overload_retries.fetch_add(1, Ordering::Relaxed);
+                    overload_prev = self.overload_backoff(overload_prev);
+                    std::thread::sleep(overload_prev);
+                }
                 Ok(response) => return Ok(response),
                 Err(e) => {
                     if attempt >= max_attempts {
@@ -472,6 +519,26 @@ impl AftClient {
                 }
             }
         }
+    }
+
+    /// One decorrelated-jitter backoff step: `sleep = min(cap,
+    /// uniform(base, prev * 3))`, drawn from the client's seeded RNG. Each
+    /// step's sleep depends on the *previous draw* rather than the attempt
+    /// number, so concurrent clients' retry schedules diverge instead of
+    /// synchronizing.
+    fn overload_backoff(&self, prev: Duration) -> Duration {
+        let base = self
+            .config
+            .retry
+            .base_backoff
+            .max(Duration::from_micros(50));
+        let cap = self.config.retry.max_backoff.max(base);
+        let upper = prev.saturating_mul(3).max(base + Duration::from_nanos(1));
+        let nanos = {
+            let mut rng = self.rng.lock();
+            rng.gen_range(base.as_nanos()..=upper.as_nanos())
+        };
+        Duration::from_nanos(u64::try_from(nanos).unwrap_or(u64::MAX)).min(cap)
     }
 }
 

@@ -41,6 +41,7 @@ use std::net::{Shutdown, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 use aft_types::wire::{decode_request, encode_response, WireResponse};
 use aft_types::{AftError, AftResult};
@@ -69,6 +70,8 @@ const MAX_READS_PER_EVENT: usize = 16;
 pub(crate) struct ConnHandle {
     pub(crate) slot: usize,
     pub(crate) generation: u64,
+    /// Server-wide connection id — the fair-queuing lane key.
+    pub(crate) id: u64,
     pub(crate) stats: ConnStats,
     /// Guarded close transition: whoever swaps this to `false` does the
     /// `record_close`, so churn can never double-count.
@@ -402,6 +405,7 @@ impl EventLoop {
         let handle = Arc::new(ConnHandle {
             slot,
             generation,
+            id: self.shared.next_conn_id.fetch_add(1, Ordering::Relaxed),
             stats: ConnStats::default(),
             open: AtomicBool::new(true),
             inflight: AtomicUsize::new(0),
@@ -549,6 +553,7 @@ impl EventLoop {
     /// (pausing the connection) when the queue is full.
     fn submit(&mut self, slot: usize, request_id: u64, request: aft_types::wire::WireRequest) {
         let capacity = self.shared.config.queue_capacity.max(1);
+        let admission = self.shared.config.admission_limit;
         let Some(conn) = self.slab.get_mut(slot) else {
             return;
         };
@@ -558,7 +563,30 @@ impl EventLoop {
         }
         let handle = Arc::clone(&conn.handle);
         let mut queue = self.shared.queue.lock();
-        if queue.len() >= capacity {
+        if admission > 0
+            && queue.depth() >= admission
+            && !matches!(request, aft_types::wire::WireRequest::Commit { .. })
+        {
+            // Admission control: answer `Overloaded` now, while the client
+            // can still usefully back off, instead of parking the request
+            // behind a queue that is already too deep. Commits are exempt —
+            // the server already executed this transaction's reads, and
+            // refusing the commit would convert that work into waste;
+            // overload is shed at the pipeline entry (the reads) instead,
+            // and commits stay bounded by `queue_capacity` backpressure.
+            drop(queue);
+            self.shared.stats.record_overload_rejection();
+            let payload = encode_response(
+                request_id,
+                &WireResponse::Error(AftError::Overloaded(
+                    "worker queue is full; retry with backoff".to_owned(),
+                )),
+            );
+            self.queue_response(slot, &payload);
+            self.do_write(slot);
+            return;
+        }
+        if queue.depth() >= capacity {
             drop(queue);
             conn.paused = true;
             conn.pending.push_back((request_id, request));
@@ -570,10 +598,13 @@ impl EventLoop {
             return;
         }
         handle.inflight.fetch_add(1, Ordering::AcqRel);
-        queue.push_back(Job {
+        let source = handle.id;
+        queue.push(Job {
             responder: Responder::Event(handle),
             request_id,
             request,
+            source,
+            enqueued: Instant::now(),
         });
         drop(queue);
         self.shared.queue_cv.notify_one();
@@ -597,18 +628,23 @@ impl EventLoop {
             let mut submitted = 0usize;
             let mut full = false;
             {
+                // Pending requests were already accepted (they pre-date the
+                // pause), so resuming them bypasses admission control and
+                // contends only with `queue_capacity`.
                 let mut queue = self.shared.queue.lock();
                 while let Some((request_id, request)) = conn.pending.pop_front() {
-                    if queue.len() >= capacity {
+                    if queue.depth() >= capacity {
                         conn.pending.push_front((request_id, request));
                         full = true;
                         break;
                     }
                     handle.inflight.fetch_add(1, Ordering::AcqRel);
-                    queue.push_back(Job {
+                    queue.push(Job {
                         responder: Responder::Event(Arc::clone(&handle)),
                         request_id,
                         request,
+                        source: handle.id,
+                        enqueued: Instant::now(),
                     });
                     submitted += 1;
                 }
@@ -884,6 +920,7 @@ mod tests {
                 handle: Arc::new(ConnHandle {
                     slot,
                     generation,
+                    id: 0,
                     stats: ConnStats::default(),
                     open: AtomicBool::new(true),
                     inflight: AtomicUsize::new(0),

@@ -26,9 +26,10 @@
 //!   [`AftApi`](aft_core::api::AftApi), so every workload driver runs
 //!   unchanged against a socket.
 //! * [`chaos`] — [`chaos::ConnChaos`]: seeded connection-fault injection
-//!   (resets before/after send, delayed acks) driven by the same
-//!   [`FailurePlan`](aft_storage::chaos::FailurePlan) machinery as storage
-//!   chaos, so network faults are deterministic and replayable.
+//!   (resets before/after send, delayed acks) driven by the net layer of a
+//!   unified [`aft_chaos::ChaosSpec`] schedule, so network faults are
+//!   deterministic, replayable, and composable with the storage and
+//!   platform layers under one seed.
 //! * [`stats`] — server/connection counters in the `NodeStats` style,
 //!   snapshotted over the wire via the `Stats` verb.
 
@@ -40,7 +41,9 @@ pub mod frame;
 pub mod server;
 pub mod stats;
 
-pub use chaos::{ConnChaos, NetChaosConfig, NetChaosStats, NetFault};
+#[allow(deprecated)]
+pub use chaos::NetChaosConfig;
+pub use chaos::{ConnChaos, NetChaosStats, NetFault};
 pub use client::{AftClient, ClientBuilder, ClientConfig, ClientStatsSnapshot};
 pub use event_loop::EventSnapshot;
 pub use server::{

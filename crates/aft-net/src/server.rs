@@ -40,6 +40,32 @@
 //! on the UUID: the second waits for the first's verdict instead of racing
 //! it.
 //!
+//! ## Overload protection
+//!
+//! Three independent, builder-configured mechanisms keep a saturated server
+//! *useful* instead of merely not-crashing (all off by default except
+//! backpressure):
+//!
+//! * **Admission control** ([`ServerBuilder::admission_limit`]): when the
+//!   worker queue is already at the limit, a new request is rejected
+//!   immediately with the typed, retryable [`AftError::Overloaded`] instead
+//!   of being parked — the client backs off with decorrelated jitter rather
+//!   than piling more latency onto the queue. Commit requests are exempt:
+//!   the server has already executed their transaction's reads, and
+//!   rejecting the commit would convert that finished work into waste, so
+//!   load is refused at the pipeline entry (the reads) instead.
+//! * **Load shedding** ([`ServerBuilder::queue_deadline`]): a job that
+//!   waited in the queue longer than the deadline is answered `Overloaded`
+//!   *without being executed*. Shedding is always safe: a shed commit was
+//!   never applied and never acknowledged, so the client's retry is the
+//!   first execution, not a duplicate.
+//! * **Fair queuing** ([`ServerBuilder::fair_queuing`]): one lane per
+//!   connection, drained round-robin, so a single pipelining firehose
+//!   cannot starve every other client's requests behind its backlog.
+//!
+//! `queue_capacity` backpressure (stop reading a socket while the pool is
+//! saturated) remains underneath all three.
+//!
 //! ## Shutdown
 //!
 //! [`AftServer::shutdown`] is graceful and idempotent: it stops accepting,
@@ -48,10 +74,10 @@
 
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use aft_cluster::Cluster;
 use aft_core::read::is_atomic_readset;
@@ -112,6 +138,9 @@ pub struct ServerConfig {
     pub(crate) write_batch: usize,
     pub(crate) write_buffer_cap: usize,
     pub(crate) poller_backend: PollerBackend,
+    pub(crate) admission_limit: usize,
+    pub(crate) queue_deadline: Duration,
+    pub(crate) fair_queuing: bool,
 }
 
 impl Default for ServerConfig {
@@ -127,6 +156,9 @@ impl Default for ServerConfig {
             write_batch: 64,
             write_buffer_cap: 4 * 1024 * 1024,
             poller_backend: PollerBackend::Auto,
+            admission_limit: 0,
+            queue_deadline: Duration::ZERO,
+            fair_queuing: false,
         }
     }
 }
@@ -152,6 +184,22 @@ impl ServerConfig {
     /// Whether the event-driven I/O core is selected.
     pub fn event_driven(&self) -> bool {
         self.event_driven
+    }
+
+    /// Queue depth beyond which new non-commit requests are rejected
+    /// (`0` disables; commits are exempt).
+    pub fn admission_limit(&self) -> usize {
+        self.admission_limit
+    }
+
+    /// Maximum queue age before a request is shed (`ZERO` disables).
+    pub fn queue_deadline(&self) -> Duration {
+        self.queue_deadline
+    }
+
+    /// Whether per-connection fair queuing is enabled.
+    pub fn fair_queuing(&self) -> bool {
+        self.fair_queuing
     }
 }
 
@@ -234,6 +282,40 @@ impl ServerBuilder {
         self
     }
 
+    /// Admission control: when the worker queue already holds this many
+    /// requests, a newly arrived one is rejected immediately with the
+    /// typed, retryable [`AftError::Overloaded`] instead of queueing.
+    /// Commits bypass the check — their transaction's reads were already
+    /// executed, and refusing the commit would waste that work; they stay
+    /// bounded by `queue_capacity` backpressure. `0` (the default)
+    /// disables admission control. Set it below `queue_capacity`, or
+    /// per-socket backpressure pauses reads before admission ever gets to
+    /// reject.
+    pub fn admission_limit(mut self, limit: usize) -> Self {
+        self.config.admission_limit = limit;
+        self
+    }
+
+    /// Load shedding by queue age: a request that waited longer than this
+    /// in the worker queue is answered [`AftError::Overloaded`] without
+    /// being executed — its latency budget is already blown, so executing
+    /// it would only delay fresher requests behind it. Always safe: a shed
+    /// commit was never applied and never acknowledged. `ZERO` (the
+    /// default) disables shedding.
+    pub fn queue_deadline(mut self, deadline: Duration) -> Self {
+        self.config.queue_deadline = deadline;
+        self
+    }
+
+    /// Per-client fair queuing: one lane per connection, drained
+    /// round-robin, so one pipelining firehose cannot starve other
+    /// connections' requests behind its backlog. Off by default (plain
+    /// FIFO).
+    pub fn fair_queuing(mut self, fair: bool) -> Self {
+        self.config.fair_queuing = fair;
+        self
+    }
+
     /// Finishes into a [`ServerConfig`].
     pub fn build(self) -> ServerConfig {
         self.config
@@ -258,6 +340,8 @@ pub trait ResponseFilter: Send + Sync {
 /// half is mutex-guarded so any worker can respond on it; the reader half
 /// lives in the connection's reader thread.
 pub(crate) struct Connection {
+    /// Fair-queuing lane key; unique per accepted connection.
+    id: u64,
     writer: Mutex<TcpStream>,
     /// Handle used to reset the socket from any thread (shutdown, filter).
     control: TcpStream,
@@ -307,6 +391,75 @@ pub(crate) struct Job {
     pub(crate) responder: Responder,
     pub(crate) request_id: u64,
     pub(crate) request: WireRequest,
+    /// Lane key for fair queuing: the accepting connection's id.
+    pub(crate) source: u64,
+    /// When the job entered the queue, for deadline-based shedding.
+    pub(crate) enqueued: Instant,
+}
+
+/// The worker queue: plain FIFO, or one lane per connection drained
+/// round-robin when fair queuing is on. The lane key is the connection id,
+/// so a single connection pipelining thousands of requests only ever has
+/// one request in flight toward the workers per full rotation — other
+/// clients' requests are not stuck behind its backlog.
+pub(crate) struct JobQueue {
+    fair: bool,
+    fifo: VecDeque<Job>,
+    lanes: HashMap<u64, VecDeque<Job>>,
+    /// Round-robin order over lanes that currently hold jobs.
+    rotation: VecDeque<u64>,
+    len: usize,
+}
+
+impl JobQueue {
+    pub(crate) fn new(fair: bool) -> Self {
+        JobQueue {
+            fair,
+            fifo: VecDeque::new(),
+            lanes: HashMap::new(),
+            rotation: VecDeque::new(),
+            len: 0,
+        }
+    }
+
+    /// Number of queued jobs across all lanes. (Named `depth` rather than
+    /// `len` because the queue is a scheduling structure, not a container.)
+    pub(crate) fn depth(&self) -> usize {
+        self.len
+    }
+
+    pub(crate) fn push(&mut self, job: Job) {
+        self.len += 1;
+        if self.fair {
+            let lane = self.lanes.entry(job.source).or_default();
+            if lane.is_empty() {
+                self.rotation.push_back(job.source);
+            }
+            lane.push_back(job);
+        } else {
+            self.fifo.push_back(job);
+        }
+    }
+
+    pub(crate) fn pop(&mut self) -> Option<Job> {
+        let job = if self.fair {
+            let source = self.rotation.pop_front()?;
+            let lane = self.lanes.get_mut(&source)?;
+            let job = lane.pop_front()?;
+            if lane.is_empty() {
+                // Drop empty lanes so the map tracks live connections, not
+                // every connection ever accepted.
+                self.lanes.remove(&source);
+            } else {
+                self.rotation.push_back(source);
+            }
+            Some(job)
+        } else {
+            self.fifo.pop_front()
+        }?;
+        self.len -= 1;
+        Some(job)
+    }
 }
 
 /// Completed-commit memory plus the single-flight set for in-progress ones.
@@ -379,7 +532,7 @@ pub(crate) struct ServerShared {
     cluster: Arc<Cluster>,
     pub(crate) stats: Arc<ServiceStats>,
     pub(crate) config: ServerConfig,
-    pub(crate) queue: Mutex<VecDeque<Job>>,
+    pub(crate) queue: Mutex<JobQueue>,
     pub(crate) queue_cv: Condvar,
     queue_space_cv: Condvar,
     ledger: Mutex<CommitLedger>,
@@ -392,6 +545,8 @@ pub(crate) struct ServerShared {
     pub(crate) completions: Mutex<VecDeque<Completion>>,
     /// The event loop's poller, for waking it from workers and shutdown.
     io_waker: Mutex<Option<Arc<Poller>>>,
+    /// Monotonic connection ids — the fair-queuing lane keys.
+    pub(crate) next_conn_id: AtomicU64,
     pub(crate) shutdown: AtomicBool,
 }
 
@@ -552,13 +707,14 @@ impl ServerShared {
 
 fn worker_loop(shared: Arc<ServerShared>) {
     let capacity = shared.config.queue_capacity.max(1);
+    let deadline = shared.config.queue_deadline;
     loop {
         let job = {
             let mut queue = shared.queue.lock();
             loop {
-                if let Some(job) = queue.pop_front() {
+                if let Some(job) = queue.pop() {
                     shared.queue_space_cv.notify_one();
-                    if queue.len() + 1 >= capacity {
+                    if queue.depth() + 1 >= capacity {
                         // The queue just dropped below capacity: paused
                         // event-loop connections may now have room.
                         shared.wake_io();
@@ -571,10 +727,23 @@ fn worker_loop(shared: Arc<ServerShared>) {
                 shared.queue_cv.wait(&mut queue);
             }
         };
-        let response = shared.execute(&job.request);
-        if matches!(response, WireResponse::Error(_)) {
-            shared.stats.record_error();
-        }
+        // Shedding: a job past its queue-age deadline is answered
+        // `Overloaded` without executing. Safe by construction — nothing
+        // was applied and nothing acked, so the client's retry is the
+        // first execution, not a duplicate.
+        let shed = !deadline.is_zero() && job.enqueued.elapsed() > deadline;
+        let response = if shed {
+            shared.stats.record_shed();
+            WireResponse::Error(AftError::Overloaded(format!(
+                "request shed after waiting past the {deadline:?} queue deadline"
+            )))
+        } else {
+            let response = shared.execute(&job.request);
+            if matches!(response, WireResponse::Error(_)) {
+                shared.stats.record_error();
+            }
+            response
+        };
         let deliver = {
             let filter = shared.filter.lock().clone();
             filter.is_none_or(|f| f.deliver(job.request_id, &response))
@@ -617,10 +786,36 @@ fn reader_loop(shared: &Arc<ServerShared>, conn: Arc<Connection>, mut stream: Tc
             Ok((request_id, request)) => {
                 conn.stats.requests.fetch_add(1, Ordering::Relaxed);
                 let mut queue = shared.queue.lock();
+                let admission = shared.config.admission_limit;
+                if admission > 0
+                    && queue.depth() >= admission
+                    && !matches!(request, WireRequest::Commit { .. })
+                {
+                    // Admission control: reject now, while the client can
+                    // still usefully back off, instead of parking the
+                    // request behind a queue that is already too deep.
+                    // Commits are exempt — the server already executed this
+                    // transaction's reads, and refusing the commit would
+                    // convert that work into waste; overload is shed at the
+                    // pipeline entry (the reads) instead, and commits stay
+                    // bounded by `queue_capacity` backpressure below.
+                    drop(queue);
+                    shared.stats.record_overload_rejection();
+                    let payload = encode_response(
+                        request_id,
+                        &WireResponse::Error(AftError::Overloaded(
+                            "worker queue is full; retry with backoff".to_owned(),
+                        )),
+                    );
+                    if !conn.send(&payload) {
+                        return;
+                    }
+                    continue;
+                }
                 // Backpressure: stop pulling from this socket while the
                 // pool is saturated, so pipelined floods are bounded by
                 // queue_capacity frames plus kernel socket buffers.
-                while queue.len() >= shared.config.queue_capacity.max(1) {
+                while queue.depth() >= shared.config.queue_capacity.max(1) {
                     if shared.shutdown.load(Ordering::Acquire) {
                         return conn.close();
                     }
@@ -628,10 +823,12 @@ fn reader_loop(shared: &Arc<ServerShared>, conn: Arc<Connection>, mut stream: Tc
                         .queue_space_cv
                         .wait_for(&mut queue, Duration::from_millis(50));
                 }
-                queue.push_back(Job {
+                queue.push(Job {
                     responder: Responder::Thread(Arc::clone(&conn)),
                     request_id,
                     request,
+                    source: conn.id,
+                    enqueued: Instant::now(),
                 });
                 shared.queue_cv.notify_one();
             }
@@ -660,6 +857,7 @@ fn accept_loop(shared: Arc<ServerShared>, listener: TcpListener) {
             _ => continue,
         };
         let conn = Arc::new(Connection {
+            id: shared.next_conn_id.fetch_add(1, Ordering::Relaxed),
             writer: Mutex::new(writer),
             control,
             open: AtomicBool::new(true),
@@ -725,7 +923,7 @@ impl AftServer {
         let shared = Arc::new(ServerShared {
             cluster,
             stats: Arc::new(ServiceStats::default()),
-            queue: Mutex::new(VecDeque::new()),
+            queue: Mutex::new(JobQueue::new(config.fair_queuing)),
             queue_cv: Condvar::new(),
             queue_space_cv: Condvar::new(),
             ledger: Mutex::new(CommitLedger::new(config.dedup_capacity)),
@@ -736,6 +934,7 @@ impl AftServer {
             reader_handles: Mutex::new(Vec::new()),
             completions: Mutex::new(VecDeque::new()),
             io_waker: Mutex::new(None),
+            next_conn_id: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
             config,
         });
@@ -931,6 +1130,13 @@ mod tests {
         assert_eq!(built.write_batch, defaults.write_batch);
         assert_eq!(built.write_buffer_cap, defaults.write_buffer_cap);
         assert_eq!(built.poller_backend, defaults.poller_backend);
+        assert_eq!(built.admission_limit, defaults.admission_limit);
+        assert_eq!(built.queue_deadline, defaults.queue_deadline);
+        assert_eq!(built.fair_queuing, defaults.fair_queuing);
+        // Overload protection is opt-in.
+        assert_eq!(built.admission_limit, 0);
+        assert_eq!(built.queue_deadline, Duration::ZERO);
+        assert!(!built.fair_queuing);
     }
 
     #[test]
@@ -942,6 +1148,9 @@ mod tests {
             .slab_capacity(9)
             .write_batch(0)
             .poller_backend(PollerBackend::Poll)
+            .admission_limit(5)
+            .queue_deadline(Duration::from_millis(3))
+            .fair_queuing(true)
             .build();
         assert_eq!(config.workers, 1, "clamped to >= 1");
         assert_eq!(config.queue_capacity, 7);
@@ -949,6 +1158,68 @@ mod tests {
         assert_eq!(config.slab_capacity, 9);
         assert_eq!(config.write_batch, 1, "clamped to >= 1");
         assert_eq!(config.poller_backend, PollerBackend::Poll);
+        assert_eq!(config.admission_limit(), 5);
+        assert_eq!(config.queue_deadline(), Duration::from_millis(3));
+        assert!(config.fair_queuing());
+    }
+
+    #[test]
+    fn fair_queue_round_robins_across_connections() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let stream = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let _accepted = listener.accept().unwrap();
+        let job = |source: u64, request_id: u64| Job {
+            responder: Responder::Thread(Arc::new(Connection {
+                id: source,
+                writer: Mutex::new(stream.try_clone().unwrap()),
+                control: stream.try_clone().unwrap(),
+                open: AtomicBool::new(true),
+                stats: ConnStats::default(),
+                service_stats: Arc::new(ServiceStats::default()),
+            })),
+            request_id,
+            request: WireRequest::Ping,
+            source,
+            enqueued: Instant::now(),
+        };
+
+        // Connection 1 floods five requests before connections 2 and 3
+        // submit one each; round-robin still serves 2 and 3 immediately.
+        let mut queue = JobQueue::new(true);
+        for i in 0..5 {
+            queue.push(job(1, 100 + i));
+        }
+        queue.push(job(2, 200));
+        queue.push(job(3, 300));
+        assert_eq!(queue.depth(), 7);
+        let order: Vec<(u64, u64)> = std::iter::from_fn(|| queue.pop())
+            .map(|j| (j.source, j.request_id))
+            .collect();
+        assert_eq!(
+            order,
+            vec![
+                (1, 100),
+                (2, 200),
+                (3, 300),
+                (1, 101),
+                (1, 102),
+                (1, 103),
+                (1, 104)
+            ]
+        );
+        assert_eq!(queue.depth(), 0);
+        assert!(queue.lanes.is_empty(), "drained lanes are dropped");
+
+        // Plain FIFO preserves global arrival order.
+        let mut fifo = JobQueue::new(false);
+        for i in 0..3 {
+            fifo.push(job(1, i));
+        }
+        fifo.push(job(2, 9));
+        let order: Vec<u64> = std::iter::from_fn(|| fifo.pop())
+            .map(|j| j.request_id)
+            .collect();
+        assert_eq!(order, vec![0, 1, 2, 9]);
     }
 
     #[test]

@@ -15,6 +15,8 @@ pub struct ServiceStats {
     duplicate_commits: AtomicU64,
     errors: AtomicU64,
     dropped_acks: AtomicU64,
+    overload_rejections: AtomicU64,
+    shed_requests: AtomicU64,
 }
 
 impl ServiceStats {
@@ -54,6 +56,18 @@ impl ServiceStats {
         self.dropped_acks.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records a request rejected at admission because the server's queue
+    /// was over its admission limit (the request never executed).
+    pub fn record_overload_rejection(&self) {
+        self.overload_rejections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a queued request shed before execution because it exceeded
+    /// the queue-age deadline (the request never executed).
+    pub fn record_shed(&self) {
+        self.shed_requests.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Duplicate commits acknowledged so far.
     pub fn duplicate_commits(&self) -> u64 {
         self.duplicate_commits.load(Ordering::Relaxed)
@@ -70,6 +84,8 @@ impl ServiceStats {
             duplicate_commits: self.duplicate_commits.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
             dropped_acks: self.dropped_acks.load(Ordering::Relaxed),
+            overload_rejections: self.overload_rejections.load(Ordering::Relaxed),
+            shed_requests: self.shed_requests.load(Ordering::Relaxed),
             active_nodes,
         }
     }
@@ -101,6 +117,8 @@ mod tests {
         stats.record_duplicate_commit();
         stats.record_error();
         stats.record_dropped_ack();
+        stats.record_overload_rejection();
+        stats.record_shed();
 
         let snap = stats.snapshot(3);
         assert_eq!(snap.connections_accepted, 2);
@@ -110,6 +128,8 @@ mod tests {
         assert_eq!(snap.duplicate_commits, 1);
         assert_eq!(snap.errors, 1);
         assert_eq!(snap.dropped_acks, 1);
+        assert_eq!(snap.overload_rejections, 1);
+        assert_eq!(snap.shed_requests, 1);
         assert_eq!(snap.active_nodes, 3);
     }
 }

@@ -5,9 +5,10 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+use aft_chaos::{ChaosSpec, NetChaos};
 use aft_cluster::{Cluster, ClusterConfig};
 use aft_core::api::AftApi;
-use aft_net::{AftClient, AftServer, ClientConfig, NetChaosConfig, ResponseFilter};
+use aft_net::{AftClient, AftServer, ClientConfig, ResponseFilter};
 use aft_storage::io::RetryConfig;
 use aft_storage::InMemoryStore;
 use aft_types::clock::TickingClock;
@@ -246,12 +247,11 @@ fn connection_resets_never_lose_acknowledged_commits() {
                 base_backoff: Duration::from_micros(200),
                 max_backoff: Duration::from_millis(2),
             })
-            .chaos(NetChaosConfig::resets_and_delays(
-                0xC4A05,
+            .chaos_spec(ChaosSpec::new(0xC4A05).net(NetChaos::resets_and_delays(
                 0.12,
                 0.05,
                 Duration::from_millis(1),
-            ))
+            )))
             .record_acks(true)
             .build(),
     );

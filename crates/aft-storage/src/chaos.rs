@@ -1,58 +1,58 @@
-//! Deterministic storage fault injection.
+//! Deterministic storage fault injection — the storage-layer adapter of the
+//! unified [`aft_chaos`] fault schedule.
 //!
 //! The paper's guarantees are only interesting *through* failures: §4.2's
 //! fault manager exists because a node can die between acknowledging a commit
 //! and broadcasting it, and §3.1's only storage assumption (durable once
 //! acknowledged) leaves the store free to drop, delay, or throttle any
-//! individual request. Formal treatments of serverless semantics make the
-//! same point — the behaviors worth testing are exactly the crash / retry /
-//! duplicate interleavings — so they must be first-class, seeded, and
-//! reproducible rather than left to chance.
+//! individual request. The schedule itself — pure, seeded, order-independent
+//! — lives in [`aft_chaos`], where one [`ChaosSpec`] drives this layer
+//! together with net and platform injection; this module adapts it to the
+//! [`StorageEngine`] trait.
 //!
-//! This module provides:
+//! [`FaultyBackend`] wraps any engine and consults the spec's storage layer
+//! on every operation, injecting three fault modes:
 //!
-//! * [`FailurePlan`] — a pure, seeded schedule mapping an operation index
-//!   (and the operation's primary key) to a [`FaultKind`]. Identical seeds
-//!   produce identical index→fault schedules, so single-threaded histories
-//!   replay bit-exactly. Under concurrency the *schedule* is still
-//!   identical, but which logical operation draws which index depends on
-//!   thread interleaving — re-running a seed reproduces the same fault
-//!   pressure and mix, not necessarily the same fault-to-operation pairing.
-//! * [`FaultyBackend`] — a [`StorageEngine`] wrapper that consults the plan
-//!   on every operation and injects three fault modes:
-//!   * **transient errors** ([`AftError::StorageTransient`]): the request is
-//!     dropped. Half of the injected errors are *applied-but-unacknowledged*
-//!     — the write lands and then the acknowledgement is lost — which is the
-//!     duplicate-on-retry interleaving AFT's idempotent storage keys (§3.1)
-//!     are designed to absorb;
-//!   * **timeouts**: the full timeout latency is charged (slept in `Sleep`
-//!     mode, recorded in `Virtual` mode) and then the same transient error
-//!     surfaces — the shape of a client-side deadline expiring;
-//!   * **slow-stripe "gray failure"**: every operation whose primary key
-//!     hashes to one designated stripe pays a fixed extra latency. The
-//!     backend never errors, it is just persistently slow for a slice of the
-//!     keyspace — the degradation that health checks miss.
+//! * **transient errors** ([`AftError::StorageTransient`]): the request is
+//!   dropped. Half of the injected errors are *applied-but-unacknowledged*
+//!   — the write lands and then the acknowledgement is lost — which is the
+//!   duplicate-on-retry interleaving AFT's idempotent storage keys (§3.1)
+//!   are designed to absorb;
+//! * **timeouts**: the full timeout latency is charged (slept in `Sleep`
+//!   mode, recorded in `Virtual` mode) and then the same transient error
+//!   surfaces — the shape of a client-side deadline expiring;
+//! * **slow-stripe "gray failure"**: every operation whose primary key
+//!   hashes to one designated stripe pays a fixed extra latency. The
+//!   backend never errors, it is just persistently slow for a slice of the
+//!   keyspace — the degradation that health checks miss.
 //!
 //! Injected latency goes through the shared [`LatencyModel`], so it obeys
 //! the ambient mode exactly like the simulators' own latency: it defers onto
 //! the I/O engine's timer wheel inside `capture_deferred` scopes, and in
 //! `Virtual` mode it is charged to the operation's cost without sleeping —
 //! the overlap accounting of the pipelined engine keeps working unchanged.
+//!
+//! The pre-unification configuration surface ([`ChaosConfig`],
+//! [`FailurePlan`]) survives one release as thin deprecated shims over the
+//! spec.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+use aft_chaos::{ChaosInjector, ChaosSpec, FaultSchedule, Layer, LayerSchedule, StorageChaos};
 use aft_types::{AftError, AftResult, Value};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 use crate::counters::StorageStats;
 use crate::engine::{SharedStorage, StorageEngine};
 use crate::latency::LatencyModel;
-use crate::sharded::stripe_of;
 
-/// Tuning for a [`FaultyBackend`].
+pub use aft_chaos::FaultKind;
+
+/// Tuning for a [`FaultyBackend`] — the pre-unification configuration
+/// surface, kept for one release.
+#[deprecated(note = "compose an aft_chaos::ChaosSpec with StorageChaos instead; \
+            FaultyBackend::from_spec consumes it")]
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ChaosConfig {
     /// Seed of the fault schedule; identical seeds reproduce identical
@@ -68,9 +68,8 @@ pub struct ChaosConfig {
     /// scaling (modeled on a client-side request deadline).
     pub timeout_us: f64,
     /// The gray-failure stripe: operations whose primary key hashes to this
-    /// stripe (out of [`ChaosConfig::stripes`]) pay
-    /// [`ChaosConfig::slow_extra_us`] of extra latency. `None` disables the
-    /// mode.
+    /// stripe (out of `stripes`) pay `slow_extra_us` of extra latency.
+    /// `None` disables the mode.
     pub slow_stripe: Option<usize>,
     /// Extra latency per slow-stripe operation, in microseconds before
     /// global scaling.
@@ -79,6 +78,7 @@ pub struct ChaosConfig {
     pub stripes: usize,
 }
 
+#[allow(deprecated)]
 impl ChaosConfig {
     /// A schedule that never injects anything (useful as a baseline leg).
     pub fn quiet(seed: u64) -> Self {
@@ -123,86 +123,62 @@ impl ChaosConfig {
             ..ChaosConfig::quiet(seed)
         }
     }
+
+    /// The equivalent unified spec (storage layer only).
+    pub fn to_spec(&self) -> ChaosSpec {
+        ChaosSpec::new(self.seed).storage(StorageChaos {
+            error_rate: self.error_rate,
+            timeout_rate: self.timeout_rate,
+            timeout_us: self.timeout_us,
+            slow_stripe: self.slow_stripe,
+            slow_extra_us: self.slow_extra_us,
+            stripes: self.stripes,
+        })
+    }
 }
 
-/// What the plan injects into one operation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum FaultKind {
-    /// The operation executes normally.
-    None,
-    /// The operation fails with [`AftError::StorageTransient`]. When
-    /// `applied` is true the operation's effect lands *before* the failure
-    /// (an acknowledgement lost in flight); a retry then duplicates the
-    /// request, which idempotent storage keys must absorb.
-    TransientError {
-        /// Whether the operation was applied before the ack was lost.
-        applied: bool,
-    },
-    /// The operation charges the configured timeout latency and then fails
-    /// with [`AftError::StorageTransient`] without being applied.
-    Timeout,
-    /// The operation succeeds but pays the gray-failure latency penalty.
-    Slow,
-}
-
-/// A pure, seeded fault schedule: operation index (plus the operation's
-/// primary key, for the stripe-targeted gray-failure mode) → [`FaultKind`].
+/// The pre-unification storage-only fault schedule, kept for one release as
+/// a thin view over the unified [`FaultSchedule`]'s storage layer.
+#[deprecated(note = "use aft_chaos::FaultSchedule (via ChaosSpec::schedule) instead")]
 #[derive(Debug, Clone, Copy)]
 pub struct FailurePlan {
-    config: ChaosConfig,
+    schedule: FaultSchedule,
 }
 
+#[allow(deprecated)]
 impl FailurePlan {
     /// Builds the plan for `config`.
     pub fn new(config: ChaosConfig) -> Self {
-        FailurePlan { config }
+        FailurePlan {
+            schedule: config.to_spec().schedule(),
+        }
     }
 
     /// The plan's tuning.
     pub fn config(&self) -> ChaosConfig {
-        self.config
+        let c = self.schedule.storage_chaos();
+        ChaosConfig {
+            seed: self.schedule.seed(),
+            error_rate: c.error_rate,
+            timeout_rate: c.timeout_rate,
+            timeout_us: c.timeout_us,
+            slow_stripe: c.slow_stripe,
+            slow_extra_us: c.slow_extra_us,
+            stripes: c.stripes,
+        }
     }
 
-    /// The fault injected into operation number `op_index` on `key`.
-    ///
-    /// Deterministic in `(seed, op_index, key)` and independent of call
-    /// order: each decision draws from its own RNG keyed by the pair, so
-    /// concurrent callers racing for indices still reproduce the same
-    /// schedule for the same index sequence.
+    /// The fault injected into operation number `op_index` on `key`
+    /// (delegates to the unified schedule's storage layer — bit-compatible
+    /// with the pre-unification planner for the same seed).
     pub fn decide(&self, op_index: u64, key: &str) -> FaultKind {
-        let c = &self.config;
-        // The gray failure is keyed by data placement, not by chance: a
-        // degraded stripe is slow for *every* request that hashes to it.
-        if let Some(slow) = c.slow_stripe {
-            if stripe_of(key, c.stripes) == slow {
-                return FaultKind::Slow;
-            }
-        }
-        if c.error_rate <= 0.0 && c.timeout_rate <= 0.0 {
-            return FaultKind::None;
-        }
-        // SplitMix-style per-op stream: cheap, stateless, order-independent.
-        let stream = c
-            .seed
-            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-            .wrapping_add(op_index.wrapping_mul(0xBF58_476D_1CE4_E5B9));
-        let mut rng = StdRng::seed_from_u64(stream);
-        let draw: f64 = rng.gen_range(0.0..1.0);
-        if draw < c.error_rate {
-            FaultKind::TransientError {
-                applied: rng.gen_bool(0.5),
-            }
-        } else if draw < c.error_rate + c.timeout_rate {
-            FaultKind::Timeout
-        } else {
-            FaultKind::None
-        }
+        self.schedule.decide(Layer::Storage, op_index, key)
     }
 
     /// The first `n` decisions for a fixed key — the materialised schedule,
     /// used by determinism tests and for replaying a failure report.
     pub fn schedule(&self, n: u64, key: &str) -> Vec<FaultKind> {
-        (0..n).map(|i| self.decide(i, key)).collect()
+        self.schedule.materialize(Layer::Storage, n, key)
     }
 }
 
@@ -238,7 +214,8 @@ struct ChaosCounters {
     slowed: AtomicU64,
 }
 
-/// A [`StorageEngine`] wrapper injecting the faults of a [`FailurePlan`].
+/// A [`StorageEngine`] wrapper injecting the storage layer of a
+/// [`ChaosSpec`]'s fault schedule.
 ///
 /// The wrapper is transparent when no fault fires: every operation, counter,
 /// and capability of the inner backend passes through, including deferred
@@ -246,30 +223,40 @@ struct ChaosCounters {
 /// the injected faults.
 pub struct FaultyBackend {
     inner: SharedStorage,
-    plan: FailurePlan,
+    layer: LayerSchedule,
     latency: Arc<LatencyModel>,
     /// While false, every operation passes straight through without
     /// consuming a schedule index — verification phases read ground truth
     /// without racing the injector, and re-enabling resumes the schedule
     /// where it left off.
     enabled: AtomicBool,
-    op_counter: AtomicU64,
     counters: ChaosCounters,
 }
 
 impl FaultyBackend {
-    /// Wraps `inner`, injecting faults per `config`; injected latency obeys
-    /// `latency`'s mode and scale (share the inner backend's model so chaos
-    /// latency scales with everything else).
-    pub fn new(inner: SharedStorage, config: ChaosConfig, latency: Arc<LatencyModel>) -> Arc<Self> {
+    /// Wraps `inner`, injecting the storage layer of `spec`'s schedule;
+    /// injected latency obeys `latency`'s mode and scale (share the inner
+    /// backend's model so chaos latency scales with everything else).
+    pub fn from_spec(
+        inner: SharedStorage,
+        spec: &ChaosSpec,
+        latency: Arc<LatencyModel>,
+    ) -> Arc<Self> {
         Arc::new(FaultyBackend {
             inner,
-            plan: FailurePlan::new(config),
+            layer: spec.layer(Layer::Storage),
             latency,
             enabled: AtomicBool::new(true),
-            op_counter: AtomicU64::new(0),
             counters: ChaosCounters::default(),
         })
+    }
+
+    /// Wraps `inner` with a storage-only configuration (pre-unification
+    /// surface).
+    #[deprecated(note = "use FaultyBackend::from_spec with an aft_chaos::ChaosSpec")]
+    #[allow(deprecated)]
+    pub fn new(inner: SharedStorage, config: ChaosConfig, latency: Arc<LatencyModel>) -> Arc<Self> {
+        Self::from_spec(inner, &config.to_spec(), latency)
     }
 
     /// Pauses (`false`) or resumes (`true`) fault injection. Paused
@@ -278,9 +265,9 @@ impl FaultyBackend {
         self.enabled.store(enabled, Ordering::Release);
     }
 
-    /// The fault schedule.
-    pub fn plan(&self) -> &FailurePlan {
-        &self.plan
+    /// The unified fault schedule this backend consumes (storage layer).
+    pub fn schedule(&self) -> &FaultSchedule {
+        self.layer.schedule()
     }
 
     /// The wrapped backend.
@@ -301,7 +288,7 @@ impl FaultyBackend {
 
     /// Operations that have passed through the wrapper (fault or not).
     pub fn ops_seen(&self) -> u64 {
-        self.op_counter.load(Ordering::Relaxed)
+        self.layer.ops_seen()
     }
 
     fn charge_us(&self, us: f64) {
@@ -310,26 +297,30 @@ impl FaultyBackend {
             .finish(Duration::from_nanos((scaled * 1000.0) as u64));
     }
 
-    /// Runs one operation under the plan. `op` names the operation for the
-    /// error message; `apply` performs it against the inner backend.
+    /// Runs one operation under the schedule. `op` names the operation for
+    /// the error message; `apply` performs it against the inner backend.
     fn run<T>(&self, op: &str, key: &str, apply: impl FnOnce() -> AftResult<T>) -> AftResult<T> {
         if !self.enabled.load(Ordering::Acquire) {
             return apply();
         }
-        let index = self.op_counter.fetch_add(1, Ordering::Relaxed);
-        match self.plan.decide(index, key) {
-            FaultKind::None => {
+        let (index, fault) = self.layer.decide_next_indexed(key);
+        let chaos = self.schedule().storage_chaos();
+        match fault {
+            // MidCrash is platform-layer vocabulary; the storage layer of a
+            // schedule never emits it, but the unified FaultKind makes it
+            // representable — pass through defensively.
+            FaultKind::None | FaultKind::MidCrash => {
                 self.counters.passed.fetch_add(1, Ordering::Relaxed);
                 apply()
             }
             FaultKind::Slow => {
                 self.counters.slowed.fetch_add(1, Ordering::Relaxed);
-                self.charge_us(self.plan.config().slow_extra_us);
+                self.charge_us(chaos.slow_extra_us);
                 apply()
             }
             FaultKind::Timeout => {
                 self.counters.timeouts.fetch_add(1, Ordering::Relaxed);
-                self.charge_us(self.plan.config().timeout_us);
+                self.charge_us(chaos.timeout_us);
                 Err(AftError::StorageTransient(format!(
                     "chaos: {op} of {key:?} timed out (op #{index})"
                 )))
@@ -348,6 +339,20 @@ impl FaultyBackend {
                 )))
             }
         }
+    }
+}
+
+impl ChaosInjector for FaultyBackend {
+    fn layer(&self) -> Layer {
+        Layer::Storage
+    }
+
+    fn ops_seen(&self) -> u64 {
+        self.layer.ops_seen()
+    }
+
+    fn faults_injected(&self) -> u64 {
+        self.chaos_stats().total_faults()
     }
 }
 
@@ -400,7 +405,7 @@ impl StorageEngine for FaultyBackend {
 impl std::fmt::Debug for FaultyBackend {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("FaultyBackend")
-            .field("plan", &self.plan)
+            .field("schedule", self.layer.schedule())
             .field("ops_seen", &self.ops_seen())
             .finish_non_exhaustive()
     }
@@ -411,35 +416,45 @@ mod tests {
     use super::*;
     use crate::latency::{measure_cost, LatencyMode};
     use crate::memory::InMemoryStore;
+    use crate::sharded::stripe_of;
     use bytes::Bytes;
 
     fn val(s: &str) -> Value {
         Bytes::copy_from_slice(s.as_bytes())
     }
 
-    fn faulty(config: ChaosConfig) -> Arc<FaultyBackend> {
-        FaultyBackend::new(
+    fn spec(seed: u64, storage: StorageChaos) -> ChaosSpec {
+        ChaosSpec::new(seed).storage(storage)
+    }
+
+    fn faulty(spec: &ChaosSpec) -> Arc<FaultyBackend> {
+        FaultyBackend::from_spec(
             InMemoryStore::shared(),
-            config,
+            spec,
             LatencyModel::new(LatencyMode::Virtual, 1.0),
         )
     }
 
     #[test]
     fn identical_seeds_produce_identical_schedules() {
-        let a = FailurePlan::new(ChaosConfig {
-            error_rate: 0.2,
-            timeout_rate: 0.1,
-            ..ChaosConfig::quiet(42)
-        });
-        let b = FailurePlan::new(ChaosConfig {
-            error_rate: 0.2,
-            timeout_rate: 0.1,
-            ..ChaosConfig::quiet(42)
-        });
-        assert_eq!(a.schedule(500, "k"), b.schedule(500, "k"));
+        let mk = || {
+            spec(
+                42,
+                StorageChaos {
+                    error_rate: 0.2,
+                    timeout_rate: 0.1,
+                    ..StorageChaos::quiet()
+                },
+            )
+            .schedule()
+        };
+        let (a, b) = (mk(), mk());
+        assert_eq!(
+            a.materialize(Layer::Storage, 500, "k"),
+            b.materialize(Layer::Storage, 500, "k")
+        );
         // And the schedule is not degenerate: both faults and passes occur.
-        let schedule = a.schedule(500, "k");
+        let schedule = a.materialize(Layer::Storage, 500, "k");
         assert!(schedule.contains(&FaultKind::None));
         assert!(schedule
             .iter()
@@ -448,53 +463,9 @@ mod tests {
     }
 
     #[test]
-    fn different_seeds_produce_different_schedules() {
-        let mk = |seed| {
-            FailurePlan::new(ChaosConfig {
-                error_rate: 0.3,
-                ..ChaosConfig::quiet(seed)
-            })
-            .schedule(200, "k")
-        };
-        assert_ne!(mk(1), mk(2), "seeds must steer the schedule");
-    }
-
-    #[test]
-    fn decisions_are_order_independent() {
-        let plan = FailurePlan::new(ChaosConfig {
-            error_rate: 0.25,
-            timeout_rate: 0.25,
-            ..ChaosConfig::quiet(7)
-        });
-        // Querying indices out of order or repeatedly never changes answers.
-        let forward: Vec<FaultKind> = (0..100).map(|i| plan.decide(i, "k")).collect();
-        let backward: Vec<FaultKind> = (0..100).rev().map(|i| plan.decide(i, "k")).collect();
-        assert_eq!(forward, backward.into_iter().rev().collect::<Vec<_>>());
-        assert_eq!(plan.decide(63, "k"), plan.decide(63, "k"));
-    }
-
-    #[test]
-    fn injected_error_rate_tracks_the_configured_rate() {
-        let plan = FailurePlan::new(ChaosConfig {
-            error_rate: 0.2,
-            ..ChaosConfig::quiet(11)
-        });
-        let faults = plan
-            .schedule(2_000, "k")
-            .into_iter()
-            .filter(|f| matches!(f, FaultKind::TransientError { .. }))
-            .count();
-        let rate = faults as f64 / 2_000.0;
-        assert!(
-            (rate - 0.2).abs() < 0.05,
-            "injected rate {rate} should be near 0.2"
-        );
-    }
-
-    #[test]
     fn transient_errors_surface_typed_not_panic() {
         // error_rate 1.0: every operation fails with the typed error.
-        let backend = faulty(ChaosConfig::transient_errors(3, 1.0));
+        let backend = faulty(&spec(3, StorageChaos::transient_errors(1.0)));
         match backend.put("k", val("v")) {
             Err(AftError::StorageTransient(msg)) => {
                 assert!(msg.contains("chaos"), "message names the injector: {msg}")
@@ -505,13 +476,16 @@ mod tests {
         let stats = backend.chaos_stats();
         assert_eq!(stats.total_faults(), 2);
         assert_eq!(stats.passed, 0);
+        // The adapter trait reports the same counters.
+        assert_eq!(ChaosInjector::faults_injected(&*backend), 2);
+        assert_eq!(ChaosInjector::layer(&*backend), Layer::Storage);
     }
 
     #[test]
     fn applied_but_unacked_writes_land_before_the_error() {
         // With error_rate 1.0 roughly half the failures apply first; find
         // one and verify the write is durable despite the error.
-        let backend = faulty(ChaosConfig::transient_errors(9, 1.0));
+        let backend = faulty(&spec(9, StorageChaos::transient_errors(1.0)));
         let mut applied_seen = false;
         for i in 0..64 {
             let key = format!("k{i}");
@@ -527,7 +501,7 @@ mod tests {
 
     #[test]
     fn timeouts_charge_latency_then_fail() {
-        let backend = faulty(ChaosConfig::timeouts(5, 1.0, 25_000.0));
+        let backend = faulty(&spec(5, StorageChaos::timeouts(1.0, 25_000.0)));
         let (result, cost) = measure_cost(|| backend.put("k", val("v")));
         assert!(matches!(result, Err(AftError::StorageTransient(_))));
         assert!(
@@ -545,7 +519,7 @@ mod tests {
     fn slow_stripe_charges_only_its_stripe_and_never_errors() {
         let stripes = 8;
         let slow = stripe_of("victim", stripes);
-        let backend = faulty(ChaosConfig::slow_stripe(1, slow, stripes, 10_000.0));
+        let backend = faulty(&spec(1, StorageChaos::slow_stripe(slow, stripes, 10_000.0)));
         let (result, cost) = measure_cost(|| backend.put("victim", val("v")));
         result.unwrap();
         assert!(
@@ -569,7 +543,7 @@ mod tests {
 
     #[test]
     fn disabling_pauses_injection_without_consuming_the_schedule() {
-        let backend = faulty(ChaosConfig::transient_errors(3, 1.0));
+        let backend = faulty(&spec(3, StorageChaos::transient_errors(1.0)));
         backend.set_enabled(false);
         for i in 0..8 {
             backend.put(&format!("k{i}"), val("v")).unwrap();
@@ -583,7 +557,7 @@ mod tests {
 
     #[test]
     fn quiet_plan_is_fully_transparent() {
-        let backend = faulty(ChaosConfig::quiet(1));
+        let backend = faulty(&ChaosSpec::new(1));
         backend.put("k", val("v")).unwrap();
         assert_eq!(backend.get("k").unwrap().unwrap(), val("v"));
         backend
@@ -605,5 +579,36 @@ mod tests {
             backend.supports_deferred_latency(),
             backend.inner().supports_deferred_latency()
         );
+    }
+
+    /// The deprecated pre-unification surface still works and agrees with
+    /// the spec path bit for bit.
+    #[test]
+    #[allow(deprecated)]
+    fn legacy_shims_delegate_to_the_unified_schedule() {
+        let config = ChaosConfig {
+            error_rate: 0.25,
+            timeout_rate: 0.25,
+            ..ChaosConfig::quiet(7)
+        };
+        let plan = FailurePlan::new(config);
+        let unified = config.to_spec().schedule();
+        assert_eq!(
+            plan.schedule(200, "k"),
+            unified.materialize(Layer::Storage, 200, "k")
+        );
+        assert_eq!(
+            plan.decide(63, "k"),
+            unified.decide(Layer::Storage, 63, "k")
+        );
+        assert_eq!(plan.config().seed, 7);
+
+        // The deprecated backend constructor behaves like from_spec.
+        let legacy = FaultyBackend::new(
+            InMemoryStore::shared(),
+            ChaosConfig::transient_errors(3, 1.0),
+            LatencyModel::new(LatencyMode::Virtual, 1.0),
+        );
+        assert!(legacy.put("k", val("v")).is_err());
     }
 }

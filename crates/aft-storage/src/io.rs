@@ -1153,15 +1153,16 @@ mod tests {
 
     #[test]
     fn transient_faults_are_absorbed_by_retry() {
-        use crate::chaos::{ChaosConfig, FaultyBackend};
+        use crate::chaos::FaultyBackend;
         use crate::latency::LatencyModel;
+        use aft_chaos::{ChaosSpec, StorageChaos};
         // ~30% transient errors: with 4 attempts per op the chance of any of
         // 32 puts exhausting is ~0.8%^… negligible for a fixed seed; verify
         // the workload completes, retries were actually performed, and the
         // final state is intact.
-        let backend: SharedStorage = FaultyBackend::new(
+        let backend: SharedStorage = FaultyBackend::from_spec(
             InMemoryStore::shared(),
-            ChaosConfig::transient_errors(0xC4A05, 0.3),
+            &ChaosSpec::new(0xC4A05).storage(StorageChaos::transient_errors(0.3)),
             LatencyModel::new(LatencyMode::Virtual, 1.0),
         );
         let engine = IoEngine::new(backend, IoConfig::pipelined());
@@ -1178,14 +1179,15 @@ mod tests {
 
     #[test]
     fn retry_exhaustion_surfaces_the_typed_error() {
-        use crate::chaos::{ChaosConfig, FaultyBackend};
+        use crate::chaos::FaultyBackend;
         use crate::latency::LatencyModel;
+        use aft_chaos::{ChaosSpec, StorageChaos};
         use aft_types::AftError;
         // Every operation fails: the budget exhausts and the typed error
         // propagates — no panic, no untyped failure.
-        let backend: SharedStorage = FaultyBackend::new(
+        let backend: SharedStorage = FaultyBackend::from_spec(
             InMemoryStore::shared(),
-            ChaosConfig::transient_errors(7, 1.0),
+            &ChaosSpec::new(7).storage(StorageChaos::transient_errors(1.0)),
             LatencyModel::new(LatencyMode::Virtual, 1.0),
         );
         let engine = IoEngine::new(
@@ -1204,14 +1206,15 @@ mod tests {
 
     #[test]
     fn retry_backoff_is_charged_to_the_operation_cost() {
-        use crate::chaos::{ChaosConfig, FaultyBackend};
+        use crate::chaos::FaultyBackend;
         use crate::latency::LatencyModel;
+        use aft_chaos::{ChaosSpec, StorageChaos};
         // Zero-latency inner store, 100% fault rate, 4 attempts: the only
         // cost is the three backoff steps (0.5 + 1 + 2 ms with the default
         // policy).
-        let backend: SharedStorage = FaultyBackend::new(
+        let backend: SharedStorage = FaultyBackend::from_spec(
             InMemoryStore::shared(),
-            ChaosConfig::transient_errors(7, 1.0),
+            &ChaosSpec::new(7).storage(StorageChaos::transient_errors(1.0)),
             LatencyModel::new(LatencyMode::Virtual, 1.0),
         );
         let engine = IoEngine::new(backend, IoConfig::sequential());

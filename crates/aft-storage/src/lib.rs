@@ -28,9 +28,10 @@
 //!   the virtual clock charges a concurrent batch the max, not the sum).
 //!   [`SequentialEngine`] is the explicitly-sequential baseline wrapper.
 //! * [`chaos`] — deterministic fault injection: [`FaultyBackend`] wraps any
-//!   engine with a seeded [`FailurePlan`] (transient errors, timeouts, and a
-//!   slow-stripe gray failure), and the I/O engine's submission path absorbs
-//!   the transient faults with retry-and-backoff ([`RetryConfig`]).
+//!   engine with the storage layer of a seeded, cross-layer
+//!   [`aft_chaos::ChaosSpec`] (transient errors, timeouts, and a slow-stripe
+//!   gray failure), and the I/O engine's submission path absorbs the
+//!   transient faults with retry-and-backoff ([`RetryConfig`]).
 
 pub mod backend;
 pub mod chaos;
@@ -47,7 +48,9 @@ pub mod service;
 pub mod sharded;
 
 pub use backend::{make_backend, BackendConfig, BackendKind};
-pub use chaos::{ChaosConfig, ChaosStatsSnapshot, FailurePlan, FaultKind, FaultyBackend};
+#[allow(deprecated)]
+pub use chaos::{ChaosConfig, FailurePlan};
+pub use chaos::{ChaosStatsSnapshot, FaultKind, FaultyBackend};
 pub use counters::{OpKind, StorageStats, StorageStatsSnapshot, StripeCounters};
 pub use dynamo::{DynamoTransactionMode, SimDynamo};
 pub use engine::{SharedStorage, StorageEngine};

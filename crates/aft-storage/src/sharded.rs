@@ -16,9 +16,7 @@
 //! into the backend's [`StorageStats`](crate::StorageStats), so experiments
 //! can report how evenly the key space spreads across stripes.
 
-use std::collections::hash_map::DefaultHasher;
 use std::collections::BTreeMap;
-use std::hash::{Hash, Hasher};
 use std::ops::Bound;
 use std::sync::Arc;
 
@@ -27,20 +25,11 @@ use parking_lot::RwLock;
 
 use crate::counters::StripeCounters;
 
-/// Default stripe count for striped backends: enough to make 8–64 client
-/// threads mostly collision-free, small enough that full scans stay cheap.
-pub const DEFAULT_STRIPES: usize = 16;
-
-/// The stripe `key` hashes to among `stripes` stripes.
-///
-/// Uses the std sip-hash so the mapping is stable across runs within one
-/// binary — experiments that report per-stripe balance stay reproducible.
-pub fn stripe_of(key: &str, stripes: usize) -> usize {
-    debug_assert!(stripes > 0, "stripe count must be positive");
-    let mut hasher = DefaultHasher::new();
-    key.hash(&mut hasher);
-    (hasher.finish() as usize) % stripes
-}
+// The striping function and default stripe count are canonical in
+// `aft-chaos` (the gray-failure fault mode must target exactly the keys
+// that share a placement stripe); re-exported here because this is where
+// storage callers found them.
+pub use aft_chaos::{stripe_of, DEFAULT_STRIPES};
 
 /// A thread-safe sorted map of string keys to blobs, lock-striped N ways.
 #[derive(Debug)]

@@ -53,6 +53,14 @@ pub enum AftError {
     /// platform's concurrency limit is exhausted.
     Unavailable(String),
 
+    /// The server deliberately rejected or shed the request because it is
+    /// over capacity (admission control or queue-age load shedding). Unlike
+    /// [`Unavailable`](AftError::Unavailable), the service is healthy — it is
+    /// protecting itself from a demand spike — so the request is safe to
+    /// retry, but the client must back off with jitter rather than hammer a
+    /// shedding server in lockstep.
+    Overloaded(String),
+
     /// A function invocation failed (fault injection or user code panic) and
     /// exhausted its retry budget.
     FunctionFailed(String),
@@ -78,6 +86,7 @@ impl fmt::Display for AftError {
             AftError::StorageTransient(msg) => write!(f, "transient storage fault: {msg}"),
             AftError::StorageConflict(msg) => write!(f, "storage transaction conflict: {msg}"),
             AftError::Unavailable(msg) => write!(f, "service unavailable: {msg}"),
+            AftError::Overloaded(msg) => write!(f, "server overloaded: {msg}"),
             AftError::FunctionFailed(msg) => write!(f, "function invocation failed: {msg}"),
             AftError::Codec(msg) => write!(f, "codec error: {msg}"),
             AftError::InvalidRequest(msg) => write!(f, "invalid request: {msg}"),
@@ -98,9 +107,18 @@ impl AftError {
                 | AftError::StorageConflict(_)
                 | AftError::StorageTransient(_)
                 | AftError::Unavailable(_)
+                | AftError::Overloaded(_)
                 | AftError::TransactionAborted(_)
                 | AftError::FunctionFailed(_)
         )
+    }
+
+    /// Returns true if the failure is the server shedding load (admission
+    /// control or queue-age deadline). Overload retries must use jittered
+    /// backoff — see the client SDK — so pooled connections do not retry in
+    /// lockstep against a saturated server.
+    pub fn is_overloaded(&self) -> bool {
+        matches!(self, AftError::Overloaded(_))
     }
 
     /// Returns true if the failure is a transient fault of a *single storage
@@ -130,8 +148,16 @@ mod tests {
         assert!(AftError::StorageConflict("c".into()).is_retryable());
         assert!(AftError::Unavailable("down".into()).is_retryable());
         assert!(AftError::StorageTransient("drop".into()).is_retryable());
+        assert!(AftError::Overloaded("shed".into()).is_retryable());
         assert!(!AftError::Codec("bad".into()).is_retryable());
         assert!(!AftError::UnknownTransaction(id).is_retryable());
+    }
+
+    #[test]
+    fn overload_classification() {
+        assert!(AftError::Overloaded("queue full".into()).is_overloaded());
+        assert!(!AftError::Unavailable("down".into()).is_overloaded());
+        assert!(!AftError::Overloaded("x".into()).is_transient_storage());
     }
 
     #[test]

@@ -30,6 +30,7 @@ pub mod clock;
 pub mod codec;
 pub mod error;
 pub mod key;
+pub mod phase;
 pub mod record;
 pub mod txid;
 pub mod uuid;
@@ -39,6 +40,7 @@ pub mod wire;
 pub use clock::{Clock, MockClock, SharedClock, SystemClock};
 pub use error::{AftError, AftResult};
 pub use key::{Key, KeyVersion};
+pub use phase::CommitPhase;
 pub use record::{TransactionRecord, TransactionStatus, WriteSet};
 pub use txid::{Timestamp, TransactionId};
 pub use uuid::Uuid;

@@ -1,0 +1,71 @@
+//! The commit-protocol phases a fault can target.
+//!
+//! This lives in `aft-types` (rather than the node implementation) because it
+//! is shared vocabulary: the node's commit path announces each phase to its
+//! crash probes, and the unified chaos layer plans node kills against the
+//! same phases — both sides must agree on the enum without depending on each
+//! other.
+
+/// The points in the write-ordering commit protocol (§3.3) where a node can
+/// crash with *observably different* consequences — each is a distinct
+/// scenario of the paper's fault model:
+///
+/// * [`BeforeDataPut`](CommitPhase::BeforeDataPut): nothing reached storage.
+///   The commit never happened; the client retries the whole request
+///   (§3.3.1).
+/// * [`BeforeRecordAppend`](CommitPhase::BeforeRecordAppend): the
+///   transaction's key versions are durable but no commit record references
+///   them. The data is permanently invisible (no dirty reads, §3.2) and the
+///   commit never happened — orphaned versions are storage garbage, not an
+///   anomaly.
+/// * [`BeforeBroadcast`](CommitPhase::BeforeBroadcast): the commit record is
+///   durable — the transaction *is* committed — but the node dies before
+///   acknowledging it or multicasting it to peers. This is exactly the §4.2
+///   liveness hole the fault manager's commit-set scan exists to close.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CommitPhase {
+    /// Before any of the transaction's data writes are issued.
+    BeforeDataPut,
+    /// After every data write is durable, before the commit record append.
+    BeforeRecordAppend,
+    /// After the commit record is durable, before local visibility and the
+    /// commit-set multicast.
+    BeforeBroadcast,
+}
+
+impl CommitPhase {
+    /// Every phase, in protocol order.
+    pub const ALL: [CommitPhase; 3] = [
+        CommitPhase::BeforeDataPut,
+        CommitPhase::BeforeRecordAppend,
+        CommitPhase::BeforeBroadcast,
+    ];
+
+    /// A short label for reports ("before_data_put", ...).
+    pub fn label(&self) -> &'static str {
+        match self {
+            CommitPhase::BeforeDataPut => "before_data_put",
+            CommitPhase::BeforeRecordAppend => "before_record_append",
+            CommitPhase::BeforeBroadcast => "before_broadcast",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phases_are_ordered_and_labelled() {
+        assert_eq!(CommitPhase::ALL.len(), 3);
+        let labels: Vec<&str> = CommitPhase::ALL.iter().map(|p| p.label()).collect();
+        assert_eq!(
+            labels,
+            [
+                "before_data_put",
+                "before_record_append",
+                "before_broadcast"
+            ]
+        );
+    }
+}

@@ -142,6 +142,12 @@ pub struct WireStats {
     /// Acknowledgements deliberately dropped by an installed response
     /// filter (chaos/testing).
     pub dropped_acks: u64,
+    /// Requests rejected at admission because the worker queue was at its
+    /// admission limit ([`AftError::Overloaded`] on the wire).
+    pub overload_rejections: u64,
+    /// Admitted requests shed before execution because they aged past the
+    /// queue deadline ([`AftError::Overloaded`] on the wire).
+    pub shed_requests: u64,
     /// AFT nodes currently active behind the router.
     pub active_nodes: u64,
 }
@@ -328,6 +334,8 @@ fn put_stats(w: &mut Writer, stats: &WireStats) {
     w.put_u64(stats.duplicate_commits);
     w.put_u64(stats.errors);
     w.put_u64(stats.dropped_acks);
+    w.put_u64(stats.overload_rejections);
+    w.put_u64(stats.shed_requests);
     w.put_u64(stats.active_nodes);
 }
 
@@ -340,6 +348,8 @@ fn get_stats(r: &mut Reader<'_>) -> AftResult<WireStats> {
         duplicate_commits: r.get_u64()?,
         errors: r.get_u64()?,
         dropped_acks: r.get_u64()?,
+        overload_rejections: r.get_u64()?,
+        shed_requests: r.get_u64()?,
         active_nodes: r.get_u64()?,
     })
 }
@@ -356,6 +366,7 @@ const ERR_UNAVAILABLE: u8 = 8;
 const ERR_FUNCTION_FAILED: u8 = 9;
 const ERR_CODEC: u8 = 10;
 const ERR_INVALID_REQUEST: u8 = 11;
+const ERR_OVERLOADED: u8 = 12;
 
 fn put_error(w: &mut Writer, error: &AftError) {
     match error {
@@ -392,6 +403,10 @@ fn put_error(w: &mut Writer, error: &AftError) {
             w.put_u8(ERR_UNAVAILABLE);
             w.put_str(msg);
         }
+        AftError::Overloaded(msg) => {
+            w.put_u8(ERR_OVERLOADED);
+            w.put_str(msg);
+        }
         AftError::FunctionFailed(msg) => {
             w.put_u8(ERR_FUNCTION_FAILED);
             w.put_str(msg);
@@ -421,6 +436,7 @@ fn get_error(r: &mut Reader<'_>) -> AftResult<AftError> {
         ERR_STORAGE_TRANSIENT => AftError::StorageTransient(r.get_str()?),
         ERR_STORAGE_CONFLICT => AftError::StorageConflict(r.get_str()?),
         ERR_UNAVAILABLE => AftError::Unavailable(r.get_str()?),
+        ERR_OVERLOADED => AftError::Overloaded(r.get_str()?),
         ERR_FUNCTION_FAILED => AftError::FunctionFailed(r.get_str()?),
         ERR_CODEC => AftError::Codec(r.get_str()?),
         ERR_INVALID_REQUEST => AftError::InvalidRequest(r.get_str()?),
@@ -592,6 +608,8 @@ mod tests {
                 duplicate_commits: 1,
                 errors: 2,
                 dropped_acks: 1,
+                overload_rejections: 5,
+                shed_requests: 4,
                 active_nodes: 3,
             }),
             WireResponse::Value(None),
@@ -688,6 +706,7 @@ mod tests {
             AftError::StorageTransient("throttled".to_owned()),
             AftError::StorageConflict("txn conflict".to_owned()),
             AftError::Unavailable("no nodes".to_owned()),
+            AftError::Overloaded("queue full".to_owned()),
             AftError::FunctionFailed("oops".to_owned()),
             AftError::Codec("bad bytes".to_owned()),
             AftError::InvalidRequest("commit twice".to_owned()),
@@ -705,6 +724,7 @@ mod tests {
         // caller would; the classification must survive encoding.
         for error in [
             AftError::Unavailable("down".to_owned()),
+            AftError::Overloaded("shedding".to_owned()),
             AftError::StorageTransient("drop".to_owned()),
             AftError::Codec("bad".to_owned()),
         ] {

@@ -38,6 +38,7 @@ fn arb_error() -> impl Strategy<Value = AftError> {
         msg.clone().prop_map(AftError::StorageTransient),
         msg.clone().prop_map(AftError::StorageConflict),
         msg.clone().prop_map(AftError::Unavailable),
+        msg.clone().prop_map(AftError::Overloaded),
         msg.clone().prop_map(AftError::FunctionFailed),
         msg.clone().prop_map(AftError::Codec),
         msg.prop_map(AftError::InvalidRequest),
@@ -67,25 +68,25 @@ fn arb_request() -> impl Strategy<Value = WireRequest> {
 
 fn arb_stats() -> impl Strategy<Value = WireStats> {
     (
-        any::<u64>(),
-        any::<u64>(),
-        any::<u64>(),
-        any::<u64>(),
-        any::<u64>(),
-        any::<u64>(),
-        any::<u64>(),
-        any::<u64>(),
+        (
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+        ),
+        (
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+        ),
     )
         .prop_map(
             |(
-                connections_accepted,
-                connections_active,
-                requests,
-                commits,
-                duplicate_commits,
-                errors,
-                dropped_acks,
-                active_nodes,
+                (connections_accepted, connections_active, requests, commits, duplicate_commits),
+                (errors, dropped_acks, overload_rejections, shed_requests, active_nodes),
             )| WireStats {
                 connections_accepted,
                 connections_active,
@@ -94,6 +95,8 @@ fn arb_stats() -> impl Strategy<Value = WireStats> {
                 duplicate_commits,
                 errors,
                 dropped_acks,
+                overload_rejections,
+                shed_requests,
                 active_nodes,
             },
         )

@@ -248,19 +248,20 @@ impl RequestDriver for AftDriver {
 mod tests {
     use super::*;
     use crate::generator::{WorkloadConfig, WorkloadGenerator};
+    use aft_chaos::FaasChaos;
     use aft_core::NodeConfig;
-    use aft_faas::{FailurePlan, PlatformConfig};
+    use aft_faas::PlatformConfig;
     use aft_storage::InMemoryStore;
     use aft_types::clock::TickingClock;
 
-    fn make_driver(failures: FailurePlan) -> (AftDriver, Arc<AftNode>) {
+    fn make_driver(failures: FaasChaos) -> (AftDriver, Arc<AftNode>) {
         let node = AftNode::with_clock(
             NodeConfig::test(),
             InMemoryStore::shared(),
             TickingClock::shared(1, 1),
         )
         .unwrap();
-        let platform = FaasPlatform::new(PlatformConfig::test().with_failures(failures));
+        let platform = FaasPlatform::new(PlatformConfig::test().with_chaos(failures));
         let driver =
             AftDriver::single_node(Arc::clone(&node), platform, RetryPolicy::with_attempts(10));
         (driver, node)
@@ -268,7 +269,7 @@ mod tests {
 
     #[test]
     fn requests_commit_and_show_no_anomalies() {
-        let (driver, node) = make_driver(FailurePlan::NONE);
+        let (driver, node) = make_driver(FaasChaos::quiet());
         let mut generator = WorkloadGenerator::new(
             WorkloadConfig::standard().with_keys(50).with_value_size(64),
             3,
@@ -286,7 +287,7 @@ mod tests {
 
     #[test]
     fn injected_failures_are_masked_by_retries() {
-        let (driver, node) = make_driver(FailurePlan::uniform(0.3));
+        let (driver, node) = make_driver(FaasChaos::uniform(0.3));
         let mut generator = WorkloadGenerator::new(
             WorkloadConfig::standard().with_keys(20).with_value_size(64),
             5,
@@ -313,7 +314,7 @@ mod tests {
 
     #[test]
     fn preload_writes_every_key_once() {
-        let (driver, node) = make_driver(FailurePlan::NONE);
+        let (driver, node) = make_driver(FaasChaos::quiet());
         let keys: Vec<Key> = (0..10).map(|i| Key::new(format!("k{i}"))).collect();
         driver.preload(&keys, 32).unwrap();
         let t = node.start_transaction();

@@ -162,7 +162,8 @@ impl RequestDriver for PlainDriver {
 mod tests {
     use super::*;
     use crate::generator::{WorkloadConfig, WorkloadGenerator};
-    use aft_faas::{FailurePlan, PlatformConfig};
+    use aft_chaos::FaasChaos;
+    use aft_faas::PlatformConfig;
     use aft_storage::{BackendConfig, BackendKind};
 
     fn make_driver(kind: BackendKind) -> PlainDriver {
@@ -196,7 +197,7 @@ mod tests {
         // anomaly of §1. With no retries the request errors out, and the
         // partially written key retains the crashed request's tag.
         let storage = aft_storage::make_backend(BackendConfig::test(BackendKind::DynamoDb));
-        let platform = FaasPlatform::new(PlatformConfig::test().with_failures(FailurePlan {
+        let platform = FaasPlatform::new(PlatformConfig::test().with_chaos(FaasChaos {
             before_body: 0.0,
             after_body: 0.0,
             mid_body: 1.0,

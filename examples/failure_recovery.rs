@@ -15,9 +15,10 @@
 //!    failure and a standby joins, while every committed transaction stays
 //!    visible.
 
+use aft::chaos::FaasChaos;
 use aft::cluster::{Cluster, ClusterConfig};
 use aft::core::{AftNode, NodeConfig};
-use aft::faas::{FaasPlatform, FailurePlan, PlatformConfig, RetryPolicy};
+use aft::faas::{FaasPlatform, PlatformConfig, RetryPolicy};
 use aft::storage::{BackendConfig, BackendKind};
 use aft::types::Key;
 use aft::workload::{run_closed_loop, AftDriver, PlainDriver, RunConfig, WorkloadConfig};
@@ -36,7 +37,7 @@ fn part1_crash_between_writes() {
         .with_keys(64)
         .with_value_size(256);
     // Every third invocation (roughly) is killed somewhere around its body.
-    let failures = FailurePlan {
+    let failures = FaasChaos {
         before_body: 0.05,
         after_body: 0.05,
         mid_body: 0.25,
@@ -44,7 +45,7 @@ fn part1_crash_between_writes() {
 
     // Plain: direct writes, generous retries — anomalies still slip through.
     let storage = aft::storage::make_backend(BackendConfig::test(BackendKind::DynamoDb));
-    let platform = FaasPlatform::new(PlatformConfig::test().with_failures(failures));
+    let platform = FaasPlatform::new(PlatformConfig::test().with_chaos(failures));
     let plain = PlainDriver::new(storage, platform, RetryPolicy::with_attempts(6));
     let plain_result = run_closed_loop(
         &plain,
@@ -57,7 +58,7 @@ fn part1_crash_between_writes() {
     // AFT: same workload, same failure plan.
     let storage = aft::storage::make_backend(BackendConfig::test(BackendKind::DynamoDb));
     let node = AftNode::new(NodeConfig::default(), storage).unwrap();
-    let platform = FaasPlatform::new(PlatformConfig::test().with_failures(failures));
+    let platform = FaasPlatform::new(PlatformConfig::test().with_chaos(failures));
     let aft = AftDriver::single_node(node, platform, RetryPolicy::with_attempts(6));
     let aft_result = run_closed_loop(
         &aft,

@@ -23,6 +23,10 @@
 //!   compositions, retries, failure injection, concurrency limits).
 //! * [`workload`] (`aft-workload`) — workload generation, baseline drivers,
 //!   anomaly detection, and the closed-loop experiment runner.
+//! * [`chaos`] (`aft-chaos`) — the unified fault-schedule vocabulary: one
+//!   seeded, order-independent [`ChaosSpec`](aft_chaos::ChaosSpec) drives
+//!   storage faults, connection faults, platform failures, and node kills
+//!   in the same trial.
 //! * [`types`] (`aft-types`) — shared identifiers, records, codec, clocks.
 //!
 //! ## Quickstart
@@ -53,6 +57,7 @@
 //! recovery) and the `aft-bench` crate for the full reproduction of the
 //! paper's evaluation.
 
+pub use aft_chaos as chaos;
 pub use aft_cluster as cluster;
 pub use aft_core as core;
 pub use aft_faas as faas;

@@ -3,9 +3,10 @@
 
 use std::sync::Arc;
 
+use aft::chaos::FaasChaos;
 use aft::cluster::{Cluster, ClusterConfig};
 use aft::core::NodeConfig;
-use aft::faas::{FaasPlatform, FailurePlan, PlatformConfig, RetryPolicy};
+use aft::faas::{FaasPlatform, PlatformConfig, RetryPolicy};
 use aft::storage::{BackendConfig, BackendKind};
 use aft::types::clock::TickingClock;
 use aft::types::Key;
@@ -86,8 +87,7 @@ fn clustered_aft_keeps_read_atomicity_with_background_maintenance() {
 #[test]
 fn injected_function_failures_never_leak_partial_state_through_aft() {
     let cluster = test_cluster(2);
-    let platform =
-        FaasPlatform::new(PlatformConfig::test().with_failures(FailurePlan::uniform(0.35)));
+    let platform = FaasPlatform::new(PlatformConfig::test().with_chaos(FaasChaos::uniform(0.35)));
     let driver = AftDriver::clustered(
         Arc::clone(&cluster),
         platform,
