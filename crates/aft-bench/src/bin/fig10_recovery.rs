@@ -15,12 +15,12 @@
 //!   trial — storage, network, platform, and the node kill — so the replay
 //!   is bit-identical across all of them.
 //! * `--mode LABEL` — restrict to one fault mode (`transient_errors`,
-//!   `timeouts`, `slow_stripe`, `network_resets`, or `cross_layer`);
-//!   combine with `--seed` and `--skip-gate` to zoom in on one failing
-//!   cell.
+//!   `timeouts`, `slow_stripe`, `network_resets`, `cross_layer`, or
+//!   `partition`); combine with `--seed` and `--skip-gate` to zoom in on
+//!   one failing cell.
 //! * `--skip-gate` — do not fail on anomalies / lost commits (exploration
 //!   runs only; CI keeps the gate on).
-//! * `AFT_BENCH_FAST=1` — run the trimmed CI matrix (15 cells, fewer
+//! * `AFT_BENCH_FAST=1` — run the trimmed CI matrix (18 cells, fewer
 //!   trials).
 //!
 //! The matrix runs on the virtual clock (`LatencyMode::Virtual` at full

@@ -1,0 +1,109 @@
+//! Runs the `fig12_dissemination` sweep (cluster size × dissemination
+//! topology, plus the seeded partition-chaos legs), prints the result
+//! tables, and writes machine-readable `BENCH_dissemination.json`.
+//!
+//! Usage:
+//!
+//! ```text
+//! fig12_dissemination [--out PATH] [--seed N] [--skip-gate]
+//! ```
+//!
+//! * `--out PATH` — where to write the report JSON (default
+//!   `BENCH_dissemination.json`).
+//! * `--seed N` — override the base seed (gossip peer selection and the
+//!   partition edge-cut schedule derive from it, so a CI failure replays
+//!   bit-identically).
+//! * `--skip-gate` — report without failing on gate violations
+//!   (exploration runs only; CI keeps the gate on).
+//! * `AFT_BENCH_FAST=1` — run the trimmed CI sweep (16/32 nodes, fewer
+//!   rounds, 16-node partition legs).
+//!
+//! The sweep drives in-process nodes on a manually-advanced virtual clock,
+//! so even the 100-node cells finish in seconds and every lag number is in
+//! deterministic virtual milliseconds.
+
+use aft_bench::dissemination::{fig12_dissemination, DisseminationBenchConfig};
+
+fn main() {
+    let mut out_path = "BENCH_dissemination.json".to_owned();
+    let mut gate = true;
+    let mut seed_override: Option<u64> = None;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                i += 1;
+                out_path = args
+                    .get(i)
+                    .unwrap_or_else(|| {
+                        eprintln!("missing value for --out");
+                        std::process::exit(2);
+                    })
+                    .clone();
+            }
+            "--seed" => {
+                i += 1;
+                seed_override =
+                    Some(args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                        eprintln!("missing or invalid value for --seed");
+                        std::process::exit(2);
+                    }));
+            }
+            "--skip-gate" => gate = false,
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let fast = std::env::var("AFT_BENCH_FAST").is_ok();
+    let mut config = if fast {
+        DisseminationBenchConfig::fast()
+    } else {
+        DisseminationBenchConfig::standard()
+    };
+    if let Some(seed) = seed_override {
+        config.seed = seed;
+    }
+    println!(
+        "fig12_dissemination (fast={fast}, seed={:#x}): sizes {:?} x {} topologies, \
+         {} rounds x {} commits/round, partition legs at {} nodes, virtual clock\n",
+        config.seed,
+        config.node_counts,
+        config.topologies.len(),
+        config.rounds,
+        config.commits_per_round,
+        config.partition_nodes
+    );
+
+    let report = fig12_dissemination(&config);
+    report.table().print();
+    println!();
+    report.partition_table().print();
+
+    let rendered = report.to_json().render();
+    if let Err(e) = std::fs::write(&out_path, &rendered) {
+        eprintln!("failed to write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out_path}");
+
+    if gate {
+        match report.check_gate() {
+            Ok(message) => println!("gate OK: {message}"),
+            Err(message) => {
+                let env_prefix = if fast { "AFT_BENCH_FAST=1 " } else { "" };
+                eprintln!(
+                    "gate FAILED: {message}\nreplay locally with: \
+                     {env_prefix}fig12_dissemination --seed {}",
+                    config.seed
+                );
+                std::process::exit(1);
+            }
+        }
+    }
+}

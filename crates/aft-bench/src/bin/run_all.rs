@@ -1,7 +1,7 @@
 //! Runs every experiment in the evaluation back to back (Figures 2-10,
-//! Table 2, the throughput-scaling sweep, the networked-service sweep, and
-//! the overload sweep), prints each table, and finishes by aggregating
-//! every `BENCH_*.json` in
+//! Table 2, the throughput-scaling sweep, the networked-service sweep, the
+//! overload sweep, and the dissemination sweep), prints each table, and
+//! finishes by aggregating every `BENCH_*.json` in
 //! the working directory into `BENCH_summary.json` — the machine-readable
 //! per-PR bench trajectory.
 //!
@@ -19,11 +19,13 @@
 
 use std::path::PathBuf;
 
+use aft_bench::dissemination::DisseminationBenchConfig;
 use aft_bench::overload::OverloadConfig;
 use aft_bench::recovery::RecoveryConfig;
 use aft_bench::service::ServiceConfig;
 use aft_bench::{
-    experiments, overload, recovery, scaling, service, summary, BenchEnv, ScalingConfig,
+    dissemination, experiments, overload, recovery, scaling, service, summary, BenchEnv,
+    ScalingConfig,
 };
 
 fn main() {
@@ -95,6 +97,14 @@ fn main() {
         };
         let overload_report = overload::fig11_overload(&overload_config);
         overload_report.table().print();
+        let dissemination_config = if env.fast {
+            DisseminationBenchConfig::fast()
+        } else {
+            DisseminationBenchConfig::standard()
+        };
+        let dissemination_report = dissemination::fig12_dissemination(&dissemination_config);
+        dissemination_report.table().print();
+        dissemination_report.partition_table().print();
 
         // Persist the machine-readable reports so the summary below (and
         // any later --summary-only run) sees this run's numbers.
@@ -103,6 +113,7 @@ fn main() {
             ("BENCH_throughput.json", scaling_report.to_json()),
             ("BENCH_service.json", service_report.to_json()),
             ("BENCH_overload.json", overload_report.to_json()),
+            ("BENCH_dissemination.json", dissemination_report.to_json()),
         ] {
             if let Err(e) = std::fs::write(dir.join(name), json.render()) {
                 eprintln!("failed to write {name}: {e}");

@@ -1,0 +1,704 @@
+//! `fig12_dissemination`: commit-metadata dissemination at cluster scale —
+//! does the metadata plane survive 100 nodes?
+//!
+//! The paper's deployments stop at a handful of nodes, where the §4.2 flat
+//! broadcast (every origin to every peer) is cheap. This experiment sweeps
+//! cluster size × [`Topology`] and measures what actually limits scale:
+//!
+//! * **messages/op** and **bytes/op** — the metadata traffic each committed
+//!   transaction costs the cluster. Flat broadcast pays `origins·(n−1)`
+//!   messages per round; the tree's convergecast/broadcast sweep pays at
+//!   most `2·(n−1)` regardless of origins, and gossip lands in between.
+//! * **propagation lag p50/p99** — commit-record age at application on a
+//!   peer, from each node's [`propagation_lag`](aft_core) recorder. Every
+//!   topology relays within the round, so lag stays ≈ one dissemination
+//!   interval; the gate rejects anything beyond three.
+//! * **staleness window** — interval + lag p99: the §3.2 bound on how old a
+//!   node's view of a remote commit can be.
+//!
+//! The cluster is `n` in-process AFT nodes on one shared [`MockClock`]
+//! advanced by exactly one interval per round, so lag is measured in
+//! *virtual* milliseconds — deterministic, and independent of host speed.
+//!
+//! A second leg replays the tree and gossip cells under a seeded
+//! [`PartitionChaos`] edge-cut (§4.2's "broadcast lost" window, scaled to a
+//! metadata partition): deliveries park on retry queues while the cut
+//! holds, and after the heal the leg must converge with **zero** lost
+//! commits and **zero** unaccounted records. [`DisseminationReport::check_gate`]
+//! enforces all of it in CI; results land in `BENCH_dissemination.json`.
+
+use std::sync::Arc;
+
+use aft_chaos::{ChaosSpec, PartitionChaos};
+use aft_cluster::{DisseminationConfig, Disseminator, Topology};
+use aft_core::{AftNode, NodeConfig};
+use aft_storage::{InMemoryStore, SharedStorage};
+use aft_types::clock::MockClock;
+use aft_types::{Key, TransactionId, Value};
+
+use crate::json::Json;
+use crate::report::Table;
+
+/// Configuration of the dissemination sweep.
+#[derive(Debug, Clone)]
+pub struct DisseminationBenchConfig {
+    /// Cluster sizes to sweep (virtual-clock in-process nodes).
+    pub node_counts: Vec<usize>,
+    /// Topologies per cluster size.
+    pub topologies: Vec<Topology>,
+    /// Dissemination rounds per cell.
+    pub rounds: usize,
+    /// Commits issued per round, spread round-robin across the nodes.
+    pub commits_per_round: usize,
+    /// Tree arity / gossip fanout.
+    pub fanout: usize,
+    /// Virtual milliseconds per dissemination interval.
+    pub interval_ms: u64,
+    /// Cluster size of the partition leg.
+    pub partition_nodes: usize,
+    /// Fraction of edges the partition leg cuts.
+    pub cut_fraction: f64,
+    /// Partition window in rounds, relative to arming.
+    pub cut_rounds: u64,
+    /// Extra rounds the partition leg may take to drain its retries.
+    pub heal_budget: usize,
+    /// Base seed (gossip target selection and the edge-cut schedule).
+    pub seed: u64,
+}
+
+impl DisseminationBenchConfig {
+    /// The full sweep: 16 → 100 nodes, all three topologies, with the
+    /// partition leg on a 64-node cluster.
+    pub fn standard() -> Self {
+        DisseminationBenchConfig {
+            node_counts: vec![16, 32, 64, 100],
+            topologies: Topology::ALL.to_vec(),
+            rounds: 8,
+            commits_per_round: 64,
+            fanout: 3,
+            interval_ms: 1_000,
+            partition_nodes: 64,
+            cut_fraction: 0.4,
+            cut_rounds: 3,
+            heal_budget: 32,
+            seed: 0xD155,
+        }
+    }
+
+    /// The CI configuration: the same topology coverage at 16 and 32 nodes
+    /// with a 16-node partition leg, fast enough for every PR.
+    pub fn fast() -> Self {
+        DisseminationBenchConfig {
+            node_counts: vec![16, 32],
+            rounds: 4,
+            commits_per_round: 24,
+            partition_nodes: 16,
+            ..DisseminationBenchConfig::standard()
+        }
+    }
+}
+
+/// One (cluster size, topology) cell of the sweep.
+#[derive(Debug, Clone)]
+pub struct DisseminationCell {
+    /// Cluster size.
+    pub nodes: usize,
+    /// Topology label.
+    pub topology: String,
+    /// Commits disseminated.
+    pub ops: usize,
+    /// Messages sent (batched edge-sends).
+    pub messages: u64,
+    /// Encoded commit-record bytes moved.
+    pub bytes: u64,
+    /// Duplicate deliveries absorbed by receiver dedup.
+    pub duplicates: u64,
+    /// Median commit-record age at peer application, virtual ms.
+    pub lag_p50_ms: f64,
+    /// Worst-node p99 commit-record age at peer application, virtual ms.
+    pub lag_p99_ms: f64,
+    /// Records some node neither applied nor saw superseded. Must be zero.
+    pub unaccounted: u64,
+}
+
+impl DisseminationCell {
+    /// Messages per committed transaction.
+    pub fn messages_per_op(&self) -> f64 {
+        self.messages as f64 / self.ops.max(1) as f64
+    }
+
+    /// Bytes per committed transaction.
+    pub fn bytes_per_op(&self) -> f64 {
+        self.bytes as f64 / self.ops.max(1) as f64
+    }
+
+    /// Interval + lag p99: the bound on how stale a node's view of a
+    /// remote commit can be.
+    pub fn staleness_window_ms(&self, interval_ms: u64) -> f64 {
+        interval_ms as f64 + self.lag_p99_ms
+    }
+}
+
+/// One partition-chaos leg: a seeded edge-cut over a relay topology.
+#[derive(Debug, Clone)]
+pub struct PartitionLeg {
+    /// Cluster size.
+    pub nodes: usize,
+    /// Topology label.
+    pub topology: String,
+    /// Commits disseminated through the cut.
+    pub ops: usize,
+    /// Deliveries parked on cut edges while the partition held.
+    pub link_drops: u64,
+    /// Parked deliveries re-driven after the heal.
+    pub retried: u64,
+    /// Rounds from arming to full convergence (retry queues empty).
+    pub rounds_to_converge: usize,
+    /// Whether the retry queues drained within the heal budget.
+    pub converged: bool,
+    /// Commits some node never accounted for. Must be zero.
+    pub lost_commits: u64,
+}
+
+/// The whole sweep's results.
+#[derive(Debug, Clone)]
+pub struct DisseminationReport {
+    /// Every (cluster size, topology) cell, sizes ascending.
+    pub cells: Vec<DisseminationCell>,
+    /// The partition-chaos legs.
+    pub partition_legs: Vec<PartitionLeg>,
+    /// The interval the sweep ran at, virtual ms.
+    pub interval_ms: u64,
+}
+
+impl DisseminationReport {
+    fn cell(&self, nodes: usize, topology: Topology) -> Option<&DisseminationCell> {
+        self.cells
+            .iter()
+            .find(|c| c.nodes == nodes && c.topology == topology.label())
+    }
+
+    /// The messages/op ratio of the flat baseline over `topology` at one
+    /// cluster size (how many times cheaper the topology is).
+    pub fn reduction_vs_flat(&self, nodes: usize, topology: Topology) -> Option<f64> {
+        let flat = self.cell(nodes, Topology::AllToAll)?;
+        let other = self.cell(nodes, topology)?;
+        Some(flat.messages_per_op() / other.messages_per_op().max(f64::MIN_POSITIVE))
+    }
+
+    /// The CI gate:
+    ///
+    /// * coverage — all three topologies at ≥ 2 cluster sizes, one ≥ 16;
+    /// * every cell accounts for every record on every node;
+    /// * at every size ≥ 16, tree and gossip send strictly fewer
+    ///   messages/op than the flat baseline — and the tree's sweep ≥ 10×
+    ///   fewer at ≥ 64 nodes, where the quadratic baseline actually hurts
+    ///   (gossip trades messages for redundancy, so its bar is only
+    ///   "strictly cheaper");
+    /// * unpartitioned propagation lag p99 within 3 dissemination
+    ///   intervals;
+    /// * every partition leg converged with zero lost commits (and really
+    ///   cut something).
+    pub fn check_gate(&self) -> Result<String, String> {
+        let sizes: std::collections::BTreeSet<usize> = self.cells.iter().map(|c| c.nodes).collect();
+        if sizes.len() < 2 || sizes.iter().max().copied().unwrap_or(0) < 16 {
+            return Err(format!("sweep too small: sizes {sizes:?}"));
+        }
+        for &nodes in &sizes {
+            for topology in [Topology::Tree, Topology::Gossip] {
+                let (Some(flat), Some(cell)) = (
+                    self.cell(nodes, Topology::AllToAll),
+                    self.cell(nodes, topology),
+                ) else {
+                    return Err(format!("{nodes} nodes: missing a topology cell"));
+                };
+                if nodes >= 16 && cell.messages_per_op() >= flat.messages_per_op() {
+                    return Err(format!(
+                        "{nodes} nodes: {} sends {:.2} messages/op, not below all_to_all's {:.2}",
+                        topology.label(),
+                        cell.messages_per_op(),
+                        flat.messages_per_op()
+                    ));
+                }
+                let reduction = self.reduction_vs_flat(nodes, topology).unwrap_or(0.0);
+                if topology == Topology::Tree && nodes >= 64 && reduction < 10.0 {
+                    return Err(format!(
+                        "{nodes} nodes: {} reduces messages/op only {reduction:.1}x vs flat; need >= 10x",
+                        topology.label()
+                    ));
+                }
+            }
+        }
+        for cell in &self.cells {
+            if cell.unaccounted > 0 {
+                return Err(format!(
+                    "{}/{} nodes: {} records unaccounted",
+                    cell.topology, cell.nodes, cell.unaccounted
+                ));
+            }
+            if cell.lag_p99_ms > (3 * self.interval_ms) as f64 {
+                return Err(format!(
+                    "{}/{} nodes: lag p99 {:.0}ms exceeds 3 intervals ({}ms)",
+                    cell.topology,
+                    cell.nodes,
+                    cell.lag_p99_ms,
+                    3 * self.interval_ms
+                ));
+            }
+        }
+        if self.partition_legs.is_empty() {
+            return Err("no partition legs ran".to_owned());
+        }
+        for leg in &self.partition_legs {
+            let label = format!("partition {}/{} nodes", leg.topology, leg.nodes);
+            if leg.link_drops == 0 {
+                return Err(format!("{label}: the edge-cut never dropped a delivery"));
+            }
+            if !leg.converged {
+                return Err(format!("{label}: retry queues never drained"));
+            }
+            if leg.lost_commits > 0 {
+                return Err(format!("{label}: {} commits lost", leg.lost_commits));
+            }
+        }
+        let best = self
+            .reduction_vs_flat(sizes.iter().max().copied().unwrap_or(16), Topology::Tree)
+            .unwrap_or(0.0);
+        Ok(format!(
+            "{} cells clean at sizes {sizes:?}: tree {best:.1}x cheaper than flat at the top size, \
+             lag p99 within 3 intervals, {} partition legs healed with 0 lost commits",
+            self.cells.len(),
+            self.partition_legs.len()
+        ))
+    }
+
+    /// Renders the sweep as an aligned text table.
+    pub fn table(&self) -> Table {
+        let mut table = Table::new(
+            "fig12_dissemination — commit-metadata dissemination: cluster size x topology",
+            &[
+                "nodes",
+                "topology",
+                "msgs/op",
+                "bytes/op",
+                "lag p50 (ms)",
+                "lag p99 (ms)",
+                "staleness (ms)",
+                "duplicates",
+            ],
+        );
+        for cell in &self.cells {
+            table.add_row(vec![
+                cell.nodes.to_string(),
+                cell.topology.clone(),
+                format!("{:.2}", cell.messages_per_op()),
+                format!("{:.0}", cell.bytes_per_op()),
+                format!("{:.0}", cell.lag_p50_ms),
+                format!("{:.0}", cell.lag_p99_ms),
+                format!("{:.0}", cell.staleness_window_ms(self.interval_ms)),
+                cell.duplicates.to_string(),
+            ]);
+        }
+        table
+    }
+
+    /// Renders the partition legs as an aligned text table.
+    pub fn partition_table(&self) -> Table {
+        let mut table = Table::new(
+            "fig12_dissemination — partition chaos: seeded edge-cut over relay topologies",
+            &[
+                "nodes",
+                "topology",
+                "link drops",
+                "retried",
+                "rounds to converge",
+                "lost commits",
+                "converged",
+            ],
+        );
+        for leg in &self.partition_legs {
+            table.add_row(vec![
+                leg.nodes.to_string(),
+                leg.topology.clone(),
+                leg.link_drops.to_string(),
+                leg.retried.to_string(),
+                leg.rounds_to_converge.to_string(),
+                leg.lost_commits.to_string(),
+                leg.converged.to_string(),
+            ]);
+        }
+        table
+    }
+
+    /// Serialises the report as the `BENCH_dissemination.json` document.
+    pub fn to_json(&self) -> Json {
+        let cells = self
+            .cells
+            .iter()
+            .map(|c| {
+                Json::obj(vec![
+                    ("nodes", Json::Num(c.nodes as f64)),
+                    ("topology", Json::str(&c.topology)),
+                    ("ops", Json::Num(c.ops as f64)),
+                    ("messages", Json::Num(c.messages as f64)),
+                    ("bytes", Json::Num(c.bytes as f64)),
+                    ("messages_per_op", Json::Num(round2(c.messages_per_op()))),
+                    ("bytes_per_op", Json::Num(round2(c.bytes_per_op()))),
+                    ("lag_p50_ms", Json::Num(round2(c.lag_p50_ms))),
+                    ("lag_p99_ms", Json::Num(round2(c.lag_p99_ms))),
+                    (
+                        "staleness_window_ms",
+                        Json::Num(round2(c.staleness_window_ms(self.interval_ms))),
+                    ),
+                    ("duplicates", Json::Num(c.duplicates as f64)),
+                    ("unaccounted", Json::Num(c.unaccounted as f64)),
+                ])
+            })
+            .collect();
+        let legs = self
+            .partition_legs
+            .iter()
+            .map(|l| {
+                Json::obj(vec![
+                    ("nodes", Json::Num(l.nodes as f64)),
+                    ("topology", Json::str(&l.topology)),
+                    ("ops", Json::Num(l.ops as f64)),
+                    ("link_drops", Json::Num(l.link_drops as f64)),
+                    ("retried", Json::Num(l.retried as f64)),
+                    ("rounds_to_converge", Json::Num(l.rounds_to_converge as f64)),
+                    ("lost_commits", Json::Num(l.lost_commits as f64)),
+                    ("converged", Json::Bool(l.converged)),
+                ])
+            })
+            .collect();
+        let max_size = self.cells.iter().map(|c| c.nodes).max().unwrap_or(0);
+        Json::obj(vec![
+            ("experiment", Json::str("fig12_dissemination")),
+            (
+                "summary",
+                Json::obj(vec![
+                    ("cells", Json::Num(self.cells.len() as f64)),
+                    ("interval_ms", Json::Num(self.interval_ms as f64)),
+                    ("max_nodes", Json::Num(max_size as f64)),
+                    (
+                        "tree_reduction_at_max",
+                        Json::Num(round2(
+                            self.reduction_vs_flat(max_size, Topology::Tree)
+                                .unwrap_or(0.0),
+                        )),
+                    ),
+                    (
+                        "gossip_reduction_at_max",
+                        Json::Num(round2(
+                            self.reduction_vs_flat(max_size, Topology::Gossip)
+                                .unwrap_or(0.0),
+                        )),
+                    ),
+                    (
+                        "partition_lost_commits",
+                        Json::Num(
+                            self.partition_legs
+                                .iter()
+                                .map(|l| l.lost_commits)
+                                .sum::<u64>() as f64,
+                        ),
+                    ),
+                ]),
+            ),
+            ("cells", Json::Arr(cells)),
+            ("partition_legs", Json::Arr(legs)),
+        ])
+    }
+}
+
+fn round2(v: f64) -> f64 {
+    (v * 100.0).round() / 100.0
+}
+
+/// An in-process virtual-clock cluster: `n` nodes on one shared
+/// [`MockClock`] over one shared in-memory store.
+struct VirtualCluster {
+    nodes: Vec<Arc<AftNode>>,
+    clock: MockClock,
+}
+
+fn virtual_cluster(n: usize, seed: u64) -> VirtualCluster {
+    let storage: SharedStorage = InMemoryStore::shared();
+    let clock = MockClock::starting_at(1);
+    let nodes = (0..n)
+        .map(|i| {
+            AftNode::with_clock(
+                NodeConfig::test()
+                    .with_node_id(format!("aft-node-{i}"))
+                    .with_seed(seed ^ i as u64),
+                storage.clone(),
+                clock.shared(),
+            )
+            .expect("in-memory node construction cannot fail")
+        })
+        .collect();
+    VirtualCluster { nodes, clock }
+}
+
+fn commit_on(node: &Arc<AftNode>, key: &str, value: &str) -> TransactionId {
+    let t = node.start_transaction();
+    node.put(&t, Key::new(key), Value::from(value.to_owned()))
+        .expect("in-memory put");
+    node.commit(&t).expect("in-memory commit")
+}
+
+/// Drives `rounds` dissemination rounds: each round commits
+/// `commits_per_round` transactions round-robin across the nodes, advances
+/// the virtual clock by one interval, and runs the disseminator — so every
+/// record's application lag is measured in whole virtual intervals.
+fn drive_rounds(
+    cluster: &VirtualCluster,
+    d: &Disseminator,
+    config: &DisseminationBenchConfig,
+) -> Vec<(TransactionId, usize)> {
+    let n = cluster.nodes.len();
+    let mut issued = Vec::with_capacity(config.rounds * config.commits_per_round);
+    for round in 0..config.rounds {
+        for op in 0..config.commits_per_round {
+            let origin = (round * config.commits_per_round + op) % n;
+            let key = op % 48;
+            let id = commit_on(
+                &cluster.nodes[origin],
+                &format!("diss/k{key:02}"),
+                &format!("r{round}-o{op}"),
+            );
+            issued.push((id, key));
+        }
+        cluster.clock.advance(config.interval_ms);
+        d.round(&cluster.nodes, None);
+    }
+    issued
+}
+
+/// Records some node neither applied nor saw superseded (the §4.1-aware
+/// notion of "lost"). The winner of each key is its *largest* transaction
+/// id — commits inside one round share a virtual timestamp, so the uuid
+/// tiebreak (not issue order) decides supersedence, exactly as the
+/// metadata cache resolves it. A missing id is only legitimate when that
+/// key's winner strictly supersedes it; the winner itself must land
+/// everywhere.
+fn unaccounted(cluster: &VirtualCluster, issued: &[(TransactionId, usize)]) -> u64 {
+    let mut winner: std::collections::HashMap<usize, TransactionId> =
+        std::collections::HashMap::new();
+    for &(id, key) in issued {
+        winner
+            .entry(key)
+            .and_modify(|w| *w = (*w).max(id))
+            .or_insert(id);
+    }
+    let mut missing = 0;
+    for node in &cluster.nodes {
+        for &(id, key) in issued {
+            if !node.metadata().is_committed(&id) && winner[&key] <= id {
+                missing += 1;
+            }
+        }
+    }
+    missing
+}
+
+fn run_cell(
+    nodes: usize,
+    topology: Topology,
+    config: &DisseminationBenchConfig,
+) -> DisseminationCell {
+    let cluster = virtual_cluster(nodes, config.seed);
+    let dissemination = DisseminationConfig {
+        topology,
+        fanout: config.fanout,
+        ..DisseminationConfig::default()
+    };
+    let d = Disseminator::new(dissemination, config.seed);
+    let issued = drive_rounds(&cluster, &d, config);
+    let totals = d.totals();
+
+    // Cluster-wide lag: p50 as the median node's median, p99 as the worst
+    // node's p99 — the conservative bound the staleness window quotes.
+    let mut p50s: Vec<f64> = Vec::new();
+    let mut p99 = 0.0f64;
+    for node in &cluster.nodes {
+        let lag = node.stats().propagation_lag();
+        if let (Some(p50), Some(node_p99)) = (lag.percentile_ms(0.5), lag.percentile_ms(0.99)) {
+            p50s.push(p50);
+            p99 = p99.max(node_p99);
+        }
+    }
+    p50s.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let lag_p50_ms = p50s.get(p50s.len() / 2).copied().unwrap_or(0.0);
+
+    DisseminationCell {
+        nodes,
+        topology: topology.label().to_owned(),
+        ops: issued.len(),
+        messages: totals.fanout_messages as u64,
+        bytes: totals.bytes,
+        duplicates: totals.duplicates as u64,
+        lag_p50_ms,
+        lag_p99_ms: p99,
+        unaccounted: unaccounted(&cluster, &issued),
+    }
+}
+
+fn run_partition_leg(
+    nodes: usize,
+    topology: Topology,
+    config: &DisseminationBenchConfig,
+) -> PartitionLeg {
+    let cluster = virtual_cluster(nodes, config.seed ^ 0x9A47);
+    let dissemination = DisseminationConfig {
+        topology,
+        fanout: config.fanout,
+        ..DisseminationConfig::default()
+    };
+    let d = Disseminator::new(dissemination, config.seed ^ 0x9A47);
+    let spec = ChaosSpec::new(config.seed).partition(PartitionChaos::cut(
+        config.cut_fraction,
+        0,
+        config.cut_rounds,
+    ));
+    d.arm_partition(spec.schedule());
+
+    let issued = drive_rounds(&cluster, &d, config);
+    // Heal: run empty rounds until every parked delivery has drained.
+    let mut extra = 0;
+    while d.pending_retries() > 0 && extra < config.heal_budget {
+        cluster.clock.advance(config.interval_ms);
+        d.round(&cluster.nodes, None);
+        extra += 1;
+    }
+    let totals = d.totals();
+    PartitionLeg {
+        nodes,
+        topology: topology.label().to_owned(),
+        ops: issued.len(),
+        link_drops: totals.link_drops as u64,
+        retried: totals.retried as u64,
+        rounds_to_converge: config.rounds + extra,
+        converged: d.pending_retries() == 0,
+        lost_commits: unaccounted(&cluster, &issued),
+    }
+}
+
+/// Runs the full sweep and returns the report.
+pub fn fig12_dissemination(config: &DisseminationBenchConfig) -> DisseminationReport {
+    let mut cells = Vec::new();
+    for &nodes in &config.node_counts {
+        for &topology in &config.topologies {
+            cells.push(run_cell(nodes, topology, config));
+        }
+    }
+    let partition_legs = [Topology::Tree, Topology::Gossip]
+        .into_iter()
+        .filter(|t| config.topologies.contains(t))
+        .map(|topology| run_partition_leg(config.partition_nodes, topology, config))
+        .collect();
+    DisseminationReport {
+        cells,
+        partition_legs,
+        interval_ms: config.interval_ms,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> DisseminationBenchConfig {
+        DisseminationBenchConfig {
+            node_counts: vec![16, 24],
+            rounds: 3,
+            commits_per_round: 16,
+            partition_nodes: 16,
+            ..DisseminationBenchConfig::standard()
+        }
+    }
+
+    #[test]
+    fn tiny_sweep_passes_the_gate() {
+        let report = fig12_dissemination(&tiny());
+        assert_eq!(report.cells.len(), 6);
+        assert_eq!(report.partition_legs.len(), 2);
+        let summary = report.check_gate().expect("gate must pass");
+        assert!(summary.contains("6 cells clean"), "{summary}");
+    }
+
+    #[test]
+    fn relay_topologies_beat_the_flat_baseline() {
+        let report = fig12_dissemination(&tiny());
+        for &nodes in &[16usize, 24] {
+            for topology in [Topology::Tree, Topology::Gossip] {
+                let reduction = report.reduction_vs_flat(nodes, topology).unwrap();
+                assert!(
+                    reduction > 1.0,
+                    "{} at {nodes} nodes: only {reduction:.2}x",
+                    topology.label()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lag_is_one_virtual_interval_for_undisturbed_rounds() {
+        let report = fig12_dissemination(&tiny());
+        for cell in &report.cells {
+            assert_eq!(cell.unaccounted, 0, "{}/{}", cell.topology, cell.nodes);
+            // Every record is committed at clock T and applied after the
+            // advance to T + interval; in-round relaying adds nothing.
+            assert!(
+                (cell.lag_p50_ms - 1_000.0).abs() < 1.0,
+                "{}/{}: p50 {}ms",
+                cell.topology,
+                cell.nodes,
+                cell.lag_p50_ms
+            );
+            assert!(cell.lag_p99_ms <= 3_000.0);
+        }
+    }
+
+    #[test]
+    fn partition_legs_drop_then_heal_cleanly() {
+        let report = fig12_dissemination(&tiny());
+        for leg in &report.partition_legs {
+            assert!(leg.link_drops > 0, "{}: cut never bit", leg.topology);
+            assert!(leg.retried > 0, "{}: nothing retried", leg.topology);
+            assert!(leg.converged);
+            assert_eq!(leg.lost_commits, 0, "{}", leg.topology);
+        }
+    }
+
+    #[test]
+    fn json_document_round_trips() {
+        let report = fig12_dissemination(&tiny());
+        let parsed = Json::parse(&report.to_json().render()).unwrap();
+        assert_eq!(
+            parsed.get("experiment").unwrap().as_str().unwrap(),
+            "fig12_dissemination"
+        );
+        assert_eq!(
+            parsed.get("cells").unwrap().as_array().unwrap().len(),
+            report.cells.len()
+        );
+        assert_eq!(
+            parsed
+                .get("summary")
+                .and_then(|s| s.get("partition_lost_commits"))
+                .and_then(Json::as_f64),
+            Some(0.0)
+        );
+        assert_eq!(report.table().len(), report.cells.len());
+        assert_eq!(report.partition_table().len(), report.partition_legs.len());
+    }
+
+    #[test]
+    fn gate_rejects_missing_partition_legs() {
+        let mut report = fig12_dissemination(&tiny());
+        report.partition_legs.clear();
+        let err = report.check_gate().unwrap_err();
+        assert!(err.contains("no partition legs"), "{err}");
+    }
+}

@@ -7,7 +7,7 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use aft_cluster::Cluster;
+use aft_cluster::{Cluster, DisseminationConfig};
 use aft_core::LocalGcConfig;
 use aft_storage::BackendKind;
 use aft_types::{payload_of_size, Key};
@@ -550,7 +550,8 @@ pub fn fig9_gc(env: &BenchEnv) -> Table {
         let mut cluster_config = aft_cluster::ClusterConfig {
             initial_nodes: 1,
             node_template: env.node_template(true),
-            broadcast_interval: Duration::from_millis(200),
+            dissemination: DisseminationConfig::all_to_all()
+                .with_interval(Duration::from_millis(200)),
             local_gc: LocalGcConfig::default(),
             local_gc_enabled: gc_enabled,
             global_gc_enabled: gc_enabled,
@@ -616,7 +617,7 @@ pub fn fig10_fault_tolerance(env: &BenchEnv) -> Table {
     let cluster_config = aft_cluster::ClusterConfig {
         initial_nodes: 4,
         node_template: env.node_template(true),
-        broadcast_interval: Duration::from_millis(200),
+        dissemination: DisseminationConfig::all_to_all().with_interval(Duration::from_millis(200)),
         fault_scan_interval: Duration::from_millis(250),
         replacement_delay,
         ..aft_cluster::ClusterConfig::default()

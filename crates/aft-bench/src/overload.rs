@@ -40,7 +40,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use aft_chaos::{ChaosSpec, NetChaos};
-use aft_cluster::{Cluster, ClusterConfig};
+use aft_cluster::{Cluster, ClusterConfig, DisseminationConfig};
 use aft_core::api::AftApi;
 use aft_storage::io::RetryConfig;
 use aft_storage::{BackendConfig, BackendKind};
@@ -498,7 +498,7 @@ fn served_deployment(
         BackendConfig::simulated(BackendKind::Redis, config.storage_scale).with_seed(seed),
     );
     let cluster_config = ClusterConfig {
-        broadcast_interval: Duration::from_millis(5),
+        dissemination: DisseminationConfig::all_to_all().with_interval(Duration::from_millis(5)),
         replacement_delay: Duration::ZERO,
         local_gc_enabled: false,
         global_gc_enabled: false,

@@ -34,8 +34,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Barrier, Mutex};
 use std::time::Duration;
 
-use aft_chaos::{ChaosSpec, FaasChaos, KillPlan, NetChaos, StorageChaos};
-use aft_cluster::{ChaosController, Cluster, ClusterConfig};
+use aft_chaos::{ChaosSpec, FaasChaos, KillPlan, NetChaos, PartitionChaos, StorageChaos};
+use aft_cluster::{ChaosController, Cluster, ClusterConfig, DisseminationConfig};
 use aft_core::bootstrap::fetch_commit_records;
 use aft_core::read::is_atomic_readset;
 use aft_core::{is_superseded, AftNode, CommitPhase, NodeConfig};
@@ -78,16 +78,24 @@ pub enum FaultMode {
     /// node kill. The single-layer modes prove each injector alone; this
     /// mode proves they compose, and that one `--seed` replays them all.
     CrossLayer,
+    /// Metadata-plane partition: the cluster disseminates commit metadata
+    /// over a spanning tree while a seeded edge-cut severs half the tree's
+    /// links for a window of rounds, parking deliveries on retry queues.
+    /// The node kill still fires mid-commit. Recovery must drain every
+    /// parked batch after the heal — a partition may *delay* metadata but
+    /// can never lose it.
+    Partition,
 }
 
 impl FaultMode {
     /// Every mode, in report order.
-    pub const ALL: [FaultMode; 5] = [
+    pub const ALL: [FaultMode; 6] = [
         FaultMode::Transient,
         FaultMode::Timeout,
         FaultMode::SlowStripe,
         FaultMode::Network,
         FaultMode::CrossLayer,
+        FaultMode::Partition,
     ];
 
     /// A short label for reports.
@@ -98,6 +106,7 @@ impl FaultMode {
             FaultMode::SlowStripe => "slow_stripe",
             FaultMode::Network => "network_resets",
             FaultMode::CrossLayer => "cross_layer",
+            FaultMode::Partition => "partition",
         }
     }
 
@@ -140,6 +149,11 @@ impl FaultMode {
                     Duration::from_millis(1),
                 ))
                 .faas(FaasChaos::uniform(0.06)),
+            // Half the dissemination edges go dark for rounds [0, 6) after
+            // arming — long enough that live commit traffic parks on the
+            // cut, short enough that the heal lands well inside the
+            // recovery drive's round budget.
+            FaultMode::Partition => spec.partition(PartitionChaos::cut(0.5, 0, 6)),
         }
     }
 }
@@ -166,9 +180,9 @@ pub struct RecoveryConfig {
 }
 
 impl RecoveryConfig {
-    /// The full matrix: 5 fault modes (3 storage + network + cross-layer)
-    /// × 3 kill points × the 3 evaluated backends = 45 cells, 3 trials
-    /// each.
+    /// The full matrix: 6 fault modes (3 storage, network, cross-layer,
+    /// and metadata partition) × 3 kill points × the 3 evaluated
+    /// backends = 54 cells, 3 trials each.
     pub fn standard() -> Self {
         RecoveryConfig {
             fault_modes: FaultMode::ALL.to_vec(),
@@ -182,7 +196,7 @@ impl RecoveryConfig {
         }
     }
 
-    /// The CI configuration: the same ≥ 9-cell guarantee (5 fault modes × 3
+    /// The CI configuration: the same ≥ 9-cell guarantee (6 fault modes × 3
     /// kill points) with one backend per fault mode and fewer trials, so the
     /// chaos gate stays well under a minute.
     pub fn fast() -> Self {
@@ -917,6 +931,12 @@ fn run_trial(
         local_gc_enabled: false,
         global_gc_enabled: false,
         replacement_delay: Duration::ZERO,
+        // The partition mode cuts *relay* edges, so it disseminates over
+        // the spanning tree; every other mode keeps the flat baseline.
+        dissemination: match fault_mode {
+            FaultMode::Partition => DisseminationConfig::tree(2),
+            _ => DisseminationConfig::default(),
+        },
         ..ClusterConfig::default()
     };
     let cluster = Cluster::with_clock(
@@ -1023,7 +1043,10 @@ fn run_trial(
         rounds: outcome.rounds,
         io_retries,
         client_retries: shared.client_retries.load(Ordering::Relaxed),
-        faults_injected: chaos_stats.total_faults(),
+        // Partition-mode faults are link drops at the disseminator, not
+        // storage faults; both count as injected chaos.
+        faults_injected: chaos_stats.total_faults()
+            + cluster.disseminator().totals().link_drops as u64,
     }
 }
 
@@ -1077,13 +1100,13 @@ mod tests {
 
     #[test]
     fn full_tiny_matrix_is_clean() {
-        // The acceptance shape: 5 fault modes (3 storage + network +
-        // cross-layer) x 3 kill points (one backend), zero anomalies, zero
-        // lost commits, full recovery, convergence.
+        // The acceptance shape: 6 fault modes (3 storage + network +
+        // cross-layer + metadata partition) x 3 kill points (one backend),
+        // zero anomalies, zero lost commits, full recovery, convergence.
         let report = fig10_recovery(&tiny());
-        assert_eq!(report.cells.len(), 15);
+        assert_eq!(report.cells.len(), 18);
         let summary = report.check_gate().expect("gate must pass");
-        assert!(summary.contains("15 cells"), "{summary}");
+        assert!(summary.contains("18 cells"), "{summary}");
         assert_eq!(report.total_anomalies(), 0);
         assert_eq!(report.total_lost(), 0);
         assert_eq!(report.total_unrecovered(), 0);

@@ -35,7 +35,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use aft_chaos::{ChaosSpec, NetChaos};
-use aft_cluster::{Cluster, ClusterConfig};
+use aft_cluster::{Cluster, ClusterConfig, DisseminationConfig};
 use aft_core::api::AftApi;
 use aft_faas::{FaasPlatform, PlatformConfig, RetryPolicy};
 use aft_net::frame::{read_frame, write_frame};
@@ -508,7 +508,7 @@ fn served_deployment(
 ) -> (Arc<Cluster>, ServiceHandle) {
     let storage = aft_storage::make_backend(BackendConfig::test(BackendKind::Memory));
     let cluster_config = ClusterConfig {
-        broadcast_interval: Duration::from_millis(5),
+        dissemination: DisseminationConfig::all_to_all().with_interval(Duration::from_millis(5)),
         replacement_delay: Duration::ZERO,
         local_gc_enabled: !keep_commit_set,
         global_gc_enabled: !keep_commit_set,

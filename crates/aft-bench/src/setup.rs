@@ -4,7 +4,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use aft_chaos::ChaosSpec;
-use aft_cluster::{Cluster, ClusterConfig};
+use aft_cluster::{Cluster, ClusterConfig, DisseminationConfig};
 use aft_core::api::AftApi;
 use aft_core::{AftNode, NodeConfig};
 use aft_faas::{FaasPlatform, PlatformConfig, RetryPolicy};
@@ -128,7 +128,8 @@ impl BenchEnv {
         let config = ClusterConfig {
             initial_nodes: nodes,
             node_template: self.node_template(caching),
-            broadcast_interval: Duration::from_millis(if self.fast { 20 } else { 100 }),
+            dissemination: DisseminationConfig::all_to_all()
+                .with_interval(Duration::from_millis(if self.fast { 20 } else { 100 })),
             replacement_delay: Duration::ZERO,
             ..ClusterConfig::default()
         };

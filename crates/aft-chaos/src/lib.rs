@@ -47,6 +47,10 @@ use rand::{Rng, SeedableRng};
 /// storage layer's default lock striping).
 pub const DEFAULT_STRIPES: usize = 16;
 
+/// Salt for the partition layer's edge-cut stream (decorrelates it from the
+/// per-operation layers sharing the same seed).
+const PARTITION_SALT: u64 = 0x9A47_0000_CE11_EDB3;
+
 /// The stripe a key hashes to, out of `stripes`.
 ///
 /// This is the canonical striping function: the sharded storage map places
@@ -302,6 +306,57 @@ impl FaasChaos {
     }
 }
 
+/// Dissemination-graph partition pressure: a seeded subset of broadcast
+/// edges (tree links, gossip push targets, all-to-all deliveries) is cut for
+/// a window of maintenance rounds, then heals.
+///
+/// Which edges fall is a pure function of `(seed, a, b)` — symmetric in the
+/// endpoints, so a cut edge is cut in both directions — and the cut persists
+/// for every round in `[from_round, to_round)`. The dissemination layer
+/// holds cut deliveries in per-edge retry queues and drains them after the
+/// heal, so a partition delays metadata but must never lose it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PartitionChaos {
+    /// Fraction in `[0, 1]` of dissemination edges that are cut during the
+    /// window.
+    pub cut_fraction: f64,
+    /// First maintenance round (inclusive) of the partition window.
+    pub from_round: u64,
+    /// First maintenance round *after* the window — the partition heals here.
+    pub to_round: u64,
+}
+
+impl PartitionChaos {
+    /// No partition.
+    pub fn quiet() -> Self {
+        PartitionChaos {
+            cut_fraction: 0.0,
+            from_round: 0,
+            to_round: 0,
+        }
+    }
+
+    /// Cuts `cut_fraction` of edges during rounds `[from_round, to_round)`.
+    pub fn cut(cut_fraction: f64, from_round: u64, to_round: u64) -> Self {
+        PartitionChaos {
+            cut_fraction: cut_fraction.clamp(0.0, 1.0),
+            from_round,
+            to_round,
+        }
+    }
+
+    /// True if this layer can never cut anything.
+    pub fn is_quiet(&self) -> bool {
+        self.cut_fraction <= 0.0 || self.to_round <= self.from_round
+    }
+}
+
+impl Default for PartitionChaos {
+    fn default() -> Self {
+        PartitionChaos::quiet()
+    }
+}
+
 /// One planned node kill: crash `node_id` at `phase` once `after_commits`
 /// commits have passed that phase on the node.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -358,6 +413,8 @@ pub struct ChaosSpec {
     pub net: NetChaos,
     /// Platform-layer pressure.
     pub faas: FaasChaos,
+    /// Dissemination-graph partition pressure.
+    pub partition: PartitionChaos,
     /// Phase-exact node kills to arm for the trial.
     pub kills: Vec<KillPlan>,
 }
@@ -371,6 +428,7 @@ impl ChaosSpec {
             storage: StorageChaos::quiet(),
             net: NetChaos::quiet(),
             faas: FaasChaos::quiet(),
+            partition: PartitionChaos::quiet(),
             kills: Vec::new(),
         }
     }
@@ -393,6 +451,12 @@ impl ChaosSpec {
         self
     }
 
+    /// Sets the dissemination-partition pressure.
+    pub fn partition(mut self, partition: PartitionChaos) -> Self {
+        self.partition = partition;
+        self
+    }
+
     /// Adds a planned node kill (may be called repeatedly).
     pub fn kill(mut self, kill: KillPlan) -> Self {
         self.kills.push(kill);
@@ -404,6 +468,7 @@ impl ChaosSpec {
         self.storage.is_quiet()
             && self.net.is_quiet()
             && self.faas.is_quiet()
+            && self.partition.is_quiet()
             && self.kills.is_empty()
     }
 
@@ -415,6 +480,7 @@ impl ChaosSpec {
             storage: self.storage,
             net: self.net,
             faas: self.faas,
+            partition: self.partition,
         }
     }
 
@@ -436,6 +502,7 @@ pub struct FaultSchedule {
     storage: StorageChaos,
     net: NetChaos,
     faas: FaasChaos,
+    partition: PartitionChaos,
 }
 
 impl FaultSchedule {
@@ -457,6 +524,35 @@ impl FaultSchedule {
     /// The platform-layer pressure.
     pub fn faas_chaos(&self) -> FaasChaos {
         self.faas
+    }
+
+    /// The dissemination-partition pressure.
+    pub fn partition_chaos(&self) -> PartitionChaos {
+        self.partition
+    }
+
+    /// Whether the dissemination edge between nodes `a` and `b` is cut in
+    /// maintenance round `round`.
+    ///
+    /// Symmetric (`edge_cut(r, a, b) == edge_cut(r, b, a)`) and — like every
+    /// other decision — a pure function of the seed: which edges fall is
+    /// drawn once per unordered endpoint pair, and the same edges stay down
+    /// for the whole `[from_round, to_round)` window, modelling a network
+    /// partition rather than per-message loss.
+    pub fn edge_cut(&self, round: u64, a: &str, b: &str) -> bool {
+        let c = &self.partition;
+        if c.is_quiet() || round < c.from_round || round >= c.to_round {
+            return false;
+        }
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let mut hasher = DefaultHasher::new();
+        lo.hash(&mut hasher);
+        hi.hash(&mut hasher);
+        let stream = (self.seed ^ PARTITION_SALT)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(hasher.finish().wrapping_mul(0xBF58_476D_1CE4_E5B9));
+        let mut rng = StdRng::seed_from_u64(stream);
+        rng.gen_range(0.0..1.0) < c.cut_fraction
     }
 
     /// The fault injected into operation number `op_index` of `layer` on
@@ -796,6 +892,52 @@ mod tests {
                 .iter()
                 .all(|f| *f == FaultKind::None));
         }
+    }
+
+    #[test]
+    fn partition_cuts_are_symmetric_seeded_and_windowed() {
+        let spec = ChaosSpec::new(77).partition(PartitionChaos::cut(0.5, 2, 6));
+        assert!(!spec.is_quiet());
+        let schedule = spec.schedule();
+        let nodes: Vec<String> = (0..12).map(|i| format!("aft-node-{i}")).collect();
+        let mut cut_edges = 0usize;
+        let mut total = 0usize;
+        for (i, a) in nodes.iter().enumerate() {
+            for b in nodes.iter().skip(i + 1) {
+                total += 1;
+                // Symmetric in the endpoints.
+                assert_eq!(schedule.edge_cut(3, a, b), schedule.edge_cut(3, b, a));
+                // Outside the window nothing is cut.
+                assert!(!schedule.edge_cut(1, a, b));
+                assert!(!schedule.edge_cut(6, a, b));
+                if schedule.edge_cut(2, a, b) {
+                    cut_edges += 1;
+                    // A cut edge stays down for the whole window.
+                    assert!(schedule.edge_cut(5, a, b));
+                }
+            }
+        }
+        assert!(
+            cut_edges > 0 && cut_edges < total,
+            "a 0.5 cut over {total} edges should fell some but not all, felled {cut_edges}"
+        );
+        // And the same seed replays the same cut set.
+        let replay = spec.schedule();
+        for (i, a) in nodes.iter().enumerate() {
+            for b in nodes.iter().skip(i + 1) {
+                assert_eq!(schedule.edge_cut(4, a, b), replay.edge_cut(4, a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn quiet_partition_never_cuts() {
+        let schedule = ChaosSpec::new(5).schedule();
+        assert!(!schedule.edge_cut(0, "a", "b"));
+        assert!(ChaosSpec::new(5)
+            .partition(PartitionChaos::cut(1.0, 4, 4))
+            .partition
+            .is_quiet());
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! Nodes commit without coordinating, so each node must learn which
 //! transactions its peers have committed before it can serve their data. A
 //! background thread on every node periodically gathers the commits made
-//! locally since the last round and multicasts them to all peers; the same
+//! locally since the last round and disseminates them to the peers; the same
 //! (unpruned) stream also goes to the fault manager, which provides the
 //! liveness backstop if a node dies between acknowledging a commit and
 //! broadcasting it (§4.2).
@@ -11,23 +11,42 @@
 //! The pruning optimisation of §4.1: a transaction that is already locally
 //! superseded (Algorithm 2) is omitted from the multicast entirely — for
 //! contended workloads this removes most of the metadata traffic.
+//!
+//! How the records *move* is pluggable: [`broadcast_round`] runs the paper's
+//! flat all-to-all exchange, and the [`Disseminator`](crate::Disseminator)
+//! generalises it to spanning-tree and gossip topologies for large clusters
+//! (see [`crate::dissemination`]).
 
 use std::sync::Arc;
 
-use aft_core::{is_superseded, AftNode};
-use aft_types::TransactionRecord;
+use aft_core::AftNode;
 
+use crate::dissemination::{DisseminationConfig, Disseminator};
 use crate::fault_manager::FaultManager;
 
-/// Statistics from one multicast round across all nodes.
+/// Statistics from one dissemination round across all nodes.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct BroadcastStats {
     /// Commit records drained from the nodes this round.
     pub drained: usize,
-    /// Records actually multicast to peers.
+    /// Record *deliveries* to peers (records × receivers that got them).
     pub multicast: usize,
     /// Records omitted because the sender already considered them superseded.
     pub pruned: usize,
+    /// Node-to-node messages sent (one coalesced batch of at most
+    /// `batch_bytes` encoded bytes per message) — the quantity that limits
+    /// cluster scale.
+    pub fanout_messages: usize,
+    /// Encoded commit-record bytes put on the wire.
+    pub bytes: u64,
+    /// Deliveries the receiver already knew and deduplicated (gossip
+    /// redundancy, retry floods).
+    pub duplicates: usize,
+    /// Deliveries dropped on a partitioned edge and parked for retry.
+    pub link_drops: usize,
+    /// Parked deliveries drained after an edge healed (or flooded to every
+    /// node when the parked receiver had been replaced).
+    pub retried: usize,
 }
 
 impl BroadcastStats {
@@ -37,58 +56,27 @@ impl BroadcastStats {
             drained: self.drained + other.drained,
             multicast: self.multicast + other.multicast,
             pruned: self.pruned + other.pruned,
+            fanout_messages: self.fanout_messages + other.fanout_messages,
+            bytes: self.bytes + other.bytes,
+            duplicates: self.duplicates + other.duplicates,
+            link_drops: self.link_drops + other.link_drops,
+            retried: self.retried + other.retried,
         }
     }
 }
 
-/// Runs one multicast round: every node drains its recent commits, sends the
-/// unpruned stream to the fault manager, prunes superseded records, and
-/// delivers the rest to every *other* node.
+/// Runs one flat all-to-all multicast round: every node drains its recent
+/// commits, sends the unpruned stream to the fault manager, prunes
+/// superseded records, and delivers the rest to every *other* node.
+///
+/// This is the paper's §4.2 exchange, kept as a standalone entry point for
+/// tests and small deployments; clusters route through their configured
+/// [`Disseminator`](crate::Disseminator) instead.
 pub fn broadcast_round(
     nodes: &[Arc<AftNode>],
     fault_manager: Option<&FaultManager>,
 ) -> BroadcastStats {
-    let mut stats = BroadcastStats::default();
-
-    // Drain first so that commits arriving during the round go to the next one.
-    let mut per_node: Vec<(usize, Vec<Arc<TransactionRecord>>)> = Vec::with_capacity(nodes.len());
-    for (index, node) in nodes.iter().enumerate() {
-        let drained = node.drain_recent_commits();
-        stats.drained += drained.len();
-        per_node.push((index, drained));
-    }
-
-    for (sender_index, drained) in per_node {
-        if drained.is_empty() {
-            continue;
-        }
-        // The fault manager receives everything, before pruning (§4.2).
-        if let Some(fm) = fault_manager {
-            fm.observe_commits(drained.iter().cloned());
-        }
-        let sender = &nodes[sender_index];
-        let outgoing: Vec<Arc<TransactionRecord>> = drained
-            .into_iter()
-            .filter(|record| {
-                let superseded = is_superseded(record, sender.metadata());
-                if superseded {
-                    stats.pruned += 1;
-                }
-                !superseded
-            })
-            .collect();
-        stats.multicast += outgoing.len();
-        if outgoing.is_empty() {
-            continue;
-        }
-        for (receiver_index, receiver) in nodes.iter().enumerate() {
-            if receiver_index == sender_index {
-                continue;
-            }
-            receiver.receive_peer_commits(outgoing.iter().cloned());
-        }
-    }
-    stats
+    Disseminator::new(DisseminationConfig::all_to_all(), 0).round(nodes, fault_manager)
 }
 
 #[cfg(test)]
@@ -134,8 +122,12 @@ mod tests {
         assert!(!nodes[1].metadata().is_committed(&id));
         let stats = broadcast_round(&nodes, None);
         assert_eq!(stats.drained, 1);
-        assert_eq!(stats.multicast, 1);
+        // `multicast` counts deliveries: one record reaching two peers.
+        assert_eq!(stats.multicast, 2);
+        assert_eq!(stats.fanout_messages, 2);
         assert_eq!(stats.pruned, 0);
+        assert_eq!(stats.duplicates, 0);
+        assert!(stats.bytes > 0);
         assert!(nodes[1].metadata().is_committed(&id));
         assert!(nodes[2].metadata().is_committed(&id));
 
@@ -158,7 +150,9 @@ mod tests {
         let stats = broadcast_round(&nodes, None);
         assert_eq!(stats.drained, 3);
         assert_eq!(stats.pruned, 2);
+        // One surviving record delivered to the single peer.
         assert_eq!(stats.multicast, 1);
+        assert_eq!(stats.fanout_messages, 1);
         assert!(nodes[1].metadata().is_committed(&newest));
         assert!(!nodes[1].metadata().is_committed(&old1));
         assert!(!nodes[1].metadata().is_committed(&old2));
@@ -173,6 +167,22 @@ mod tests {
         let second = broadcast_round(&nodes, None);
         assert_eq!(second.drained, 0);
         assert_eq!(second.multicast, 0);
+        assert_eq!(second.fanout_messages, 0);
+    }
+
+    #[test]
+    fn all_to_all_messages_grow_quadratically() {
+        // Every one of the n origins delivers its record to n−1 peers: the
+        // flat exchange costs n·(n−1) messages per round — the quadratic
+        // cost the tree/gossip topologies exist to remove.
+        let (nodes, _storage) = cluster_of(6);
+        for (i, node) in nodes.iter().enumerate() {
+            commit_on(node, &format!("k{i}"), "v");
+        }
+        let stats = broadcast_round(&nodes, None);
+        assert_eq!(stats.drained, 6);
+        assert_eq!(stats.multicast, 6 * 5);
+        assert_eq!(stats.fanout_messages, 6 * 5);
     }
 
     #[test]
@@ -181,18 +191,33 @@ mod tests {
             drained: 1,
             multicast: 1,
             pruned: 0,
+            fanout_messages: 2,
+            bytes: 100,
+            duplicates: 1,
+            link_drops: 0,
+            retried: 0,
         };
         let b = BroadcastStats {
             drained: 4,
             multicast: 2,
             pruned: 2,
+            fanout_messages: 3,
+            bytes: 50,
+            duplicates: 0,
+            link_drops: 2,
+            retried: 1,
         };
         assert_eq!(
             a.merge(b),
             BroadcastStats {
                 drained: 5,
                 multicast: 3,
-                pruned: 2
+                pruned: 2,
+                fanout_messages: 5,
+                bytes: 150,
+                duplicates: 1,
+                link_drops: 2,
+                retried: 1,
             }
         );
     }

@@ -29,10 +29,6 @@ use crate::membership::{NodeRegistry, NodeState};
 // that executes it.
 pub use aft_chaos::KillPlan;
 
-/// Pre-unification name of [`KillPlan`], kept for one release.
-#[deprecated(note = "use aft_chaos::KillPlan (re-exported as aft_cluster::KillPlan)")]
-pub type KillSpec = KillPlan;
-
 /// What one [`ChaosController::drive_recovery`] call observed.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct RecoveryOutcome {
@@ -138,10 +134,15 @@ impl ChaosController {
         Ok(node)
     }
 
-    /// Arms every kill of a unified cross-layer `spec`, returning the target
-    /// nodes in spec order. Fails (arming nothing further) on the first
-    /// unknown node.
+    /// Arms every cluster-level leg of a unified cross-layer `spec`: its
+    /// kills (returning the target nodes in spec order) and, when the spec
+    /// carries partition pressure, the seeded edge-cut schedule on the
+    /// cluster's disseminator. Fails (arming nothing further) on the first
+    /// unknown kill target.
     pub fn arm_spec(&self, spec: &ChaosSpec) -> AftResult<Vec<Arc<AftNode>>> {
+        if !spec.partition.is_quiet() {
+            self.cluster.disseminator().arm_partition(spec.schedule());
+        }
         spec.kills
             .iter()
             .map(|plan| self.arm_kill(plan.clone()))
@@ -197,7 +198,12 @@ impl ChaosController {
             }
             match self.cluster.run_maintenance_round() {
                 Ok(stats) => {
-                    let nothing_new = stats.recovered_commits == 0;
+                    // "Quiet" must also cover dissemination: metadata parked
+                    // on cut edges (or just drained from it) is recovery
+                    // still in flight, not convergence.
+                    let nothing_new = stats.recovered_commits == 0
+                        && stats.broadcast.retried == 0
+                        && self.cluster.disseminator().pending_retries() == 0;
                     let all_up = self.cluster.registry().failed_node_ids().is_empty();
                     if nothing_new && all_up {
                         quiet_rounds += 1;

@@ -25,7 +25,8 @@ use aft_storage::SharedStorage;
 use aft_types::{AftResult, SharedClock, SystemClock};
 use parking_lot::Mutex;
 
-use crate::broadcast::{broadcast_round, BroadcastStats};
+use crate::broadcast::BroadcastStats;
+use crate::dissemination::{DisseminationConfig, Disseminator};
 use crate::fault_manager::FaultManager;
 use crate::global_gc::{GlobalGc, GlobalGcConfig, GlobalGcOutcome};
 use crate::membership::{NodeRegistry, NodeState};
@@ -38,8 +39,9 @@ pub struct ClusterConfig {
     pub initial_nodes: usize,
     /// Template for every node's configuration (node ids are filled in).
     pub node_template: NodeConfig,
-    /// How often the background loop multicasts commit sets (paper: 1 s).
-    pub broadcast_interval: Duration,
+    /// How commit metadata moves between nodes — topology, fanout, batch
+    /// budget, and the round interval (paper: all-to-all every 1 s).
+    pub dissemination: DisseminationConfig,
     /// Whether nodes run local metadata GC in the maintenance loop.
     pub local_gc_enabled: bool,
     /// Local GC settings.
@@ -65,7 +67,7 @@ impl Default for ClusterConfig {
         ClusterConfig {
             initial_nodes: 1,
             node_template: NodeConfig::default(),
-            broadcast_interval: Duration::from_secs(1),
+            dissemination: DisseminationConfig::default(),
             local_gc_enabled: true,
             local_gc: LocalGcConfig::default(),
             global_gc_enabled: true,
@@ -84,7 +86,7 @@ impl ClusterConfig {
         ClusterConfig {
             initial_nodes,
             node_template: NodeConfig::test(),
-            broadcast_interval: Duration::from_millis(5),
+            dissemination: DisseminationConfig::default().with_interval(Duration::from_millis(5)),
             fault_scan_interval: Duration::from_millis(5),
             replacement_delay: Duration::ZERO,
             ..ClusterConfig::default()
@@ -94,6 +96,12 @@ impl ClusterConfig {
     /// Sets the number of initial nodes.
     pub fn with_nodes(mut self, n: usize) -> Self {
         self.initial_nodes = n;
+        self
+    }
+
+    /// Sets the dissemination configuration.
+    pub fn with_dissemination(mut self, dissemination: DisseminationConfig) -> Self {
+        self.dissemination = dissemination;
         self
     }
 }
@@ -121,6 +129,7 @@ pub struct Cluster {
     clock: SharedClock,
     registry: Arc<NodeRegistry>,
     router: RoundRobinRouter,
+    disseminator: Disseminator,
     fault_manager: Arc<FaultManager>,
     global_gc: GlobalGc,
     next_node_index: AtomicUsize,
@@ -143,6 +152,7 @@ impl Cluster {
         let registry = NodeRegistry::new();
         let cluster = Arc::new(Cluster {
             router: RoundRobinRouter::new(Arc::clone(&registry)),
+            disseminator: Disseminator::new(config.dissemination, config.node_template.rng_seed),
             fault_manager: Arc::new(FaultManager::new()),
             global_gc: GlobalGc::new(config.global_gc),
             next_node_index: AtomicUsize::new(0),
@@ -190,6 +200,11 @@ impl Cluster {
     /// The fault manager.
     pub fn fault_manager(&self) -> &Arc<FaultManager> {
         &self.fault_manager
+    }
+
+    /// The commit-metadata dissemination engine.
+    pub fn disseminator(&self) -> &Disseminator {
+        &self.disseminator
     }
 
     /// The shared storage backend.
@@ -280,7 +295,7 @@ impl Cluster {
     pub fn run_maintenance_round(&self) -> AftResult<MaintenanceStats> {
         let nodes = self.registry.active_nodes();
         let mut stats = MaintenanceStats {
-            broadcast: broadcast_round(&nodes, Some(&self.fault_manager)),
+            broadcast: self.disseminator.round(&nodes, Some(&self.fault_manager)),
             ..MaintenanceStats::default()
         };
         stats.recovered_commits = self.fault_manager.scan_commit_set(&self.io, &nodes)?;
@@ -307,12 +322,18 @@ impl Cluster {
             return;
         }
 
+        // Both loops pace themselves on the *cluster clock*: a wall clock
+        // really sleeps, while virtual clocks advance simulated time and
+        // yield, so dissemination benches run deterministic rounds at
+        // simulation speed instead of stalling on wall-clock intervals.
         let maintenance = {
             let cluster = Arc::clone(self);
             std::thread::spawn(move || {
                 while !cluster.shutdown.load(Ordering::Relaxed) {
                     let _ = cluster.run_maintenance_round();
-                    std::thread::sleep(cluster.config.broadcast_interval);
+                    cluster
+                        .clock
+                        .sleep_for(cluster.config.dissemination.interval);
                 }
             })
         };
@@ -321,7 +342,7 @@ impl Cluster {
             std::thread::spawn(move || {
                 while !cluster.shutdown.load(Ordering::Relaxed) {
                     let _ = cluster.replace_failed_nodes();
-                    std::thread::sleep(cluster.config.fault_scan_interval);
+                    cluster.clock.sleep_for(cluster.config.fault_scan_interval);
                 }
             })
         };

@@ -12,6 +12,10 @@
 //!   logical request to one AFT node (§6).
 //! * [`broadcast`] — the periodic commit-set multicast between nodes, with
 //!   supersedence pruning (§4, §4.1).
+//! * [`dissemination`] — pluggable topologies for that multicast: the flat
+//!   all-to-all baseline, a batched k-ary spanning-tree relay, and seeded
+//!   epidemic gossip, so metadata traffic scales O(n) instead of O(n²) on
+//!   large clusters, with seeded edge-cut (partition) injection.
 //! * [`fault_manager`] — the out-of-band process that receives the unpruned
 //!   commit stream, scans the Transaction Commit Set for commits whose
 //!   broadcast was lost (liveness, §4.2), detects failed nodes and brings up
@@ -29,16 +33,16 @@
 pub mod broadcast;
 pub mod chaos;
 pub mod cluster;
+pub mod dissemination;
 pub mod fault_manager;
 pub mod global_gc;
 pub mod membership;
 pub mod router;
 
 pub use broadcast::{broadcast_round, BroadcastStats};
-#[allow(deprecated)]
-pub use chaos::KillSpec;
 pub use chaos::{ChaosController, KillPlan, RecoveryOutcome};
 pub use cluster::{Cluster, ClusterConfig};
+pub use dissemination::{DisseminationConfig, Disseminator, Topology};
 pub use fault_manager::FaultManager;
 pub use global_gc::{GlobalGc, GlobalGcConfig, GlobalGcOutcome};
 pub use membership::{NodeRegistry, NodeState};

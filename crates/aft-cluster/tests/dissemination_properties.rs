@@ -1,0 +1,175 @@
+//! Property tests for commit-metadata dissemination.
+//!
+//! The claim the topologies make: tree and gossip are *pure transports* —
+//! for any interleaving of commits and rounds, every node converges to the
+//! same committed state the flat all-to-all broadcast produces (modulo
+//! §4.1 supersedence, which is a property of the metadata cache, not the
+//! transport), and the receiver-side dedup keeps redundant gossip
+//! deliveries idempotent.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use aft_cluster::{DisseminationConfig, Disseminator};
+use aft_core::{AftNode, NodeConfig};
+use aft_storage::{InMemoryStore, SharedStorage};
+use aft_types::clock::TickingClock;
+use aft_types::{Key, TransactionId};
+use bytes::Bytes;
+use proptest::prelude::*;
+
+fn cluster_of(n: usize) -> Vec<Arc<AftNode>> {
+    let storage: SharedStorage = InMemoryStore::shared();
+    let clock = TickingClock::shared(1, 1);
+    (0..n)
+        .map(|i| {
+            AftNode::with_clock(
+                NodeConfig::test()
+                    .with_node_id(format!("node-{i}"))
+                    .with_seed(i as u64),
+                storage.clone(),
+                clock.clone(),
+            )
+            .unwrap()
+        })
+        .collect()
+}
+
+fn commit_on(node: &Arc<AftNode>, key: &str) -> TransactionId {
+    let t = node.start_transaction();
+    node.put(&t, Key::new(key), Bytes::from_static(b"v"))
+        .unwrap();
+    node.commit(&t).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// For an arbitrary script of commits interleaved with dissemination
+    /// rounds, every topology leaves every node knowing every commit —
+    /// either directly committed, or legitimately superseded by a newer
+    /// version of the same key (§4.1) — and every node resolves each key
+    /// to the id of its last writer, exactly like all-to-all does.
+    #[test]
+    fn every_topology_converges_like_all_to_all(
+        n in 2usize..12,
+        fanout in 1usize..5,
+        seed in any::<u64>(),
+        script in proptest::collection::vec(
+            proptest::collection::vec((any::<usize>(), 0usize..6), 0..5),
+            1..4,
+        ),
+    ) {
+        for config in [
+            DisseminationConfig::all_to_all(),
+            DisseminationConfig::tree(fanout),
+            DisseminationConfig::gossip(fanout),
+        ] {
+            let nodes = cluster_of(n);
+            let d = Disseminator::new(config, seed);
+            let mut issued: Vec<(TransactionId, usize)> = Vec::new();
+            for batch in &script {
+                for &(node_pick, key_pick) in batch {
+                    let node = &nodes[node_pick % n];
+                    issued.push((commit_on(node, &format!("k{key_pick}")), key_pick));
+                }
+                d.round(&nodes, None);
+            }
+            // The winner of each key is its last writer in script order
+            // (single-threaded commits on a ticking clock are strictly
+            // ordered), identical no matter how the records travelled.
+            let mut winner: std::collections::HashMap<usize, TransactionId> =
+                std::collections::HashMap::new();
+            for &(id, key_pick) in &issued {
+                winner.insert(key_pick, id);
+            }
+            for node in &nodes {
+                for (&key_pick, &won) in &winner {
+                    prop_assert_eq!(
+                        node.metadata().latest_version_of(&Key::new(format!("k{key_pick}"))),
+                        Some(won),
+                        "{} ({}): key k{} must resolve to its last writer",
+                        node.node_id(), config.topology.label(), key_pick
+                    );
+                }
+                for &(id, key_pick) in &issued {
+                    prop_assert!(
+                        node.metadata().is_committed(&id) || winner[&key_pick] > id,
+                        "{} ({}): commit {:?} neither applied nor superseded",
+                        node.node_id(), config.topology.label(), id
+                    );
+                }
+            }
+        }
+    }
+
+    /// Receiver-side dedup is idempotent: across an arbitrary sequence of
+    /// (possibly repeated, possibly partial) deliveries of the same record
+    /// set, each node fresh-applies a record exactly once — the fresh count
+    /// equals the first-seen count, and everything else lands in the
+    /// duplicate counter. This is what lets gossip over-deliver safely.
+    #[test]
+    fn repeated_deliveries_never_double_apply(
+        n in 2usize..8,
+        records_count in 1usize..10,
+        deliveries in proptest::collection::vec(
+            (any::<usize>(), any::<usize>(), any::<usize>()),
+            1..40,
+        ),
+    ) {
+        let nodes = cluster_of(n);
+        for i in 0..records_count {
+            commit_on(&nodes[0], &format!("k{i}"));
+        }
+        let records = nodes[0].drain_recent_commits();
+        prop_assert_eq!(records.len(), records_count);
+
+        // node 0 originated everything; it can never fresh-apply its own.
+        let mut seen: Vec<HashSet<TransactionId>> = vec![HashSet::new(); n];
+        seen[0] = records.iter().map(|r| r.id).collect();
+
+        for (node_pick, start, len) in deliveries {
+            let target = node_pick % n;
+            let start = start % records.len();
+            let slice = &records[start..records.len().min(start + 1 + len % records.len())];
+            let expected_fresh = slice
+                .iter()
+                .filter(|r| seen[target].insert(r.id))
+                .count();
+            let fresh = nodes[target].receive_peer_commits(slice.iter().cloned());
+            prop_assert_eq!(fresh, expected_fresh);
+        }
+        // A full re-delivery to every node is now a pure no-op wherever the
+        // set is already complete, and the stats agree with the ledger.
+        for (i, node) in nodes.iter().enumerate() {
+            let missing = records.len() - seen[i].len();
+            prop_assert_eq!(
+                node.receive_peer_commits(records.iter().cloned()),
+                missing
+            );
+            let stats = node.stats().snapshot();
+            if i > 0 {
+                prop_assert_eq!(stats.commits_received_from_peers as usize, records.len());
+            }
+        }
+    }
+
+    /// Gossip's ring edge makes one round sufficient for full coverage for
+    /// any seed and fanout: the infected set is closed under ring
+    /// succession, so it can only be everyone.
+    #[test]
+    fn gossip_one_round_coverage_for_any_seed(
+        n in 2usize..24,
+        fanout in 1usize..6,
+        seed in any::<u64>(),
+        origin in any::<usize>(),
+    ) {
+        let nodes = cluster_of(n);
+        let id = commit_on(&nodes[origin % n], "k");
+        let d = Disseminator::new(DisseminationConfig::gossip(fanout), seed);
+        d.round(&nodes, None);
+        for node in &nodes {
+            prop_assert!(node.metadata().is_committed(&id), "{}", node.node_id());
+        }
+    }
+}

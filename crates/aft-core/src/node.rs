@@ -684,18 +684,45 @@ impl AftNode {
         std::mem::take(&mut *self.recent_commits.lock())
     }
 
-    /// Merges commit records learned from peers (multicast) or from the fault
-    /// manager into the local metadata cache. Records that are already
-    /// superseded locally are skipped entirely (§4.1).
-    pub fn receive_peer_commits(&self, records: impl IntoIterator<Item = Arc<TransactionRecord>>) {
-        for record in records {
-            if is_superseded(&record, &self.metadata) {
-                continue;
-            }
-            if self.metadata.insert(record) {
-                self.stats.record_peer_commit();
-            }
+    /// Merges one commit record learned from a peer (dissemination relay,
+    /// gossip push, or the fault manager) into the local metadata cache.
+    ///
+    /// Returns `true` only when the record was *new* to this node — already
+    /// superseded or already-known records are deduplicated (counted in
+    /// `duplicate_peer_commits`) instead of re-applied, which is what makes
+    /// redundant delivery paths (gossip fanout, the fault-manager firehose)
+    /// idempotent. Fresh records charge the commit-timestamp → now gap to the
+    /// `propagation_lag` recorder (§4.2 RYW-staleness window).
+    pub fn receive_peer_commit(&self, record: &Arc<TransactionRecord>) -> bool {
+        if is_superseded(record, &self.metadata) {
+            self.stats.record_duplicate_peer_commit();
+            return false;
         }
+        let lag_ms = self.clock.now().saturating_sub(record.id.timestamp);
+        if self.metadata.insert(Arc::clone(record)) {
+            self.stats.record_peer_commit();
+            self.stats
+                .propagation_lag()
+                .record(Duration::from_millis(lag_ms));
+            true
+        } else {
+            self.stats.record_duplicate_peer_commit();
+            false
+        }
+    }
+
+    /// Merges commit records learned from peers (multicast) or from the fault
+    /// manager into the local metadata cache; returns how many were new.
+    /// Records that are already superseded locally are skipped entirely
+    /// (§4.1), and re-deliveries dedup instead of re-applying.
+    pub fn receive_peer_commits(
+        &self,
+        records: impl IntoIterator<Item = Arc<TransactionRecord>>,
+    ) -> usize {
+        records
+            .into_iter()
+            .filter(|record| self.receive_peer_commit(record))
+            .count()
     }
 
     /// Runs one local metadata GC sweep (§5.1): removes superseded

@@ -119,12 +119,19 @@ pub struct NodeStats {
     no_valid_version_aborts: AtomicU64,
     gc_transactions_deleted: AtomicU64,
     commits_received_from_peers: AtomicU64,
+    duplicate_peer_commits: AtomicU64,
     /// Simulated storage latency charged per commit flush (data barrier +
     /// record append), as observed by this node's commits.
     commit_storage_latency: LatencyRecorder,
     /// Simulated storage latency charged per read that fetched payloads from
     /// storage (single fetch or an overlapped multi-fetch barrier).
     read_storage_latency: LatencyRecorder,
+    /// Commit-metadata propagation lag: for every commit record learned from
+    /// a peer, commit-timestamp → local-ingest-time on this node's clock.
+    /// This is the metadata half of the RYW staleness window (§4.2): a client
+    /// re-routed to this node may read stale data for at most
+    /// `propagation lag + one dissemination interval`.
+    propagation_lag: LatencyRecorder,
 }
 
 macro_rules! counter_methods {
@@ -162,6 +169,7 @@ impl NodeStats {
         record_no_valid_version, no_valid_version_aborts => no_valid_version_aborts;
         record_gc_deleted, gc_deleted => gc_transactions_deleted;
         record_peer_commit, peer_commits => commits_received_from_peers;
+        record_duplicate_peer_commit, duplicate_peer_commits => duplicate_peer_commits;
     }
 
     /// The per-commit storage latency recorder.
@@ -172,6 +180,12 @@ impl NodeStats {
     /// The per-read storage latency recorder.
     pub fn read_storage_latency(&self) -> &LatencyRecorder {
         &self.read_storage_latency
+    }
+
+    /// The commit-metadata propagation-lag recorder (peer-learned records
+    /// only; locally committed records have zero lag by definition).
+    pub fn propagation_lag(&self) -> &LatencyRecorder {
+        &self.propagation_lag
     }
 
     /// Takes a point-in-time snapshot of every counter.
@@ -189,6 +203,7 @@ impl NodeStats {
             no_valid_version_aborts: self.no_valid_version_aborts(),
             gc_transactions_deleted: self.gc_deleted(),
             commits_received_from_peers: self.peer_commits(),
+            duplicate_peer_commits: self.duplicate_peer_commits(),
         }
     }
 }
@@ -220,6 +235,9 @@ pub struct NodeStatsSnapshot {
     pub gc_transactions_deleted: u64,
     /// Commit records learned from peers (multicast or fault manager).
     pub commits_received_from_peers: u64,
+    /// Peer deliveries that were already known locally and deduplicated
+    /// (gossip duplicates, fault-manager re-pushes) instead of re-applied.
+    pub duplicate_peer_commits: u64,
 }
 
 impl NodeStatsSnapshot {

@@ -40,59 +40,6 @@ pub enum FailurePoint {
     MidBody,
 }
 
-/// Probabilities of each failure point — the pre-unification configuration
-/// surface, kept for one release.
-#[deprecated(note = "compose an aft_chaos::ChaosSpec with FaasChaos instead; \
-            FailureInjector::from_spec and PlatformConfig::with_chaos consume it")]
-#[derive(Debug, Clone, Copy, Default)]
-pub struct FailurePlan {
-    /// Probability of failing before the body runs.
-    pub before_body: f64,
-    /// Probability of failing after the body runs.
-    pub after_body: f64,
-    /// Probability of a mid-body crash request.
-    pub mid_body: f64,
-}
-
-#[allow(deprecated)]
-impl FailurePlan {
-    /// A plan that never injects failures.
-    pub const NONE: FailurePlan = FailurePlan {
-        before_body: 0.0,
-        after_body: 0.0,
-        mid_body: 0.0,
-    };
-
-    /// A plan that fails each invocation with probability `p`, split evenly
-    /// across the three failure points.
-    pub fn uniform(p: f64) -> Self {
-        FailurePlan {
-            before_body: p / 3.0,
-            after_body: p / 3.0,
-            mid_body: p / 3.0,
-        }
-    }
-
-    /// Returns true if this plan can never fire.
-    pub fn is_none(&self) -> bool {
-        self.before_body <= 0.0 && self.after_body <= 0.0 && self.mid_body <= 0.0
-    }
-
-    /// The equivalent unified faas-layer tuning.
-    pub fn to_chaos(&self) -> FaasChaos {
-        FaasChaos {
-            before_body: self.before_body,
-            after_body: self.after_body,
-            mid_body: self.mid_body,
-        }
-    }
-
-    /// The equivalent unified spec (faas layer only).
-    pub fn to_spec(&self, seed: u64) -> ChaosSpec {
-        ChaosSpec::new(seed).faas(self.to_chaos())
-    }
-}
-
 /// A seeded failure injector shared by all invocations of a platform.
 #[derive(Debug)]
 pub struct FailureInjector {
@@ -111,13 +58,6 @@ impl FailureInjector {
             pending_mid_body: AtomicU64::new(0),
             injected: AtomicU64::new(0),
         }
-    }
-
-    /// Creates an injector for a faas-only plan (pre-unification surface).
-    #[deprecated(note = "use FailureInjector::from_spec with an aft_chaos::ChaosSpec")]
-    #[allow(deprecated)]
-    pub fn new(plan: FailurePlan, seed: u64) -> Self {
-        Self::from_spec(&plan.to_spec(seed))
     }
 
     /// An injector that never fails anything.
@@ -159,18 +99,6 @@ impl FailureInjector {
     /// The injector's faas-layer tuning.
     pub fn chaos(&self) -> FaasChaos {
         self.layer.schedule().faas_chaos()
-    }
-
-    /// The configured plan (pre-unification surface).
-    #[deprecated(note = "use FailureInjector::chaos")]
-    #[allow(deprecated)]
-    pub fn plan(&self) -> FailurePlan {
-        let chaos = self.chaos();
-        FailurePlan {
-            before_body: chaos.before_body,
-            after_body: chaos.after_body,
-            mid_body: chaos.mid_body,
-        }
     }
 }
 
@@ -241,23 +169,5 @@ mod tests {
         assert_eq!(injector.decide(), Some(FailurePoint::MidBody));
         assert!(injector.should_crash_midway());
         assert!(!injector.should_crash_midway(), "each request crashes once");
-    }
-
-    /// The deprecated pre-unification surface still works and agrees with
-    /// the spec path.
-    #[test]
-    #[allow(deprecated)]
-    fn legacy_plan_shim_delegates_to_the_unified_schedule() {
-        assert!(FailurePlan::NONE.is_none());
-        assert!(!FailurePlan::uniform(0.5).is_none());
-        let plan = FailurePlan::uniform(0.3);
-        assert!((plan.before_body + plan.after_body + plan.mid_body - 0.3).abs() < 1e-9);
-
-        let legacy = FailureInjector::new(plan, 42);
-        let unified = FailureInjector::from_spec(&plan.to_spec(42));
-        let a: Vec<_> = (0..500).map(|_| legacy.decide()).collect();
-        let b: Vec<_> = (0..500).map(|_| unified.decide()).collect();
-        assert_eq!(a, b);
-        assert_eq!(legacy.plan().before_body, plan.before_body);
     }
 }

@@ -27,8 +27,6 @@ pub mod retry;
 pub mod stats;
 
 pub use composition::{Composition, InvocationInfo};
-#[allow(deprecated)]
-pub use failure::FailurePlan;
 pub use failure::{FailureInjector, FailurePoint};
 pub use platform::{FaasPlatform, PlatformConfig};
 pub use retry::{RequestOutcome, RetryPolicy};

@@ -21,8 +21,6 @@ use rand::{Rng, SeedableRng};
 use aft_chaos::{ChaosSpec, FaasChaos};
 
 use crate::composition::{Composition, InvocationInfo};
-#[allow(deprecated)]
-use crate::failure::FailurePlan;
 use crate::failure::{FailureInjector, FailurePoint};
 use crate::retry::{RequestOutcome, RetryPolicy};
 use crate::stats::PlatformStats;
@@ -95,14 +93,6 @@ impl PlatformConfig {
         self.chaos = spec.faas;
         self.seed = spec.seed;
         self
-    }
-
-    /// Sets the failure plan (pre-unification surface).
-    #[deprecated(note = "use PlatformConfig::with_chaos with an aft_chaos::FaasChaos")]
-    #[allow(deprecated)]
-    pub fn with_failures(self, plan: FailurePlan) -> Self {
-        let chaos = plan.to_chaos();
-        self.with_chaos(chaos)
     }
 
     /// Sets the concurrency limit.

@@ -25,57 +25,6 @@ use std::time::Duration;
 
 use aft_chaos::{ChaosInjector, ChaosSpec, FaultKind, Layer, LayerSchedule, NetChaos};
 
-/// Tuning for connection-fault injection — the pre-unification
-/// configuration surface, kept for one release.
-#[deprecated(note = "compose an aft_chaos::ChaosSpec with NetChaos instead; \
-            ConnChaos::from_spec and ClientBuilder::chaos_spec consume it")]
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct NetChaosConfig {
-    /// Seed of the fault schedule; identical seeds reproduce identical
-    /// schedules.
-    pub seed: u64,
-    /// Probability in `[0, 1]` that a wire operation's connection is reset
-    /// (half before the send, half after — the lost-ack interleaving).
-    pub reset_rate: f64,
-    /// Probability in `[0, 1]` that an acknowledgement is delayed by
-    /// `delay`.
-    pub delay_rate: f64,
-    /// How late a delayed acknowledgement arrives.
-    pub delay: Duration,
-}
-
-#[allow(deprecated)]
-impl NetChaosConfig {
-    /// Reset-only injection at `rate`.
-    pub fn resets(seed: u64, rate: f64) -> Self {
-        NetChaosConfig {
-            seed,
-            reset_rate: rate.clamp(0.0, 1.0),
-            delay_rate: 0.0,
-            delay: Duration::ZERO,
-        }
-    }
-
-    /// Resets plus delayed acks.
-    pub fn resets_and_delays(seed: u64, reset_rate: f64, delay_rate: f64, delay: Duration) -> Self {
-        NetChaosConfig {
-            seed,
-            reset_rate: reset_rate.clamp(0.0, 1.0),
-            delay_rate: delay_rate.clamp(0.0, 1.0),
-            delay,
-        }
-    }
-
-    /// The equivalent unified spec (net layer only).
-    pub fn to_spec(&self) -> ChaosSpec {
-        ChaosSpec::new(self.seed).net(NetChaos::resets_and_delays(
-            self.reset_rate,
-            self.delay_rate,
-            self.delay,
-        ))
-    }
-}
-
 /// What the injector does to one wire operation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum NetFault {
@@ -128,14 +77,6 @@ impl ConnChaos {
             resets_after_send: AtomicU64::new(0),
             delayed_acks: AtomicU64::new(0),
         }
-    }
-
-    /// Builds the injector for a net-only configuration (pre-unification
-    /// surface).
-    #[deprecated(note = "use ConnChaos::from_spec with an aft_chaos::ChaosSpec")]
-    #[allow(deprecated)]
-    pub fn new(config: NetChaosConfig) -> Self {
-        Self::from_spec(&config.to_spec())
     }
 
     /// The injector's net-layer tuning.
@@ -232,18 +173,5 @@ mod tests {
             assert_eq!(chaos.decide("ping"), NetFault::None);
         }
         assert_eq!(chaos.stats().total(), 0);
-    }
-
-    /// The deprecated pre-unification surface still works and agrees with
-    /// the spec path.
-    #[test]
-    #[allow(deprecated)]
-    fn legacy_config_shim_delegates_to_the_unified_schedule() {
-        let config = NetChaosConfig::resets_and_delays(7, 0.3, 0.2, Duration::from_millis(2));
-        let legacy = ConnChaos::new(config);
-        let unified = ConnChaos::from_spec(&config.to_spec());
-        let a: Vec<NetFault> = (0..200).map(|_| legacy.decide("commit")).collect();
-        let b: Vec<NetFault> = (0..200).map(|_| unified.decide("commit")).collect();
-        assert_eq!(a, b);
     }
 }

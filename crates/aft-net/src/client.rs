@@ -46,8 +46,6 @@ use rand::{Rng, SeedableRng};
 
 use aft_chaos::ChaosSpec;
 
-#[allow(deprecated)]
-use crate::chaos::NetChaosConfig;
 use crate::chaos::{ConnChaos, NetChaosStats, NetFault};
 use crate::frame::{read_frame, write_frame};
 
@@ -125,14 +123,6 @@ impl ClientBuilder {
     pub fn chaos_spec(mut self, spec: ChaosSpec) -> Self {
         self.config.chaos = Some(spec);
         self
-    }
-
-    /// Installs seeded connection-fault injection (pre-unification
-    /// surface).
-    #[deprecated(note = "use ClientBuilder::chaos_spec with an aft_chaos::ChaosSpec")]
-    #[allow(deprecated)]
-    pub fn chaos(self, chaos: NetChaosConfig) -> Self {
-        self.chaos_spec(chaos.to_spec())
     }
 
     /// Seed for transaction UUIDs (distinct clients should use distinct

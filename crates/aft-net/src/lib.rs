@@ -41,8 +41,6 @@ pub mod frame;
 pub mod server;
 pub mod stats;
 
-#[allow(deprecated)]
-pub use chaos::NetChaosConfig;
 pub use chaos::{ConnChaos, NetChaosStats, NetFault};
 pub use client::{AftClient, ClientBuilder, ClientConfig, ClientStatsSnapshot};
 pub use event_loop::EventSnapshot;

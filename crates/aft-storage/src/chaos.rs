@@ -31,16 +31,12 @@
 //! the I/O engine's timer wheel inside `capture_deferred` scopes, and in
 //! `Virtual` mode it is charged to the operation's cost without sleeping —
 //! the overlap accounting of the pipelined engine keeps working unchanged.
-//!
-//! The pre-unification configuration surface ([`ChaosConfig`],
-//! [`FailurePlan`]) survives one release as thin deprecated shims over the
-//! spec.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use aft_chaos::{ChaosInjector, ChaosSpec, FaultSchedule, Layer, LayerSchedule, StorageChaos};
+use aft_chaos::{ChaosInjector, ChaosSpec, FaultSchedule, Layer, LayerSchedule};
 use aft_types::{AftError, AftResult, Value};
 
 use crate::counters::StorageStats;
@@ -48,139 +44,6 @@ use crate::engine::{SharedStorage, StorageEngine};
 use crate::latency::LatencyModel;
 
 pub use aft_chaos::FaultKind;
-
-/// Tuning for a [`FaultyBackend`] — the pre-unification configuration
-/// surface, kept for one release.
-#[deprecated(note = "compose an aft_chaos::ChaosSpec with StorageChaos instead; \
-            FaultyBackend::from_spec consumes it")]
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct ChaosConfig {
-    /// Seed of the fault schedule; identical seeds reproduce identical
-    /// schedules.
-    pub seed: u64,
-    /// Probability in `[0, 1]` that an operation fails with a transient
-    /// error (half of these apply the operation before losing the ack).
-    pub error_rate: f64,
-    /// Probability in `[0, 1]` that an operation times out: the timeout
-    /// latency is charged, then a transient error surfaces.
-    pub timeout_rate: f64,
-    /// The charged latency of one timeout, in microseconds before global
-    /// scaling (modeled on a client-side request deadline).
-    pub timeout_us: f64,
-    /// The gray-failure stripe: operations whose primary key hashes to this
-    /// stripe (out of `stripes`) pay `slow_extra_us` of extra latency.
-    /// `None` disables the mode.
-    pub slow_stripe: Option<usize>,
-    /// Extra latency per slow-stripe operation, in microseconds before
-    /// global scaling.
-    pub slow_extra_us: f64,
-    /// Stripe count the gray-failure mode hashes keys into.
-    pub stripes: usize,
-}
-
-#[allow(deprecated)]
-impl ChaosConfig {
-    /// A schedule that never injects anything (useful as a baseline leg).
-    pub fn quiet(seed: u64) -> Self {
-        ChaosConfig {
-            seed,
-            error_rate: 0.0,
-            timeout_rate: 0.0,
-            timeout_us: 0.0,
-            slow_stripe: None,
-            slow_extra_us: 0.0,
-            stripes: crate::sharded::DEFAULT_STRIPES,
-        }
-    }
-
-    /// Transient-error mode: `rate` of operations fail with a retryable
-    /// error (half applied-then-dropped-ack, half dropped outright).
-    pub fn transient_errors(seed: u64, rate: f64) -> Self {
-        ChaosConfig {
-            error_rate: rate.clamp(0.0, 1.0),
-            ..ChaosConfig::quiet(seed)
-        }
-    }
-
-    /// Timeout mode: `rate` of operations charge `timeout_us` and then fail
-    /// with a retryable error.
-    pub fn timeouts(seed: u64, rate: f64, timeout_us: f64) -> Self {
-        ChaosConfig {
-            timeout_rate: rate.clamp(0.0, 1.0),
-            timeout_us: timeout_us.max(0.0),
-            ..ChaosConfig::quiet(seed)
-        }
-    }
-
-    /// Gray-failure mode: every operation on keys of `stripe` (out of
-    /// `stripes`) pays `slow_extra_us` of extra latency; nothing errors.
-    pub fn slow_stripe(seed: u64, stripe: usize, stripes: usize, slow_extra_us: f64) -> Self {
-        let stripes = stripes.max(1);
-        ChaosConfig {
-            slow_stripe: Some(stripe % stripes),
-            slow_extra_us: slow_extra_us.max(0.0),
-            stripes,
-            ..ChaosConfig::quiet(seed)
-        }
-    }
-
-    /// The equivalent unified spec (storage layer only).
-    pub fn to_spec(&self) -> ChaosSpec {
-        ChaosSpec::new(self.seed).storage(StorageChaos {
-            error_rate: self.error_rate,
-            timeout_rate: self.timeout_rate,
-            timeout_us: self.timeout_us,
-            slow_stripe: self.slow_stripe,
-            slow_extra_us: self.slow_extra_us,
-            stripes: self.stripes,
-        })
-    }
-}
-
-/// The pre-unification storage-only fault schedule, kept for one release as
-/// a thin view over the unified [`FaultSchedule`]'s storage layer.
-#[deprecated(note = "use aft_chaos::FaultSchedule (via ChaosSpec::schedule) instead")]
-#[derive(Debug, Clone, Copy)]
-pub struct FailurePlan {
-    schedule: FaultSchedule,
-}
-
-#[allow(deprecated)]
-impl FailurePlan {
-    /// Builds the plan for `config`.
-    pub fn new(config: ChaosConfig) -> Self {
-        FailurePlan {
-            schedule: config.to_spec().schedule(),
-        }
-    }
-
-    /// The plan's tuning.
-    pub fn config(&self) -> ChaosConfig {
-        let c = self.schedule.storage_chaos();
-        ChaosConfig {
-            seed: self.schedule.seed(),
-            error_rate: c.error_rate,
-            timeout_rate: c.timeout_rate,
-            timeout_us: c.timeout_us,
-            slow_stripe: c.slow_stripe,
-            slow_extra_us: c.slow_extra_us,
-            stripes: c.stripes,
-        }
-    }
-
-    /// The fault injected into operation number `op_index` on `key`
-    /// (delegates to the unified schedule's storage layer — bit-compatible
-    /// with the pre-unification planner for the same seed).
-    pub fn decide(&self, op_index: u64, key: &str) -> FaultKind {
-        self.schedule.decide(Layer::Storage, op_index, key)
-    }
-
-    /// The first `n` decisions for a fixed key — the materialised schedule,
-    /// used by determinism tests and for replaying a failure report.
-    pub fn schedule(&self, n: u64, key: &str) -> Vec<FaultKind> {
-        self.schedule.materialize(Layer::Storage, n, key)
-    }
-}
 
 /// Point-in-time counters of a [`FaultyBackend`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -249,14 +112,6 @@ impl FaultyBackend {
             enabled: AtomicBool::new(true),
             counters: ChaosCounters::default(),
         })
-    }
-
-    /// Wraps `inner` with a storage-only configuration (pre-unification
-    /// surface).
-    #[deprecated(note = "use FaultyBackend::from_spec with an aft_chaos::ChaosSpec")]
-    #[allow(deprecated)]
-    pub fn new(inner: SharedStorage, config: ChaosConfig, latency: Arc<LatencyModel>) -> Arc<Self> {
-        Self::from_spec(inner, &config.to_spec(), latency)
     }
 
     /// Pauses (`false`) or resumes (`true`) fault injection. Paused
@@ -417,6 +272,7 @@ mod tests {
     use crate::latency::{measure_cost, LatencyMode};
     use crate::memory::InMemoryStore;
     use crate::sharded::stripe_of;
+    use aft_chaos::StorageChaos;
     use bytes::Bytes;
 
     fn val(s: &str) -> Value {
@@ -579,36 +435,5 @@ mod tests {
             backend.supports_deferred_latency(),
             backend.inner().supports_deferred_latency()
         );
-    }
-
-    /// The deprecated pre-unification surface still works and agrees with
-    /// the spec path bit for bit.
-    #[test]
-    #[allow(deprecated)]
-    fn legacy_shims_delegate_to_the_unified_schedule() {
-        let config = ChaosConfig {
-            error_rate: 0.25,
-            timeout_rate: 0.25,
-            ..ChaosConfig::quiet(7)
-        };
-        let plan = FailurePlan::new(config);
-        let unified = config.to_spec().schedule();
-        assert_eq!(
-            plan.schedule(200, "k"),
-            unified.materialize(Layer::Storage, 200, "k")
-        );
-        assert_eq!(
-            plan.decide(63, "k"),
-            unified.decide(Layer::Storage, 63, "k")
-        );
-        assert_eq!(plan.config().seed, 7);
-
-        // The deprecated backend constructor behaves like from_spec.
-        let legacy = FaultyBackend::new(
-            InMemoryStore::shared(),
-            ChaosConfig::transient_errors(3, 1.0),
-            LatencyModel::new(LatencyMode::Virtual, 1.0),
-        );
-        assert!(legacy.put("k", val("v")).is_err());
     }
 }

@@ -48,8 +48,6 @@ pub mod service;
 pub mod sharded;
 
 pub use backend::{make_backend, BackendConfig, BackendKind};
-#[allow(deprecated)]
-pub use chaos::{ChaosConfig, FailurePlan};
 pub use chaos::{ChaosStatsSnapshot, FaultKind, FaultyBackend};
 pub use counters::{OpKind, StorageStats, StorageStatsSnapshot, StripeCounters};
 pub use dynamo::{DynamoTransactionMode, SimDynamo};

@@ -10,7 +10,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::{SystemTime, UNIX_EPOCH};
+use std::time::{Duration, SystemTime, UNIX_EPOCH};
 
 use crate::txid::Timestamp;
 
@@ -18,6 +18,17 @@ use crate::txid::Timestamp;
 pub trait Clock: Send + Sync {
     /// Returns the current time in milliseconds.
     fn now(&self) -> Timestamp;
+
+    /// Sleeps for `duration` *on this clock*.
+    ///
+    /// The wall clock really sleeps; virtual clocks advance their notion of
+    /// time instead and merely yield the CPU, so background loops that pace
+    /// themselves with `sleep_for` (the cluster's maintenance thread) run at
+    /// simulation speed under a [`MockClock`] or [`TickingClock`] instead of
+    /// stalling a deterministic bench on wall-clock delays.
+    fn sleep_for(&self, duration: Duration) {
+        std::thread::sleep(duration);
+    }
 }
 
 /// A shareable, dynamically dispatched clock.
@@ -91,6 +102,11 @@ impl Clock for MockClock {
     fn now(&self) -> Timestamp {
         self.now_ms.load(Ordering::SeqCst)
     }
+
+    fn sleep_for(&self, duration: Duration) {
+        self.advance(duration.as_millis() as u64);
+        std::thread::yield_now();
+    }
 }
 
 /// A clock that ticks forward by a fixed amount on every read.
@@ -122,6 +138,12 @@ impl TickingClock {
 impl Clock for TickingClock {
     fn now(&self) -> Timestamp {
         self.next.fetch_add(self.step, Ordering::SeqCst)
+    }
+
+    fn sleep_for(&self, duration: Duration) {
+        self.next
+            .fetch_add(duration.as_millis() as u64, Ordering::SeqCst);
+        std::thread::yield_now();
     }
 }
 
@@ -169,5 +191,24 @@ mod tests {
     fn shared_clock_is_object_safe() {
         let shared: SharedClock = MockClock::starting_at(7).shared();
         assert_eq!(shared.now(), 7);
+    }
+
+    #[test]
+    fn virtual_clocks_sleep_by_advancing() {
+        let mock = MockClock::starting_at(100);
+        mock.sleep_for(Duration::from_millis(25));
+        assert_eq!(mock.now(), 125, "mock sleep advances virtual time");
+
+        let ticking = TickingClock::new(0, 1);
+        ticking.sleep_for(Duration::from_millis(10));
+        assert_eq!(ticking.now(), 10, "ticking sleep advances the counter");
+    }
+
+    #[test]
+    fn system_clock_sleep_really_sleeps() {
+        let c = SystemClock::new();
+        let before = std::time::Instant::now();
+        c.sleep_for(Duration::from_millis(2));
+        assert!(before.elapsed() >= Duration::from_millis(2));
     }
 }
