@@ -1,0 +1,107 @@
+//! Runs the `fig13_checkpoint` recovery-cost sweep (commit-history size ×
+//! backend, full replay vs checkpoint + tail), prints the result table, and
+//! writes machine-readable `BENCH_checkpoint.json`.
+//!
+//! Usage:
+//!
+//! ```text
+//! fig13_checkpoint [--out PATH] [--seed N] [--skip-gate]
+//! ```
+//!
+//! * `--out PATH` — where to write the report JSON (default
+//!   `BENCH_checkpoint.json`).
+//! * `--seed N` — override the base seed (replay a failing CI run locally:
+//!   copy the seed the CI log prints).
+//! * `--skip-gate` — do not fail on gate violations (exploration runs only;
+//!   CI keeps the gate on).
+//! * `AFT_BENCH_FAST=1` — run the trimmed CI sweep (one backend, 2k → 10k
+//!   commits).
+//!
+//! The sweep runs on the virtual clock (`LatencyMode::Virtual` at full
+//! scale), so it finishes quickly regardless of the simulated latencies.
+
+use aft_bench::checkpoint::{fig13_checkpoint, CheckpointBenchConfig};
+
+fn main() {
+    let mut out_path = "BENCH_checkpoint.json".to_owned();
+    let mut gate = true;
+    let mut seed_override: Option<u64> = None;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                i += 1;
+                out_path = args
+                    .get(i)
+                    .unwrap_or_else(|| {
+                        eprintln!("missing value for --out");
+                        std::process::exit(2);
+                    })
+                    .clone();
+            }
+            "--seed" => {
+                i += 1;
+                seed_override =
+                    Some(args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                        eprintln!("missing or invalid value for --seed");
+                        std::process::exit(2);
+                    }));
+            }
+            "--skip-gate" => gate = false,
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let fast = std::env::var("AFT_BENCH_FAST").is_ok();
+    let mut config = if fast {
+        CheckpointBenchConfig::fast()
+    } else {
+        CheckpointBenchConfig::standard()
+    };
+    if let Some(seed) = seed_override {
+        config.seed = seed;
+    }
+    println!(
+        "fig13_checkpoint (fast={fast}, seed={:#x}): {} backends x {:?} commits, \
+         {} live keys, {}-commit tail, {} trials/cell, virtual clock\n",
+        config.seed,
+        config.backends.len(),
+        config.sizes,
+        config.keys,
+        config.tail,
+        config.trials
+    );
+
+    let report = fig13_checkpoint(&config);
+    report.table().print();
+
+    let rendered = report.to_json().render();
+    if let Err(e) = std::fs::write(&out_path, &rendered) {
+        eprintln!("failed to write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out_path}");
+
+    if gate {
+        match report.check_gate() {
+            Ok(message) => println!("gate OK: {message}"),
+            Err(message) => {
+                // Fast-mode detection is presence-based (`is_ok()`), so the
+                // full-sweep replay must leave the variable unset entirely.
+                let env_prefix = if fast { "AFT_BENCH_FAST=1 " } else { "" };
+                eprintln!(
+                    "gate FAILED: {message}\nreplay locally with: \
+                     {env_prefix}fig13_checkpoint --seed {}",
+                    config.seed
+                );
+                std::process::exit(1);
+            }
+        }
+    }
+}

@@ -1,9 +1,9 @@
 //! Runs every experiment in the evaluation back to back (Figures 2-10,
 //! Table 2, the throughput-scaling sweep, the networked-service sweep, the
-//! overload sweep, and the dissemination sweep), prints each table, and
-//! finishes by aggregating every `BENCH_*.json` in
-//! the working directory into `BENCH_summary.json` — the machine-readable
-//! per-PR bench trajectory.
+//! overload sweep, the dissemination sweep, and the checkpoint-recovery
+//! sweep), prints each table, aggregates every `BENCH_*.json` in the working
+//! directory into `BENCH_summary.json` — the machine-readable per-PR bench
+//! trajectory — and exits non-zero if **any** registered bench gate fails.
 //!
 //! Usage:
 //!
@@ -12,23 +12,26 @@
 //! ```
 //!
 //! * `--summary-only` — skip the experiments and only (re)build
-//!   `BENCH_summary.json` from whatever reports already exist.
+//!   `BENCH_summary.json` from whatever reports already exist (no gates run
+//!   in this mode).
 //! * `--dir PATH` — where to look for and write the reports (default: the
 //!   current directory).
 //! * `AFT_BENCH_FAST=1` — quick pass.
 
 use std::path::PathBuf;
 
+use aft_bench::checkpoint::CheckpointBenchConfig;
 use aft_bench::dissemination::DisseminationBenchConfig;
 use aft_bench::overload::OverloadConfig;
 use aft_bench::recovery::RecoveryConfig;
 use aft_bench::service::ServiceConfig;
 use aft_bench::{
-    dissemination, experiments, overload, recovery, scaling, service, summary, BenchEnv,
-    ScalingConfig,
+    checkpoint, dissemination, experiments, overload, recovery, scaling, service, summary,
+    BenchEnv, ScalingConfig,
 };
 
 fn main() {
+    let mut gates: Vec<(&str, Result<String, String>)> = Vec::new();
     let mut summary_only = false;
     let mut dir = PathBuf::from(".");
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -105,6 +108,13 @@ fn main() {
         let dissemination_report = dissemination::fig12_dissemination(&dissemination_config);
         dissemination_report.table().print();
         dissemination_report.partition_table().print();
+        let checkpoint_config = if env.fast {
+            CheckpointBenchConfig::fast()
+        } else {
+            CheckpointBenchConfig::standard()
+        };
+        let checkpoint_report = checkpoint::fig13_checkpoint(&checkpoint_config);
+        checkpoint_report.table().print();
 
         // Persist the machine-readable reports so the summary below (and
         // any later --summary-only run) sees this run's numbers.
@@ -114,11 +124,21 @@ fn main() {
             ("BENCH_service.json", service_report.to_json()),
             ("BENCH_overload.json", overload_report.to_json()),
             ("BENCH_dissemination.json", dissemination_report.to_json()),
+            ("BENCH_checkpoint.json", checkpoint_report.to_json()),
         ] {
             if let Err(e) = std::fs::write(dir.join(name), json.render()) {
                 eprintln!("failed to write {name}: {e}");
             }
         }
+
+        // Every registered report's gate must hold — a failure anywhere
+        // fails the whole run (the scaling sweep has no gate; it is
+        // trajectory-only).
+        gates.push(("fig10_recovery", recovery_report.check_gate()));
+        gates.push(("fig8_service", service_report.check_gate()));
+        gates.push(("fig11_overload", overload_report.check_gate()));
+        gates.push(("fig12_dissemination", dissemination_report.check_gate()));
+        gates.push(("fig13_checkpoint", checkpoint_report.check_gate()));
     }
 
     match summary::aggregate_bench_reports(&dir) {
@@ -134,5 +154,20 @@ fn main() {
             eprintln!("failed to aggregate bench reports: {e}");
             std::process::exit(1);
         }
+    }
+
+    let mut failed = false;
+    for (name, verdict) in &gates {
+        match verdict {
+            Ok(message) => println!("gate OK [{name}]: {message}"),
+            Err(message) => {
+                failed = true;
+                eprintln!("gate FAILED [{name}]: {message}");
+            }
+        }
+    }
+    if failed {
+        eprintln!("one or more bench gates failed — see above; replay the named bench locally");
+        std::process::exit(1);
     }
 }

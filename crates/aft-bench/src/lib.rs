@@ -23,6 +23,7 @@
 //! * `AFT_BENCH_FAST` — if set, shrinks every experiment (fewer requests,
 //!   fewer clients, shorter timelines) for smoke-testing.
 
+pub mod checkpoint;
 pub mod dissemination;
 pub mod experiments;
 pub mod json;
@@ -35,6 +36,7 @@ pub mod service;
 pub mod setup;
 pub mod summary;
 
+pub use checkpoint::{fig13_checkpoint, CheckpointBenchConfig, CheckpointReport};
 pub use dissemination::{fig12_dissemination, DisseminationBenchConfig, DisseminationReport};
 pub use json::Json;
 pub use overload::{fig11_overload, OverloadConfig, OverloadReport};

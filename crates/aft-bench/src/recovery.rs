@@ -181,12 +181,15 @@ pub struct RecoveryConfig {
 
 impl RecoveryConfig {
     /// The full matrix: 6 fault modes (3 storage, network, cross-layer,
-    /// and metadata partition) × 3 kill points × the 3 evaluated
-    /// backends = 54 cells, 3 trials each.
+    /// and metadata partition) × 5 kill points (the 3 commit phases plus
+    /// the 2 checkpoint phases) × the 3 evaluated backends = 90 cells,
+    /// 3 trials each.
     pub fn standard() -> Self {
+        let mut kill_points = CommitPhase::ALL.to_vec();
+        kill_points.extend(CommitPhase::CHECKPOINT);
         RecoveryConfig {
             fault_modes: FaultMode::ALL.to_vec(),
-            kill_points: CommitPhase::ALL.to_vec(),
+            kill_points,
             backends: BackendKind::EVALUATED.to_vec(),
             trials: 3,
             requests_per_trial: 48,
@@ -510,6 +513,23 @@ fn round2(v: f64) -> f64 {
     (v * 100.0).round() / 100.0
 }
 
+/// Checkpoint cadence for every trial node: small enough that the victim
+/// is always due at least one checkpoint round during the load, so the
+/// checkpoint-phase kill points reliably fire.
+const TRIAL_CHECKPOINT_EVERY: u64 = 4;
+
+/// How many matching-phase events pass before the armed kill fires. Commit
+/// phases fire partway through the load; checkpoint phases are rare events
+/// (one per due checkpoint round / replacement bootstrap), so those kills
+/// fire on the very first one.
+fn kill_delay(kill_point: CommitPhase, config: &RecoveryConfig) -> u64 {
+    if kill_point.is_checkpoint() {
+        0
+    } else {
+        (config.requests_per_trial / (config.nodes * 4)) as u64
+    }
+}
+
 /// Increments a counter when dropped — survives panics, so the trial's
 /// maintenance loop can always observe "every client thread exited".
 struct CountOnDrop<'a>(&'a AtomicU64);
@@ -730,8 +750,7 @@ fn run_network_trial(
 
     let victim_id = "aft-node-1";
     let spec = fault_mode.chaos_spec(trial_seed).kill(
-        KillPlan::immediate(victim_id, kill_point)
-            .after_commits((config.requests_per_trial / (config.nodes * 4)) as u64),
+        KillPlan::immediate(victim_id, kill_point).after_commits(kill_delay(kill_point, config)),
     );
 
     let raw = aft_storage::make_backend(BackendConfig {
@@ -763,6 +782,7 @@ fn run_network_trial(
         node_template: NodeConfig {
             data_cache_bytes: 0,
             rng_seed: trial_seed,
+            checkpoint: aft_core::CheckpointPolicy::every_commits(TRIAL_CHECKPOINT_EVERY),
             ..NodeConfig::default()
         },
         local_gc_enabled: false,
@@ -901,8 +921,7 @@ fn run_trial(
     // rides along and is armed below via the same spec.
     let victim_id = "aft-node-1";
     let spec = fault_mode.chaos_spec(trial_seed).kill(
-        KillPlan::immediate(victim_id, kill_point)
-            .after_commits((config.requests_per_trial / (config.nodes * 4)) as u64),
+        KillPlan::immediate(victim_id, kill_point).after_commits(kill_delay(kill_point, config)),
     );
     // Chaos-wrapped backend on the virtual clock at full scale: injected
     // latency is charged, never slept, so the whole matrix runs in seconds.
@@ -919,6 +938,8 @@ fn run_trial(
 
     // GC stays off so the durable Transaction Commit Set remains the
     // complete ground truth the post-recovery verification compares against.
+    // (Checkpoints are still written on their cadence — log *compaction* is
+    // what stays off, since it rides the global GC gate.)
     let cluster_config = ClusterConfig {
         initial_nodes: config.nodes,
         node_template: NodeConfig {
@@ -926,6 +947,7 @@ fn run_trial(
             // behind a warm cache.
             data_cache_bytes: 0,
             rng_seed: trial_seed,
+            checkpoint: aft_core::CheckpointPolicy::every_commits(TRIAL_CHECKPOINT_EVERY),
             ..NodeConfig::default()
         },
         local_gc_enabled: false,
@@ -1101,12 +1123,13 @@ mod tests {
     #[test]
     fn full_tiny_matrix_is_clean() {
         // The acceptance shape: 6 fault modes (3 storage + network +
-        // cross-layer + metadata partition) x 3 kill points (one backend),
-        // zero anomalies, zero lost commits, full recovery, convergence.
+        // cross-layer + metadata partition) x 5 kill points (3 commit
+        // phases + 2 checkpoint phases, one backend), zero anomalies, zero
+        // lost commits, full recovery, convergence.
         let report = fig10_recovery(&tiny());
-        assert_eq!(report.cells.len(), 18);
+        assert_eq!(report.cells.len(), 30);
         let summary = report.check_gate().expect("gate must pass");
-        assert!(summary.contains("18 cells"), "{summary}");
+        assert!(summary.contains("30 cells"), "{summary}");
         assert_eq!(report.total_anomalies(), 0);
         assert_eq!(report.total_lost(), 0);
         assert_eq!(report.total_unrecovered(), 0);
@@ -1190,6 +1213,31 @@ mod tests {
         assert_eq!(report.total_lost(), 0);
         assert_eq!(report.total_unrecovered(), 0);
         assert!(report.cells.iter().all(CellReport::all_converged));
+    }
+
+    #[test]
+    fn checkpoint_kill_points_replace_the_victim_and_stay_clean() {
+        // The two checkpoint cells: a kill mid-checkpoint-write must leave
+        // the previous checkpoint live (never a torn read), and a kill
+        // mid-bootstrap must be retried to convergence. Both must replace
+        // the victim and keep every invariant.
+        let config = RecoveryConfig {
+            kill_points: CommitPhase::CHECKPOINT.to_vec(),
+            fault_modes: vec![FaultMode::Transient],
+            ..tiny()
+        };
+        let report = fig10_recovery(&config);
+        assert_eq!(report.total_anomalies(), 0);
+        assert_eq!(report.total_lost(), 0);
+        assert_eq!(report.total_unrecovered(), 0);
+        assert!(report.cells.iter().all(CellReport::all_converged));
+        for cell in &report.cells {
+            assert!(
+                cell.sum(|t| t.replaced_nodes as u64) > 0,
+                "{}: the checkpoint kill must actually fire and cost the victim",
+                cell.kill_point
+            );
+        }
     }
 
     #[test]

@@ -94,10 +94,42 @@ impl CommitProbe for KillProbe {
     }
 }
 
+/// The one-shot probe a [`ChaosController`] installs for
+/// [`CommitPhase::DuringCheckpointBootstrap`] kills: it tears the *first*
+/// bootstrap that reaches the checkpoint phase after arming (the victim's
+/// replacement) and lets every later attempt proceed, so the retried
+/// replacement converges and the drive can prove a torn bootstrap is
+/// harmless.
+struct BootstrapInterrupter {
+    fired: AtomicBool,
+    interruptions: AtomicU64,
+}
+
+impl CommitProbe for BootstrapInterrupter {
+    fn before_phase(
+        &self,
+        node_id: &str,
+        _txid: &TransactionId,
+        phase: CommitPhase,
+    ) -> AftResult<()> {
+        if phase != CommitPhase::DuringCheckpointBootstrap {
+            return Ok(());
+        }
+        if !self.fired.swap(true, Ordering::AcqRel) {
+            self.interruptions.fetch_add(1, Ordering::Relaxed);
+            return Err(AftError::Unavailable(format!(
+                "chaos: node {node_id} killed mid-bootstrap"
+            )));
+        }
+        Ok(())
+    }
+}
+
 /// Arms node kills and drives the cluster's recovery machinery.
 pub struct ChaosController {
     cluster: Arc<Cluster>,
     kills: Mutex<Vec<Arc<KillProbe>>>,
+    interrupters: Mutex<Vec<Arc<BootstrapInterrupter>>>,
 }
 
 impl ChaosController {
@@ -106,6 +138,7 @@ impl ChaosController {
         ChaosController {
             cluster,
             kills: Mutex::new(Vec::new()),
+            interrupters: Mutex::new(Vec::new()),
         }
     }
 
@@ -117,13 +150,35 @@ impl ChaosController {
     /// Arms `plan`: installs a crash probe on the target node. Fails if the
     /// node is not registered. Arming again *adds* a kill — one trial may
     /// crash several nodes.
+    ///
+    /// A [`CommitPhase::DuringCheckpointBootstrap`] plan is a two-part
+    /// scenario: the victim is killed in the §4.2 lost-broadcast window
+    /// (after `after_commits` commits), and a one-shot interrupter is
+    /// registered with the cluster so the replacement's first
+    /// checkpoint-bootstrap is torn mid-flight. The retried replacement must
+    /// still converge to the full-replay state.
     pub fn arm_kill(&self, plan: KillPlan) -> AftResult<Arc<AftNode>> {
         let node = self.cluster.registry().get(&plan.node_id).ok_or_else(|| {
             AftError::InvalidRequest(format!("chaos: unknown node {:?}", plan.node_id))
         })?;
+        let phase = if plan.phase == CommitPhase::DuringCheckpointBootstrap {
+            let interrupter = Arc::new(BootstrapInterrupter {
+                fired: AtomicBool::new(false),
+                interruptions: AtomicU64::new(0),
+            });
+            self.cluster
+                .set_bootstrap_interrupter(Arc::clone(&interrupter) as Arc<dyn CommitProbe>);
+            self.interrupters.lock().push(interrupter);
+            // The victim itself dies at the most demanding commit phase: its
+            // last commit is durable but silent, so recovery must both find
+            // the lost commit *and* survive the torn bootstrap.
+            CommitPhase::BeforeBroadcast
+        } else {
+            plan.phase
+        };
         let probe = Arc::new(KillProbe {
             registry: Arc::clone(self.cluster.registry()),
-            phase: plan.phase,
+            phase,
             after_commits: plan.after_commits,
             commits_seen: AtomicU64::new(0),
             fired: AtomicBool::new(false),
@@ -164,6 +219,15 @@ impl ChaosController {
             .iter()
             .filter(|p| p.fired.load(Ordering::Acquire))
             .count()
+    }
+
+    /// Bootstraps torn by armed checkpoint-bootstrap kills so far.
+    pub fn bootstrap_interruptions(&self) -> u64 {
+        self.interrupters
+            .lock()
+            .iter()
+            .map(|p| p.interruptions.load(Ordering::Relaxed))
+            .sum()
     }
 
     /// When the *first* armed kill fired, if any has.
@@ -367,6 +431,101 @@ mod tests {
             controller.arm_spec(&spec),
             Err(AftError::InvalidRequest(_))
         ));
+    }
+
+    #[test]
+    fn checkpoint_write_kill_marks_node_failed_and_recovery_converges() {
+        use aft_core::CheckpointPolicy;
+        let cluster = Cluster::with_clock(
+            ClusterConfig::test(3).with_checkpoint_policy(CheckpointPolicy::every_commits(2)),
+            InMemoryStore::shared(),
+            aft_types::clock::TickingClock::shared(1, 1),
+        )
+        .unwrap();
+        let controller = ChaosController::new(Arc::clone(&cluster));
+        let victim = controller
+            .arm_kill(KillPlan::immediate(
+                "aft-node-0",
+                CommitPhase::DuringCheckpointWrite,
+            ))
+            .unwrap();
+
+        // Commits pass unharmed (the probe only matches the checkpoint
+        // phase); the maintenance round's checkpoint write fires the kill.
+        commit_on(&victim, "a", "1").unwrap();
+        commit_on(&victim, "b", "2").unwrap();
+        let stats = cluster.run_maintenance_round().unwrap();
+        assert_eq!(stats.checkpoint_failures, 1);
+        assert!(controller.kill_fired());
+        assert_eq!(
+            cluster.registry().state_of("aft-node-0"),
+            Some(NodeState::Failed)
+        );
+        // The torn checkpoint published no manifest: nothing to load.
+        let load = aft_storage::load_latest_checkpoint(cluster.io()).unwrap();
+        assert!(load.checkpoint.is_none(), "manifest was never published");
+
+        let outcome = controller.drive_recovery(30);
+        assert!(outcome.converged, "recovery must converge: {outcome:?}");
+        assert_eq!(outcome.replaced_nodes, 1);
+        for node in cluster.active_nodes() {
+            let t = node.start_transaction();
+            assert_eq!(
+                node.get(&t, &Key::new("b")).unwrap().unwrap(),
+                Bytes::from_static(b"2")
+            );
+        }
+    }
+
+    #[test]
+    fn torn_bootstrap_is_retried_and_recovery_converges() {
+        use aft_core::CheckpointPolicy;
+        let cluster = Cluster::with_clock(
+            ClusterConfig::test(3).with_checkpoint_policy(CheckpointPolicy::every_commits(2)),
+            InMemoryStore::shared(),
+            aft_types::clock::TickingClock::shared(1, 1),
+        )
+        .unwrap();
+        let controller = ChaosController::new(Arc::clone(&cluster));
+        let victim = controller
+            .arm_kill(KillPlan::immediate(
+                "aft-node-1",
+                CommitPhase::DuringCheckpointBootstrap,
+            ))
+            .unwrap();
+
+        // Seed a checkpoint so the replacement really bootstraps from
+        // checkpoint + tail, then kill the victim (silent durable commit).
+        let healthy = cluster.registry().get("aft-node-0").unwrap();
+        commit_on(&healthy, "warm", "1").unwrap();
+        commit_on(&healthy, "warm", "2").unwrap();
+        let stats = cluster.run_maintenance_round().unwrap();
+        assert_eq!(stats.checkpoints_written, 1, "only the committer is due");
+        let err = commit_on(&victim, "silent", "payload").unwrap_err();
+        assert!(matches!(err, AftError::Unavailable(_)));
+
+        let outcome = controller.drive_recovery(30);
+        assert!(outcome.converged, "recovery must converge: {outcome:?}");
+        assert_eq!(
+            controller.bootstrap_interruptions(),
+            1,
+            "exactly one bootstrap is torn"
+        );
+        assert!(
+            outcome.failed_rounds >= 1,
+            "the torn bootstrap costs a round: {outcome:?}"
+        );
+        assert_eq!(outcome.replaced_nodes, 1, "the retry succeeds");
+        assert_eq!(cluster.registry().active_count(), 3);
+        for node in cluster.active_nodes() {
+            let t = node.start_transaction();
+            assert_eq!(
+                node.get(&t, &Key::new("silent")).unwrap().unwrap(),
+                Bytes::from_static(b"payload"),
+                "node {} must serve the recovered commit",
+                node.node_id()
+            );
+        }
     }
 
     #[test]

@@ -19,7 +19,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use aft_core::{AftNode, LocalGcConfig, NodeConfig};
+use aft_core::{AftNode, CommitProbe, LocalGcConfig, NodeConfig};
 use aft_storage::io::{IoConfig, IoEngine};
 use aft_storage::SharedStorage;
 use aft_types::{AftResult, SharedClock, SystemClock};
@@ -104,6 +104,12 @@ impl ClusterConfig {
         self.dissemination = dissemination;
         self
     }
+
+    /// Sets every node's checkpoint policy (via the node template).
+    pub fn with_checkpoint_policy(mut self, policy: aft_core::CheckpointPolicy) -> Self {
+        self.node_template.checkpoint = policy;
+        self
+    }
 }
 
 /// Statistics from one maintenance round.
@@ -117,6 +123,13 @@ pub struct MaintenanceStats {
     pub local_gc_deleted: usize,
     /// Global GC outcome for the round (zero if disabled).
     pub global_gc: GlobalGcOutcome,
+    /// Checkpoints published this round (nodes whose policy came due).
+    pub checkpoints_written: usize,
+    /// Checkpoint rounds that failed (e.g. a chaos kill fired mid-write);
+    /// the node's previous checkpoint stays live.
+    pub checkpoint_failures: usize,
+    /// Commit records dropped by checkpoint-driven log compaction.
+    pub compacted_records: u64,
 }
 
 /// A running AFT deployment: nodes, router, fault manager, and GC.
@@ -135,6 +148,10 @@ pub struct Cluster {
     next_node_index: AtomicUsize,
     shutdown: Arc<AtomicBool>,
     background: Mutex<Vec<JoinHandle<()>>>,
+    /// Optional probe handed to every node built after it is set, consulted
+    /// at the checkpoint-bootstrap phase. Chaos controllers install a
+    /// one-shot interrupter here to tear a replacement's bootstrap.
+    bootstrap_interrupter: Mutex<Option<Arc<dyn CommitProbe>>>,
 }
 
 impl Cluster {
@@ -158,6 +175,7 @@ impl Cluster {
             next_node_index: AtomicUsize::new(0),
             shutdown: Arc::new(AtomicBool::new(false)),
             background: Mutex::new(Vec::new()),
+            bootstrap_interrupter: Mutex::new(None),
             io: IoEngine::new(storage.clone(), config.io),
             registry,
             storage,
@@ -172,12 +190,22 @@ impl Cluster {
 
     fn make_node(&self) -> AftResult<Arc<AftNode>> {
         let index = self.next_node_index.fetch_add(1, Ordering::Relaxed);
-        let node_config = NodeConfig {
+        let mut node_config = NodeConfig {
             node_id: format!("aft-node-{index}"),
             rng_seed: self.config.node_template.rng_seed ^ (index as u64).wrapping_mul(0x9E37),
             ..self.config.node_template.clone()
         };
+        if let Some(probe) = self.bootstrap_interrupter.lock().clone() {
+            node_config = node_config.with_bootstrap_probe(probe);
+        }
         AftNode::with_clock(node_config, self.storage.clone(), self.clock.clone())
+    }
+
+    /// Installs a probe consulted at the checkpoint-bootstrap phase of every
+    /// node built from now on (i.e. replacements). Chaos controllers use a
+    /// one-shot interrupter to prove a torn bootstrap retries cleanly.
+    pub fn set_bootstrap_interrupter(&self, probe: Arc<dyn CommitProbe>) {
+        *self.bootstrap_interrupter.lock() = Some(probe);
     }
 
     /// Creates a new node, registers it as active, and returns it.
@@ -309,6 +337,36 @@ impl Cluster {
             stats.global_gc = self
                 .global_gc
                 .run_round(&self.fault_manager, &nodes, &self.io)?;
+        }
+        // Checkpoint rounds last, so a checkpoint published this round
+        // already reflects the round's dissemination and recovery work. Log
+        // compaction piggybacks only when global GC is on *and* no recovery
+        // is in flight: a failed or still-warming node may yet need commit
+        // records the checkpoint covers, so compaction waits for a fully
+        // active membership (the GlobalGc / drive_recovery coordination).
+        if self.config.node_template.checkpoint.is_enabled() {
+            let membership_stable = self
+                .registry
+                .all_nodes()
+                .iter()
+                .all(|(_, state)| *state == NodeState::Active);
+            let compact = self.config.global_gc_enabled && membership_stable;
+            for node in &nodes {
+                match node.maybe_checkpoint(compact) {
+                    Ok(Some(outcome)) => {
+                        stats.checkpoints_written += 1;
+                        if let Some(compaction) = outcome.compaction {
+                            stats.compacted_records +=
+                                (compaction.deleted_covered + compaction.deleted_superseded) as u64;
+                        }
+                    }
+                    Ok(None) => {}
+                    // A chaos kill mid-checkpoint-write marks the node failed
+                    // via its probe; the round itself keeps going and the
+                    // node's previous checkpoint stays live.
+                    Err(_) => stats.checkpoint_failures += 1,
+                }
+            }
         }
         Ok(stats)
     }
@@ -497,6 +555,51 @@ mod tests {
         for node in cluster.active_nodes() {
             assert!(node.metadata().latest_version_of(&Key::new("k")).is_some());
         }
+    }
+
+    #[test]
+    fn maintenance_checkpoints_and_compacts_only_with_stable_membership() {
+        use aft_core::CheckpointPolicy;
+        let cluster = Cluster::with_clock(
+            ClusterConfig::test(2).with_checkpoint_policy(CheckpointPolicy::every_commits(1)),
+            InMemoryStore::shared(),
+            aft_types::clock::TickingClock::shared(1, 1),
+        )
+        .unwrap();
+        let node = cluster.route().unwrap();
+        // Distinct keys: §5.2 global GC never deletes a key's newest (only)
+        // record, so any commit-log shrinkage below is checkpoint compaction.
+        for i in 0..6 {
+            run_txn(&node, &format!("k{i}"), "v");
+        }
+
+        // With a failed node in the registry, checkpoints are written but
+        // compaction is held back: a recovery in flight may still need the
+        // covered records.
+        cluster.kill_node("aft-node-1");
+        let stats = cluster.run_maintenance_round().unwrap();
+        assert!(stats.checkpoints_written >= 1);
+        assert_eq!(stats.compacted_records, 0, "no compaction mid-recovery");
+        assert_eq!(cluster.storage().list_prefix("commit/").unwrap().len(), 6);
+
+        // Once the membership is fully active again, the next due checkpoint
+        // compacts the covered log.
+        cluster.replace_failed_nodes().unwrap();
+        run_txn(&node, "k6", "v");
+        let stats = cluster.run_maintenance_round().unwrap();
+        assert!(stats.checkpoints_written >= 1);
+        assert!(stats.compacted_records > 0, "stable membership compacts");
+        let remaining = cluster.storage().list_prefix("commit/").unwrap().len();
+        assert!(remaining < 7, "covered records dropped, saw {remaining}");
+
+        // A cold node bootstrapping from checkpoint + tail still serves the
+        // compacted-away commits.
+        let fresh = cluster.add_node().unwrap();
+        let t = fresh.start_transaction();
+        assert_eq!(
+            fresh.get(&t, &Key::new("k0")).unwrap().unwrap(),
+            Bytes::from_static(b"v")
+        );
     }
 
     #[test]

@@ -8,13 +8,16 @@
 //! and any transaction without one is simply not committed (clients retry).
 
 use std::sync::Arc;
+use std::time::Duration;
 
+use aft_storage::checkpoint::load_latest_checkpoint;
 use aft_storage::io::{IoEngine, StorageRequest};
 use aft_storage::SharedStorage;
 use aft_types::codec::decode_commit_record;
-use aft_types::{AftResult, TransactionRecord};
+use aft_types::{AftResult, CommitPhase, TransactionId, TransactionRecord, Uuid};
 
 use crate::metadata::MetadataCache;
+use crate::node::CommitProbe;
 
 /// Reads commit records from storage and inserts them into `metadata`.
 ///
@@ -106,6 +109,107 @@ pub fn warm_metadata_cache_pipelined(
         }
     })?;
     Ok(loaded)
+}
+
+/// How a checkpoint-aware bootstrap warmed the cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BootstrapOutcome {
+    /// Records loaded from the checkpoint.
+    pub from_checkpoint: usize,
+    /// Records loaded from the commit-set tail (or the whole set on full
+    /// replay).
+    pub from_tail: usize,
+    /// Whether a valid checkpoint was found and used.
+    pub used_checkpoint: bool,
+    /// Checkpoints that were present but rejected (torn/corrupt) before a
+    /// valid one was found.
+    pub rejected_checkpoints: usize,
+    /// Bytes fetched from storage (checkpoint blobs + commit records).
+    pub bytes_read: u64,
+    /// Simulated latency charged for the whole warm-up.
+    pub cost: Duration,
+}
+
+impl BootstrapOutcome {
+    /// Total records loaded.
+    pub fn loaded(&self) -> usize {
+        self.from_checkpoint + self.from_tail
+    }
+}
+
+/// Like [`warm_metadata_cache_pipelined`], but bootstraps from **checkpoint +
+/// tail**: the newest valid checkpoint (see
+/// [`aft_storage::checkpoint::load_latest_checkpoint`] — torn checkpoints are
+/// CRC-rejected with clean fallback) seeds the cache, then only commit
+/// records *above* its high-water mark are replayed. With no usable
+/// checkpoint this degenerates to full replay, so recovery cost tracks the
+/// tail, not the history.
+///
+/// `probe`, when present, is consulted at
+/// [`CommitPhase::DuringCheckpointBootstrap`] — after the checkpoint is
+/// applied, before the tail fetch — so chaos plans can kill a replacement
+/// node mid-bootstrap and prove the *next* attempt still converges.
+pub fn warm_metadata_cache_checkpointed(
+    io: &IoEngine,
+    metadata: &MetadataCache,
+    limit: usize,
+    node_id: &str,
+    probe: Option<&Arc<dyn CommitProbe>>,
+) -> AftResult<BootstrapOutcome> {
+    let mut outcome = BootstrapOutcome::default();
+
+    let load = load_latest_checkpoint(io)?;
+    outcome.rejected_checkpoints = load.rejected;
+    outcome.bytes_read += load.bytes_read;
+    outcome.cost += load.cost;
+
+    let mut sentinel = TransactionId::new(0, Uuid::NIL);
+    let mut covered = std::collections::HashSet::new();
+    if let Some(checkpoint) = load.checkpoint {
+        outcome.used_checkpoint = true;
+        sentinel = TransactionId::new(checkpoint.id, Uuid::NIL);
+        for record in checkpoint.records {
+            covered.insert(record.storage_key());
+            if metadata.insert(Arc::new(record)) {
+                outcome.from_checkpoint += 1;
+            }
+        }
+    }
+    // The kill point sits between applying the checkpoint and fetching the
+    // tail — fired even on full replay, so chaos plans can tear a bootstrap
+    // whether or not a checkpoint exists yet.
+    if let Some(probe) = probe {
+        probe.before_phase(node_id, &sentinel, CommitPhase::DuringCheckpointBootstrap)?;
+    }
+
+    // The tail is every commit record the checkpoint does not cover — not
+    // merely keys above its high-water mark. A record below the mark that
+    // the checkpointing node had not yet learned (a §4.2 lost broadcast, an
+    // in-flight dissemination) must still be fetched, or the bootstrap
+    // would silently shrink the commit set.
+    let listed = io.execute(StorageRequest::List(TransactionRecord::storage_prefix()));
+    outcome.cost += listed.cost;
+    let mut keys = listed.result?.into_keys();
+    if !covered.is_empty() {
+        keys.retain(|key| !covered.contains(key));
+    }
+    let start = keys.len().saturating_sub(limit);
+    for wave in keys[start..].chunks(COMMIT_FETCH_WAVE) {
+        let batch = io.get_all(wave.iter().cloned()).wait_all();
+        outcome.cost += batch.cost;
+        for result in batch.results {
+            let Some(blob) = result?.into_value() else {
+                continue;
+            };
+            outcome.bytes_read += blob.len() as u64;
+            if let Ok(record) = decode_commit_record(&blob) {
+                if metadata.insert(Arc::new(record)) {
+                    outcome.from_tail += 1;
+                }
+            }
+        }
+    }
+    Ok(outcome)
 }
 
 /// Checks whether a transaction committed, by looking for its commit record
@@ -233,5 +337,147 @@ mod tests {
         assert_eq!(warm_metadata_cache_pipelined(&io, &limited, 5).unwrap(), 4);
         assert!(limited.is_committed(&tid(300)));
         assert!(!limited.is_committed(&tid(1)));
+    }
+
+    use aft_storage::checkpoint::publish_checkpoint;
+    use aft_storage::io::{IoConfig, IoEngine};
+    use aft_storage::Checkpoint;
+    use aft_types::AftError;
+    use parking_lot::Mutex;
+
+    /// A probe that records every phase it sees and optionally crashes on the
+    /// first checkpoint-bootstrap call.
+    struct RecordingProbe {
+        seen: Mutex<Vec<CommitPhase>>,
+        crash_once: Mutex<bool>,
+    }
+
+    impl RecordingProbe {
+        fn new(crash_once: bool) -> Arc<Self> {
+            Arc::new(Self {
+                seen: Mutex::new(Vec::new()),
+                crash_once: Mutex::new(crash_once),
+            })
+        }
+    }
+
+    impl CommitProbe for RecordingProbe {
+        fn before_phase(
+            &self,
+            _node_id: &str,
+            _txid: &TransactionId,
+            phase: CommitPhase,
+        ) -> AftResult<()> {
+            self.seen.lock().push(phase);
+            let mut crash = self.crash_once.lock();
+            if *crash {
+                *crash = false;
+                return Err(AftError::Unavailable("killed during bootstrap".into()));
+            }
+            Ok(())
+        }
+    }
+
+    fn seeded_engine(total: u64) -> (IoEngine, Vec<TransactionRecord>) {
+        let storage: SharedStorage = InMemoryStore::shared();
+        let mut records = Vec::new();
+        for ts in 1..=total {
+            records.push(put_record(&storage, ts, &[&format!("k{}", ts % 7)]));
+        }
+        (IoEngine::new(storage, IoConfig::pipelined()), records)
+    }
+
+    #[test]
+    fn checkpointed_bootstrap_matches_full_replay() {
+        let (io, records) = seeded_engine(40);
+        // Checkpoint covers the first 25 commits.
+        let checkpoint = Checkpoint::new(9_000, records[..25].to_vec());
+        publish_checkpoint(&io, &checkpoint, || Ok(())).unwrap();
+
+        let replayed = MetadataCache::new();
+        warm_metadata_cache_pipelined(&io, &replayed, usize::MAX).unwrap();
+
+        let warmed = MetadataCache::new();
+        let outcome =
+            warm_metadata_cache_checkpointed(&io, &warmed, usize::MAX, "n0", None).unwrap();
+        assert!(outcome.used_checkpoint);
+        assert_eq!(outcome.from_checkpoint, 25);
+        assert_eq!(outcome.from_tail, 15);
+        assert_eq!(outcome.loaded(), replayed.len());
+        assert!(outcome.bytes_read > 0);
+        for record in &records {
+            assert!(warmed.is_committed(&record.id));
+            assert_eq!(
+                warmed.latest_version_of(&record.write_set.iter().next().unwrap().clone()),
+                replayed.latest_version_of(&record.write_set.iter().next().unwrap().clone())
+            );
+        }
+    }
+
+    #[test]
+    fn checkpointed_bootstrap_without_checkpoint_is_full_replay() {
+        let (io, _) = seeded_engine(12);
+        let warmed = MetadataCache::new();
+        let outcome =
+            warm_metadata_cache_checkpointed(&io, &warmed, usize::MAX, "n0", None).unwrap();
+        assert!(!outcome.used_checkpoint);
+        assert_eq!(outcome.from_checkpoint, 0);
+        assert_eq!(outcome.from_tail, 12);
+        assert_eq!(warmed.len(), 12);
+    }
+
+    #[test]
+    fn bootstrap_probe_fires_between_checkpoint_and_tail() {
+        let (io, records) = seeded_engine(10);
+        let checkpoint = Checkpoint::new(7, records[..6].to_vec());
+        publish_checkpoint(&io, &checkpoint, || Ok(())).unwrap();
+
+        // First attempt is killed mid-bootstrap; the retry must converge.
+        let probe = RecordingProbe::new(true);
+        let as_probe: Arc<dyn CommitProbe> = probe.clone();
+        let warmed = MetadataCache::new();
+        let err = warm_metadata_cache_checkpointed(&io, &warmed, usize::MAX, "n0", Some(&as_probe));
+        assert!(err.is_err(), "armed probe must abort the first bootstrap");
+
+        let retry = MetadataCache::new();
+        let outcome =
+            warm_metadata_cache_checkpointed(&io, &retry, usize::MAX, "n0", Some(&as_probe))
+                .unwrap();
+        assert_eq!(outcome.loaded(), 10);
+        assert_eq!(
+            probe.seen.lock().as_slice(),
+            &[
+                CommitPhase::DuringCheckpointBootstrap,
+                CommitPhase::DuringCheckpointBootstrap
+            ]
+        );
+    }
+
+    #[test]
+    fn torn_latest_checkpoint_falls_back_to_previous() {
+        let (io, records) = seeded_engine(20);
+        let older = Checkpoint::new(100, records[..10].to_vec());
+        publish_checkpoint(&io, &older, || Ok(())).unwrap();
+        let newer = Checkpoint::new(200, records[..18].to_vec());
+        let outcome = publish_checkpoint(&io, &newer, || Ok(())).unwrap();
+
+        // Tear the newest manifest: truncate its bytes.
+        let manifest_key = aft_storage::checkpoint::manifest_key(outcome.id);
+        let full = io.storage().get(&manifest_key).unwrap().unwrap();
+        io.storage()
+            .put(
+                &manifest_key,
+                bytes::Bytes::copy_from_slice(&full[..full.len() / 2]),
+            )
+            .unwrap();
+
+        let warmed = MetadataCache::new();
+        let outcome =
+            warm_metadata_cache_checkpointed(&io, &warmed, usize::MAX, "n0", None).unwrap();
+        assert!(outcome.used_checkpoint);
+        assert_eq!(outcome.rejected_checkpoints, 1);
+        assert_eq!(outcome.from_checkpoint, 10);
+        assert_eq!(outcome.from_tail, 10);
+        assert_eq!(warmed.len(), 20);
     }
 }

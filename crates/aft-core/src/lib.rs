@@ -40,11 +40,15 @@ pub mod supersede;
 pub mod write_buffer;
 
 pub use api::{AftApi, CommitOutcome};
+pub use bootstrap::BootstrapOutcome;
 pub use commit_batcher::{BatchConfig, BatchStats, CommitBatcher};
 pub use data_cache::DataCache;
 pub use gc::{GcOutcome, LocalGcConfig};
 pub use metadata::MetadataCache;
-pub use node::{AftNode, CommitPhase, CommitProbe, NodeConfig, TransactionHandle};
+pub use node::{
+    AftNode, BootstrapProbe, CheckpointPolicy, CommitPhase, CommitProbe, NodeCheckpointOutcome,
+    NodeConfig, TransactionHandle,
+};
 pub use read::{select_version, ReadSet};
 pub use stats::{LatencyRecorder, NodeStats, NodeStatsSnapshot};
 pub use supersede::is_superseded;

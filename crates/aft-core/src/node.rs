@@ -3,9 +3,14 @@
 //! buffer, and the caches.
 
 use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+use aft_storage::checkpoint::{
+    compact_log, publish_checkpoint, Checkpoint, CheckpointWriteOutcome, CompactionOutcome,
+    CHECKPOINT_KEEP,
+};
 use aft_storage::io::{IoConfig, IoEngine, StorageRequest};
 use aft_storage::latency::{LatencyMode, LatencyModel, LatencyProfile};
 use aft_storage::SharedStorage;
@@ -52,6 +57,106 @@ pub trait CommitProbe: Send + Sync {
     ) -> AftResult<()>;
 }
 
+/// When a node takes background checkpoints of its committed-version index.
+///
+/// A checkpoint round snapshots the metadata cache to storage (chunked,
+/// CRC-sealed, published checkpoint-then-pointer — see
+/// [`aft_storage::checkpoint`]) so a replacement node can bootstrap from
+/// checkpoint + tail instead of replaying the whole Transaction Commit Set.
+/// Both triggers may be combined; whichever fires first wins. The default is
+/// disabled — checkpointing is a cluster-level duty, opted into per
+/// deployment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointPolicy {
+    /// Checkpoint after this many commits on the node since the last round;
+    /// `0` disables the commit-count trigger.
+    pub every_commits: u64,
+    /// Checkpoint after this much clock time since the last round;
+    /// `Duration::ZERO` disables the time trigger.
+    pub every_duration: Duration,
+}
+
+impl Default for CheckpointPolicy {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
+impl CheckpointPolicy {
+    /// No checkpointing at all.
+    pub const fn disabled() -> Self {
+        CheckpointPolicy {
+            every_commits: 0,
+            every_duration: Duration::ZERO,
+        }
+    }
+
+    /// Checkpoint every `n` commits (`n` clamped to ≥ 1).
+    pub fn every_commits(n: u64) -> Self {
+        CheckpointPolicy {
+            every_commits: n.max(1),
+            every_duration: Duration::ZERO,
+        }
+    }
+
+    /// Checkpoint every `period` of clock time.
+    pub fn every_duration(period: Duration) -> Self {
+        CheckpointPolicy {
+            every_commits: 0,
+            every_duration: period,
+        }
+    }
+
+    /// True if either trigger is armed.
+    pub fn is_enabled(&self) -> bool {
+        self.every_commits > 0 || !self.every_duration.is_zero()
+    }
+}
+
+/// An optional [`CommitProbe`] consulted *during bootstrap* (at
+/// [`CommitPhase::DuringCheckpointBootstrap`]), carried inside [`NodeConfig`]
+/// because bootstrap runs at construction — before
+/// [`AftNode::install_commit_probe`] could ever be called. Opaque to `Debug`
+/// so `NodeConfig` stays derivable.
+#[derive(Clone, Default)]
+pub struct BootstrapProbe(Option<Arc<dyn CommitProbe>>);
+
+impl BootstrapProbe {
+    /// No probe: bootstrap runs uninstrumented.
+    pub fn none() -> Self {
+        BootstrapProbe(None)
+    }
+
+    /// Installs `probe` for the bootstrap phase.
+    pub fn new(probe: Arc<dyn CommitProbe>) -> Self {
+        BootstrapProbe(Some(probe))
+    }
+
+    /// The installed probe, if any.
+    pub fn get(&self) -> Option<&Arc<dyn CommitProbe>> {
+        self.0.as_ref()
+    }
+}
+
+impl std::fmt::Debug for BootstrapProbe {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(if self.0.is_some() {
+            "BootstrapProbe(installed)"
+        } else {
+            "BootstrapProbe(none)"
+        })
+    }
+}
+
+/// What one node-level checkpoint round did.
+#[derive(Debug, Clone, Copy)]
+pub struct NodeCheckpointOutcome {
+    /// The checkpoint publication itself.
+    pub write: CheckpointWriteOutcome,
+    /// The compaction behind it, when the caller enabled it.
+    pub compaction: Option<CompactionOutcome>,
+}
+
 /// Configuration of a single AFT node.
 #[derive(Debug, Clone)]
 pub struct NodeConfig {
@@ -90,6 +195,14 @@ pub struct NodeConfig {
     /// in-flight window, timer-wheel resolution). `IoConfig::sequential()`
     /// reproduces the historical one-round-trip-at-a-time behaviour.
     pub io: IoConfig,
+    /// Background checkpoint policy; disabled by default. When enabled, the
+    /// maintenance driver (cluster layer or the application) calls
+    /// [`AftNode::maybe_checkpoint`] periodically and the policy decides
+    /// whether a round is due.
+    pub checkpoint: CheckpointPolicy,
+    /// Optional probe consulted at the checkpoint-bootstrap phase; chaos
+    /// controllers use it to kill a replacement node mid-bootstrap.
+    pub bootstrap_probe: BootstrapProbe,
 }
 
 impl Default for NodeConfig {
@@ -107,6 +220,8 @@ impl Default for NodeConfig {
             rng_seed: 0xAF71,
             commit_batch: BatchConfig::default(),
             io: IoConfig::pipelined(),
+            checkpoint: CheckpointPolicy::disabled(),
+            bootstrap_probe: BootstrapProbe::none(),
         }
     }
 }
@@ -146,6 +261,18 @@ impl NodeConfig {
     /// Sets the I/O engine tuning.
     pub fn with_io(mut self, io: IoConfig) -> Self {
         self.io = io;
+        self
+    }
+
+    /// Sets the background checkpoint policy.
+    pub fn with_checkpoint(mut self, checkpoint: CheckpointPolicy) -> Self {
+        self.checkpoint = checkpoint;
+        self
+    }
+
+    /// Installs a bootstrap-phase probe.
+    pub fn with_bootstrap_probe(mut self, probe: Arc<dyn CommitProbe>) -> Self {
+        self.bootstrap_probe = BootstrapProbe::new(probe);
         self
     }
 
@@ -190,6 +317,16 @@ pub struct AftNode {
     /// Chaos hook: when installed, every commit runs the unbatched protocol
     /// with a probe call before each [`CommitPhase`].
     commit_probe: Mutex<Option<Arc<dyn CommitProbe>>>,
+    /// Commits on this node since the last checkpoint round.
+    checkpoint_commits: AtomicU64,
+    /// The last checkpoint round's id and clock time.
+    checkpoint_last: Mutex<CheckpointTracker>,
+}
+
+#[derive(Debug, Default, Clone, Copy)]
+struct CheckpointTracker {
+    id: u64,
+    at_ms: u64,
 }
 
 impl AftNode {
@@ -207,13 +344,22 @@ impl AftNode {
         let io = IoEngine::new(storage.clone(), config.io);
         let metadata = MetadataCache::new();
         if config.bootstrap {
-            crate::bootstrap::warm_metadata_cache_pipelined(
+            // Checkpoint-aware warm-up: latest valid checkpoint plus the
+            // commit-set tail behind it; degenerates to full replay when no
+            // checkpoint exists.
+            crate::bootstrap::warm_metadata_cache_checkpointed(
                 &io,
                 &metadata,
                 config.bootstrap_limit,
+                &config.node_id,
+                config.bootstrap_probe.get(),
             )?;
         }
         let rpc_latency = LatencyModel::new(config.latency_mode, config.latency_scale);
+        let checkpoint_last = CheckpointTracker {
+            id: 0,
+            at_ms: clock.now(),
+        };
         Ok(Arc::new(AftNode {
             data_cache: DataCache::new(config.data_cache_bytes),
             buffer: WriteBuffer::new(),
@@ -223,6 +369,8 @@ impl AftNode {
             recent_commits: Mutex::new(Vec::new()),
             locally_deleted: Mutex::new(HashSet::new()),
             commit_probe: Mutex::new(None),
+            checkpoint_commits: AtomicU64::new(0),
+            checkpoint_last: Mutex::new(checkpoint_last),
             rpc_latency,
             metadata,
             io,
@@ -613,6 +761,7 @@ impl AftNode {
         }
         self.recent_commits.lock().push(record);
         self.stats.record_committed();
+        self.checkpoint_commits.fetch_add(1, Ordering::Relaxed);
         Ok(final_id)
     }
 
@@ -761,6 +910,87 @@ impl AftNode {
         outcome
     }
 
+    /// The node's checkpoint policy.
+    pub fn checkpoint_policy(&self) -> CheckpointPolicy {
+        self.config.checkpoint
+    }
+
+    /// Runs a checkpoint round if the configured [`CheckpointPolicy`] says
+    /// one is due (called periodically by the maintenance driver). Returns
+    /// `Ok(None)` when no round was due or the policy is disabled.
+    ///
+    /// `compact` additionally compacts the commit log behind the new
+    /// checkpoint; the cluster layer only enables it when no recovery is in
+    /// flight, so compaction never removes records a bootstrapping
+    /// replacement still needs.
+    pub fn maybe_checkpoint(&self, compact: bool) -> AftResult<Option<NodeCheckpointOutcome>> {
+        let policy = self.config.checkpoint;
+        if !policy.is_enabled() || self.metadata.is_empty() {
+            return Ok(None);
+        }
+        let now = self.clock.now();
+        let due = {
+            let last = self.checkpoint_last.lock();
+            let commits = self.checkpoint_commits.load(Ordering::Relaxed);
+            (policy.every_commits > 0 && commits >= policy.every_commits)
+                || (!policy.every_duration.is_zero()
+                    && now.saturating_sub(last.at_ms) >= policy.every_duration.as_millis() as u64)
+        };
+        if !due {
+            return Ok(None);
+        }
+        self.checkpoint_now(compact).map(Some)
+    }
+
+    /// Takes a checkpoint of the committed-version index right now,
+    /// regardless of policy: snapshots the metadata cache and publishes it
+    /// through the I/O engine (pipelined chunk writes, then the manifest).
+    ///
+    /// An installed commit probe is consulted at
+    /// [`CommitPhase::DuringCheckpointWrite`] — after the chunks are durable,
+    /// before the manifest — so a chaos kill there leaves a torn (and
+    /// therefore invisible) checkpoint.
+    pub fn checkpoint_now(&self, compact: bool) -> AftResult<NodeCheckpointOutcome> {
+        let records: Vec<TransactionRecord> = self
+            .metadata
+            .all_records()
+            .iter()
+            .map(|r| (**r).clone())
+            .collect();
+        // Monotonic id: clock milliseconds disambiguated by a node hash in
+        // the low bits, never reusing or going below a previous id.
+        let id = {
+            let last = self.checkpoint_last.lock();
+            let candidate = (self.clock.now() << 10) | (fnv1a(self.node_id().as_bytes()) & 0x3FF);
+            candidate.max(last.id + 1)
+        };
+        let checkpoint = Checkpoint::new(id, records);
+        let probe = self.commit_probe.lock().clone();
+        let sentinel = TransactionId::new(id, Uuid::NIL);
+        let write = publish_checkpoint(&self.io, &checkpoint, || {
+            if let Some(probe) = &probe {
+                probe.before_phase(
+                    self.node_id(),
+                    &sentinel,
+                    CommitPhase::DuringCheckpointWrite,
+                )?;
+            }
+            Ok(())
+        })?;
+        {
+            let mut last = self.checkpoint_last.lock();
+            last.id = id;
+            last.at_ms = self.clock.now();
+        }
+        self.checkpoint_commits.store(0, Ordering::Relaxed);
+        let compaction = if compact {
+            Some(compact_log(&self.io, &checkpoint, CHECKPOINT_KEEP)?)
+        } else {
+            None
+        };
+        Ok(NodeCheckpointOutcome { write, compaction })
+    }
+
     /// The set of transactions this node has locally garbage collected; the
     /// global GC deletes a transaction's data only once *every* node reports
     /// it here (§5.2).
@@ -786,6 +1016,16 @@ impl AftNode {
     pub fn transaction(self: &Arc<Self>) -> TransactionHandle {
         TransactionHandle::begin(Arc::clone(self))
     }
+}
+
+/// FNV-1a over `bytes`; disambiguates concurrent checkpointers' ids.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
 }
 
 /// A convenience handle pairing an [`AftNode`] with one transaction ID.
@@ -1495,5 +1735,115 @@ mod tests {
         // were needed at all.
         assert_eq!(node.stats().reads_from_storage(), 0);
         assert!(node.stats().reads_from_data_cache() >= 2);
+    }
+
+    fn commit_n(node: &Arc<AftNode>, n: usize, key: &str) {
+        for i in 0..n {
+            let t = node.start_transaction();
+            node.put(&t, Key::new(key), val(&format!("v{i}"))).unwrap();
+            node.commit(&t).unwrap();
+        }
+    }
+
+    #[test]
+    fn checkpoint_policy_knobs() {
+        assert!(!CheckpointPolicy::disabled().is_enabled());
+        assert!(!CheckpointPolicy::default().is_enabled());
+        assert!(CheckpointPolicy::every_commits(10).is_enabled());
+        assert!(CheckpointPolicy::every_duration(Duration::from_secs(1)).is_enabled());
+        // every_commits(0) clamps to 1: an enabled policy always fires.
+        assert_eq!(CheckpointPolicy::every_commits(0).every_commits, 1);
+    }
+
+    #[test]
+    fn maybe_checkpoint_fires_on_commit_count_and_rearms() {
+        let storage: SharedStorage = InMemoryStore::shared();
+        let node = AftNode::with_clock(
+            NodeConfig::test().with_checkpoint(CheckpointPolicy::every_commits(3)),
+            storage,
+            aft_types::clock::TickingClock::shared(1_000, 1),
+        )
+        .unwrap();
+        commit_n(&node, 2, "k");
+        assert!(node.maybe_checkpoint(false).unwrap().is_none(), "not due");
+        commit_n(&node, 1, "k");
+        let outcome = node.maybe_checkpoint(false).unwrap().expect("due");
+        assert_eq!(outcome.write.records, 3);
+        assert!(outcome.compaction.is_none());
+        // The counter was reset: not due again until 3 more commits.
+        assert!(node.maybe_checkpoint(false).unwrap().is_none());
+    }
+
+    #[test]
+    fn checkpoint_and_compaction_preserve_bootstrap_state() {
+        let storage: SharedStorage = InMemoryStore::shared();
+        let clock = aft_types::clock::TickingClock::shared(1_000, 1);
+        let node = AftNode::with_clock(NodeConfig::test(), storage.clone(), clock.clone()).unwrap();
+        for i in 0..8 {
+            let t = node.start_transaction();
+            node.put(&t, Key::new(format!("k{}", i % 4)), val("x"))
+                .unwrap();
+            node.commit(&t).unwrap();
+        }
+        let before = node.storage().list_prefix("commit/").unwrap().len();
+        assert_eq!(before, 8);
+
+        let outcome = node.checkpoint_now(true).unwrap();
+        let compaction = outcome.compaction.expect("compaction requested");
+        assert!(compaction.deleted_covered > 0 || compaction.deleted_superseded > 0);
+        let after = node.storage().list_prefix("commit/").unwrap().len();
+        assert!(after < before, "compaction must shrink the commit log");
+
+        // A cold replacement on the same storage reaches the same state.
+        let replacement = AftNode::with_clock(NodeConfig::test(), storage, clock).unwrap();
+        for i in 0..4 {
+            let key = Key::new(format!("k{i}"));
+            assert_eq!(
+                replacement.metadata().latest_version_of(&key),
+                node.metadata().latest_version_of(&key),
+                "checkpoint+tail bootstrap must match the live node for {key:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn crash_during_checkpoint_write_leaves_previous_checkpoint_live() {
+        let storage: SharedStorage = InMemoryStore::shared();
+        let node = AftNode::with_clock(
+            NodeConfig::test(),
+            storage,
+            aft_types::clock::TickingClock::shared(1_000, 1),
+        )
+        .unwrap();
+        commit_n(&node, 3, "k");
+        let first = node.checkpoint_now(false).unwrap();
+
+        commit_n(&node, 3, "k");
+        node.install_commit_probe(CrashAt::new(CommitPhase::DuringCheckpointWrite));
+        let err = node.checkpoint_now(false).unwrap_err();
+        assert!(matches!(err, AftError::Unavailable(_)));
+        node.clear_commit_probe();
+
+        // Chunks of the torn checkpoint may exist, but the manifest pointer
+        // was never published: a loader still sees the first checkpoint.
+        let load = aft_storage::load_latest_checkpoint(node.io()).unwrap();
+        let live = load.checkpoint.expect("previous checkpoint live");
+        assert_eq!(live.id, first.write.id);
+
+        // After the crash clears, checkpointing succeeds and supersedes it.
+        let second = node.checkpoint_now(false).unwrap();
+        assert!(second.write.id > first.write.id);
+        let load = aft_storage::load_latest_checkpoint(node.io()).unwrap();
+        assert_eq!(load.checkpoint.unwrap().id, second.write.id);
+    }
+
+    #[test]
+    fn checkpoint_ids_are_monotonic_per_node() {
+        let node = test_node();
+        commit_n(&node, 1, "k");
+        let a = node.checkpoint_now(false).unwrap();
+        let b = node.checkpoint_now(false).unwrap();
+        let c = node.checkpoint_now(false).unwrap();
+        assert!(a.write.id < b.write.id && b.write.id < c.write.id);
     }
 }

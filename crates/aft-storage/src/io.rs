@@ -467,14 +467,16 @@ impl Inner {
         }
     }
 
-    /// Fires a completion and releases its in-flight slot.
+    /// Fires a completion and releases its in-flight slot. The counter and
+    /// the slot are updated *before* the completion fires: a thread that
+    /// returns from `wait()` must observe its own request as completed.
     fn finish(&self, completion: &Completion, result: AftResult<StorageResponse>, cost: Duration) {
-        completion.fire(result, cost);
         self.stats.completed.fetch_add(1, Ordering::Relaxed);
         let mut state = self.state.lock();
         state.in_flight = state.in_flight.saturating_sub(1);
         drop(state);
         self.space_cond.notify_all();
+        completion.fire(result, cost);
     }
 
     /// One worker's execution of one job.
@@ -784,8 +786,8 @@ impl IoEngine {
             self.inner.stats.inline.fetch_add(1, Ordering::Relaxed);
             let ((result, backoff), charged) =
                 measure_cost(|| self.inner.execute_with_retry(request));
-            completion.fire(result, charged + backoff);
             self.inner.stats.completed.fetch_add(1, Ordering::Relaxed);
+            completion.fire(result, charged + backoff);
             return IoTicket { completion };
         }
         let mut state = self.inner.state.lock();

@@ -35,6 +35,7 @@
 
 pub mod backend;
 pub mod chaos;
+pub mod checkpoint;
 pub mod counters;
 pub mod dynamo;
 pub mod engine;
@@ -49,6 +50,10 @@ pub mod sharded;
 
 pub use backend::{make_backend, BackendConfig, BackendKind};
 pub use chaos::{ChaosStatsSnapshot, FaultKind, FaultyBackend};
+pub use checkpoint::{
+    compact_log, load_latest_checkpoint, publish_checkpoint, Checkpoint, CheckpointLoad,
+    CheckpointManifest, CheckpointWriteOutcome, CompactionOutcome, CHECKPOINT_KEEP,
+};
 pub use counters::{OpKind, StorageStats, StorageStatsSnapshot, StripeCounters};
 pub use dynamo::{DynamoTransactionMode, SimDynamo};
 pub use engine::{SharedStorage, StorageEngine};

@@ -1,0 +1,107 @@
+//! Property-based test of checkpoint torn-write safety: a checkpoint whose
+//! manifest *or* any chunk is cut off at an **arbitrary byte prefix** (the
+//! shape a crash mid-PUT leaves behind) must be CRC-rejected by
+//! [`load_latest_checkpoint`], which then falls back cleanly to the previous
+//! intact checkpoint — and to "no checkpoint" when every one is torn.
+
+use std::sync::Arc;
+
+use aft_storage::checkpoint::{chunk_key, manifest_key, publish_checkpoint, Checkpoint};
+use aft_storage::io::{IoConfig, IoEngine};
+use aft_storage::{load_latest_checkpoint, InMemoryStore, SharedStorage};
+use aft_types::{Key, TransactionId, TransactionRecord, Uuid};
+use proptest::prelude::*;
+
+fn record(ts: u64) -> TransactionRecord {
+    TransactionRecord::new(
+        TransactionId::new(ts, Uuid::from_u128(ts as u128)),
+        [Key::new(format!("k{}", ts % 7))],
+    )
+}
+
+/// Two published checkpoints on fresh storage; returns the storage handle
+/// and the engine.
+fn two_checkpoints(older: u64, newer: u64) -> (SharedStorage, IoEngine) {
+    let storage: SharedStorage = InMemoryStore::shared();
+    let io = IoEngine::new(Arc::clone(&storage), IoConfig::pipelined());
+    let first = Checkpoint::new(older, (1..=5).map(record).collect());
+    publish_checkpoint(&io, &first, || Ok(())).unwrap();
+    let second = Checkpoint::new(newer, (1..=9).map(record).collect());
+    publish_checkpoint(&io, &second, || Ok(())).unwrap();
+    (storage, io)
+}
+
+/// Overwrites `key` with a strict byte prefix of its current blob.
+fn tear(storage: &SharedStorage, key: &str, frac: f64) -> usize {
+    let blob = storage.get(key).unwrap().expect("blob must exist");
+    let cut = ((blob.len() as f64) * frac) as usize;
+    storage
+        .put(key, bytes::Bytes::copy_from_slice(&blob[..cut]))
+        .unwrap();
+    cut
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Tearing the newest checkpoint's manifest or chunk at any byte
+    /// prefix makes the loader reject exactly that checkpoint and fall
+    /// back to the previous intact one.
+    #[test]
+    fn torn_prefix_is_rejected_with_clean_fallback(
+        frac in 0.0..1.0f64,
+        tear_chunk in any::<bool>(),
+    ) {
+        let (storage, io) = two_checkpoints(1, 2);
+        let target = if tear_chunk { chunk_key(2, 0) } else { manifest_key(2) };
+        tear(&storage, &target, frac);
+
+        let load = load_latest_checkpoint(&io).unwrap();
+        prop_assert_eq!(load.rejected, 1, "the torn checkpoint must be rejected");
+        let fallback = load.checkpoint.expect("previous checkpoint must load");
+        prop_assert_eq!(fallback.id, 1);
+        prop_assert_eq!(fallback.records.len(), 5);
+    }
+
+    /// When every checkpoint is torn, the loader reports "no checkpoint"
+    /// (full-replay fallback) instead of erroring or returning garbage.
+    #[test]
+    fn all_torn_means_no_checkpoint(
+        frac_a in 0.0..1.0f64,
+        frac_b in 0.0..1.0f64,
+        chunk_a in any::<bool>(),
+        chunk_b in any::<bool>(),
+    ) {
+        let (storage, io) = two_checkpoints(1, 2);
+        tear(&storage, &if chunk_a { chunk_key(1, 0) } else { manifest_key(1) }, frac_a);
+        tear(&storage, &if chunk_b { chunk_key(2, 0) } else { manifest_key(2) }, frac_b);
+
+        let load = load_latest_checkpoint(&io).unwrap();
+        prop_assert_eq!(load.rejected, 2);
+        prop_assert!(load.checkpoint.is_none());
+    }
+}
+
+/// Exhaustive companion to the property above: *every* strict byte prefix
+/// of the newest manifest is rejected, not just sampled ones.
+#[test]
+fn every_manifest_prefix_is_rejected() {
+    let (storage, io) = two_checkpoints(1, 2);
+    let intact = storage.get(&manifest_key(2)).unwrap().unwrap();
+    for cut in 0..intact.len() {
+        storage
+            .put(
+                &manifest_key(2),
+                bytes::Bytes::copy_from_slice(&intact[..cut]),
+            )
+            .unwrap();
+        let load = load_latest_checkpoint(&io).unwrap();
+        assert_eq!(load.rejected, 1, "prefix of {cut} bytes must be rejected");
+        assert_eq!(load.checkpoint.expect("fallback").id, 1);
+    }
+    // Restoring the full blob restores the newest checkpoint.
+    storage.put(&manifest_key(2), intact).unwrap();
+    let load = load_latest_checkpoint(&io).unwrap();
+    assert_eq!(load.rejected, 0);
+    assert_eq!(load.checkpoint.unwrap().id, 2);
+}
